@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the core error-spreading algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use espread_core::{
+    calculate_permutation, cpo::stride_permutation, ibo::inverse_binary_order,
+    interleave::block_interleaver, worst_case_clf, Permutation,
+};
+use espread_poset::Poset;
+use espread_trace::GopPattern;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("stride", n), &n, |b, &n| {
+            b.iter(|| stride_permutation(black_box(n), black_box(7)))
+        });
+        group.bench_with_input(BenchmarkId::new("block", n), &n, |b, &n| {
+            b.iter(|| block_interleaver(black_box(n), black_box(8)))
+        });
+        group.bench_with_input(BenchmarkId::new("ibo", n), &n, |b, &n| {
+            b.iter(|| inverse_binary_order(black_box(n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_worst_case_clf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worst_case_clf");
+    for n in [24usize, 96, 384] {
+        let perm = stride_permutation(n, 7);
+        let b = n / 8;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| worst_case_clf(black_box(&perm), black_box(b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_calculate_permutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calculate_permutation");
+    group.sample_size(10);
+    for n in [16usize, 24, 48, 96] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            bch.iter(|| calculate_permutation(black_box(n), black_box(n / 6)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_multi_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_burst");
+    group.sample_size(10);
+    let perm = stride_permutation(24, 5);
+    for r in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |bch, &r| {
+            bch.iter(|| {
+                espread_core::burst::worst_case_clf_multi(black_box(&perm), black_box(3), r)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_poset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poset");
+    for w in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("gop_poset_build", w), &w, |bch, &w| {
+            bch.iter(|| GopPattern::gop12().dependency_poset(black_box(w), true))
+        });
+        let poset = GopPattern::gop12().dependency_poset(w, true);
+        group.bench_with_input(BenchmarkId::new("depth_decomposition", w), &w, |bch, _| {
+            bch.iter(|| black_box(&poset).depth_decomposition())
+        });
+        group.bench_with_input(BenchmarkId::new("dilworth_width", w), &w, |bch, _| {
+            bch.iter(|| black_box(&poset).width())
+        });
+    }
+    let big = Poset::antichain(512);
+    group.bench_function("linear_extension_512", |bch| {
+        bch.iter(|| black_box(&big).linear_extension())
+    });
+    group.finish();
+}
+
+fn bench_unpermute(c: &mut Criterion) {
+    let perm = stride_permutation(384, 11);
+    let received: Vec<Option<u32>> = (0..384).map(|i| (i % 7 != 0).then_some(i as u32)).collect();
+    c.bench_function("unapply_384", |bch| {
+        bch.iter(|| black_box(&perm).unapply(black_box(&received)))
+    });
+    let id = Permutation::identity(384);
+    c.bench_function("compose_384", |bch| {
+        bch.iter(|| black_box(&perm).compose(black_box(&id)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_worst_case_clf,
+    bench_calculate_permutation,
+    bench_multi_burst,
+    bench_poset,
+    bench_unpermute
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benchmarks for the network substrate and full sessions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use espread_netsim::{DropTailConfig, DropTailQueue, GilbertModel, Link, Packet, SimDuration, SimTime};
+use espread_protocol::{Ordering, ProtocolConfig, Session, StreamSource};
+use espread_trace::{Movie, MpegTrace};
+use std::hint::black_box;
+
+fn bench_gilbert(c: &mut Criterion) {
+    c.bench_function("gilbert_step_x1000", |b| {
+        let mut chain = GilbertModel::paper(0.6, 1);
+        b.iter(|| {
+            let mut delivered = 0u32;
+            for _ in 0..1000 {
+                delivered += u32::from(chain.step_delivers());
+            }
+            black_box(delivered)
+        })
+    });
+}
+
+fn bench_link(c: &mut Criterion) {
+    c.bench_function("link_transmit_x100", |b| {
+        b.iter(|| {
+            let mut link = Link::new(
+                1_200_000,
+                SimDuration::from_millis(11),
+                GilbertModel::paper(0.6, 7),
+            );
+            let mut delivered = 0;
+            for i in 0..100u64 {
+                let out = link.transmit(SimTime::ZERO, Packet::new(i, 2048, SimTime::ZERO, i));
+                delivered += u64::from(!out.is_lost());
+            }
+            black_box(delivered)
+        })
+    });
+}
+
+fn bench_droptail(c: &mut Criterion) {
+    c.bench_function("droptail_offer_x100", |b| {
+        b.iter(|| {
+            let mut q = DropTailQueue::new(DropTailConfig::paper_like(), 3);
+            let mut t = SimTime::ZERO;
+            let mut admitted = 0u32;
+            for _ in 0..100 {
+                admitted += u32::from(q.offer(t, 2048));
+                t += SimDuration::from_millis(14);
+            }
+            black_box(admitted)
+        })
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("mpeg_trace_1200_frames", |b| {
+        let trace = MpegTrace::new(Movie::JurassicPark, 1);
+        b.iter(|| black_box(&trace).frames(1200))
+    });
+}
+
+fn bench_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+    for (name, ordering) in [("spread", Ordering::spread()), ("in_order", Ordering::InOrder)] {
+        group.bench_with_input(
+            BenchmarkId::new("20_windows", name),
+            &ordering,
+            |b, &ordering| {
+                let trace = MpegTrace::new(Movie::JurassicPark, 1);
+                let source = StreamSource::mpeg(&trace, 2, 20, false);
+                let cfg = ProtocolConfig::paper(0.6, 42).with_ordering(ordering);
+                b.iter(|| Session::new(cfg.clone(), source.clone()).run())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gilbert,
+    bench_link,
+    bench_droptail,
+    bench_trace_generation,
+    bench_session
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation — timing variation of the recovery schemes.
+//!
+//! The abstract's motivation for error spreading: classical error handling
+//! "introduc\[es\] timing variations, which is unacceptable for isochronous
+//! traffic". This experiment measures per-frame delivery latency and
+//! jitter for each Fig. 4 block: spreading is a pure reordering inside an
+//! already-buffered window (no added per-frame delay variance at the
+//! playout point), while retransmission visibly stretches the latency tail
+//! of exactly the frames it rescues.
+//!
+//! ```sh
+//! cargo run --release -p espread-bench --bin ablation_timing
+//! ```
+
+use espread_bench::paper_source;
+use espread_protocol::{Ordering, ProtocolConfig, Recovery, Session};
+
+fn main() {
+    println!("Per-frame delivery timing by scheme (Pbad=0.7, 60 windows, seed 11)\n");
+    println!(
+        "{:<26} {:>12} {:>12} {:>12} {:>8} {:>9}",
+        "scheme", "mean lat ms", "max lat ms", "jitter ms", "late", "mean CLF"
+    );
+    let blocks: [(&str, Ordering, Recovery); 4] = [
+        ("in-order, none", Ordering::InOrder, Recovery::None),
+        ("in-order + retransmit", Ordering::InOrder, Recovery::Retransmit),
+        ("spread, none", Ordering::spread(), Recovery::None),
+        ("spread + retransmit", Ordering::spread(), Recovery::Retransmit),
+    ];
+    for (name, ordering, recovery) in blocks {
+        let cfg = ProtocolConfig::paper(0.7, 11)
+            .with_ordering(ordering)
+            .with_recovery(recovery);
+        let report = Session::new(cfg, paper_source(2, 60, 1)).run();
+        let t = report.timing;
+        println!(
+            "{name:<26} {:>12.1} {:>12.1} {:>12.1} {:>8} {:>9.2}",
+            t.mean_latency_us / 1000.0,
+            t.max_latency_us as f64 / 1000.0,
+            t.jitter_us / 1000.0,
+            t.late_frames,
+            report.summary().mean_clf
+        );
+    }
+    println!("\nreading: spreading changes *which* frames a burst hits, not *when* frames");
+    println!("arrive — its jitter matches the in-order baseline, while retransmission");
+    println!("adds a latency tail (the recovered frames complete a NACK round later).");
+    println!("All schemes stay inside the one-window start-up delay, so nothing is late.");
+}

@@ -1,0 +1,61 @@
+//! Extension — error spreading as a concealment enabler.
+//!
+//! Receiver-side concealment (reference \[16\] of the paper) interpolates
+//! a missing frame from delivered neighbours, so it repairs **isolated**
+//! losses but not runs. Error spreading converts runs into isolated
+//! losses without changing the loss count — which means the two schemes
+//! are more than orthogonal: spreading actively *feeds* concealment.
+//!
+//! ```sh
+//! cargo run --release -p espread-bench --bin extension_concealment
+//! ```
+
+use espread_bench::{mean, paper_source, Comparison};
+use espread_protocol::ProtocolConfig;
+use espread_qos::{Concealment, ContinuityMetrics, WindowSeries};
+
+fn main() {
+    println!("Concealment synergy (Pbad=0.6, 100 windows, 3 seeds, simple interpolation)\n");
+    println!(
+        "{:<12} {:>10} {:>13} {:>13} {:>14}",
+        "scheme", "mean CLF", "concealable", "CLF after", "loss after"
+    );
+
+    let conceal = Concealment::simple();
+    for scheme in ["unscrambled", "scrambled"] {
+        let mut clf = Vec::new();
+        let mut frac = Vec::new();
+        let mut after_clf = Vec::new();
+        let mut after_alf = Vec::new();
+        for seed in [42u64, 43, 44] {
+            let source = paper_source(2, 100, 1);
+            let cmp = Comparison::run(&ProtocolConfig::paper(0.6, seed), &source);
+            let report = if scheme == "scrambled" { &cmp.spread } else { &cmp.plain };
+            clf.push(report.summary().mean_clf);
+            let fractions: Vec<f64> = report
+                .patterns
+                .iter()
+                .map(|p| conceal.concealable_fraction(p))
+                .collect();
+            frac.push(mean(&fractions));
+            let concealed: WindowSeries = report
+                .patterns
+                .iter()
+                .map(|p| ContinuityMetrics::of(&conceal.apply(p)))
+                .collect();
+            after_clf.push(concealed.summary().mean_clf);
+            after_alf.push(concealed.summary().mean_alf);
+        }
+        println!(
+            "{scheme:<12} {:>10.2} {:>12.0}% {:>13.2} {:>13.1}%",
+            mean(&clf),
+            mean(&frac) * 100.0,
+            mean(&after_clf),
+            mean(&after_alf) * 100.0
+        );
+    }
+    println!("\nreading: under the naive order most losses sit inside runs and cannot be");
+    println!("interpolated; spreading isolates them, so concealment repairs the large");
+    println!("majority and the *effective* loss rate drops — the two techniques compose");
+    println!("super-additively, strengthening the paper's §4.3 orthogonality claim.");
+}

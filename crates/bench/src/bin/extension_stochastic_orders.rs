@@ -1,0 +1,68 @@
+//! Extension — ranking transmission orders under the *stochastic* channel.
+//!
+//! The paper's optimality claim is adversarial (single worst-case burst);
+//! the evaluation channel is stochastic (a Gilbert process producing many
+//! bursts of geometric length). This experiment ranks a spectrum of
+//! orders by **expected** per-window CLF under the actual Fig. 7 process,
+//! exposing where the two rankings agree and where they diverge.
+//!
+//! ```sh
+//! cargo run --release -p espread-bench --bin extension_stochastic_orders
+//! ```
+
+use espread_core::{
+    calculate_permutation,
+    cpo::stride_permutation,
+    ibo::inverse_binary_order,
+    interleave::{block_interleaver, block_interleaver_reversed},
+    rank_orders, worst_case_clf, Permutation,
+};
+use espread_netsim::GilbertModel;
+
+fn main() {
+    let n = 24;
+    let windows = 20_000;
+    println!(
+        "Expected per-window CLF under the Gilbert channel (n = {n}, Pgood = 0.92, \
+         Pbad = 0.6, {windows} windows)\n"
+    );
+
+    let orders: Vec<(&str, Permutation)> = vec![
+        ("identity", Permutation::identity(n)),
+        ("stride 5", stride_permutation(n, 5)),
+        ("stride 7", stride_permutation(n, 7)),
+        ("block 4 rows", block_interleaver(n, 4)),
+        ("rev block 8 rows", block_interleaver_reversed(n, 8)),
+        ("IBO", inverse_binary_order(n)),
+        ("calculatePermutation(b=3)", calculate_permutation(n, 3).permutation),
+        ("calculatePermutation(b=6)", calculate_permutation(n, 6).permutation),
+    ];
+
+    let mut seed = 0u64;
+    let ranking = rank_orders(&orders, windows, move || {
+        seed += 1;
+        let mut chain = GilbertModel::paper(0.6, seed * 7919);
+        Box::new(move || !chain.step_delivers())
+    });
+
+    println!("{:<28} {:>12} {:>18}", "order", "E[CLF]", "worst-case b=3");
+    for (name, mean) in &ranking {
+        let perm = &orders.iter().find(|(n2, _)| n2 == name).unwrap().1;
+        println!("{name:<28} {mean:>12.3} {:>18}", worst_case_clf(perm, 3));
+    }
+
+    let identity_mean = ranking
+        .iter()
+        .find(|(name, _)| *name == "identity")
+        .map(|(_, m)| *m)
+        .unwrap();
+    assert_eq!(
+        ranking.last().unwrap().1,
+        identity_mean,
+        "identity must rank last"
+    );
+    println!("\nreading: every interleaver roughly halves the expected CLF of the naive");
+    println!("order; differences *among* interleavers are small under the stochastic");
+    println!("process even where their adversarial guarantees differ — the worst-case");
+    println!("theory picks the family, the channel statistics blur the order within it.");
+}

@@ -1,0 +1,27 @@
+//! Figure 1 — the two example streams that define the continuity metrics.
+//!
+//! ```sh
+//! cargo run -p espread-bench --bin fig1_metrics
+//! ```
+
+use espread_qos::{ContinuityMetrics, LossPattern};
+
+fn main() {
+    println!("Figure 1: two example streams used to explain the metrics\n");
+    let streams = [
+        ("stream 1 (back-to-back losses)", LossPattern::from_received([false, false, true, true])),
+        ("stream 2 (spread-out losses)", LossPattern::from_received([false, true, true, false])),
+    ];
+    println!("{:<32} {:<8} {:>14} {:>16}", "stream", "slots", "aggregate loss", "consecutive loss");
+    for (name, pattern) in streams {
+        let m = ContinuityMetrics::of(&pattern);
+        println!(
+            "{:<32} {:<8} {:>14} {:>16}",
+            name,
+            pattern.to_string(),
+            m.alf().to_string(),
+            m.clf()
+        );
+    }
+    println!("\npaper: both streams have aggregate loss 2/4; consecutive loss 2 vs 1.");
+}

@@ -1,0 +1,73 @@
+//! Figure 8 — impact of network losses: per-window CLF, scrambled vs
+//! unscrambled, at the paper's exact parameters.
+//!
+//! RTT 23 ms, bandwidth 1.2 Mbps, P_good = 0.92, W = 2 GOPs, GOP 12,
+//! packet 2 KiB, 100 buffer windows; P_bad ∈ {0.6, 0.7} (select with
+//! `--pbad`).
+//!
+//! ```sh
+//! cargo run --release -p espread-bench --bin fig8_network_loss -- --pbad 0.6
+//! cargo run --release -p espread-bench --bin fig8_network_loss -- --pbad 0.7
+//! ```
+
+use espread_bench::{ascii_plot, paper_source, Comparison};
+use espread_protocol::ProtocolConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let p_bad: f64 = args
+        .iter()
+        .position(|a| a == "--pbad")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--pbad takes a probability"))
+        .unwrap_or(0.6);
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(42);
+
+    println!(
+        "Figure 8: CLF pattern, RTT=23 ms, BW=1200000 bps, Pgood=0.92, Pbad={p_bad}, W=2, GOP 12, packet 2 KiB\n"
+    );
+
+    let source = paper_source(2, 100, 1);
+    let cmp = Comparison::run(&ProtocolConfig::paper(p_bad, seed), &source);
+
+    let plain_series: Vec<f64> = cmp.plain.series.clf_values().map(|c| c as f64).collect();
+    let spread_series: Vec<f64> = cmp.spread.series.clf_values().map(|c| c as f64).collect();
+
+    print!(
+        "{}",
+        ascii_plot(
+            "CLF per buffer window (100 windows):",
+            &[
+                ("unscrambled", plain_series),
+                ("scrambled", spread_series),
+            ],
+            8,
+        )
+    );
+
+    let (p, s) = cmp.summaries();
+    println!();
+    println!("Un Scrambled Mean {:.2}, Dev {:.2}", p.mean_clf, p.dev_clf);
+    println!("Scrambled    Mean {:.2}, Dev {:.2}", s.mean_clf, s.dev_clf);
+    println!(
+        "\npaper reference @ Pbad=0.6: Un Scrambled Mean 1.71, Dev 0.92 | Scrambled Mean 1.46, Dev 0.56"
+    );
+    println!(
+        "paper reference @ Pbad=0.7: Un Scrambled Mean 1.63, Dev 0.85 | Scrambled Mean 1.56, Dev 0.79"
+    );
+    println!(
+        "\nchannel: {} packets offered, {:.1}% lost (steady state {:.1}%)",
+        cmp.spread.packets_offered,
+        cmp.spread.packet_loss_rate() * 100.0,
+        {
+            let leave_good = 1.0 - 0.92f64;
+            let leave_bad = 1.0 - p_bad;
+            leave_good / (leave_good + leave_bad) * 100.0
+        }
+    );
+}

@@ -1,0 +1,53 @@
+//! Table 1 — how the order of frames sent affects the CLF.
+//!
+//! A window of 17 frames, a network burst of 5 packets. The paper's rows:
+//! in-order transmission (CLF 5/17), the permuted order (the frames lost
+//! are consecutive only in the permuted domain), and the un-permuted view.
+//!
+//! ```sh
+//! cargo run -p espread-bench --bin table1_example
+//! ```
+
+use espread_core::{burst_loss_pattern, calculate_permutation, cpo::stride_permutation, worst_case_clf, Permutation};
+
+fn one_indexed(perm: &Permutation) -> String {
+    perm.as_slice()
+        .iter()
+        .map(|i| format!("{:02}", i + 1))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    let n = 17;
+    let b = 5;
+    let burst_start = 6; // the illustration's mid-window burst
+
+    println!("Table 1: an example of how the order of frames sent affects CLF");
+    println!("(window n = {n}, bursty loss b = {b}, burst at slots {burst_start}..{})\n", burst_start + b);
+
+    let in_order = Permutation::identity(n);
+    let permuted = stride_permutation(n, 5); // the paper's published order
+
+    let naive_loss = burst_loss_pattern(&in_order, burst_start, b);
+    let spread_loss = burst_loss_pattern(&permuted, burst_start, b);
+
+    println!("{:<12} {}", "in order", one_indexed(&in_order));
+    println!("{:<12} {}", "permuted", one_indexed(&permuted));
+    println!();
+    println!("{:<12} {}   CLF {}/{n}", "in order", naive_loss, naive_loss.longest_run());
+    println!("{:<12} {}   CLF {}/{n}", "un-permuted", spread_loss, spread_loss.longest_run());
+    println!();
+    println!(
+        "worst case over all burst positions: in-order {}, permuted {}",
+        worst_case_clf(&in_order, b),
+        worst_case_clf(&permuted, b)
+    );
+
+    let choice = calculate_permutation(n, b);
+    println!(
+        "calculatePermutation({n}, {b}) chooses {} with worst-case CLF {}",
+        choice.family, choice.worst_clf
+    );
+    println!("\npaper row values: CLF 5/17 in order, 1/17 permuted.");
+}

@@ -1,0 +1,139 @@
+//! Programmatic experiment reports.
+//!
+//! The experiment binaries print human-oriented tables; this module
+//! produces the same comparisons as structured data and renders them to
+//! markdown, so CI jobs or notebooks can regenerate
+//! `results/summary.md` without scraping stdout.
+
+use std::fmt::Write as _;
+
+use espread_protocol::ProtocolConfig;
+
+use crate::{paper_source, Comparison};
+
+/// One scrambled-vs-unscrambled comparison cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Row label (e.g. `"P_bad = 0.6"`).
+    pub label: String,
+    /// Unscrambled mean CLF.
+    pub plain_mean: f64,
+    /// Unscrambled CLF deviation.
+    pub plain_dev: f64,
+    /// Scrambled mean CLF.
+    pub spread_mean: f64,
+    /// Scrambled CLF deviation.
+    pub spread_dev: f64,
+    /// Observed packet loss rate.
+    pub loss_rate: f64,
+}
+
+impl ComparisonRow {
+    /// Runs one matched comparison at the paper's workload.
+    pub fn measure(label: impl Into<String>, config: &ProtocolConfig, windows: usize) -> Self {
+        let source = paper_source(2, windows, 1);
+        let cmp = Comparison::run(config, &source);
+        let (p, s) = cmp.summaries();
+        ComparisonRow {
+            label: label.into(),
+            plain_mean: p.mean_clf,
+            plain_dev: p.dev_clf,
+            spread_mean: s.mean_clf,
+            spread_dev: s.dev_clf,
+            loss_rate: cmp.spread.packet_loss_rate(),
+        }
+    }
+
+    /// Whether scrambling won on both mean and deviation.
+    pub fn spread_wins(&self) -> bool {
+        self.spread_mean <= self.plain_mean && self.spread_dev <= self.plain_dev
+    }
+}
+
+/// Renders comparison rows as a GitHub-flavoured markdown table.
+pub fn to_markdown(title: &str, rows: &[ComparisonRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}\n");
+    let _ = writeln!(
+        out,
+        "| case | plain mean | plain dev | spread mean | spread dev | loss | spread wins |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.1}% | {} |",
+            r.label,
+            r.plain_mean,
+            r.plain_dev,
+            r.spread_mean,
+            r.spread_dev,
+            r.loss_rate * 100.0,
+            if r.spread_wins() { "✓" } else { "✗" },
+        );
+    }
+    out
+}
+
+/// Measures the paper's headline grid (Fig. 8 parameters at both loss
+/// rates) and renders it; `windows` trades precision for runtime.
+pub fn fig8_summary(windows: usize, seed: u64) -> String {
+    let rows: Vec<ComparisonRow> = [0.6, 0.7]
+        .iter()
+        .map(|&p_bad| {
+            ComparisonRow::measure(
+                format!("P_bad = {p_bad}"),
+                &ProtocolConfig::paper(p_bad, seed),
+                windows,
+            )
+        })
+        .collect();
+    to_markdown("Fig. 8 — network-loss comparison", &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_rows_are_sane() {
+        let row = ComparisonRow::measure("test", &ProtocolConfig::paper(0.6, 42), 20);
+        assert!(row.plain_mean >= 0.0);
+        assert!(row.loss_rate > 0.0 && row.loss_rate < 1.0);
+        assert!(row.spread_wins(), "paper's headline should hold: {row:?}");
+    }
+
+    #[test]
+    fn markdown_renders_all_rows() {
+        let rows = vec![
+            ComparisonRow {
+                label: "a".into(),
+                plain_mean: 2.0,
+                plain_dev: 1.0,
+                spread_mean: 1.0,
+                spread_dev: 0.5,
+                loss_rate: 0.167,
+            },
+            ComparisonRow {
+                label: "b".into(),
+                plain_mean: 1.0,
+                plain_dev: 1.0,
+                spread_mean: 2.0,
+                spread_dev: 0.5,
+                loss_rate: 0.2,
+            },
+        ];
+        let md = to_markdown("Title", &rows);
+        assert!(md.contains("## Title"));
+        assert!(md.contains("| a | 2.00 | 1.00 | 1.00 | 0.50 | 16.7% | ✓ |"));
+        assert!(md.contains("| b |"));
+        assert!(md.contains("✗"));
+    }
+
+    #[test]
+    fn fig8_summary_contains_both_rates() {
+        let md = fig8_summary(10, 42);
+        assert!(md.contains("P_bad = 0.6"));
+        assert!(md.contains("P_bad = 0.7"));
+    }
+}

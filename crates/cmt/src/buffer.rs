@@ -1,0 +1,148 @@
+//! The common prioritised frame buffer between FileSegment and PktSrc.
+//!
+//! In CMT, cmFileSegment "reads the file in, decodes it into separate
+//! frames, prioritizes and reorders the frames based on frame types and
+//! puts them into a common buffer"; PktSrc later "picks up frames from the
+//! common buffer" and "can drop a set of low priority frames". Frame
+//! priority: "All I frames have highest priority, P frames are lower, and
+//! B frames are lowest" (§4.4).
+
+use espread_trace::{Frame, FrameType};
+
+/// A frame staged for transmission, with its CMT priority class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferedFrame {
+    /// The underlying trace frame (playout index, type, size).
+    pub frame: Frame,
+    /// Priority class: 0 = I (highest), 1 = P, 2 = B.
+    pub priority: u8,
+    /// Playout deadline in microseconds (frames past it are useless).
+    pub deadline_us: u64,
+}
+
+/// Priority class of a frame type (lower = more important).
+pub fn priority_of(t: FrameType) -> u8 {
+    match t {
+        FrameType::I => 0,
+        FrameType::P => 1,
+        FrameType::B => 2,
+    }
+}
+
+/// The common buffer: one buffer-window's frames, priority-ordered.
+#[derive(Debug, Clone, Default)]
+pub struct PriorityBuffer {
+    frames: Vec<BufferedFrame>,
+}
+
+impl PriorityBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages a frame with its playout deadline.
+    pub fn push(&mut self, frame: Frame, deadline_us: u64) {
+        self.frames.push(BufferedFrame {
+            priority: priority_of(frame.frame_type),
+            frame,
+            deadline_us,
+        });
+    }
+
+    /// Number of staged frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Drops frames whose playback deadline has elapsed; returns how many
+    /// were discarded ("frame dropping can potentially occur at any of the
+    /// objects … if a frame playback deadline has elapsed").
+    pub fn expire(&mut self, now_us: u64) -> usize {
+        let before = self.frames.len();
+        self.frames.retain(|f| f.deadline_us > now_us);
+        before - self.frames.len()
+    }
+
+    /// Drains the buffer in priority order (I, then P, then B), stable by
+    /// playout index within a class. This is the order PktSrc considers
+    /// frames for transmission and the order in which it *keeps* frames
+    /// when bandwidth runs short.
+    pub fn drain_prioritised(&mut self) -> Vec<BufferedFrame> {
+        let mut out = std::mem::take(&mut self.frames);
+        out.sort_by_key(|f| (f.priority, f.frame.index));
+        out
+    }
+
+    /// The staged frames of one priority class, in playout order.
+    pub fn of_class(&self, priority: u8) -> Vec<BufferedFrame> {
+        let mut out: Vec<BufferedFrame> = self
+            .frames
+            .iter()
+            .copied()
+            .filter(|f| f.priority == priority)
+            .collect();
+        out.sort_by_key(|f| f.frame.index);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(index: usize, t: FrameType) -> Frame {
+        Frame {
+            index,
+            frame_type: t,
+            size_bytes: 100,
+        }
+    }
+
+    #[test]
+    fn priorities_match_cmt() {
+        assert_eq!(priority_of(FrameType::I), 0);
+        assert_eq!(priority_of(FrameType::P), 1);
+        assert_eq!(priority_of(FrameType::B), 2);
+    }
+
+    #[test]
+    fn drain_orders_by_class_then_index() {
+        let mut buf = PriorityBuffer::new();
+        buf.push(frame(1, FrameType::B), 1000);
+        buf.push(frame(0, FrameType::I), 1000);
+        buf.push(frame(3, FrameType::P), 1000);
+        buf.push(frame(2, FrameType::B), 1000);
+        buf.push(frame(6, FrameType::P), 1000);
+        let order: Vec<usize> = buf.drain_prioritised().iter().map(|f| f.frame.index).collect();
+        assert_eq!(order, vec![0, 3, 6, 1, 2]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn expiry_drops_late_frames() {
+        let mut buf = PriorityBuffer::new();
+        buf.push(frame(0, FrameType::I), 500);
+        buf.push(frame(1, FrameType::B), 1500);
+        assert_eq!(buf.expire(1000), 1);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.of_class(2)[0].frame.index, 1);
+    }
+
+    #[test]
+    fn class_selection() {
+        let mut buf = PriorityBuffer::new();
+        buf.push(frame(4, FrameType::B), 1000);
+        buf.push(frame(1, FrameType::B), 1000);
+        buf.push(frame(0, FrameType::I), 1000);
+        let bs = buf.of_class(2);
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[0].frame.index, 1);
+        assert_eq!(bs[1].frame.index, 4);
+    }
+}

@@ -1,0 +1,115 @@
+//! The cmFileSegment object: reads the stream, stages one buffer cycle of
+//! frames into the common buffer.
+
+use espread_trace::{Frame, MpegTrace};
+
+use crate::buffer::PriorityBuffer;
+
+/// Reads an MPEG trace one buffer cycle (a fixed number of GOPs) at a
+/// time, staging decoded frames into a [`PriorityBuffer`] with playout
+/// deadlines derived from the frame rate.
+///
+/// # Example
+///
+/// ```
+/// use espread_cmt::FileSegment;
+/// use espread_trace::{Movie, MpegTrace};
+///
+/// let trace = MpegTrace::new(Movie::JurassicPark, 1);
+/// let mut fs = FileSegment::new(trace, 2, 10); // 2 GOPs/cycle, 10 cycles
+/// let mut staged = 0;
+/// while let Some(buffer) = fs.next_cycle() {
+///     staged += buffer.len();
+/// }
+/// assert_eq!(staged, 240);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FileSegment {
+    frames: Vec<Frame>,
+    frames_per_cycle: usize,
+    cycle_us: u64,
+    next_cycle: usize,
+    total_cycles: usize,
+}
+
+impl FileSegment {
+    /// Prepares `cycles` buffer cycles of `gops_per_cycle` GOPs each from
+    /// the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gops_per_cycle == 0`.
+    pub fn new(trace: MpegTrace, gops_per_cycle: usize, cycles: usize) -> Self {
+        assert!(gops_per_cycle > 0, "cycle must hold at least one GOP");
+        let frames_per_cycle = trace.pattern().len() * gops_per_cycle;
+        let frames = trace.frames(frames_per_cycle * cycles);
+        let cycle_us = frames_per_cycle as u64 * 1_000_000 / u64::from(trace.fps());
+        FileSegment {
+            frames,
+            frames_per_cycle,
+            cycle_us,
+            next_cycle: 0,
+            total_cycles: cycles,
+        }
+    }
+
+    /// Frames per buffer cycle.
+    pub fn frames_per_cycle(&self) -> usize {
+        self.frames_per_cycle
+    }
+
+    /// Duration of one buffer cycle in microseconds (the LTS cycle time
+    /// the paper tunes to vary the window size).
+    pub fn cycle_us(&self) -> u64 {
+        self.cycle_us
+    }
+
+    /// Stages the next cycle's frames into a fresh priority buffer, or
+    /// `None` when the stream is exhausted.
+    ///
+    /// Each frame's deadline is the end of the *following* cycle (one
+    /// buffer of client-side start-up delay, as in §4.1).
+    pub fn next_cycle(&mut self) -> Option<PriorityBuffer> {
+        if self.next_cycle >= self.total_cycles {
+            return None;
+        }
+        let start = self.next_cycle * self.frames_per_cycle;
+        let mut buffer = PriorityBuffer::new();
+        let playout_offset = (self.next_cycle as u64 + 2) * self.cycle_us;
+        for frame in &self.frames[start..start + self.frames_per_cycle] {
+            buffer.push(*frame, playout_offset);
+        }
+        self.next_cycle += 1;
+        Some(buffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espread_trace::Movie;
+
+    #[test]
+    fn cycles_partition_the_trace() {
+        let trace = MpegTrace::new(Movie::JurassicPark, 7);
+        let mut fs = FileSegment::new(trace, 2, 3);
+        assert_eq!(fs.frames_per_cycle(), 24);
+        assert_eq!(fs.cycle_us(), 1_000_000); // 24 frames @ 24 fps
+        let mut seen = 0;
+        let mut cycles = 0;
+        while let Some(buf) = fs.next_cycle() {
+            seen += buf.len();
+            cycles += 1;
+        }
+        assert_eq!(cycles, 3);
+        assert_eq!(seen, 72);
+        assert!(fs.next_cycle().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GOP")]
+    fn zero_gops_rejected() {
+        let trace = MpegTrace::new(Movie::JurassicPark, 7);
+        let _ = FileSegment::new(trace, 0, 1);
+    }
+}

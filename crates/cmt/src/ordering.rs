@@ -1,0 +1,95 @@
+//! Pluggable B-frame orderings for the PktSrc object.
+//!
+//! CMT prioritises the B-frames of a buffer with the **Inverse Binary
+//! Order**; the paper's §4.4 experiment "replaced IBO with our error
+//! spreading algorithm (based on k-CPO) … Since k-CPO has been proven to
+//! be optimal, it is better than IBO in all cases." This module is that
+//! plug point.
+
+use espread_core::{calculate_permutation, ibo::inverse_binary_order, Permutation};
+
+/// How PktSrc orders the B-frames of a buffer for transmission (anchors
+/// always go first, in decode order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BFrameOrdering {
+    /// No interleaving: B-frames in playout order (the naive baseline).
+    InOrder,
+    /// CMT's stock Inverse Binary Order.
+    Ibo,
+    /// The paper's replacement: `calculatePermutation(n, b)` sized for the
+    /// given burst bound.
+    Cpo {
+        /// The bursty-loss bound to spread against.
+        burst: usize,
+    },
+}
+
+impl BFrameOrdering {
+    /// The transmission order over `n` B-frames.
+    pub fn permutation(self, n: usize) -> Permutation {
+        match self {
+            BFrameOrdering::InOrder => Permutation::identity(n),
+            BFrameOrdering::Ibo => inverse_binary_order(n),
+            BFrameOrdering::Cpo { burst } => {
+                calculate_permutation(n, burst.clamp(1, n.max(1))).permutation
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for BFrameOrdering {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BFrameOrdering::InOrder => f.write_str("in-order"),
+            BFrameOrdering::Ibo => f.write_str("IBO"),
+            BFrameOrdering::Cpo { burst } => write!(f, "CPO(b={burst})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espread_core::worst_case_clf;
+
+    #[test]
+    fn ibo_matches_core_baseline() {
+        assert_eq!(
+            BFrameOrdering::Ibo.permutation(8).as_slice(),
+            &[0, 4, 2, 6, 1, 5, 3, 7]
+        );
+    }
+
+    #[test]
+    fn cpo_never_worse_than_ibo() {
+        // Table 2's claim, checked for every burst size on the 8-frame
+        // window CMT uses in the paper's example.
+        for b in 1..8 {
+            let ibo = BFrameOrdering::Ibo.permutation(8);
+            let cpo = BFrameOrdering::Cpo { burst: b }.permutation(8);
+            assert!(
+                worst_case_clf(&cpo, b) <= worst_case_clf(&ibo, b),
+                "b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(BFrameOrdering::Ibo.permutation(0).len(), 0);
+        assert_eq!(BFrameOrdering::Cpo { burst: 3 }.permutation(0).len(), 0);
+        assert_eq!(BFrameOrdering::Cpo { burst: 0 }.permutation(4).len(), 4);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(BFrameOrdering::InOrder.to_string(), "in-order");
+        assert_eq!(BFrameOrdering::Ibo.to_string(), "IBO");
+        assert_eq!(BFrameOrdering::Cpo { burst: 2 }.to_string(), "CPO(b=2)");
+    }
+
+    #[test]
+    fn in_order_is_identity() {
+        assert!(BFrameOrdering::InOrder.permutation(9).is_identity());
+    }
+}

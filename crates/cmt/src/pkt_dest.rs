@@ -1,0 +1,134 @@
+//! The pktDest object: the receiving end of the CMT pipeline.
+//!
+//! Collects arriving packets, reassembles frames into playout order
+//! regardless of the transmission order (the un-permute step happens
+//! implicitly through frame indices), tracks duplicate suppression for
+//! Cyclic-UDP-style repeated sends, and reports per-cycle continuity.
+
+use espread_netsim::{Delivery, SimTime};
+use espread_qos::{ContinuityMetrics, LossPattern};
+
+/// Receiver state for one buffer cycle.
+///
+/// Payloads are the frame's playout index (what [`super::PktSrc`]
+/// transmits); `expected` lists the playout indices staged for the cycle.
+#[derive(Debug, Clone)]
+pub struct PktDest {
+    expected: Vec<usize>,
+    received: Vec<bool>,
+    first_arrival: Vec<Option<SimTime>>,
+    duplicates: u64,
+}
+
+impl PktDest {
+    /// Prepares the receiver for a cycle carrying the given playout
+    /// indices (ascending or not; order is irrelevant).
+    pub fn new(mut expected: Vec<usize>) -> Self {
+        expected.sort_unstable();
+        let len = expected.len();
+        PktDest {
+            expected,
+            received: vec![false; len],
+            first_arrival: vec![None; len],
+            duplicates: 0,
+        }
+    }
+
+    /// Number of frames expected this cycle.
+    pub fn len(&self) -> usize {
+        self.expected.len()
+    }
+
+    /// Whether the cycle expects no frames.
+    pub fn is_empty(&self) -> bool {
+        self.expected.is_empty()
+    }
+
+    /// Accepts one delivery whose payload is the frame's playout index.
+    /// Unknown indices are ignored (stale cycle); duplicates are counted
+    /// and suppressed (Cyclic-UDP resends the same frame several times).
+    pub fn accept(&mut self, delivery: &Delivery<usize>) {
+        let Ok(slot) = self.expected.binary_search(&delivery.packet.payload) else {
+            return;
+        };
+        if self.received[slot] {
+            self.duplicates += 1;
+            return;
+        }
+        self.received[slot] = true;
+        self.first_arrival[slot] = Some(delivery.arrived_at);
+    }
+
+    /// Duplicate packets suppressed so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// The playout-order loss pattern of the cycle so far.
+    pub fn pattern(&self) -> LossPattern {
+        LossPattern::from_received(self.received.iter().copied())
+    }
+
+    /// Continuity metrics of the cycle so far.
+    pub fn metrics(&self) -> ContinuityMetrics {
+        ContinuityMetrics::of(&self.pattern())
+    }
+
+    /// First-arrival time of the frame with playout index `frame`, if it
+    /// arrived and is part of this cycle.
+    pub fn arrival_of(&self, frame: usize) -> Option<SimTime> {
+        let slot = self.expected.binary_search(&frame).ok()?;
+        self.first_arrival[slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espread_netsim::Packet;
+
+    fn delivery(frame: usize, at: u64) -> Delivery<usize> {
+        Delivery {
+            arrived_at: SimTime::from_micros(at),
+            packet: Packet::new(0, 100, SimTime::ZERO, frame),
+        }
+    }
+
+    #[test]
+    fn reassembles_in_playout_order() {
+        let mut dest = PktDest::new(vec![4, 2, 0]); // arbitrary staging order
+        assert_eq!(dest.len(), 3);
+        dest.accept(&delivery(4, 10));
+        dest.accept(&delivery(0, 20));
+        assert_eq!(dest.pattern().to_string(), ".X."); // 0 ok, 2 missing, 4 ok
+        assert_eq!(dest.metrics().lost(), 1);
+        assert_eq!(dest.arrival_of(4), Some(SimTime::from_micros(10)));
+        assert_eq!(dest.arrival_of(2), None);
+    }
+
+    #[test]
+    fn duplicates_suppressed_and_counted() {
+        let mut dest = PktDest::new(vec![0, 1]);
+        dest.accept(&delivery(1, 5));
+        dest.accept(&delivery(1, 9)); // Cyclic-UDP resend
+        assert_eq!(dest.duplicates(), 1);
+        // First arrival wins.
+        assert_eq!(dest.arrival_of(1), Some(SimTime::from_micros(5)));
+    }
+
+    #[test]
+    fn stale_frames_ignored() {
+        let mut dest = PktDest::new(vec![0, 1]);
+        dest.accept(&delivery(7, 5));
+        assert_eq!(dest.metrics().lost(), 2);
+        assert_eq!(dest.duplicates(), 0);
+        assert_eq!(dest.arrival_of(7), None);
+    }
+
+    #[test]
+    fn empty_cycle() {
+        let dest = PktDest::new(vec![]);
+        assert!(dest.is_empty());
+        assert_eq!(dest.metrics().lost(), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the mini-CMT pipeline.
+
+use espread_cmt::{priority_of, BFrameOrdering, Pipeline, PipelineConfig, PriorityBuffer};
+use espread_trace::{Frame, FrameType, Movie, MpegTrace};
+use proptest::prelude::*;
+
+fn any_frame_type() -> impl Strategy<Value = FrameType> {
+    prop_oneof![
+        Just(FrameType::I),
+        Just(FrameType::P),
+        Just(FrameType::B)
+    ]
+}
+
+fn any_ordering() -> impl Strategy<Value = BFrameOrdering> {
+    prop_oneof![
+        Just(BFrameOrdering::InOrder),
+        Just(BFrameOrdering::Ibo),
+        (1usize..8).prop_map(|burst| BFrameOrdering::Cpo { burst }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Drained buffers are sorted by (priority class, playout index) and
+    /// contain exactly what was pushed.
+    #[test]
+    fn priority_buffer_orders_and_preserves(
+        types in prop::collection::vec(any_frame_type(), 0..40)
+    ) {
+        let mut buf = PriorityBuffer::new();
+        for (i, &t) in types.iter().enumerate() {
+            buf.push(Frame { index: i, frame_type: t, size_bytes: 100 }, u64::MAX);
+        }
+        let drained = buf.drain_prioritised();
+        prop_assert_eq!(drained.len(), types.len());
+        for w in drained.windows(2) {
+            prop_assert!(
+                (w[0].priority, w[0].frame.index) <= (w[1].priority, w[1].frame.index)
+            );
+        }
+        for f in &drained {
+            prop_assert_eq!(f.priority, priority_of(f.frame.frame_type));
+        }
+    }
+
+    /// Expiry never removes frames with future deadlines.
+    #[test]
+    fn expiry_is_exact(deadlines in prop::collection::vec(0u64..1000, 1..30), now in 0u64..1000) {
+        let mut buf = PriorityBuffer::new();
+        for (i, &d) in deadlines.iter().enumerate() {
+            buf.push(Frame { index: i, frame_type: FrameType::B, size_bytes: 10 }, d);
+        }
+        let expired = buf.expire(now);
+        let expected = deadlines.iter().filter(|&&d| d <= now).count();
+        prop_assert_eq!(expired, expected);
+        prop_assert_eq!(buf.len(), deadlines.len() - expected);
+    }
+
+    /// Every B-frame ordering yields a permutation; pipelines run to
+    /// completion for any ordering and remain deterministic.
+    #[test]
+    fn pipelines_complete_for_any_ordering(ordering in any_ordering(), seed in any::<u64>()) {
+        let config = PipelineConfig {
+            cycles: 6,
+            seed,
+            ..PipelineConfig::default()
+        };
+        let trace = MpegTrace::new(Movie::JurassicPark, 2);
+        let a = Pipeline::new(trace.clone(), &config, ordering).run();
+        let b = Pipeline::new(trace, &config, ordering).run();
+        prop_assert_eq!(a.len(), 6);
+        prop_assert_eq!(
+            a.clf_values().collect::<Vec<_>>(),
+            b.clf_values().collect::<Vec<_>>()
+        );
+        for m in a.windows() {
+            prop_assert!(m.clf() <= m.window_len());
+        }
+    }
+}

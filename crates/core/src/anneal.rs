@@ -1,0 +1,164 @@
+//! Randomised local search over transmission orders.
+//!
+//! The structured families behind
+//! [`calculate_permutation`](crate::cpo::calculate_permutation) are fast
+//! and provably near-optimal, but nothing stops a downstream user from
+//! spending compute to squeeze out the residue: this module runs a
+//! seeded, fully deterministic **swap-neighbourhood local search** (with
+//! random restarts) initialised at the structured optimum. It can only
+//! ever match or improve the starting guarantee, so it is safe to use as
+//! a drop-in upgrade where permutation-generation time is unconstrained
+//! (offline planning of fixed window layouts).
+
+use crate::burst::{min_spread_gap, worst_case_clf};
+use crate::cpo::calculate_permutation;
+use crate::permutation::Permutation;
+
+/// A deterministic xorshift generator (independent of any external crate,
+/// so `espread-core` stays dependency-light).
+#[derive(Debug, Clone)]
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+/// Scores an order: worst-case CLF at the design burst (primary, lower is
+/// better) and negated minimum spread gap (secondary).
+fn score(perm: &Permutation, b: usize) -> (usize, isize) {
+    (
+        worst_case_clf(perm, b),
+        -(min_spread_gap(perm, b).min(isize::MAX as usize) as isize),
+    )
+}
+
+/// Result of [`optimize_order`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizedOrder {
+    /// The best order found.
+    pub permutation: Permutation,
+    /// Its exact worst-case CLF at the design burst size.
+    pub worst_clf: usize,
+    /// How many proposals strictly improved the incumbent.
+    pub improvements: usize,
+}
+
+/// Randomised local search for a window of `n` under burst bound `b`:
+/// starts from `calculate_permutation(n, b)` and tries `iterations`
+/// random transpositions (restarting from the incumbent on improvement),
+/// deterministically in `seed`.
+///
+/// The result is **never worse** than the structured search.
+///
+/// # Example
+///
+/// ```
+/// use espread_core::{anneal::optimize_order, calculate_permutation};
+///
+/// let base = calculate_permutation(20, 6).worst_clf;
+/// let tuned = optimize_order(20, 6, 500, 42);
+/// assert!(tuned.worst_clf <= base);
+/// ```
+pub fn optimize_order(n: usize, b: usize, iterations: usize, seed: u64) -> OptimizedOrder {
+    let start = calculate_permutation(n, b);
+    if n < 2 {
+        return OptimizedOrder {
+            worst_clf: start.worst_clf,
+            permutation: start.permutation,
+            improvements: 0,
+        };
+    }
+    let mut rng = Lcg::new(seed);
+    let mut best_vec: Vec<usize> = start.permutation.as_slice().to_vec();
+    let mut best_score = score(&start.permutation, b);
+    let mut improvements = 0;
+
+    let mut current = best_vec.clone();
+    for _ in 0..iterations {
+        let i = rng.below(n);
+        let mut j = rng.below(n);
+        if i == j {
+            j = (j + 1) % n;
+        }
+        current.swap(i, j);
+        let candidate =
+            Permutation::from_vec(current.clone()).expect("swap preserves permutation");
+        let s = score(&candidate, b);
+        if s < best_score {
+            best_score = s;
+            best_vec = current.clone();
+            improvements += 1;
+        } else {
+            // Revert: first-improvement hill climbing from the incumbent.
+            current.swap(i, j);
+        }
+    }
+
+    let permutation = Permutation::from_vec(best_vec).expect("tracked as permutation");
+    OptimizedOrder {
+        worst_clf: best_score.0,
+        permutation,
+        improvements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_worse_than_structured_search() {
+        for (n, b) in [(9usize, 4usize), (15, 6), (20, 7), (24, 9)] {
+            let base = calculate_permutation(n, b).worst_clf;
+            let tuned = optimize_order(n, b, 300, 7);
+            assert!(tuned.worst_clf <= base, "n={n} b={b}");
+            assert_eq!(worst_case_clf(&tuned.permutation, b), tuned.worst_clf);
+            assert_eq!(tuned.permutation.len(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = optimize_order(18, 6, 200, 11);
+        let b = optimize_order(18, 6, 200, 11);
+        assert_eq!(a, b);
+        // Zero iterations returns the structured result untouched.
+        let zero = optimize_order(18, 6, 0, 11);
+        assert_eq!(zero.improvements, 0);
+        assert_eq!(zero.worst_clf, calculate_permutation(18, 6).worst_clf);
+    }
+
+    #[test]
+    fn degenerate_windows() {
+        let r = optimize_order(0, 3, 100, 1);
+        assert_eq!(r.permutation.len(), 0);
+        let r = optimize_order(1, 1, 100, 1);
+        assert_eq!(r.permutation.len(), 1);
+    }
+
+    #[test]
+    fn tiny_windows_already_optimal() {
+        // calculate_permutation is exhaustive for n ≤ 7, so the local
+        // search cannot improve the primary score there.
+        for b in 1..7 {
+            let base = calculate_permutation(7, b).worst_clf;
+            let tuned = optimize_order(7, b, 500, 3);
+            assert_eq!(tuned.worst_clf, base, "b={b}");
+        }
+    }
+}

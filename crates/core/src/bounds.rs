@@ -1,0 +1,290 @@
+//! Theorem 1: provable bounds on the minimum supportable CLF.
+//!
+//! Theorem 1 of the paper (proved in the authors' companion reports
+//! \[19, 20\]) characterises the minimum CLF `k*(n, b)` any fixed
+//! transmission order can guarantee for a window of `n` LDUs against a
+//! single bursty loss of up to `b` slots. The statement in the available
+//! text is OCR-damaged, so this module implements the **provable
+//! reconstruction** documented in `DESIGN.md` §2.1:
+//!
+//! * `b ≤ 1` ⟹ `k* = min(b, 1)` — a burst of one slot is a 1-run under
+//!   any order;
+//! * `b ≥ n` ⟹ `k* = n` — the entire window is lost;
+//! * `b² ≤ n` ⟹ `k* = 1` — achieved by the cyclic stride-`b` order
+//!   ([`stride_achieves_one`] gives the exact achievability condition,
+//!   which is strictly wider: the paper's own Table 1 has `b² > n` and
+//!   still reaches CLF 1);
+//! * in general `k* ≥ ⌈b / (n − b + 1)⌉` ([`clf_lower_bound`]) because a
+//!   window with `n − b` received slots has at most `n − b + 1` loss runs.
+//!
+//! The exact optimum for concrete parameters is computed by
+//! [`calculate_permutation`](crate::cpo::calculate_permutation); property
+//! tests verify it always falls between these bounds.
+
+/// The information-theoretic lower bound on the worst-case CLF of **any**
+/// transmission order: `⌈b / (n − b + 1)⌉` for `0 < b < n`, `n` for
+/// `b ≥ n`, and `0` for `b = 0`.
+///
+/// # Example
+///
+/// ```
+/// use espread_core::bounds::clf_lower_bound;
+///
+/// assert_eq!(clf_lower_bound(17, 5), 1);
+/// assert_eq!(clf_lower_bound(10, 9), 5);  // 9 losses, ≤ 2 runs
+/// assert_eq!(clf_lower_bound(10, 10), 10);
+/// assert_eq!(clf_lower_bound(10, 0), 0);
+/// ```
+pub fn clf_lower_bound(n: usize, b: usize) -> usize {
+    if n == 0 || b == 0 {
+        return 0;
+    }
+    if b >= n {
+        return n;
+    }
+    // b lost slots split into at most (n - b + 1) maximal runs, so the
+    // longest run is at least ⌈b / (n - b + 1)⌉.
+    b.div_ceil(n - b + 1)
+}
+
+/// Whether the cyclic stride-`b` order provably keeps the CLF at 1 for a
+/// window of `n` and burst bound `b` (with `2 ≤ b < n`).
+///
+/// For `gcd(b, n) = 1` the order is the arithmetic progression
+/// `π(t) = t·b mod n`, a burst of `b` slots loses
+/// `{x + i·b mod n : 0 ≤ i < b}`, and two lost playout indices are adjacent
+/// iff `i·b ≡ ±1 (mod n)` for some `1 ≤ i ≤ b − 1`; the predicate checks
+/// that no such `i` exists. This holds in particular whenever `b² ≤ n`, but
+/// also for many larger bursts — e.g. the paper's Table 1 case
+/// `(n, b) = (17, 5)`.
+///
+/// For `gcd(b, n) > 1` the coset-traversal order is not a single
+/// progression; two same-walk losses can never be playout-adjacent (they
+/// differ by a multiple of the gcd), but adjacencies across walk seams
+/// depend on fine number-theoretic structure (e.g. `n = 4, b = 2` fails
+/// via the seam pair `(1, 2)` even though `b² ≤ n`). In the non-coprime
+/// case the predicate therefore decides by **exact evaluation** of the
+/// witness order — still cheap (`O(n · b log b)`) and, unlike a closed
+/// form, correct by construction.
+///
+/// # Example
+///
+/// ```
+/// use espread_core::bounds::stride_achieves_one;
+///
+/// assert!(stride_achieves_one(17, 5)); // Table 1 (b² > n but coprime-safe)
+/// assert!(stride_achieves_one(25, 5)); // b² ≤ n
+/// assert!(!stride_achieves_one(7, 5));
+/// assert!(!stride_achieves_one(8, 4)); // non-coprime, n < b²: CLF 2
+/// assert!(!stride_achieves_one(4, 2)); // non-coprime seam adjacency
+/// ```
+pub fn stride_achieves_one(n: usize, b: usize) -> bool {
+    if b < 2 || b >= n {
+        return b < 2 && b < n;
+    }
+    if gcd(b, n) == 1 {
+        (1..b).all(|i| {
+            let r = (i * b) % n;
+            r != 1 && r != n - 1
+        })
+    } else {
+        crate::burst::worst_case_clf(&crate::cpo::stride_permutation(n, b), b) == 1
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The reconstructed Theorem 1: bounds on the minimum supportable CLF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TheoremOneBound {
+    /// Lower bound on the optimal worst-case CLF.
+    pub lower: usize,
+    /// Upper bound on the optimal worst-case CLF (witnessed by a concrete
+    /// constructible order).
+    pub upper: usize,
+}
+
+impl TheoremOneBound {
+    /// Whether the bounds pin the optimum exactly.
+    pub fn is_tight(self) -> bool {
+        self.lower == self.upper
+    }
+}
+
+/// Evaluates the reconstructed Theorem 1 for a window of `n` and burst
+/// bound `b`, **without** running the full permutation search.
+///
+/// The upper bound is always witnessed by a concrete constructible order:
+/// the stride-`b` order when [`stride_achieves_one`] holds (`CLF = 1`),
+/// otherwise the better of the identity (`CLF = b`) and a `⌈√n⌉`-row block
+/// interleaver whose exact worst-case CLF is evaluated directly.
+///
+/// # Example
+///
+/// ```
+/// use espread_core::bounds::theorem_one;
+///
+/// let bound = theorem_one(17, 5);
+/// assert_eq!(bound.lower, 1);
+/// assert_eq!(bound.upper, 1);
+/// assert!(bound.is_tight());
+/// ```
+pub fn theorem_one(n: usize, b: usize) -> TheoremOneBound {
+    let lower = clf_lower_bound(n, b);
+    if n == 0 || b == 0 {
+        return TheoremOneBound { lower: 0, upper: 0 };
+    }
+    if b >= n {
+        return TheoremOneBound { lower: n, upper: n };
+    }
+    let upper = if b == 1 || stride_achieves_one(n, b) {
+        1
+    } else {
+        // Structured witnesses, scored exactly: block interleavers at the
+        // classical spreading depths ⌈√n⌉ and b (plain and reversed-row).
+        let r = ((n as f64).sqrt().ceil() as usize).max(1);
+        [
+            crate::interleave::block_interleaver(n, r),
+            crate::interleave::block_interleaver_reversed(n, r),
+            crate::interleave::block_interleaver(n, b),
+            crate::interleave::block_interleaver_reversed(n, b),
+        ]
+        .iter()
+        .map(|w| crate::burst::worst_case_clf(w, b))
+        .min()
+        .expect("non-empty witness set")
+        .min(b)
+    };
+    TheoremOneBound { lower, upper }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burst::worst_case_clf;
+    use crate::cpo::{calculate_permutation, stride_permutation};
+
+    #[test]
+    fn lower_bound_edge_cases() {
+        assert_eq!(clf_lower_bound(0, 0), 0);
+        assert_eq!(clf_lower_bound(0, 5), 0);
+        assert_eq!(clf_lower_bound(5, 0), 0);
+        assert_eq!(clf_lower_bound(5, 5), 5);
+        assert_eq!(clf_lower_bound(5, 9), 5);
+        assert_eq!(clf_lower_bound(2, 1), 1);
+    }
+
+    #[test]
+    fn lower_bound_from_run_counting() {
+        // n=10, b=8: at most 3 runs → longest ≥ ⌈8/3⌉ = 3.
+        assert_eq!(clf_lower_bound(10, 8), 3);
+        // n=10, b=5: at most 6 runs → ≥ 1.
+        assert_eq!(clf_lower_bound(10, 5), 1);
+        // n=4, b=3: at most 2 runs → ≥ 2.
+        assert_eq!(clf_lower_bound(4, 3), 2);
+    }
+
+    #[test]
+    fn stride_achievability_exact_for_coprime() {
+        for n in 3..40 {
+            for b in 2..n {
+                if gcd(b, n) != 1 {
+                    continue;
+                }
+                let exact = worst_case_clf(&stride_permutation(n, b), b);
+                if stride_achieves_one(n, b) {
+                    assert_eq!(exact, 1, "predicate claims 1 but exact={exact} n={n} b={b}");
+                } else {
+                    assert!(exact > 1, "predicate missed achievable 1 at n={n} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stride_achievability_sound_for_non_coprime() {
+        // For gcd > 1 the predicate is conservative: whenever it claims 1,
+        // the exact evaluation must agree.
+        for n in 3..60 {
+            for b in 2..n {
+                if gcd(b, n) == 1 {
+                    continue;
+                }
+                if stride_achieves_one(n, b) {
+                    let exact = worst_case_clf(&stride_permutation(n, b), b);
+                    assert_eq!(exact, 1, "unsound claim at n={n} b={b}: exact={exact}");
+                }
+            }
+        }
+    }
+
+    fn gcd(a: usize, b: usize) -> usize {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+
+    #[test]
+    fn b_squared_le_n_implies_one() {
+        // The reconstruction: b² ≤ n ⟹ k* = 1. For coprime (b, n) the
+        // stride witness proves it in closed form; in every case one of
+        // theorem_one's witnesses must reach CLF 1.
+        for b in 2..8 {
+            for n in (b * b)..(b * b + 6) {
+                if gcd(b, n) == 1 {
+                    assert!(stride_achieves_one(n, b), "n={n} b={b}");
+                }
+                assert_eq!(theorem_one(n, b).upper, 1, "n={n} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_brackets_true_optimum() {
+        for n in 2..20 {
+            for b in 0..=n + 2 {
+                let bound = theorem_one(n, b);
+                let exact = calculate_permutation(n, b).worst_clf;
+                assert!(
+                    bound.lower <= exact,
+                    "lower bound broken at n={n} b={b}: {} > {exact}",
+                    bound.lower
+                );
+                assert!(
+                    exact <= bound.upper,
+                    "upper bound broken at n={n} b={b}: {exact} > {}",
+                    bound.upper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table1_bound_is_tight() {
+        let bound = theorem_one(17, 5);
+        assert_eq!(bound, TheoremOneBound { lower: 1, upper: 1 });
+        assert!(bound.is_tight());
+    }
+
+    #[test]
+    fn degenerate_bursts() {
+        assert_eq!(theorem_one(10, 0), TheoremOneBound { lower: 0, upper: 0 });
+        assert_eq!(
+            theorem_one(10, 10),
+            TheoremOneBound {
+                lower: 10,
+                upper: 10
+            }
+        );
+        assert_eq!(theorem_one(10, 1), TheoremOneBound { lower: 1, upper: 1 });
+        assert_eq!(theorem_one(0, 3), TheoremOneBound { lower: 0, upper: 0 });
+    }
+}

@@ -1,0 +1,407 @@
+//! Bursty-loss analysis of a transmission order.
+//!
+//! The adversary model of the paper (problem *BERP*, §2.3): within one
+//! window of `n` LDUs, the network may drop **one contiguous burst of up to
+//! `b` transmission slots**, at any position. The quantity of interest is
+//! the **worst-case CLF** a given transmission order admits over all such
+//! bursts — Theorem 1 characterises its optimum, and
+//! [`crate::cpo::calculate_permutation`] searches for an order achieving it.
+
+use espread_qos::LossPattern;
+
+use crate::permutation::Permutation;
+
+/// The playout-domain loss pattern caused by one burst in slot space.
+///
+/// The burst hits transmission slots `start .. start + len`; the returned
+/// pattern marks the corresponding playout indices lost.
+///
+/// # Panics
+///
+/// Panics if the burst does not fit in the window.
+///
+/// # Example
+///
+/// ```
+/// use espread_core::{burst_loss_pattern, Permutation};
+///
+/// let p = Permutation::from_vec(vec![0, 2, 4, 1, 3])?;
+/// let loss = burst_loss_pattern(&p, 1, 2); // slots 1..3 lost → playout 2 and 4
+/// assert_eq!(loss.lost_indices(), vec![2, 4]);
+/// assert_eq!(loss.longest_run(), 1);
+/// # Ok::<(), espread_core::PermutationError>(())
+/// ```
+pub fn burst_loss_pattern(perm: &Permutation, start: usize, len: usize) -> LossPattern {
+    let n = perm.len();
+    assert!(
+        start + len <= n,
+        "burst [{start}, {}) exceeds window of {n}",
+        start + len
+    );
+    LossPattern::from_lost_indices(n, (start..start + len).map(|t| perm.playout_of_slot(t)))
+}
+
+/// The CLF caused by one specific burst.
+pub fn burst_clf(perm: &Permutation, start: usize, len: usize) -> usize {
+    clf_of_lost_sorted(&mut burst_lost_indices(perm, start, len))
+}
+
+fn burst_lost_indices(perm: &Permutation, start: usize, len: usize) -> Vec<usize> {
+    let n = perm.len();
+    assert!(
+        start + len <= n,
+        "burst [{start}, {}) exceeds window of {n}",
+        start + len
+    );
+    (start..start + len)
+        .map(|t| perm.playout_of_slot(t))
+        .collect()
+}
+
+/// Longest run of consecutive integers in `lost` (sorted in place).
+fn clf_of_lost_sorted(lost: &mut [usize]) -> usize {
+    if lost.is_empty() {
+        return 0;
+    }
+    lost.sort_unstable();
+    let mut best = 1;
+    let mut current = 1;
+    for w in 0..lost.len() - 1 {
+        if lost[w] + 1 == lost[w + 1] {
+            current += 1;
+            best = best.max(current);
+        } else {
+            current = 1;
+        }
+    }
+    best
+}
+
+/// The worst-case CLF of `perm` against every single burst of **exactly**
+/// `b` slots (equivalently, of *up to* `b` slots: a shorter burst's loss set
+/// is contained in some full-size burst's, so its CLF can only be smaller).
+///
+/// Runs in `O((n − b + 1) · b log b)`.
+///
+/// # Example
+///
+/// The paper's Table 1: with `n = 17` frames sent in order, a burst of 5
+/// causes CLF 5; the stride-5 cyclic order reduces the worst case to 1.
+///
+/// ```
+/// use espread_core::{worst_case_clf, Permutation};
+/// use espread_core::cpo::stride_permutation;
+///
+/// let in_order = Permutation::identity(17);
+/// assert_eq!(worst_case_clf(&in_order, 5), 5);
+///
+/// let scrambled = stride_permutation(17, 5);
+/// assert_eq!(worst_case_clf(&scrambled, 5), 1);
+/// ```
+pub fn worst_case_clf(perm: &Permutation, b: usize) -> usize {
+    let n = perm.len();
+    if n == 0 || b == 0 {
+        return 0;
+    }
+    if b >= n {
+        return n;
+    }
+    let mut worst = 0;
+    let mut lost = Vec::with_capacity(b);
+    for start in 0..=(n - b) {
+        lost.clear();
+        lost.extend((start..start + b).map(|t| perm.playout_of_slot(t)));
+        worst = worst.max(clf_of_lost_sorted(&mut lost));
+        if worst == b {
+            break; // cannot get worse than losing the whole burst in a run
+        }
+    }
+    worst
+}
+
+/// The per-start-position CLF profile: entry `p` is the CLF caused by a
+/// burst of `b` slots starting at slot `p`.
+///
+/// Useful for visualising where an order is weak; its maximum equals
+/// [`worst_case_clf`].
+pub fn clf_profile(perm: &Permutation, b: usize) -> Vec<usize> {
+    let n = perm.len();
+    if b == 0 || b > n {
+        return Vec::new();
+    }
+    (0..=(n - b)).map(|p| burst_clf(perm, p, b)).collect()
+}
+
+/// The worst-case CLF of `perm` against an adversary placing **up to `r`
+/// disjoint bursts** of `b` slots each within the window.
+///
+/// This extends the paper's single-burst model (*BERP*) to the multi-burst
+/// reality of a Gilbert channel, where several loss episodes can land in
+/// one buffer window: two spread-out bursts can *cooperate*, their playout
+/// images interleaving into longer runs than either alone.
+///
+/// Exact (exhaustive over placements), so exponential in `r`: placements
+/// are `O((n−b+1)^r)` before symmetry pruning.
+///
+/// # Panics
+///
+/// Panics if `r > 3` (use the stochastic session simulations for larger
+/// adversaries) or `r == 0`.
+///
+/// # Example
+///
+/// ```
+/// use espread_core::{burst::worst_case_clf_multi, Permutation};
+///
+/// // In-order: r adjacent bursts merge into one run of r·b.
+/// let id = Permutation::identity(20);
+/// assert_eq!(worst_case_clf_multi(&id, 4, 2), 8);
+/// ```
+pub fn worst_case_clf_multi(perm: &Permutation, b: usize, r: usize) -> usize {
+    assert!(r >= 1, "at least one burst");
+    assert!(r <= 3, "multi-burst search is exponential; r ≤ 3 supported");
+    let n = perm.len();
+    if n == 0 || b == 0 {
+        return 0;
+    }
+    if b * r >= n {
+        return n.min(b * r).min(n);
+    }
+    fn recurse(
+        perm: &Permutation,
+        b: usize,
+        bursts_left: usize,
+        min_start: usize,
+        lost: &mut Vec<usize>,
+        best: &mut usize,
+    ) {
+        let n = perm.len();
+        if bursts_left == 0 {
+            let mut sorted = lost.clone();
+            sorted.sort_unstable();
+            let mut run = 1;
+            let mut max_run = 1;
+            for w in 0..sorted.len().saturating_sub(1) {
+                if sorted[w] + 1 == sorted[w + 1] {
+                    run += 1;
+                    max_run = max_run.max(run);
+                } else {
+                    run = 1;
+                }
+            }
+            *best = (*best).max(max_run);
+            return;
+        }
+        // Leave room for the remaining bursts.
+        let last_start = n - b * bursts_left;
+        for start in min_start..=last_start {
+            let before = lost.len();
+            lost.extend((start..start + b).map(|t| perm.playout_of_slot(t)));
+            recurse(perm, b, bursts_left - 1, start + b, lost, best);
+            lost.truncate(before);
+        }
+    }
+    let mut best = 0;
+    let mut lost = Vec::with_capacity(b * r);
+    recurse(perm, b, r, 0, &mut lost, &mut best);
+    best
+}
+
+/// Information-theoretic lower bound for the `r`-burst adversary:
+/// `r·b` losses split into at most `n − r·b + 1` runs.
+pub fn multi_burst_lower_bound(n: usize, b: usize, r: usize) -> usize {
+    let total = b * r;
+    if n == 0 || total == 0 {
+        return 0;
+    }
+    if total >= n {
+        return n;
+    }
+    total.div_ceil(n - total + 1)
+}
+
+/// The minimum gap between consecutive lost playout indices over all bursts
+/// of `b` slots — a *spread quality* measure used to break ties between
+/// orders with equal worst-case CLF (bigger is better).
+///
+/// Returns `usize::MAX` when no burst loses two or more frames.
+pub fn min_spread_gap(perm: &Permutation, b: usize) -> usize {
+    let n = perm.len();
+    if b < 2 || b > n {
+        return usize::MAX;
+    }
+    let mut min_gap = usize::MAX;
+    let mut lost = Vec::with_capacity(b);
+    for start in 0..=(n - b) {
+        lost.clear();
+        lost.extend((start..start + b).map(|t| perm.playout_of_slot(t)));
+        lost.sort_unstable();
+        for w in lost.windows(2) {
+            min_gap = min_gap.min(w[1] - w[0]);
+        }
+    }
+    min_gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpo::stride_permutation;
+
+    #[test]
+    fn identity_worst_case_is_burst_size() {
+        for n in [1usize, 5, 17, 32] {
+            let id = Permutation::identity(n);
+            for b in 1..=n {
+                assert_eq!(worst_case_clf(&id, b), b, "n={n} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_oversized_bursts() {
+        let id = Permutation::identity(8);
+        assert_eq!(worst_case_clf(&id, 0), 0);
+        assert_eq!(worst_case_clf(&id, 8), 8);
+        assert_eq!(worst_case_clf(&id, 100), 8);
+        assert_eq!(worst_case_clf(&Permutation::identity(0), 3), 0);
+    }
+
+    #[test]
+    fn table1_example() {
+        // Paper Table 1 (0-indexed): stride-5 order over 17 frames.
+        let expected: Vec<usize> = vec![0, 5, 10, 15, 3, 8, 13, 1, 6, 11, 16, 4, 9, 14, 2, 7, 12];
+        let scrambled = stride_permutation(17, 5);
+        assert_eq!(scrambled.as_slice(), expected.as_slice());
+        assert_eq!(worst_case_clf(&Permutation::identity(17), 5), 5);
+        assert_eq!(worst_case_clf(&scrambled, 5), 1);
+    }
+
+    #[test]
+    fn specific_burst_pattern() {
+        let p = stride_permutation(17, 5);
+        // Burst over slots 3..8 — matches the paper's illustration where
+        // frames consecutive only in the permuted domain are lost.
+        let pattern = burst_loss_pattern(&p, 3, 5);
+        assert_eq!(pattern.lost(), 5);
+        assert_eq!(pattern.longest_run(), 1);
+        assert_eq!(burst_clf(&p, 3, 5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds window")]
+    fn burst_must_fit() {
+        let p = Permutation::identity(5);
+        let _ = burst_loss_pattern(&p, 3, 4);
+    }
+
+    #[test]
+    fn profile_matches_worst_case() {
+        let p = stride_permutation(12, 3);
+        let profile = clf_profile(&p, 3);
+        assert_eq!(profile.len(), 10);
+        assert_eq!(
+            profile.iter().copied().max().unwrap(),
+            worst_case_clf(&p, 3)
+        );
+    }
+
+    #[test]
+    fn shorter_bursts_never_worse() {
+        let p = stride_permutation(16, 4);
+        for b in 1..16 {
+            assert!(worst_case_clf(&p, b) <= worst_case_clf(&p, b + 1));
+        }
+    }
+
+    #[test]
+    fn min_spread_gap_identity_is_one() {
+        let id = Permutation::identity(10);
+        assert_eq!(min_spread_gap(&id, 3), 1);
+        assert_eq!(min_spread_gap(&id, 1), usize::MAX);
+        // Stride order spreads losses at least stride-wide... up to wrap.
+        let p = stride_permutation(17, 5);
+        assert!(min_spread_gap(&p, 5) >= 2);
+    }
+
+    #[test]
+    fn multi_burst_reduces_to_single_at_r1() {
+        for n in [8usize, 13, 17] {
+            let p = stride_permutation(n, 5.min(n - 1).max(1));
+            for b in 1..n.min(6) {
+                assert_eq!(worst_case_clf_multi(&p, b, 1), worst_case_clf(&p, b));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_burst_identity_merges_runs() {
+        let id = Permutation::identity(20);
+        assert_eq!(worst_case_clf_multi(&id, 4, 2), 8);
+        assert_eq!(worst_case_clf_multi(&id, 3, 3), 9);
+    }
+
+    #[test]
+    fn multi_burst_monotone_in_r() {
+        let p = stride_permutation(18, 5);
+        let one = worst_case_clf_multi(&p, 3, 1);
+        let two = worst_case_clf_multi(&p, 3, 2);
+        let three = worst_case_clf_multi(&p, 3, 3);
+        assert!(one <= two && two <= three);
+    }
+
+    #[test]
+    fn multi_burst_respects_lower_bound() {
+        for n in [10usize, 16, 21] {
+            let p = stride_permutation(n, 4);
+            for b in 1..4 {
+                for r in 1..=2 {
+                    assert!(
+                        worst_case_clf_multi(&p, b, r) >= multi_burst_lower_bound(n, b, r),
+                        "n={n} b={b} r={r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_burst_degenerate_cases() {
+        let p = Permutation::identity(6);
+        assert_eq!(worst_case_clf_multi(&p, 0, 2), 0);
+        assert_eq!(worst_case_clf_multi(&p, 3, 2), 6); // whole window
+        assert_eq!(worst_case_clf_multi(&Permutation::identity(0), 2, 2), 0);
+        assert_eq!(multi_burst_lower_bound(10, 0, 2), 0);
+        assert_eq!(multi_burst_lower_bound(10, 5, 2), 10);
+        assert_eq!(multi_burst_lower_bound(10, 2, 2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "r ≤ 3")]
+    fn multi_burst_large_r_rejected() {
+        let p = Permutation::identity(30);
+        let _ = worst_case_clf_multi(&p, 2, 4);
+    }
+
+    #[test]
+    fn spread_orders_resist_two_bursts_better_than_identity() {
+        for n in [16usize, 20, 24] {
+            let b = 3;
+            let spread = crate::cpo::calculate_permutation(n, b).permutation;
+            let id = Permutation::identity(n);
+            assert!(
+                worst_case_clf_multi(&spread, b, 2) <= worst_case_clf_multi(&id, b, 2),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn clf_of_run_helper() {
+        assert_eq!(clf_of_lost_sorted(&mut []), 0);
+        assert_eq!(clf_of_lost_sorted(&mut [4]), 1);
+        assert_eq!(clf_of_lost_sorted(&mut [4, 5, 6, 9, 10]), 3);
+        assert_eq!(clf_of_lost_sorted(&mut [9, 4, 10, 5, 6]), 3);
+        assert_eq!(clf_of_lost_sorted(&mut [1, 3, 5]), 1);
+    }
+}

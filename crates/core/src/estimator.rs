@@ -1,0 +1,175 @@
+//! Adaptive burst-size estimation by exponential averaging (paper eq. 1).
+//!
+//! The protocol estimates the bursty-loss bound `b` it should spread
+//! against from per-window client feedback. With `bᵢ` the burst size
+//! observed in window `i` and `b̂ᵢ` the running estimate, eq. (1) of the
+//! paper is
+//!
+//! ```text
+//! b̂ᵢ₊₁ = α · bᵢ + (1 − α) · b̂ᵢ
+//! ```
+//!
+//! with `α = 1/2`: "we consider the current network loss and the average
+//! past network loss to be equally important". Initially "the server
+//! assumes the average case" — a configurable prior, `n/2` by default in
+//! the protocol crate.
+
+use std::fmt;
+
+/// Exponentially averaged estimator of the per-window bursty-loss bound.
+///
+/// # Example
+///
+/// ```
+/// use espread_core::BurstEstimator;
+///
+/// let mut est = BurstEstimator::paper_default(8.0);
+/// est.observe(2.0);
+/// assert_eq!(est.value(), 5.0);      // (8 + 2) / 2
+/// est.observe(2.0);
+/// assert_eq!(est.value(), 3.5);
+/// assert_eq!(est.as_burst_bound(), 4); // rounded up, at least 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstEstimator {
+    alpha: f64,
+    value: f64,
+}
+
+impl BurstEstimator {
+    /// The paper's weighting: current observation and history equally
+    /// important.
+    pub const PAPER_ALPHA: f64 = 0.5;
+
+    /// Creates an estimator with smoothing weight `alpha` (the weight of
+    /// the *newest* observation) and an initial prior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `[0, 1]` or `initial` is negative/NaN.
+    pub fn new(alpha: f64, initial: f64) -> Self {
+        assert!(
+            alpha.is_finite() && (0.0..=1.0).contains(&alpha),
+            "alpha must be a weight in [0, 1]"
+        );
+        assert!(
+            initial.is_finite() && initial >= 0.0,
+            "initial estimate must be a non-negative burst size"
+        );
+        BurstEstimator {
+            alpha,
+            value: initial,
+        }
+    }
+
+    /// The paper's configuration: `α = 1/2` with the given prior.
+    pub fn paper_default(initial: f64) -> Self {
+        Self::new(Self::PAPER_ALPHA, initial)
+    }
+
+    /// Folds in the burst size observed in the latest window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observed` is negative or NaN.
+    pub fn observe(&mut self, observed: f64) {
+        assert!(
+            observed.is_finite() && observed >= 0.0,
+            "observed burst size must be non-negative"
+        );
+        self.value = self.alpha * observed + (1.0 - self.alpha) * self.value;
+    }
+
+    /// The current smoothed estimate.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The smoothing weight of the newest observation.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The estimate as an integer burst bound for
+    /// [`calculate_permutation`](crate::cpo::calculate_permutation):
+    /// rounded **up** (spreading against slightly too large a burst is
+    /// safe; too small is not) and at least 1.
+    pub fn as_burst_bound(&self) -> usize {
+        (self.value.ceil() as usize).max(1)
+    }
+}
+
+impl fmt::Display for BurstEstimator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b̂={:.2} (α={})", self.value, self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_equation_steps() {
+        let mut est = BurstEstimator::paper_default(4.0);
+        est.observe(8.0);
+        assert_eq!(est.value(), 6.0);
+        est.observe(0.0);
+        assert_eq!(est.value(), 3.0);
+    }
+
+    #[test]
+    fn alpha_zero_never_moves() {
+        let mut est = BurstEstimator::new(0.0, 5.0);
+        for x in [0.0, 100.0, 3.0] {
+            est.observe(x);
+        }
+        assert_eq!(est.value(), 5.0);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut est = BurstEstimator::new(1.0, 5.0);
+        est.observe(2.0);
+        assert_eq!(est.value(), 2.0);
+        est.observe(9.0);
+        assert_eq!(est.value(), 9.0);
+    }
+
+    #[test]
+    fn converges_to_constant_signal() {
+        let mut est = BurstEstimator::paper_default(100.0);
+        for _ in 0..60 {
+            est.observe(3.0);
+        }
+        assert!((est.value() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burst_bound_rounds_up_and_floors_at_one() {
+        assert_eq!(BurstEstimator::paper_default(0.0).as_burst_bound(), 1);
+        assert_eq!(BurstEstimator::paper_default(2.2).as_burst_bound(), 3);
+        assert_eq!(BurstEstimator::paper_default(2.0).as_burst_bound(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be a weight")]
+    fn invalid_alpha_rejected() {
+        let _ = BurstEstimator::new(1.5, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_observation_rejected() {
+        let mut est = BurstEstimator::paper_default(1.0);
+        est.observe(-1.0);
+    }
+
+    #[test]
+    fn display_shows_value_and_alpha() {
+        let est = BurstEstimator::paper_default(2.0);
+        let s = est.to_string();
+        assert!(s.contains("2.00"));
+        assert!(s.contains("0.5"));
+    }
+}

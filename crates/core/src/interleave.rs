@@ -1,0 +1,166 @@
+//! Classical block (rectangular) interleavers.
+//!
+//! The block interleaver writes the window row-by-row into an `rows × cols`
+//! matrix and transmits column-by-column. It is the textbook interleaving
+//! scheme error spreading generalises, and it is included in the
+//! [`calculate_permutation`](crate::cpo::calculate_permutation) candidate
+//! set because for some composite window sizes it beats every cyclic
+//! stride.
+
+use crate::permutation::Permutation;
+
+/// The block interleaver over `n` slots with `rows` rows.
+///
+/// Playout indices are laid out row-major into a matrix of `rows` rows and
+/// `ceil(n / rows)` columns (the last row may be short) and read out
+/// column-major. With `rows = 1` or `rows ≥ n` this degenerates to the
+/// identity.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` and `n > 0`.
+///
+/// # Example
+///
+/// ```
+/// use espread_core::interleave::block_interleaver;
+///
+/// // 2×3 matrix: rows [0 1 2] / [3 4 5], read columns → 0 3 1 4 2 5.
+/// assert_eq!(block_interleaver(6, 2).as_slice(), &[0, 3, 1, 4, 2, 5]);
+/// ```
+pub fn block_interleaver(n: usize, rows: usize) -> Permutation {
+    if n == 0 {
+        return Permutation::identity(0);
+    }
+    assert!(rows > 0, "row count must be positive");
+    let cols = n.div_ceil(rows);
+    let mut forward = Vec::with_capacity(n);
+    for c in 0..cols {
+        for r in 0..rows {
+            let idx = r * cols + c;
+            if idx < n {
+                forward.push(idx);
+            }
+        }
+    }
+    Permutation::from_vec(forward).expect("column-major readout covers each cell once")
+}
+
+/// The block interleaver read with **rows in reverse order** within each
+/// column.
+///
+/// Reversing the row order changes which playout indices become adjacent at
+/// column seams; for some window sizes this variant strictly beats both the
+/// plain block interleaver and every cyclic stride (e.g. `n = 4, b = 2`,
+/// where `[2, 0, 3, 1]` is the unique-up-to-symmetry optimal order).
+///
+/// # Panics
+///
+/// Panics if `rows == 0` and `n > 0`.
+///
+/// # Example
+///
+/// ```
+/// use espread_core::interleave::block_interleaver_reversed;
+///
+/// assert_eq!(block_interleaver_reversed(4, 2).as_slice(), &[2, 0, 3, 1]);
+/// ```
+pub fn block_interleaver_reversed(n: usize, rows: usize) -> Permutation {
+    if n == 0 {
+        return Permutation::identity(0);
+    }
+    assert!(rows > 0, "row count must be positive");
+    let cols = n.div_ceil(rows);
+    let mut forward = Vec::with_capacity(n);
+    for c in 0..cols {
+        for r in (0..rows).rev() {
+            let idx = r * cols + c;
+            if idx < n {
+                forward.push(idx);
+            }
+        }
+    }
+    Permutation::from_vec(forward).expect("column-major readout covers each cell once")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burst::worst_case_clf;
+
+    #[test]
+    fn small_shapes() {
+        assert_eq!(block_interleaver(6, 2).as_slice(), &[0, 3, 1, 4, 2, 5]);
+        assert_eq!(block_interleaver(6, 3).as_slice(), &[0, 2, 4, 1, 3, 5]);
+        assert_eq!(block_interleaver(5, 1), Permutation::identity(5));
+        assert_eq!(block_interleaver(0, 4).len(), 0);
+    }
+
+    #[test]
+    fn ragged_last_row() {
+        // n=7, rows=2 → cols=4: rows [0 1 2 3] / [4 5 6 _].
+        assert_eq!(block_interleaver(7, 2).as_slice(), &[0, 4, 1, 5, 2, 6, 3]);
+    }
+
+    #[test]
+    fn rows_at_least_n_is_identityish() {
+        // rows=n → cols=1, single column in order.
+        assert_eq!(block_interleaver(5, 5), Permutation::identity(5));
+        assert_eq!(block_interleaver(5, 9), Permutation::identity(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "row count must be positive")]
+    fn zero_rows_rejected() {
+        let _ = block_interleaver(3, 0);
+    }
+
+    #[test]
+    fn always_a_permutation() {
+        for n in 1..30 {
+            for rows in 1..=n {
+                assert_eq!(block_interleaver(n, rows).len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn interleaving_reduces_clf_for_square_case() {
+        // Classic result: a b×b block interleaver keeps CLF at 1 against
+        // bursts of b in a b² window (for b ≥ 3; at b = 2 the column seam
+        // produces one adjacent pair and the reversed variant is needed).
+        for b in 3..7 {
+            let p = block_interleaver(b * b, b);
+            assert_eq!(worst_case_clf(&p, b), 1, "b={b}");
+        }
+        assert_eq!(worst_case_clf(&block_interleaver(4, 2), 2), 2);
+        assert_eq!(worst_case_clf(&block_interleaver_reversed(4, 2), 2), 1);
+    }
+
+    #[test]
+    fn reversed_variant_shapes() {
+        assert_eq!(block_interleaver_reversed(4, 2).as_slice(), &[2, 0, 3, 1]);
+        assert_eq!(
+            block_interleaver_reversed(6, 2).as_slice(),
+            &[3, 0, 4, 1, 5, 2]
+        );
+        assert_eq!(block_interleaver_reversed(0, 3).len(), 0);
+        // rows = 1 degenerates to identity just like the plain variant.
+        assert_eq!(block_interleaver_reversed(5, 1), Permutation::identity(5));
+    }
+
+    #[test]
+    fn reversed_variant_is_always_a_permutation() {
+        for n in 1..30 {
+            for rows in 1..=n {
+                assert_eq!(block_interleaver_reversed(n, rows).len(), n);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row count must be positive")]
+    fn reversed_zero_rows_rejected() {
+        let _ = block_interleaver_reversed(3, 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Validated permutations mapping transmission slots to playout indices.
+//!
+//! Throughout this crate a permutation `π` over a window of `n` LDUs is read
+//! as a **transmission order**: `π(t)` is the playout index of the LDU sent
+//! in transmission slot `t`. The receiver applies `π⁻¹` to restore playout
+//! order; the loss pattern it perceives is the slot-loss vector pulled back
+//! through `π` (see [`espread_qos::LossPattern::unpermute`]).
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a vector is not a permutation of `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermutationError {
+    /// An entry was ≥ the window length.
+    OutOfRange {
+        /// Slot at which the offending entry appears.
+        slot: usize,
+        /// The offending playout index.
+        value: usize,
+        /// Window length.
+        len: usize,
+    },
+    /// A playout index appeared twice.
+    Duplicate {
+        /// The repeated playout index.
+        value: usize,
+    },
+}
+
+impl fmt::Display for PermutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermutationError::OutOfRange { slot, value, len } => write!(
+                f,
+                "slot {slot} carries playout index {value}, out of range for window {len}"
+            ),
+            PermutationError::Duplicate { value } => {
+                write!(f, "playout index {value} appears more than once")
+            }
+        }
+    }
+}
+
+impl Error for PermutationError {}
+
+/// A permutation of `0..len()`, interpreted as a transmission order.
+///
+/// # Example
+///
+/// ```
+/// use espread_core::Permutation;
+///
+/// // Send playout frames 0,2,4,1,3 in that order.
+/// let p = Permutation::from_vec(vec![0, 2, 4, 1, 3])?;
+/// assert_eq!(p.playout_of_slot(1), 2);
+/// assert_eq!(p.slot_of_playout(4), 2);
+/// let inv = p.inverse();
+/// assert_eq!(inv.as_slice(), &[0, 3, 1, 4, 2]); // slot of each playout index
+/// # Ok::<(), espread_core::PermutationError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    /// forward[t] = playout index sent in slot t.
+    forward: Vec<usize>,
+    /// inverse[i] = slot in which playout index i is sent.
+    inverse: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity order: frames sent in playout order (the unscrambled
+    /// baseline).
+    pub fn identity(n: usize) -> Self {
+        let forward: Vec<usize> = (0..n).collect();
+        Permutation {
+            inverse: forward.clone(),
+            forward,
+        }
+    }
+
+    /// Validates and wraps a transmission order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PermutationError`] if `forward` is not a permutation of
+    /// `0..forward.len()`.
+    pub fn from_vec(forward: Vec<usize>) -> Result<Self, PermutationError> {
+        let n = forward.len();
+        let mut inverse = vec![usize::MAX; n];
+        for (slot, &value) in forward.iter().enumerate() {
+            if value >= n {
+                return Err(PermutationError::OutOfRange {
+                    slot,
+                    value,
+                    len: n,
+                });
+            }
+            if inverse[value] != usize::MAX {
+                return Err(PermutationError::Duplicate { value });
+            }
+            inverse[value] = slot;
+        }
+        Ok(Permutation { forward, inverse })
+    }
+
+    /// Window length.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Returns `true` for the empty window.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// The playout index of the LDU sent in transmission slot `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn playout_of_slot(&self, t: usize) -> usize {
+        self.forward[t]
+    }
+
+    /// The transmission slot carrying playout index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn slot_of_playout(&self, i: usize) -> usize {
+        self.inverse[i]
+    }
+
+    /// The transmission order as a slice: `as_slice()[t]` is the playout
+    /// index sent in slot `t`.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.forward
+    }
+
+    /// The inverse permutation (playout → slot as a transmission order).
+    pub fn inverse(&self) -> Permutation {
+        Permutation {
+            forward: self.inverse.clone(),
+            inverse: self.forward.clone(),
+        }
+    }
+
+    /// Applies the transmission order to a window of items: returns the
+    /// items in the order they would be sent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len() != self.len()`.
+    pub fn apply<T: Clone>(&self, items: &[T]) -> Vec<T> {
+        assert_eq!(items.len(), self.len(), "window length mismatch");
+        self.forward.iter().map(|&i| items[i].clone()).collect()
+    }
+
+    /// Restores playout order from items received in transmission order
+    /// (`None` for lost slots): `result[i]` is the item for playout index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received.len() != self.len()`.
+    pub fn unapply<T: Clone>(&self, received: &[Option<T>]) -> Vec<Option<T>> {
+        assert_eq!(received.len(), self.len(), "window length mismatch");
+        let mut out = vec![None; self.len()];
+        for (slot, item) in received.iter().enumerate() {
+            out[self.forward[slot]] = item.clone();
+        }
+        out
+    }
+
+    /// Whether this is the identity order.
+    pub fn is_identity(&self) -> bool {
+        self.forward.iter().enumerate().all(|(t, &i)| t == i)
+    }
+
+    /// Composes orders: the result sends in slot `t` what `self` says about
+    /// the frame `other` would place there, i.e. `(self ∘ other)(t) =
+    /// self(other(t))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "window length mismatch");
+        let forward: Vec<usize> = other.forward.iter().map(|&t| self.forward[t]).collect();
+        Permutation::from_vec(forward).expect("composition of permutations is a permutation")
+    }
+}
+
+impl fmt::Display for Permutation {
+    /// One-line `[a b c ...]` rendering of the transmission order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        for (t, &i) in self.forward.iter().enumerate() {
+            if t > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{i}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+impl TryFrom<Vec<usize>> for Permutation {
+    type Error = PermutationError;
+
+    fn try_from(v: Vec<usize>) -> Result<Self, Self::Error> {
+        Permutation::from_vec(v)
+    }
+}
+
+impl AsRef<[usize]> for Permutation {
+    fn as_ref(&self) -> &[usize] {
+        &self.forward
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let id = Permutation::identity(5);
+        assert!(id.is_identity());
+        assert_eq!(id.len(), 5);
+        assert_eq!(id.inverse(), id);
+        assert_eq!(id.playout_of_slot(3), 3);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            Permutation::from_vec(vec![0, 3]).unwrap_err(),
+            PermutationError::OutOfRange {
+                slot: 1,
+                value: 3,
+                len: 2
+            }
+        );
+        assert_eq!(
+            Permutation::from_vec(vec![0, 0]).unwrap_err(),
+            PermutationError::Duplicate { value: 0 }
+        );
+        assert!(Permutation::from_vec(vec![]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let p = Permutation::from_vec(vec![2, 0, 3, 1]).unwrap();
+        for t in 0..4 {
+            assert_eq!(p.slot_of_playout(p.playout_of_slot(t)), t);
+        }
+        let inv = p.inverse();
+        assert_eq!(inv.inverse(), p);
+        assert!(p.compose(&inv).is_identity());
+        assert!(inv.compose(&p).is_identity());
+    }
+
+    #[test]
+    fn apply_and_unapply() {
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let items = ["a", "b", "c"];
+        let sent = p.apply(&items);
+        assert_eq!(sent, vec!["c", "a", "b"]);
+
+        // Second slot lost in transit.
+        let received = vec![Some("c"), None, Some("b")];
+        let playout = p.unapply(&received);
+        assert_eq!(playout, vec![None, Some("b"), Some("c")]);
+    }
+
+    #[test]
+    fn compose_order() {
+        // other sends slots [1,2,0]; self sends [2,0,1].
+        let a = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let b = Permutation::from_vec(vec![1, 2, 0]).unwrap();
+        let c = a.compose(&b);
+        for t in 0..3 {
+            assert_eq!(c.playout_of_slot(t), a.playout_of_slot(b.playout_of_slot(t)));
+        }
+    }
+
+    #[test]
+    fn display_and_asref() {
+        let p = Permutation::from_vec(vec![1, 0]).unwrap();
+        assert_eq!(p.to_string(), "[1 0]");
+        assert_eq!(p.as_ref(), &[1, 0]);
+        assert_eq!(p.as_slice(), &[1, 0]);
+    }
+
+    #[test]
+    fn try_from_vec() {
+        let p: Permutation = vec![0, 1, 2].try_into().unwrap();
+        assert!(p.is_identity());
+        let err: Result<Permutation, _> = vec![1, 1].try_into();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "window length mismatch")]
+    fn apply_length_mismatch_panics() {
+        let p = Permutation::identity(3);
+        let _ = p.apply(&[1, 2]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PermutationError::OutOfRange {
+            slot: 1,
+            value: 9,
+            len: 4,
+        };
+        assert!(e.to_string().contains("out of range"));
+        let e = PermutationError::Duplicate { value: 2 };
+        assert!(e.to_string().contains("more than once"));
+    }
+}

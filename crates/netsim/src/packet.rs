@@ -1,0 +1,92 @@
+//! Datagrams carried by the simulated network.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A datagram in flight: an opaque payload plus wire metadata.
+///
+/// The simulator never inspects `payload`; protocols define their own
+/// payload types (data fragments, ACKs, FEC repair packets, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet<T> {
+    /// Monotone per-sender sequence number, assigned by the sender.
+    pub seq: u64,
+    /// Wire size in bytes (headers included), driving serialisation delay.
+    pub size_bytes: u32,
+    /// Time the sender handed the packet to the link.
+    pub sent_at: SimTime,
+    /// Protocol payload.
+    pub payload: T,
+}
+
+impl<T> Packet<T> {
+    /// Creates a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is zero (every real datagram has headers).
+    pub fn new(seq: u64, size_bytes: u32, sent_at: SimTime, payload: T) -> Self {
+        assert!(size_bytes > 0, "packet size must be positive");
+        Packet {
+            seq,
+            size_bytes,
+            sent_at,
+            payload,
+        }
+    }
+
+    /// Maps the payload, keeping wire metadata.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Packet<U> {
+        Packet {
+            seq: self.seq,
+            size_bytes: self.size_bytes,
+            sent_at: self.sent_at,
+            payload: f(self.payload),
+        }
+    }
+}
+
+impl<T> fmt::Display for Packet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt#{} ({} B, {})", self.seq, self.size_bytes, self.sent_at)
+    }
+}
+
+/// A packet that arrived at the receiver, with its delivery time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<T> {
+    /// The time the last bit arrived at the receiver.
+    pub arrived_at: SimTime,
+    /// The packet itself.
+    pub packet: Packet<T>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_map() {
+        let p = Packet::new(7, 2048, SimTime::from_micros(5), "frame 3");
+        assert_eq!(p.seq, 7);
+        let q = p.map(|s| s.len());
+        assert_eq!(q.payload, 7);
+        assert_eq!(q.size_bytes, 2048);
+        assert_eq!(q.sent_at, SimTime::from_micros(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "packet size must be positive")]
+    fn zero_size_rejected() {
+        let _ = Packet::new(0, 0, SimTime::ZERO, ());
+    }
+
+    #[test]
+    fn display_includes_seq_and_size() {
+        let p = Packet::new(3, 100, SimTime::ZERO, ());
+        let text = p.to_string();
+        assert!(text.contains("pkt#3"));
+        assert!(text.contains("100 B"));
+    }
+}

@@ -1,0 +1,161 @@
+//! A small deterministic PRNG for loss processes.
+//!
+//! The simulator needs a random source that is (a) seedable, (b) cheap,
+//! (c) `Clone` so channel models can be snapshotted and replayed, and
+//! (d) stable across platforms and crate versions — experiment outputs
+//! must be bit-reproducible. [`DetRng`] is xorshift64\* seeded through
+//! SplitMix64, a standard combination with good statistical behaviour for
+//! simulation (it is not, and does not need to be, cryptographic).
+
+/// A deterministic, cloneable xorshift64\* generator.
+///
+/// # Example
+///
+/// ```
+/// use espread_netsim::rng::DetRng;
+///
+/// let mut a = DetRng::seed_from(7);
+/// let mut b = a.clone();
+/// assert_eq!(a.next_u64(), b.next_u64()); // clones replay identically
+/// let u = a.next_f64();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed (any value, including 0, is fine —
+    /// the SplitMix64 scrambler guarantees a non-zero internal state).
+    pub fn seed_from(seed: u64) -> Self {
+        // One SplitMix64 step to spread low-entropy seeds.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        DetRng {
+            state: z.max(1), // xorshift state must be non-zero
+        }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform deviate in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits → [0, 1) with full double precision.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "p must be a probability"
+        );
+        self.next_f64() < p
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Modulo bias is negligible for the simulation bounds used here
+        // (all ≪ 2^32), and determinism matters more than perfection.
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_cloneable() {
+        let mut a = DetRng::seed_from(123);
+        let mut b = DetRng::seed_from(123);
+        let mut c = a.clone();
+        for _ in 0..100 {
+            let x = a.next_u64();
+            assert_eq!(x, b.next_u64());
+            assert_eq!(x, c.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::seed_from(1);
+        let mut b = DetRng::seed_from(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_works() {
+        let mut r = DetRng::seed_from(0);
+        let x = r.next_u64();
+        let y = r.next_u64();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn f64_range_and_mean() {
+        let mut r = DetRng::seed_from(9);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = r.next_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_statistics() {
+        let mut r = DetRng::seed_from(5);
+        let hits = (0..100_000).filter(|_| r.chance(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut r = DetRng::seed_from(6);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_rejected() {
+        let mut r = DetRng::seed_from(6);
+        let _ = r.below(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be a probability")]
+    fn bad_probability_rejected() {
+        let mut r = DetRng::seed_from(6);
+        let _ = r.chance(1.2);
+    }
+}

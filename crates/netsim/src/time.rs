@@ -1,0 +1,215 @@
+//! Simulated time in microseconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant of simulated time, in microseconds since simulation start.
+///
+/// Microsecond resolution comfortably resolves every timescale in the
+/// paper's setting: packet serialisation at 1.2 Mbps (≈ 13.7 ms for a 2 KiB
+/// packet), the 23 ms round-trip, and 0.5–1 s buffer cycles.
+///
+/// # Example
+///
+/// ```
+/// use espread_netsim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(23);
+/// assert_eq!(t.as_micros(), 23_000);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_micros(23_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// An instant `us` microseconds after the epoch.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Duration since `earlier`; zero if `earlier` is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A duration of `us` microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// A duration of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// A duration of `s` whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// A duration from fractional seconds (rounded to the nearest µs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "duration must be non-negative");
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// Microseconds in the span.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in the span, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The serialisation delay of `bytes` at `bits_per_second` (rounded up
+    /// to the next microsecond so zero-cost transmission is impossible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_second` is zero.
+    pub fn serialization(bytes: u32, bits_per_second: u64) -> Self {
+        assert!(bits_per_second > 0, "bandwidth must be positive");
+        let bits = u64::from(bytes) * 8;
+        SimDuration((bits * 1_000_000).div_ceil(bits_per_second))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("subtracting a later instant"),
+        )
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimDuration::from_millis(23).as_micros(), 23_000);
+        assert_eq!(SimDuration::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(SimTime::from_micros(77).as_micros(), 77);
+        assert!((SimTime::from_micros(1_500_000).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_micros(10);
+        let mut u = t;
+        u += SimDuration::from_micros(5);
+        assert_eq!(u - t, SimDuration::from_micros(5));
+        assert_eq!(u.max(t), u);
+        assert_eq!(t.saturating_since(u), SimDuration::ZERO);
+        assert_eq!(u.saturating_since(t), SimDuration::from_micros(5));
+        assert_eq!(
+            SimDuration::from_micros(3) + SimDuration::from_micros(4),
+            SimDuration::from_micros(7)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "subtracting a later instant")]
+    fn backwards_subtraction_panics() {
+        let _ = SimTime::from_micros(1) - SimTime::from_micros(2);
+    }
+
+    #[test]
+    fn serialization_delay() {
+        // 2 KiB at 1.2 Mbps: 16384 bits / 1.2e6 bps = 13.65 ms.
+        let d = SimDuration::serialization(2048, 1_200_000);
+        assert_eq!(d.as_micros(), 13_654); // rounded up
+        // 1 byte at 8 bps = 1 s exactly.
+        assert_eq!(SimDuration::serialization(1, 8).as_micros(), 1_000_000);
+        // Rounding up: 1 byte at 1 Gbps is still ≥ 1 µs.
+        assert!(SimDuration::serialization(1, 1_000_000_000).as_micros() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = SimDuration::serialization(100, 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SimTime::from_micros(23_000).to_string(), "t=0.023000s");
+        assert_eq!(SimDuration::from_millis(5).to_string(), "0.005000s");
+    }
+}

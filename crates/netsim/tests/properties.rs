@@ -1,0 +1,94 @@
+//! Property-based tests for the simulator's physical invariants.
+
+use espread_netsim::{
+    DuplexChannel, EventQueue, GilbertModel, Link, Packet, SimDuration, SimTime,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Deliveries never precede their send time by less than the physical
+    /// minimum (serialisation + propagation), and the link stays FIFO.
+    #[test]
+    fn link_is_causal_and_fifo(
+        bandwidth in 1_000u64..10_000_000,
+        prop_ms in 0u64..200,
+        sizes in prop::collection::vec(1u32..10_000, 1..40),
+        seed in any::<u64>(),
+        p_bad in 0.0f64..1.0,
+    ) {
+        let mut link = Link::new(
+            bandwidth,
+            SimDuration::from_millis(prop_ms),
+            GilbertModel::new(0.9, p_bad, seed),
+        );
+        let mut last_arrival = SimTime::ZERO;
+        let mut now = SimTime::ZERO;
+        for (i, &size) in sizes.iter().enumerate() {
+            let sent = now;
+            let outcome = link.transmit(now, Packet::new(i as u64, size, sent, i));
+            if let Some(d) = outcome.delivered() {
+                let min_latency = SimDuration::serialization(size, bandwidth)
+                    + SimDuration::from_millis(prop_ms);
+                prop_assert!(d.arrived_at.as_micros() >= sent.as_micros() + min_latency.as_micros() - 1);
+                // FIFO: arrivals are monotone.
+                prop_assert!(d.arrived_at >= last_arrival);
+                last_arrival = d.arrived_at;
+            }
+            now += SimDuration::from_micros(u64::from(size) % 777);
+        }
+        let s = link.stats();
+        prop_assert_eq!(s.offered, sizes.len() as u64);
+        prop_assert_eq!(s.offered, s.delivered + s.lost);
+    }
+
+    /// Same seed ⇒ identical loss pattern; the channel is reproducible.
+    #[test]
+    fn channel_deterministic(seed in any::<u64>(), count in 1usize..200) {
+        let mk = || {
+            let mut ch: DuplexChannel<usize, ()> = DuplexChannel::new(
+                Link::new(1_200_000, SimDuration::from_millis(11), GilbertModel::paper(0.6, seed)),
+                Link::new(64_000, SimDuration::from_millis(11), GilbertModel::paper(0.6, seed ^ 1)),
+            );
+            for i in 0..count {
+                ch.send_data(SimTime::ZERO, 2048, i);
+            }
+            ch.poll_data(SimTime::from_micros(u64::MAX / 2))
+                .into_iter()
+                .map(|d| d.packet.payload)
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(mk(), mk());
+    }
+
+    /// The event queue drains in nondecreasing time order regardless of
+    /// insertion order.
+    #[test]
+    fn event_queue_sorted(times in prop::collection::vec(0u64..1_000, 0..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut seen = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            seen += 1;
+        }
+        prop_assert_eq!(seen, times.len());
+    }
+
+    /// Gilbert chains hit their steady-state loss rate within tolerance for
+    /// moderate parameters.
+    #[test]
+    fn gilbert_steady_state(p_good in 0.5f64..0.99, p_bad in 0.1f64..0.9, seed in any::<u64>()) {
+        let mut m = GilbertModel::new(p_good, p_bad, seed);
+        let expected = m.steady_state_loss();
+        let n = 60_000;
+        let lost = (0..n).filter(|_| !m.step_delivers()).count();
+        let observed = lost as f64 / n as f64;
+        // Loose tolerance: chains with long bursts mix slowly.
+        prop_assert!((observed - expected).abs() < 0.05,
+            "observed {observed} expected {expected} (pg={p_good} pb={p_bad})");
+    }
+}

@@ -1,0 +1,288 @@
+//! Antichains and antichain decompositions.
+//!
+//! An **antichain** is a subset of pairwise-incomparable elements; in the
+//! paper's stream model the antichains are exactly the sets of frames that
+//! may be permuted among each other without violating dependencies (§3.3).
+//!
+//! **Mirsky's theorem**: the minimum number of antichains needed to
+//! partition a poset equals the length of its longest chain, and the
+//! partition by *height* achieves it. The paper uses this to derive the
+//! layers of the Layered Permutation Transmission Order: "being ranked
+//! automatically gives us the best antichain decomposition".
+
+use crate::poset::Poset;
+
+impl Poset {
+    /// Whether `subset` is an antichain: every pair incomparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element of `subset` is out of range.
+    pub fn is_antichain(&self, subset: &[usize]) -> bool {
+        subset
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| subset[i + 1..].iter().all(|&b| self.incomparable(a, b)))
+    }
+
+    /// The minimum antichain decomposition by height (Mirsky's
+    /// construction): layer `h` holds all elements of height `h`, in
+    /// ascending element order.
+    ///
+    /// The number of layers equals [`Poset::height`] — provably minimal —
+    /// and for every `a < b`, `a` appears in a strictly earlier layer than
+    /// `b`, which is exactly the property a layered transmission order
+    /// needs (prerequisites travel in earlier layers).
+    pub fn mirsky_decomposition(&self) -> Vec<Vec<usize>> {
+        let mut layers: Vec<Vec<usize>> = vec![Vec::new(); self.height()];
+        for a in 0..self.len() {
+            layers[self.element_height(a)].push(a);
+        }
+        layers
+    }
+
+    /// Validates a proposed antichain decomposition: `layers` must
+    /// partition `0..len()` and each layer must be an antichain.
+    pub fn is_antichain_decomposition(&self, layers: &[Vec<usize>]) -> bool {
+        let mut seen = vec![false; self.len()];
+        for layer in layers {
+            if !self.is_antichain(layer) {
+                return false;
+            }
+            for &a in layer {
+                if a >= self.len() || seen[a] {
+                    return false;
+                }
+                seen[a] = true;
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// The *width-1 check* the layered scheme relies on: for every pair
+    /// `a < b`, `a`'s layer index is strictly smaller than `b`'s.
+    ///
+    /// Returns `false` if some dependency crosses layers the wrong way or
+    /// sits inside a single layer, or if `layers` is not a partition.
+    pub fn layers_respect_order(&self, layers: &[Vec<usize>]) -> bool {
+        if !self.is_antichain_decomposition(layers) {
+            return false;
+        }
+        let mut layer_of = vec![usize::MAX; self.len()];
+        for (idx, layer) in layers.iter().enumerate() {
+            for &a in layer {
+                layer_of[a] = idx;
+            }
+        }
+        for a in 0..self.len() {
+            for b in 0..self.len() {
+                if self.less_than(a, b) && layer_of[a] >= layer_of[b] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Size of the largest layer across the height- and depth-based
+    /// decompositions — a cheap lower bound on the poset width (exact for
+    /// the layered MPEG/H.261 structures in this workspace, where the
+    /// B-frame depth layer is a maximum antichain; see
+    /// [`Poset::width`](crate::poset::Poset) for the exact Dilworth
+    /// computation).
+    pub fn max_layer_width(&self) -> usize {
+        self.mirsky_decomposition()
+            .iter()
+            .chain(self.depth_decomposition().iter())
+            .map(|l| l.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The *depth* of an element: the length minus one of the longest chain
+    /// whose **minimum** is `a` (how far its dependents extend above it).
+    /// Maximal elements have depth 0.
+    ///
+    /// In the MPEG model, depth ranks criticality: I-frames are deepest,
+    /// B-frames have depth 0.
+    pub fn element_depth(&self, a: usize) -> usize {
+        assert!(a < self.len(), "element out of range");
+        fn depth(p: &Poset, x: usize, memo: &mut [usize]) -> usize {
+            if memo[x] != usize::MAX {
+                return memo[x];
+            }
+            let d = p
+                .upper_covers(x)
+                .iter()
+                .map(|&y| 1 + depth(p, y, memo))
+                .max()
+                .unwrap_or(0);
+            memo[x] = d;
+            d
+        }
+        let mut memo = vec![usize::MAX; self.len()];
+        depth(self, a, &mut memo)
+    }
+
+    /// The dual-Mirsky minimum antichain decomposition **by depth**,
+    /// deepest layer first: layer 0 holds the elements most depended upon,
+    /// the last layer the elements nothing depends on.
+    ///
+    /// Like [`Poset::mirsky_decomposition`] this has exactly
+    /// [`Poset::height`] layers and respects the order (every dependency
+    /// crosses from an earlier layer to a later one) — but it groups
+    /// *criticality* the way the paper's Layered Permutation Transmission
+    /// Order for MPEG does (Fig. 3): all I-frames, then all P₁'s, P₂'s, …,
+    /// and finally every B-frame in the last layer.
+    pub fn depth_decomposition(&self) -> Vec<Vec<usize>> {
+        let h = self.height();
+        let mut layers: Vec<Vec<usize>> = vec![Vec::new(); h];
+        let mut memo = vec![usize::MAX; self.len()];
+        fn depth(p: &Poset, x: usize, memo: &mut [usize]) -> usize {
+            if memo[x] != usize::MAX {
+                return memo[x];
+            }
+            let d = p
+                .upper_covers(x)
+                .iter()
+                .map(|&y| 1 + depth(p, y, memo))
+                .max()
+                .unwrap_or(0);
+            memo[x] = d;
+            d
+        }
+        for a in 0..self.len() {
+            let d = depth(self, a, &mut memo);
+            layers[h - 1 - d].push(a);
+        }
+        layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Poset {
+        let mut b = Poset::builder(4);
+        b.add_relation(0, 1).unwrap();
+        b.add_relation(0, 2).unwrap();
+        b.add_relation(1, 3).unwrap();
+        b.add_relation(2, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn antichain_detection() {
+        let p = diamond();
+        assert!(p.is_antichain(&[1, 2]));
+        assert!(!p.is_antichain(&[0, 1]));
+        assert!(p.is_antichain(&[]));
+        assert!(p.is_antichain(&[3]));
+    }
+
+    #[test]
+    fn mirsky_layers_of_diamond() {
+        let p = diamond();
+        let layers = p.mirsky_decomposition();
+        assert_eq!(layers, vec![vec![0], vec![1, 2], vec![3]]);
+        assert!(p.is_antichain_decomposition(&layers));
+        assert!(p.layers_respect_order(&layers));
+        assert_eq!(layers.len(), p.height()); // Mirsky equality
+    }
+
+    #[test]
+    fn mirsky_on_antichain_is_single_layer() {
+        let p = Poset::antichain(6);
+        let layers = p.mirsky_decomposition();
+        assert_eq!(layers.len(), 1);
+        assert_eq!(layers[0].len(), 6);
+        assert_eq!(p.max_layer_width(), 6);
+    }
+
+    #[test]
+    fn mirsky_on_chain_is_singletons() {
+        let p = Poset::chain(4);
+        let layers = p.mirsky_decomposition();
+        assert_eq!(layers.len(), 4);
+        assert!(layers.iter().all(|l| l.len() == 1));
+        assert_eq!(p.max_layer_width(), 1);
+    }
+
+    #[test]
+    fn decomposition_validation_rejects_bad_partitions() {
+        let p = diamond();
+        // Missing element 3.
+        assert!(!p.is_antichain_decomposition(&[vec![0], vec![1, 2]]));
+        // Duplicated element.
+        assert!(!p.is_antichain_decomposition(&[vec![0], vec![1, 2], vec![3, 0]]));
+        // Non-antichain layer.
+        assert!(!p.is_antichain_decomposition(&[vec![0, 1], vec![2], vec![3]]));
+        // Out of range.
+        assert!(!p.is_antichain_decomposition(&[vec![0], vec![1, 2], vec![9]]));
+    }
+
+    #[test]
+    fn layer_order_violations_detected() {
+        let p = diamond();
+        // Valid partition into antichains but wrong layer order: 3 before 0.
+        let wrong = vec![vec![3], vec![1, 2], vec![0]];
+        assert!(p.is_antichain_decomposition(&wrong));
+        assert!(!p.layers_respect_order(&wrong));
+    }
+
+    #[test]
+    fn depth_of_diamond() {
+        let p = diamond();
+        assert_eq!(p.element_depth(0), 2);
+        assert_eq!(p.element_depth(1), 1);
+        assert_eq!(p.element_depth(2), 1);
+        assert_eq!(p.element_depth(3), 0);
+    }
+
+    #[test]
+    fn depth_decomposition_of_diamond() {
+        let p = diamond();
+        let layers = p.depth_decomposition();
+        assert_eq!(layers, vec![vec![0], vec![1, 2], vec![3]]);
+        assert!(p.is_antichain_decomposition(&layers));
+        assert!(p.layers_respect_order(&layers));
+    }
+
+    #[test]
+    fn depth_differs_from_height_on_mpeg_like_shape() {
+        // I < P, P < B1, I < B1 ... and a short B0 depending only on I:
+        // height puts B0 with P (both height 1); depth puts B0 with B1
+        // (both depth 0), matching the paper's "all B frames last" layers.
+        let mut b = Poset::builder(4); // 0=I, 1=P, 2=B0, 3=B1
+        b.add_relation(0, 1).unwrap(); // P depends on I
+        b.add_relation(0, 2).unwrap(); // B0 depends on I
+        b.add_relation(1, 3).unwrap(); // B1 depends on P
+        b.add_relation(0, 3).unwrap();
+        let p = b.build().unwrap();
+
+        let by_height = p.mirsky_decomposition();
+        assert_eq!(by_height, vec![vec![0], vec![1, 2], vec![3]]);
+
+        let by_depth = p.depth_decomposition();
+        assert_eq!(by_depth, vec![vec![0], vec![1], vec![2, 3]]);
+        assert!(p.layers_respect_order(&by_depth));
+    }
+
+    #[test]
+    fn mirsky_respects_order_on_random_like_poset() {
+        // A two-GOP-like structure: two diamonds chained.
+        let mut b = Poset::builder(8);
+        for base in [0, 4] {
+            b.add_relation(base, base + 1).unwrap();
+            b.add_relation(base, base + 2).unwrap();
+            b.add_relation(base + 1, base + 3).unwrap();
+            b.add_relation(base + 2, base + 3).unwrap();
+        }
+        b.add_relation(3, 4).unwrap(); // open-GOP-style cross dependency
+        let p = b.build().unwrap();
+        let layers = p.mirsky_decomposition();
+        assert!(p.layers_respect_order(&layers));
+        assert_eq!(layers.len(), p.height());
+    }
+}

@@ -1,0 +1,281 @@
+//! Incremental, validated poset construction.
+//!
+//! A [`PosetBuilder`] accepts arbitrary order relations `a < b` (not just
+//! covers), rejects out-of-range elements and self-relations eagerly, and
+//! rejects cycles at [`PosetBuilder::build`] time. Redundant (transitive)
+//! relations are accepted and reduced away: the built [`Poset`] stores the
+//! covering relation, so `covers` answers are exact regardless of how the
+//! input was phrased.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::poset::{BitRow, Poset};
+
+/// Error produced while building a poset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PosetBuildError {
+    /// A relation referenced an element ≥ the poset size.
+    ElementOutOfRange {
+        /// The offending element index.
+        element: usize,
+        /// The poset size it must be below.
+        len: usize,
+    },
+    /// A relation `a < a` was supplied (violates irreflexivity).
+    SelfRelation {
+        /// The element related to itself.
+        element: usize,
+    },
+    /// The supplied relations contain a directed cycle, so no partial order
+    /// extends them. Contains one element on a cycle.
+    Cycle {
+        /// An element known to lie on a cycle.
+        element: usize,
+    },
+}
+
+impl fmt::Display for PosetBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PosetBuildError::ElementOutOfRange { element, len } => {
+                write!(f, "element {element} out of range for poset of size {len}")
+            }
+            PosetBuildError::SelfRelation { element } => {
+                write!(f, "self-relation on element {element} violates irreflexivity")
+            }
+            PosetBuildError::Cycle { element } => {
+                write!(f, "relations contain a cycle through element {element}")
+            }
+        }
+    }
+}
+
+impl Error for PosetBuildError {}
+
+/// Builder accumulating order relations for a poset over `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use espread_poset::{Poset, PosetBuildError};
+///
+/// let mut b = Poset::builder(3);
+/// b.add_relation(0, 1)?;
+/// b.add_relation(1, 2)?;
+/// assert!(b.add_relation(2, 2).is_err()); // irreflexive
+/// let p = b.build()?;
+/// assert!(p.less_than(0, 2));
+/// # Ok::<(), PosetBuildError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PosetBuilder {
+    n: usize,
+    /// Raw relation edges a → b meaning a < b (may include transitives).
+    edges: Vec<(usize, usize)>,
+}
+
+impl PosetBuilder {
+    /// Creates a builder for a poset over `n` elements with no relations.
+    pub fn new(n: usize) -> Self {
+        PosetBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of elements the built poset will have.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` when the poset will have no elements.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Records the relation `a < b` ("b depends on a").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PosetBuildError::ElementOutOfRange`] or
+    /// [`PosetBuildError::SelfRelation`]. Cycles are only detectable at
+    /// [`build`](Self::build) time.
+    pub fn add_relation(&mut self, a: usize, b: usize) -> Result<&mut Self, PosetBuildError> {
+        for &e in &[a, b] {
+            if e >= self.n {
+                return Err(PosetBuildError::ElementOutOfRange {
+                    element: e,
+                    len: self.n,
+                });
+            }
+        }
+        if a == b {
+            return Err(PosetBuildError::SelfRelation { element: a });
+        }
+        self.edges.push((a, b));
+        Ok(self)
+    }
+
+    /// Finalises the poset: verifies acyclicity, computes the transitive
+    /// closure and reduces the input to its covering relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PosetBuildError::Cycle`] when the relations admit no
+    /// partial order.
+    pub fn build(&self) -> Result<Poset, PosetBuildError> {
+        let n = self.n;
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        // Cycle check + topological order (Kahn).
+        let mut indegree = vec![0usize; n];
+        for list in &adj {
+            for &v in list {
+                indegree[v] += 1;
+            }
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&x| indegree[x] == 0).collect();
+        let mut seen = 0usize;
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = stack.pop() {
+            seen += 1;
+            order.push(u);
+            for &v in &adj[u] {
+                indegree[v] -= 1;
+                if indegree[v] == 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        if seen != n {
+            let element = (0..n).find(|&x| indegree[x] > 0).unwrap_or(0);
+            return Err(PosetBuildError::Cycle { element });
+        }
+
+        // Transitive closure over raw edges, reverse topological order.
+        let mut above = vec![BitRow::new(n); n];
+        for &u in order.iter().rev() {
+            let mut row = BitRow::new(n);
+            for &v in &adj[u] {
+                row.set(v);
+                let succ = above[v].clone();
+                row.union_with(&succ);
+            }
+            above[u] = row;
+        }
+
+        // Transitive reduction: a→b is a cover iff no c with a<c and c<b.
+        let mut covers_up: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for a in 0..n {
+            for &b in &adj[a] {
+                let has_middle =
+                    (0..n).any(|c| c != a && c != b && above[a].get(c) && above[c].get(b));
+                if !has_middle {
+                    covers_up[a].push(b);
+                }
+            }
+        }
+        for list in &mut covers_up {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        Ok(Poset::from_parts(n, covers_up))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = PosetBuilder::new(2);
+        assert_eq!(
+            b.add_relation(0, 5).unwrap_err(),
+            PosetBuildError::ElementOutOfRange { element: 5, len: 2 }
+        );
+    }
+
+    #[test]
+    fn rejects_self_relation() {
+        let mut b = PosetBuilder::new(2);
+        assert_eq!(
+            b.add_relation(1, 1).unwrap_err(),
+            PosetBuildError::SelfRelation { element: 1 }
+        );
+    }
+
+    #[test]
+    fn detects_two_cycle() {
+        let mut b = PosetBuilder::new(2);
+        b.add_relation(0, 1).unwrap();
+        b.add_relation(1, 0).unwrap();
+        assert!(matches!(b.build(), Err(PosetBuildError::Cycle { .. })));
+    }
+
+    #[test]
+    fn detects_long_cycle() {
+        let mut b = PosetBuilder::new(4);
+        b.add_relation(0, 1).unwrap();
+        b.add_relation(1, 2).unwrap();
+        b.add_relation(2, 3).unwrap();
+        b.add_relation(3, 1).unwrap();
+        assert!(matches!(b.build(), Err(PosetBuildError::Cycle { .. })));
+    }
+
+    #[test]
+    fn duplicate_relations_are_deduplicated() {
+        let mut b = PosetBuilder::new(2);
+        b.add_relation(0, 1).unwrap();
+        b.add_relation(0, 1).unwrap();
+        let p = b.build().unwrap();
+        assert_eq!(p.upper_covers(0), &[1]);
+    }
+
+    #[test]
+    fn transitive_edges_reduced_to_covers() {
+        let mut b = PosetBuilder::new(3);
+        b.add_relation(0, 1).unwrap();
+        b.add_relation(1, 2).unwrap();
+        b.add_relation(0, 2).unwrap(); // transitive
+        let p = b.build().unwrap();
+        assert!(p.covers(1, 0));
+        assert!(p.covers(2, 1));
+        assert!(!p.covers(2, 0));
+        assert!(p.less_than(0, 2));
+    }
+
+    #[test]
+    fn builder_len_accessors() {
+        let b = PosetBuilder::new(3);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert!(PosetBuilder::new(0).is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PosetBuildError::Cycle { element: 2 };
+        assert!(e.to_string().contains("cycle"));
+        let e = PosetBuildError::ElementOutOfRange { element: 9, len: 3 };
+        assert!(e.to_string().contains("out of range"));
+        let e = PosetBuildError::SelfRelation { element: 1 };
+        assert!(e.to_string().contains("irreflexivity"));
+    }
+
+    #[test]
+    fn chaining_builder_calls() {
+        let mut b = PosetBuilder::new(3);
+        b.add_relation(0, 1).unwrap().add_relation(1, 2).unwrap();
+        assert!(b.build().is_ok());
+    }
+}

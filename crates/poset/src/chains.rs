@@ -1,0 +1,123 @@
+//! Chain-related queries: chain checks and chain covers.
+//!
+//! A **chain** is a subset in which any two elements are comparable (§3.1).
+//! The paper needs chains chiefly through Mirsky's theorem: the minimum
+//! number of antichains covering a poset equals its longest-chain length.
+
+use crate::poset::Poset;
+
+impl Poset {
+    /// Whether `subset` is a chain: every pair of elements comparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element of `subset` is out of range.
+    pub fn is_chain(&self, subset: &[usize]) -> bool {
+        subset
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| subset[i + 1..].iter().all(|&b| self.comparable(a, b)))
+    }
+
+    /// Sorts the elements of a chain bottom-up.
+    ///
+    /// Returns `None` when `subset` is not a chain (or contains
+    /// duplicates — a set cannot repeat elements).
+    pub fn sort_chain(&self, subset: &[usize]) -> Option<Vec<usize>> {
+        let mut sorted = subset.to_vec();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return None;
+        }
+        if !self.is_chain(subset) {
+            return None;
+        }
+        let mut chain = subset.to_vec();
+        // Comparability is total within a chain, so less_equal sorts it.
+        chain.sort_by(|&a, &b| {
+            if a == b {
+                std::cmp::Ordering::Equal
+            } else if self.less_than(a, b) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        Some(chain)
+    }
+
+    /// The length of the longest chain through element `a` (number of
+    /// elements on the longest chain containing `a`).
+    pub fn longest_chain_through(&self, a: usize) -> usize {
+        // height ending at a (elements below) + longest ascent above a.
+        let below = self.element_height(a);
+        let mut above_len = vec![usize::MAX; self.len()];
+        fn ascent(p: &Poset, x: usize, memo: &mut [usize]) -> usize {
+            if memo[x] != usize::MAX {
+                return memo[x];
+            }
+            let best = p
+                .upper_covers(x)
+                .iter()
+                .map(|&y| 1 + ascent(p, y, memo))
+                .max()
+                .unwrap_or(0);
+            memo[x] = best;
+            best
+        }
+        below + 1 + ascent(self, a, &mut above_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n_poset() -> Poset {
+        // The "N" poset: 0 < 2, 1 < 2, 1 < 3.
+        let mut b = Poset::builder(4);
+        b.add_relation(0, 2).unwrap();
+        b.add_relation(1, 2).unwrap();
+        b.add_relation(1, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_detection() {
+        let p = n_poset();
+        assert!(p.is_chain(&[1, 2]));
+        assert!(p.is_chain(&[0, 2]));
+        assert!(!p.is_chain(&[0, 1]));
+        assert!(!p.is_chain(&[2, 3]));
+        assert!(p.is_chain(&[])); // vacuous
+        assert!(p.is_chain(&[3]));
+    }
+
+    #[test]
+    fn sort_chain_orders_bottom_up() {
+        let p = Poset::chain(5);
+        assert_eq!(p.sort_chain(&[4, 0, 2]), Some(vec![0, 2, 4]));
+        assert_eq!(n_poset().sort_chain(&[2, 1]), Some(vec![1, 2]));
+    }
+
+    #[test]
+    fn sort_chain_rejects_non_chains_and_duplicates() {
+        let p = n_poset();
+        assert_eq!(p.sort_chain(&[0, 1]), None);
+        assert_eq!(p.sort_chain(&[1, 1]), None);
+    }
+
+    #[test]
+    fn longest_chain_through_each_element() {
+        let p = n_poset();
+        assert_eq!(p.longest_chain_through(0), 2); // 0 < 2
+        assert_eq!(p.longest_chain_through(1), 2); // 1 < 2 or 1 < 3
+        assert_eq!(p.longest_chain_through(2), 2);
+        assert_eq!(p.longest_chain_through(3), 2);
+
+        let c = Poset::chain(4);
+        for a in 0..4 {
+            assert_eq!(c.longest_chain_through(a), 4);
+        }
+    }
+}

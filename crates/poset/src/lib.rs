@@ -1,0 +1,53 @@
+//! Finite partially ordered sets for modelling inter-frame dependency.
+//!
+//! Section 3 of the ICDCS 2000 error-spreading paper models a dependent CM
+//! stream (e.g. MPEG video) as a **poset** of frames: `x < y` here means
+//! *y depends on x* (x is a prerequisite of y), so minimal elements are the
+//! frames that depend on nothing (MPEG I-frames). The paper then uses three
+//! classical facts this crate implements:
+//!
+//! * the **permutable sets** of a dependent stream are exactly the
+//!   **antichains** of its poset;
+//! * a valid transmission order is a **linear extension** (topological sort)
+//!   with prerequisites first;
+//! * a minimal **antichain decomposition** has size equal to the longest
+//!   chain (Mirsky's theorem), and for *ranked* posets it is given by the
+//!   rank (height) function — these are the **layers** of the Layered
+//!   Permutation Transmission Order.
+//!
+//! # Example
+//!
+//! A chain with a tail: `0 < 1 < 2`, `0 < 3`.
+//!
+//! ```
+//! use espread_poset::Poset;
+//!
+//! let mut builder = Poset::builder(4);
+//! builder.add_relation(0, 1)?;
+//! builder.add_relation(1, 2)?;
+//! builder.add_relation(0, 3)?;
+//! let poset = builder.build()?;
+//!
+//! assert!(poset.less_than(0, 2));          // transitivity
+//! assert!(poset.incomparable(2, 3));
+//! assert_eq!(poset.height(), 3);           // longest chain 0 < 1 < 2
+//! let layers = poset.mirsky_decomposition();
+//! assert_eq!(layers.len(), 3);             // = height (Mirsky)
+//! assert_eq!(layers[0], vec![0]);          // minimal elements first
+//! assert_eq!(layers[1], vec![1, 3]);
+//! # Ok::<(), espread_poset::PosetBuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod antichain;
+pub mod builder;
+pub mod chains;
+pub mod linext;
+pub mod poset;
+pub mod width;
+
+pub use builder::{PosetBuildError, PosetBuilder};
+pub use poset::Poset;
+pub use width::DilworthDecomposition;

@@ -1,0 +1,184 @@
+//! Linear extensions (topological sorts) of a poset.
+//!
+//! A **linear extension** maps the poset onto a chain preserving order —
+//! "similar to a topological sort of a DAG" (§3.1). Any valid frame
+//! transmission order for a dependent stream is a linear extension of its
+//! dependency poset with prerequisites first.
+
+use crate::poset::Poset;
+
+impl Poset {
+    /// One canonical linear extension: Kahn's algorithm taking the smallest
+    /// available element first (deterministic).
+    ///
+    /// The result lists elements bottom-up: every element appears after all
+    /// elements below it.
+    pub fn linear_extension(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut indegree = vec![0usize; n];
+        for a in 0..n {
+            for &b in self.upper_covers(a) {
+                indegree[b] += 1;
+            }
+        }
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+            .filter(|&x| indegree[x] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(u)) = ready.pop() {
+            order.push(u);
+            for &v in self.upper_covers(u) {
+                indegree[v] -= 1;
+                if indegree[v] == 0 {
+                    ready.push(std::cmp::Reverse(v));
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n);
+        order
+    }
+
+    /// Whether `order` is a linear extension of this poset: a permutation of
+    /// `0..len()` in which every element appears after everything below it.
+    pub fn is_linear_extension(&self, order: &[usize]) -> bool {
+        if order.len() != self.len() {
+            return false;
+        }
+        let mut position = vec![usize::MAX; self.len()];
+        for (pos, &a) in order.iter().enumerate() {
+            if a >= self.len() || position[a] != usize::MAX {
+                return false;
+            }
+            position[a] = pos;
+        }
+        for a in 0..self.len() {
+            for &b in self.upper_covers(a) {
+                if position[a] > position[b] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Enumerates **all** linear extensions. Exponential: intended for
+    /// small posets in tests and exhaustive validation only.
+    pub fn all_linear_extensions(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut indegree = vec![0usize; n];
+        for a in 0..n {
+            for &b in self.upper_covers(a) {
+                indegree[b] += 1;
+            }
+        }
+        let mut result = Vec::new();
+        let mut current = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        fn recurse(
+            p: &Poset,
+            indegree: &mut [usize],
+            used: &mut [bool],
+            current: &mut Vec<usize>,
+            result: &mut Vec<Vec<usize>>,
+        ) {
+            if current.len() == p.len() {
+                result.push(current.clone());
+                return;
+            }
+            for a in 0..p.len() {
+                if !used[a] && indegree[a] == 0 {
+                    used[a] = true;
+                    current.push(a);
+                    for &b in p.upper_covers(a) {
+                        indegree[b] -= 1;
+                    }
+                    recurse(p, indegree, used, current, result);
+                    for &b in p.upper_covers(a) {
+                        indegree[b] += 1;
+                    }
+                    current.pop();
+                    used[a] = false;
+                }
+            }
+        }
+        recurse(self, &mut indegree, &mut used, &mut current, &mut result);
+        result
+    }
+
+    /// Counts linear extensions without materialising them (still
+    /// exponential; small posets only).
+    pub fn count_linear_extensions(&self) -> u64 {
+        self.all_linear_extensions().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Poset {
+        let mut b = Poset::builder(4);
+        b.add_relation(0, 1).unwrap();
+        b.add_relation(0, 2).unwrap();
+        b.add_relation(1, 3).unwrap();
+        b.add_relation(2, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn canonical_extension_is_valid() {
+        let p = diamond();
+        let ext = p.linear_extension();
+        assert!(p.is_linear_extension(&ext));
+        assert_eq!(ext, vec![0, 1, 2, 3]); // smallest-first tie-break
+    }
+
+    #[test]
+    fn validation_rejects_violations() {
+        let p = diamond();
+        assert!(!p.is_linear_extension(&[1, 0, 2, 3])); // 1 before its prerequisite 0
+        assert!(!p.is_linear_extension(&[0, 1, 2])); // wrong length
+        assert!(!p.is_linear_extension(&[0, 0, 2, 3])); // repeats
+        assert!(!p.is_linear_extension(&[0, 1, 2, 9])); // out of range
+        assert!(p.is_linear_extension(&[0, 2, 1, 3]));
+    }
+
+    #[test]
+    fn diamond_has_two_extensions() {
+        let p = diamond();
+        let all = p.all_linear_extensions();
+        assert_eq!(all.len(), 2);
+        for ext in &all {
+            assert!(p.is_linear_extension(ext));
+        }
+        assert_eq!(p.count_linear_extensions(), 2);
+    }
+
+    #[test]
+    fn antichain_has_factorial_extensions() {
+        let p = Poset::antichain(4);
+        assert_eq!(p.count_linear_extensions(), 24);
+    }
+
+    #[test]
+    fn chain_has_one_extension() {
+        let p = Poset::chain(5);
+        assert_eq!(p.count_linear_extensions(), 1);
+        assert_eq!(p.linear_extension(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mirsky_layer_concatenation_is_linear_extension() {
+        // The layered transmission order (layers in ascending height,
+        // any order inside a layer) must be a linear extension — this is
+        // the property §3.3 relies on.
+        let p = diamond();
+        let mut order = Vec::new();
+        for mut layer in p.mirsky_decomposition() {
+            layer.reverse(); // any within-layer permutation is fine
+            order.extend(layer);
+        }
+        assert!(p.is_linear_extension(&order));
+    }
+}

@@ -1,0 +1,410 @@
+//! The [`Poset`] type: an immutable finite partial order.
+
+use std::fmt;
+
+use crate::builder::PosetBuilder;
+
+/// A compact bitset over element indices, used for reachability rows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct BitRow {
+    words: Vec<u64>,
+}
+
+impl BitRow {
+    pub(crate) fn new(len: usize) -> Self {
+        BitRow {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    pub(crate) fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    pub(crate) fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// `self |= other`; returns `true` when any bit changed.
+    pub(crate) fn union_with(&mut self, other: &BitRow) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    pub(crate) fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// An immutable finite poset over elements `0..len()`.
+///
+/// The order is the *prerequisite order* of the paper's §3: `a < b` reads
+/// "b depends on a". Minimal elements are anchors that depend on nothing.
+///
+/// Construct one through [`Poset::builder`] (cover relations, cycle-checked)
+/// or the convenience constructors [`Poset::antichain`] / [`Poset::chain`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct Poset {
+    n: usize,
+    /// covers_up[a] = elements b such that b covers a (immediate successors).
+    covers_up: Vec<Vec<usize>>,
+    /// strictly_above[a] = bitset of all b with a < b (transitive closure).
+    strictly_above: Vec<BitRow>,
+    /// height_of[a] = length (in elements) of the longest chain with maximum
+    /// element a, minus one; minimal elements have height 0.
+    height_of: Vec<usize>,
+}
+
+impl Poset {
+    /// Starts building a poset over `n` elements by adding cover relations.
+    pub fn builder(n: usize) -> PosetBuilder {
+        PosetBuilder::new(n)
+    }
+
+    /// The discrete poset: `n` pairwise-incomparable elements (a pure
+    /// antichain, the dependency structure of an MJPEG or audio stream).
+    pub fn antichain(n: usize) -> Self {
+        Self::builder(n).build().expect("no relations, no cycles")
+    }
+
+    /// The total order `0 < 1 < ... < n-1` (a chain).
+    pub fn chain(n: usize) -> Self {
+        let mut b = Self::builder(n);
+        for i in 1..n {
+            b.add_relation(i - 1, i).expect("indices in range, acyclic");
+        }
+        b.build().expect("chain is acyclic")
+    }
+
+    pub(crate) fn from_parts(n: usize, covers_up: Vec<Vec<usize>>) -> Self {
+        // Transitive closure by DFS from each node over cover edges,
+        // propagating in reverse-topological order so each row is the union
+        // of successor rows.
+        let order = topo_order(n, &covers_up);
+        let mut strictly_above = vec![BitRow::new(n); n];
+        // Visit in reverse topological order so every successor's row is
+        // final before it is folded into its predecessors.
+        for &u in order.iter().rev() {
+            let mut row = BitRow::new(n);
+            for &v in &covers_up[u] {
+                row.set(v);
+                let succ = strictly_above[v].clone();
+                row.union_with(&succ);
+            }
+            strictly_above[u] = row;
+        }
+        // Heights: longest chain ending at each element.
+        let mut height_of = vec![0usize; n];
+        for &u in &order {
+            for &v in &covers_up[u] {
+                height_of[v] = height_of[v].max(height_of[u] + 1);
+            }
+        }
+        Poset {
+            n,
+            covers_up,
+            strictly_above,
+            height_of,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` when the poset has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Strict order test: `a < b` (b transitively depends on a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn less_than(&self, a: usize, b: usize) -> bool {
+        assert!(a < self.n && b < self.n, "element out of range");
+        self.strictly_above[a].get(b)
+    }
+
+    /// Non-strict order test: `a ≤ b`.
+    pub fn less_equal(&self, a: usize, b: usize) -> bool {
+        a == b || self.less_than(a, b)
+    }
+
+    /// Whether `a` and `b` are comparable (`a ≤ b` or `b ≤ a`).
+    pub fn comparable(&self, a: usize, b: usize) -> bool {
+        self.less_equal(a, b) || self.less_than(b, a)
+    }
+
+    /// Whether `a` and `b` are incomparable.
+    pub fn incomparable(&self, a: usize, b: usize) -> bool {
+        !self.comparable(a, b)
+    }
+
+    /// Cover test: `b` covers `a` iff `a < b` with nothing strictly between.
+    pub fn covers(&self, b: usize, a: usize) -> bool {
+        assert!(a < self.n && b < self.n, "element out of range");
+        self.covers_up[a].contains(&b)
+    }
+
+    /// Immediate successors of `a` (the elements covering `a`).
+    pub fn upper_covers(&self, a: usize) -> &[usize] {
+        &self.covers_up[a]
+    }
+
+    /// The minimal elements (depend on nothing): MPEG I-frames in the
+    /// paper's model.
+    pub fn minimal_elements(&self) -> Vec<usize> {
+        let mut has_lower = vec![false; self.n];
+        for a in 0..self.n {
+            for &b in &self.covers_up[a] {
+                has_lower[b] = true;
+            }
+        }
+        (0..self.n).filter(|&x| !has_lower[x]).collect()
+    }
+
+    /// The maximal elements (nothing depends on them).
+    pub fn maximal_elements(&self) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&x| self.covers_up[x].is_empty())
+            .collect()
+    }
+
+    /// The height (rank) of one element: the length minus one of the longest
+    /// chain whose maximum is `a`. Minimal elements have height 0.
+    pub fn element_height(&self, a: usize) -> usize {
+        assert!(a < self.n, "element out of range");
+        self.height_of[a]
+    }
+
+    /// The height of the poset: the number of elements in its longest chain
+    /// (0 for the empty poset).
+    pub fn height(&self) -> usize {
+        if self.n == 0 {
+            0
+        } else {
+            self.height_of.iter().max().copied().unwrap_or(0) + 1
+        }
+    }
+
+    /// Number of strictly-greater elements of `a` (size of its up-set minus
+    /// itself).
+    pub fn upset_size(&self, a: usize) -> usize {
+        self.strictly_above[a].count()
+    }
+
+    /// Returns one longest chain, minimum first.
+    pub fn longest_chain(&self) -> Vec<usize> {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        // Walk down from a maximum-height element through covers that
+        // realise the height.
+        let mut chain = Vec::new();
+        let top = (0..self.n)
+            .max_by_key(|&x| self.height_of[x])
+            .expect("non-empty");
+        // Build reverse cover lists on the fly.
+        let mut lower: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        for a in 0..self.n {
+            for &b in &self.covers_up[a] {
+                lower[b].push(a);
+            }
+        }
+        let mut cur = top;
+        chain.push(cur);
+        while self.height_of[cur] > 0 {
+            let prev = lower[cur]
+                .iter()
+                .copied()
+                .find(|&p| self.height_of[p] + 1 == self.height_of[cur])
+                .expect("height is realised by some lower cover");
+            chain.push(prev);
+            cur = prev;
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+impl fmt::Debug for Poset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Poset")
+            .field("len", &self.n)
+            .field("height", &self.height())
+            .field("covers_up", &self.covers_up)
+            .finish()
+    }
+}
+
+/// Kahn topological order over cover edges, smallest index first
+/// (deterministic).
+fn topo_order(n: usize, covers_up: &[Vec<usize>]) -> Vec<usize> {
+    let mut indegree = vec![0usize; n];
+    for edges in covers_up {
+        for &v in edges {
+            indegree[v] += 1;
+        }
+    }
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&x| indegree[x] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(u)) = ready.pop() {
+        order.push(u);
+        for &v in &covers_up[u] {
+            indegree[v] -= 1;
+            if indegree[v] == 0 {
+                ready.push(std::cmp::Reverse(v));
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "builder guarantees acyclicity");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Poset {
+        // 0 < 1, 0 < 2, 1 < 3, 2 < 3
+        let mut b = Poset::builder(4);
+        b.add_relation(0, 1).unwrap();
+        b.add_relation(0, 2).unwrap();
+        b.add_relation(1, 3).unwrap();
+        b.add_relation(2, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bitrow_basics() {
+        let mut row = BitRow::new(130);
+        row.set(0);
+        row.set(64);
+        row.set(129);
+        assert!(row.get(0) && row.get(64) && row.get(129));
+        assert!(!row.get(1));
+        assert_eq!(row.count(), 3);
+        let mut other = BitRow::new(130);
+        other.set(5);
+        assert!(other.union_with(&row));
+        assert_eq!(other.count(), 4);
+        assert!(!other.union_with(&row)); // second union is a no-op
+    }
+
+    #[test]
+    fn reflexivity_antisymmetry_transitivity() {
+        let p = diamond();
+        for a in 0..4 {
+            assert!(p.less_equal(a, a)); // reflexive
+            assert!(!p.less_than(a, a)); // strict part irreflexive
+        }
+        // antisymmetry: a < b implies !(b < a)
+        for a in 0..4 {
+            for b in 0..4 {
+                if p.less_than(a, b) {
+                    assert!(!p.less_than(b, a));
+                }
+            }
+        }
+        // transitivity captured by closure
+        assert!(p.less_than(0, 3));
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let p = diamond();
+        assert!(p.incomparable(1, 2));
+        assert!(p.comparable(0, 3));
+        assert_eq!(p.minimal_elements(), vec![0]);
+        assert_eq!(p.maximal_elements(), vec![3]);
+        assert_eq!(p.height(), 3);
+        assert_eq!(p.element_height(0), 0);
+        assert_eq!(p.element_height(1), 1);
+        assert_eq!(p.element_height(2), 1);
+        assert_eq!(p.element_height(3), 2);
+        assert_eq!(p.upset_size(0), 3);
+        assert_eq!(p.upset_size(3), 0);
+    }
+
+    #[test]
+    fn covers_vs_closure() {
+        let p = diamond();
+        assert!(p.covers(1, 0));
+        assert!(p.covers(3, 1));
+        assert!(!p.covers(3, 0)); // 0 < 3 but not a cover
+        assert_eq!(p.upper_covers(0), &[1, 2]);
+    }
+
+    #[test]
+    fn chain_and_antichain_constructors() {
+        let c = Poset::chain(5);
+        assert_eq!(c.height(), 5);
+        assert!(c.less_than(0, 4));
+        assert_eq!(c.longest_chain(), vec![0, 1, 2, 3, 4]);
+
+        let a = Poset::antichain(5);
+        assert_eq!(a.height(), 1);
+        assert!(a.incomparable(0, 4));
+        assert_eq!(a.minimal_elements().len(), 5);
+        assert_eq!(a.maximal_elements().len(), 5);
+    }
+
+    #[test]
+    fn empty_poset() {
+        let p = Poset::antichain(0);
+        assert!(p.is_empty());
+        assert_eq!(p.height(), 0);
+        assert!(p.longest_chain().is_empty());
+    }
+
+    #[test]
+    fn longest_chain_is_a_chain_of_right_length() {
+        let p = diamond();
+        let chain = p.longest_chain();
+        assert_eq!(chain.len(), p.height());
+        for w in chain.windows(2) {
+            assert!(p.less_than(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn transitive_relation_input_still_works() {
+        // Adding the transitive edge 0<3 explicitly must not break covers.
+        let mut b = Poset::builder(4);
+        b.add_relation(0, 1).unwrap();
+        b.add_relation(1, 3).unwrap();
+        b.add_relation(0, 3).unwrap(); // redundant, kept as relation
+        b.add_relation(0, 2).unwrap();
+        let p = b.build().unwrap();
+        assert!(p.less_than(0, 3));
+        assert_eq!(p.height(), 3);
+        // 3 is NOT a cover of 0 (1 lies between) even though the edge was
+        // given: the builder reduces to covers.
+        assert!(!p.covers(3, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "element out of range")]
+    fn out_of_range_panics() {
+        let p = diamond();
+        let _ = p.less_than(0, 9);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let text = format!("{:?}", diamond());
+        assert!(text.contains("Poset"));
+        assert!(text.contains("height"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for poset invariants (Mirsky, linear extensions,
+//! order axioms) on randomly generated DAGs.
+
+use espread_poset::Poset;
+use proptest::prelude::*;
+
+/// Strategy: a random poset over 1..=10 elements built from edges (a, b)
+/// with a < b numerically — guarantees acyclicity while exercising
+/// arbitrary DAG shapes (including transitive edges).
+fn random_poset() -> impl Strategy<Value = Poset> {
+    (1usize..=10)
+        .prop_flat_map(|n| {
+            let edges = prop::collection::vec((0..n, 0..n), 0..=(n * n / 2));
+            (Just(n), edges)
+        })
+        .prop_map(|(n, edges)| {
+            let mut b = Poset::builder(n);
+            for (x, y) in edges {
+                let (lo, hi) = (x.min(y), x.max(y));
+                if lo != hi {
+                    b.add_relation(lo, hi).unwrap();
+                }
+            }
+            b.build().expect("edges follow numeric order, acyclic")
+        })
+}
+
+proptest! {
+    /// Partial-order axioms hold on the closure.
+    #[test]
+    fn order_axioms(p in random_poset()) {
+        let n = p.len();
+        for a in 0..n {
+            prop_assert!(p.less_equal(a, a));
+            prop_assert!(!p.less_than(a, a));
+            for b in 0..n {
+                if p.less_than(a, b) {
+                    prop_assert!(!p.less_than(b, a), "antisymmetry");
+                }
+                for c in 0..n {
+                    if p.less_than(a, b) && p.less_than(b, c) {
+                        prop_assert!(p.less_than(a, c), "transitivity");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mirsky decomposition: valid antichain partition, respects order,
+    /// layer count equals height (minimality witness).
+    #[test]
+    fn mirsky_invariants(p in random_poset()) {
+        let layers = p.mirsky_decomposition();
+        prop_assert!(p.is_antichain_decomposition(&layers));
+        prop_assert!(p.layers_respect_order(&layers));
+        prop_assert_eq!(layers.len(), p.height());
+        // No decomposition can have fewer layers than the longest chain:
+        // the chain's elements must all land in distinct antichains.
+        let chain = p.longest_chain();
+        prop_assert_eq!(chain.len(), p.height());
+        prop_assert!(p.is_chain(&chain));
+    }
+
+    /// Depth decomposition: same guarantees as Mirsky (valid partition,
+    /// order-respecting, minimal size), dual construction.
+    #[test]
+    fn depth_decomposition_invariants(p in random_poset()) {
+        let layers = p.depth_decomposition();
+        prop_assert!(p.is_antichain_decomposition(&layers));
+        prop_assert!(p.layers_respect_order(&layers));
+        prop_assert_eq!(layers.len(), p.height());
+        // Depths decrease strictly along the order.
+        for a in 0..p.len() {
+            for b in 0..p.len() {
+                if p.less_than(a, b) {
+                    prop_assert!(p.element_depth(a) > p.element_depth(b));
+                }
+            }
+        }
+    }
+
+    /// The canonical linear extension validates, and concatenating Mirsky
+    /// layers yields a linear extension.
+    #[test]
+    fn linear_extension_invariants(p in random_poset()) {
+        let ext = p.linear_extension();
+        prop_assert!(p.is_linear_extension(&ext));
+        let layered: Vec<usize> = p.mirsky_decomposition().into_iter().flatten().collect();
+        prop_assert!(p.is_linear_extension(&layered));
+    }
+
+    /// Every enumerated linear extension validates; the canonical one is
+    /// among them (small posets only).
+    #[test]
+    fn all_extensions_valid(p in random_poset()) {
+        prop_assume!(p.len() <= 6);
+        let all = p.all_linear_extensions();
+        prop_assert!(!all.is_empty());
+        for ext in &all {
+            prop_assert!(p.is_linear_extension(ext));
+        }
+        prop_assert!(all.contains(&p.linear_extension()));
+    }
+
+    /// Dilworth: the witnesses are valid, the equality holds, and the
+    /// width brackets between the largest Mirsky layer and n.
+    #[test]
+    fn dilworth_invariants(p in random_poset()) {
+        let d = p.dilworth();
+        prop_assert!(p.is_antichain(&d.max_antichain));
+        prop_assert_eq!(d.chains.len(), d.max_antichain.len());
+        let mut seen = vec![false; p.len()];
+        for chain in &d.chains {
+            prop_assert!(p.is_chain(chain));
+            for w in chain.windows(2) {
+                prop_assert!(p.less_than(w[0], w[1]));
+            }
+            for &x in chain {
+                prop_assert!(!seen[x]);
+                seen[x] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        let width = p.width();
+        prop_assert!(width >= p.max_layer_width());
+        prop_assert!(width <= p.len());
+        // Width × height ≥ n (every chain cover has ≤ height-long chains).
+        if !p.is_empty() {
+            prop_assert!(width * p.height() >= p.len());
+        }
+    }
+
+    /// Minimal elements have height 0 and nothing below them.
+    #[test]
+    fn minimal_maximal_consistency(p in random_poset()) {
+        for &m in &p.minimal_elements() {
+            prop_assert_eq!(p.element_height(m), 0);
+            for a in 0..p.len() {
+                prop_assert!(!p.less_than(a, m));
+            }
+        }
+        for &m in &p.maximal_elements() {
+            for a in 0..p.len() {
+                prop_assert!(!p.less_than(m, a));
+            }
+        }
+    }
+
+    /// Heights increase strictly along the order.
+    #[test]
+    fn height_strictly_monotone(p in random_poset()) {
+        for a in 0..p.len() {
+            for b in 0..p.len() {
+                if p.less_than(a, b) {
+                    prop_assert!(p.element_height(a) < p.element_height(b));
+                }
+            }
+        }
+    }
+}

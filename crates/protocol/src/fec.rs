@@ -1,0 +1,310 @@
+//! Packet-level XOR forward error correction (the proactive axis of
+//! Fig. 4, blocks C and F).
+//!
+//! The sender emits one **parity packet** per `k` data packets; the parity
+//! is the XOR of its group's payloads, so the receiver can reconstruct any
+//! **single** missing packet of a group from the parity plus the remaining
+//! `k − 1`. Bandwidth overhead is `1/k`. The simulator does not move real
+//! payload bytes, so recovery is modelled structurally: a parity packet
+//! carries its member list and a member is recoverable iff it is the only
+//! one missing — exactly the semantics of XOR FEC.
+
+use crate::packetize::{Fragment, Reassembly};
+
+/// Identifies one data fragment within a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FragmentKey {
+    /// Playout index of the frame within the window.
+    pub frame: usize,
+    /// Fragment index within the frame.
+    pub frag: u16,
+}
+
+impl From<&Fragment> for FragmentKey {
+    fn from(f: &Fragment) -> Self {
+        FragmentKey {
+            frame: f.frame,
+            frag: f.frag,
+        }
+    }
+}
+
+/// A parity packet: XOR of its members' payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParityPacket {
+    /// Window the group belongs to.
+    pub window: u64,
+    /// Group sequence number within the window.
+    pub group: u32,
+    /// The data fragments covered.
+    pub members: Vec<FragmentKey>,
+    /// Wire payload size: the maximum member payload (XOR width).
+    pub size_bytes: u32,
+}
+
+/// Accumulates data fragments into parity groups of size `k`.
+///
+/// # Example
+///
+/// ```
+/// use espread_protocol::fec::FecEncoder;
+/// use espread_protocol::packetize::Fragment;
+///
+/// let mut enc = FecEncoder::new(0, 2);
+/// let frag = |frame| Fragment { window: 0, frame, frag: 0, frags_total: 1,
+///                               layer: 0, layer_slot: 0, retransmit: false };
+/// assert!(enc.push(&frag(0), 1000).is_none());
+/// let parity = enc.push(&frag(1), 500).expect("group of 2 complete");
+/// assert_eq!(parity.members.len(), 2);
+/// assert_eq!(parity.size_bytes, 1000); // XOR width = max member
+/// assert!(enc.flush().is_none());      // nothing pending
+/// ```
+#[derive(Debug, Clone)]
+pub struct FecEncoder {
+    window: u64,
+    k: u16,
+    next_group: u32,
+    pending: Vec<FragmentKey>,
+    pending_max: u32,
+}
+
+impl FecEncoder {
+    /// Creates an encoder for `window` with group size `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(window: u64, k: u16) -> Self {
+        assert!(k > 0, "FEC group size must be positive");
+        FecEncoder {
+            window,
+            k,
+            next_group: 0,
+            pending: Vec::with_capacity(usize::from(k)),
+            pending_max: 0,
+        }
+    }
+
+    /// Adds a sent data fragment; returns a parity packet when the group
+    /// fills.
+    pub fn push(&mut self, fragment: &Fragment, payload_bytes: u32) -> Option<ParityPacket> {
+        self.pending.push(fragment.into());
+        self.pending_max = self.pending_max.max(payload_bytes);
+        if self.pending.len() == usize::from(self.k) {
+            self.emit()
+        } else {
+            None
+        }
+    }
+
+    /// Emits a parity for any partial trailing group.
+    pub fn flush(&mut self) -> Option<ParityPacket> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            self.emit()
+        }
+    }
+
+    fn emit(&mut self) -> Option<ParityPacket> {
+        let group = self.next_group;
+        self.next_group += 1;
+        let members = std::mem::take(&mut self.pending);
+        let size_bytes = self.pending_max.max(1);
+        self.pending_max = 0;
+        Some(ParityPacket {
+            window: self.window,
+            group,
+            members,
+            size_bytes,
+        })
+    }
+}
+
+/// Applies XOR-FEC recovery: for every received parity whose group is
+/// missing **exactly one** data fragment, that fragment is reconstructed
+/// and fed to the reassembler. Iterates to a fixpoint so recoveries that
+/// complete one frame never unlock further packets incorrectly (each
+/// parity can still only repair one loss).
+///
+/// Returns the number of fragments recovered.
+pub fn apply_fec_recovery(
+    reassembly: &mut Reassembly,
+    received_fragments: &mut Vec<FragmentKey>,
+    parities: &[ParityPacket],
+) -> usize {
+    use std::collections::HashSet;
+    let mut have: HashSet<FragmentKey> = received_fragments.iter().copied().collect();
+    let mut recovered = 0;
+    let mut used: Vec<bool> = vec![false; parities.len()];
+    loop {
+        let mut progress = false;
+        for (i, parity) in parities.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let missing: Vec<FragmentKey> = parity
+                .members
+                .iter()
+                .copied()
+                .filter(|m| !have.contains(m))
+                .collect();
+            if missing.len() == 1 {
+                let m = missing[0];
+                have.insert(m);
+                // Total fragment count is irrelevant to Reassembly::accept.
+                reassembly.accept(&Fragment {
+                    window: parity.window,
+                    frame: m.frame,
+                    frag: m.frag,
+                    frags_total: 0,
+                    layer: 0,
+                    layer_slot: 0,
+                    retransmit: false,
+                });
+                used[i] = true;
+                recovered += 1;
+                progress = true;
+            } else if missing.is_empty() {
+                used[i] = true;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    received_fragments.clear();
+    received_fragments.extend(have);
+    recovered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packetize::Ldu;
+
+    fn frag(frame: usize, frag_idx: u16) -> Fragment {
+        Fragment {
+            window: 0,
+            frame,
+            frag: frag_idx,
+            frags_total: 1,
+            layer: 0,
+            layer_slot: 0,
+            retransmit: false,
+        }
+    }
+
+    #[test]
+    fn encoder_groups_and_flushes() {
+        let mut enc = FecEncoder::new(0, 3);
+        assert!(enc.push(&frag(0, 0), 100).is_none());
+        assert!(enc.push(&frag(1, 0), 300).is_none());
+        let p = enc.push(&frag(2, 0), 200).unwrap();
+        assert_eq!(p.group, 0);
+        assert_eq!(p.members.len(), 3);
+        assert_eq!(p.size_bytes, 300);
+
+        assert!(enc.push(&frag(3, 0), 50).is_none());
+        let tail = enc.flush().unwrap();
+        assert_eq!(tail.group, 1);
+        assert_eq!(tail.members.len(), 1);
+        assert_eq!(tail.size_bytes, 50);
+        assert!(enc.flush().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "group size must be positive")]
+    fn zero_group_rejected() {
+        let _ = FecEncoder::new(0, 0);
+    }
+
+    #[test]
+    fn single_loss_recovered() {
+        let ldus = vec![Ldu::new(100), Ldu::new(100), Ldu::new(100)];
+        let mut r = Reassembly::new(&ldus, 2048);
+        // Frames 0 and 2 arrive; frame 1 lost; parity covers all three.
+        r.accept(&frag(0, 0));
+        r.accept(&frag(2, 0));
+        let mut received = vec![
+            FragmentKey { frame: 0, frag: 0 },
+            FragmentKey { frame: 2, frag: 0 },
+        ];
+        let parity = ParityPacket {
+            window: 0,
+            group: 0,
+            members: vec![
+                FragmentKey { frame: 0, frag: 0 },
+                FragmentKey { frame: 1, frag: 0 },
+                FragmentKey { frame: 2, frag: 0 },
+            ],
+            size_bytes: 100,
+        };
+        let n = apply_fec_recovery(&mut r, &mut received, &[parity]);
+        assert_eq!(n, 1);
+        assert!(r.is_complete(1));
+    }
+
+    #[test]
+    fn double_loss_not_recoverable() {
+        let ldus = vec![Ldu::new(100), Ldu::new(100), Ldu::new(100)];
+        let mut r = Reassembly::new(&ldus, 2048);
+        r.accept(&frag(0, 0));
+        let mut received = vec![FragmentKey { frame: 0, frag: 0 }];
+        let parity = ParityPacket {
+            window: 0,
+            group: 0,
+            members: vec![
+                FragmentKey { frame: 0, frag: 0 },
+                FragmentKey { frame: 1, frag: 0 },
+                FragmentKey { frame: 2, frag: 0 },
+            ],
+            size_bytes: 100,
+        };
+        let n = apply_fec_recovery(&mut r, &mut received, &[parity]);
+        assert_eq!(n, 0);
+        assert!(!r.is_complete(1));
+        assert!(!r.is_complete(2));
+    }
+
+    #[test]
+    fn cascading_recovery_across_groups() {
+        // Group A covers {0,1}, group B covers {1,2}. Packets 1 and 2
+        // lost: A repairs 1, which lets B repair 2.
+        let ldus = vec![Ldu::new(100), Ldu::new(100), Ldu::new(100)];
+        let mut r = Reassembly::new(&ldus, 2048);
+        r.accept(&frag(0, 0));
+        let mut received = vec![FragmentKey { frame: 0, frag: 0 }];
+        let a = ParityPacket {
+            window: 0,
+            group: 0,
+            members: vec![
+                FragmentKey { frame: 0, frag: 0 },
+                FragmentKey { frame: 1, frag: 0 },
+            ],
+            size_bytes: 100,
+        };
+        let b = ParityPacket {
+            window: 0,
+            group: 1,
+            members: vec![
+                FragmentKey { frame: 1, frag: 0 },
+                FragmentKey { frame: 2, frag: 0 },
+            ],
+            size_bytes: 100,
+        };
+        let n = apply_fec_recovery(&mut r, &mut received, &[b, a]);
+        assert_eq!(n, 2);
+        assert!(r.is_complete(1));
+        assert!(r.is_complete(2));
+        assert_eq!(received.len(), 3);
+    }
+
+    #[test]
+    fn no_parities_no_recovery() {
+        let ldus = vec![Ldu::new(100)];
+        let mut r = Reassembly::new(&ldus, 2048);
+        let mut received = Vec::new();
+        assert_eq!(apply_fec_recovery(&mut r, &mut received, &[]), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Client→server feedback: per-window loss estimates and critical NACKs.
+//!
+//! "It keeps track of the previous window's estimate of loss rate for all
+//! layers … and transmits the next estimated loss rate for all non-critical
+//! layers to the server. It sends feedback (ACK) in a UDP packet. Note that
+//! the ACK packet is also given a sequence number so that out-of-order ACK
+//! packets will be ignored. The server makes its decision based on the
+//! maximum sequence numbered ACK." (§4.2)
+
+use std::fmt;
+
+/// Feedback message payloads on the reverse channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeedbackMsg {
+    /// Immediate reactive report after the critical phase: the critical
+    /// frames of `window` still missing (drives retransmission).
+    CriticalNack {
+        /// Window the NACK describes.
+        window: u64,
+        /// Missing critical frame indices (playout positions in window).
+        missing: Vec<usize>,
+    },
+    /// End-of-window report driving adaptation.
+    WindowAck(WindowFeedback),
+}
+
+/// The end-of-window ACK: observed per-layer loss-burst bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowFeedback {
+    /// Window the feedback describes.
+    pub window: u64,
+    /// For each layer, the largest run of consecutive **transmission
+    /// slots** of that layer whose frames were lost — the `b` input of
+    /// `calculatePermutation`.
+    pub per_layer_burst: Vec<usize>,
+}
+
+impl fmt::Display for WindowFeedback {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ack(w{}, bursts {:?})", self.window, self.per_layer_burst)
+    }
+}
+
+/// Server-side ACK bookkeeping: keeps only the highest-sequence-number
+/// window ACK, ignoring out-of-order arrivals.
+#[derive(Debug, Clone, Default)]
+pub struct AckTracker {
+    latest: Option<(u64, WindowFeedback)>, // (ack seq, feedback)
+}
+
+impl AckTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers an arrived ACK with its channel sequence number. Returns
+    /// `true` when the ACK was newer than anything seen and was accepted.
+    pub fn offer(&mut self, seq: u64, feedback: WindowFeedback) -> bool {
+        match &self.latest {
+            Some((latest_seq, _)) if *latest_seq >= seq => false,
+            _ => {
+                self.latest = Some((seq, feedback));
+                true
+            }
+        }
+    }
+
+    /// The freshest accepted feedback, if any.
+    pub fn latest(&self) -> Option<&WindowFeedback> {
+        self.latest.as_ref().map(|(_, fb)| fb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fb(window: u64, bursts: &[usize]) -> WindowFeedback {
+        WindowFeedback {
+            window,
+            per_layer_burst: bursts.to_vec(),
+        }
+    }
+
+    #[test]
+    fn newest_sequence_wins() {
+        let mut t = AckTracker::new();
+        assert!(t.offer(1, fb(0, &[2])));
+        assert!(t.offer(3, fb(2, &[1])));
+        // Out-of-order ACK (older seq) is ignored.
+        assert!(!t.offer(2, fb(1, &[9])));
+        assert_eq!(t.latest().unwrap().window, 2);
+        assert_eq!(t.latest().unwrap().per_layer_burst, vec![1]);
+    }
+
+    #[test]
+    fn duplicate_sequence_ignored() {
+        let mut t = AckTracker::new();
+        assert!(t.offer(5, fb(4, &[3])));
+        assert!(!t.offer(5, fb(4, &[7])));
+        assert_eq!(t.latest().unwrap().per_layer_burst, vec![3]);
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let t = AckTracker::new();
+        assert!(t.latest().is_none());
+    }
+
+    #[test]
+    fn feedback_display() {
+        let text = fb(7, &[1, 2]).to_string();
+        assert!(text.contains("w7"));
+        assert!(text.contains("[1, 2]"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Fragmenting LDUs into wire packets and reassembling them.
+//!
+//! "Frames are broken up into packets of size packetSize = 2 Kbytes"
+//! (§5.1). An LDU smaller than the packet size travels in one packet; a
+//! larger one is split into `⌈size / packet_bytes⌉` fragments. An LDU is
+//! **received** only when every one of its fragments arrived (a partially
+//! received frame cannot be decoded).
+
+use std::fmt;
+
+/// An LDU as the protocol sees it: a playout position and a size. Frame
+/// *types* never reach the transport — criticality is carried by the
+/// dependency poset instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ldu {
+    /// Encoded size in bytes.
+    pub size_bytes: u32,
+}
+
+impl Ldu {
+    /// Creates an LDU description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is zero.
+    pub fn new(size_bytes: u32) -> Self {
+        assert!(size_bytes > 0, "LDU size must be positive");
+        Ldu { size_bytes }
+    }
+
+    /// Number of fragments at the given packet payload size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packet_bytes` is zero.
+    pub fn fragment_count(self, packet_bytes: u32) -> u16 {
+        assert!(packet_bytes > 0, "packet size must be positive");
+        self.size_bytes.div_ceil(packet_bytes) as u16
+    }
+
+    /// Payload size of fragment `frag` (the last fragment carries the
+    /// remainder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frag` is out of range or `packet_bytes` is zero.
+    pub fn fragment_size(self, packet_bytes: u32, frag: u16) -> u32 {
+        let total = self.fragment_count(packet_bytes);
+        assert!(frag < total, "fragment {frag} out of {total}");
+        if frag + 1 < total {
+            packet_bytes
+        } else {
+            let rem = self.size_bytes % packet_bytes;
+            if rem == 0 {
+                packet_bytes
+            } else {
+                rem
+            }
+        }
+    }
+}
+
+/// One wire fragment of an LDU within a buffer window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fragment {
+    /// Buffer-window number.
+    pub window: u64,
+    /// Playout index of the LDU within its window (`0..n`).
+    pub frame: usize,
+    /// Fragment index within the LDU.
+    pub frag: u16,
+    /// Total fragments of the LDU.
+    pub frags_total: u16,
+    /// Index of the layer this frame travels in.
+    pub layer: u8,
+    /// Transmission slot of the frame **within its layer** (what the
+    /// client uses to observe per-layer loss bursts in the transmission
+    /// domain).
+    pub layer_slot: u16,
+    /// Whether this is a retransmission.
+    pub retransmit: bool,
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "w{} f{} [{}/{}] L{}@{}{}",
+            self.window,
+            self.frame,
+            self.frag + 1,
+            self.frags_total,
+            self.layer,
+            self.layer_slot,
+            if self.retransmit { " (rtx)" } else { "" }
+        )
+    }
+}
+
+/// Reassembly state of one window's LDUs.
+///
+/// # Example
+///
+/// ```
+/// use espread_protocol::packetize::{Fragment, Ldu, Reassembly};
+///
+/// let ldus = vec![Ldu::new(3000), Ldu::new(500)];
+/// let mut r = Reassembly::new(&ldus, 2048);
+/// assert!(!r.is_complete(0));
+/// r.accept(&Fragment { window: 0, frame: 0, frag: 0, frags_total: 2,
+///                      layer: 0, layer_slot: 0, retransmit: false });
+/// assert!(!r.is_complete(0)); // one of two fragments
+/// r.accept(&Fragment { window: 0, frame: 0, frag: 1, frags_total: 2,
+///                      layer: 0, layer_slot: 0, retransmit: false });
+/// assert!(r.is_complete(0));
+/// assert!(!r.is_complete(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reassembly {
+    /// Per frame: bitmask-ish vector of received fragments.
+    received: Vec<Vec<bool>>,
+}
+
+impl Reassembly {
+    /// Prepares reassembly for a window of LDUs at the given packet size.
+    pub fn new(ldus: &[Ldu], packet_bytes: u32) -> Self {
+        Reassembly {
+            received: ldus
+                .iter()
+                .map(|l| vec![false; usize::from(l.fragment_count(packet_bytes))])
+                .collect(),
+        }
+    }
+
+    /// Records an arrived fragment (duplicates are idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fragment references an unknown frame or fragment
+    /// index.
+    pub fn accept(&mut self, fragment: &Fragment) {
+        self.received[fragment.frame][usize::from(fragment.frag)] = true;
+    }
+
+    /// Whether every fragment of frame `frame` has arrived.
+    pub fn is_complete(&self, frame: usize) -> bool {
+        self.received[frame].iter().all(|&r| r)
+    }
+
+    /// Per-frame completeness for the whole window (`true` = decodable).
+    pub fn completeness(&self) -> Vec<bool> {
+        (0..self.received.len()).map(|f| self.is_complete(f)).collect()
+    }
+
+    /// Indices of frames still missing at least one fragment.
+    pub fn missing_frames(&self) -> Vec<usize> {
+        (0..self.received.len())
+            .filter(|&f| !self.is_complete(f))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_counts() {
+        assert_eq!(Ldu::new(1).fragment_count(2048), 1);
+        assert_eq!(Ldu::new(2048).fragment_count(2048), 1);
+        assert_eq!(Ldu::new(2049).fragment_count(2048), 2);
+        assert_eq!(Ldu::new(6000).fragment_count(2048), 3);
+    }
+
+    #[test]
+    fn fragment_sizes_partition_the_ldu() {
+        for size in [1u32, 100, 2048, 2049, 4096, 6000, 10_000] {
+            let ldu = Ldu::new(size);
+            let total: u32 = (0..ldu.fragment_count(2048))
+                .map(|i| ldu.fragment_size(2048, i))
+                .sum();
+            assert_eq!(total, size, "size {size}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "LDU size must be positive")]
+    fn zero_ldu_rejected() {
+        let _ = Ldu::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn fragment_index_checked() {
+        let _ = Ldu::new(100).fragment_size(2048, 1);
+    }
+
+    #[test]
+    fn reassembly_tracks_completeness() {
+        let ldus = vec![Ldu::new(5000), Ldu::new(100)];
+        let mut r = Reassembly::new(&ldus, 2048);
+        assert_eq!(r.missing_frames(), vec![0, 1]);
+        for frag in 0..3 {
+            r.accept(&Fragment {
+                window: 0,
+                frame: 0,
+                frag,
+                frags_total: 3,
+                layer: 0,
+                layer_slot: 0,
+                retransmit: false,
+            });
+        }
+        assert!(r.is_complete(0));
+        assert_eq!(r.missing_frames(), vec![1]);
+        assert_eq!(r.completeness(), vec![true, false]);
+    }
+
+    #[test]
+    fn duplicate_fragments_idempotent() {
+        let ldus = vec![Ldu::new(100)];
+        let mut r = Reassembly::new(&ldus, 2048);
+        let f = Fragment {
+            window: 0,
+            frame: 0,
+            frag: 0,
+            frags_total: 1,
+            layer: 0,
+            layer_slot: 0,
+            retransmit: true,
+        };
+        r.accept(&f);
+        r.accept(&f);
+        assert!(r.is_complete(0));
+    }
+
+    #[test]
+    fn fragment_display() {
+        let f = Fragment {
+            window: 3,
+            frame: 7,
+            frag: 0,
+            frags_total: 2,
+            layer: 1,
+            layer_slot: 4,
+            retransmit: true,
+        };
+        let s = f.to_string();
+        assert!(s.contains("w3"));
+        assert!(s.contains("f7"));
+        assert!(s.contains("(rtx)"));
+    }
+}

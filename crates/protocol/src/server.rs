@@ -1,0 +1,181 @@
+//! Server-side protocol state: adaptive per-layer estimators and window
+//! planning.
+//!
+//! At the start of each buffer window the server folds the freshest ACK
+//! (highest sequence number, §4.2) into its per-layer exponential-averaging
+//! estimators (eq. 1) and generates the window's transmission plan.
+
+use espread_core::BurstEstimator;
+use espread_poset::Poset;
+
+use crate::config::{Ordering, ProtocolConfig};
+use crate::feedback::{AckTracker, WindowFeedback};
+use crate::layers::WindowPlan;
+
+/// Server state across buffer windows.
+#[derive(Debug, Clone)]
+pub struct Server {
+    ordering: Ordering,
+    estimators: Vec<BurstEstimator>,
+    acks: AckTracker,
+    last_applied_window: Option<u64>,
+}
+
+impl Server {
+    /// Creates the server for a stream whose per-window dependency poset is
+    /// `poset` (constant across windows, as with a fixed GOP pattern).
+    ///
+    /// Initial estimates follow the config's "average case" prior:
+    /// `initial_estimate_fraction × layer length` per layer.
+    pub fn new(config: &ProtocolConfig, poset: &Poset) -> Self {
+        let layer_sizes: Vec<usize> = poset
+            .depth_decomposition()
+            .iter()
+            .map(|l| l.len())
+            .collect();
+        let estimators = layer_sizes
+            .iter()
+            .map(|&len| {
+                BurstEstimator::new(
+                    config.alpha,
+                    (len as f64 * config.initial_estimate_fraction).max(1.0),
+                )
+            })
+            .collect();
+        Server {
+            ordering: config.ordering,
+            estimators,
+            acks: AckTracker::new(),
+            last_applied_window: None,
+        }
+    }
+
+    /// Offers an arrived window-ACK (with its channel sequence number);
+    /// out-of-order ACKs are ignored per §4.2.
+    pub fn offer_ack(&mut self, seq: u64, feedback: WindowFeedback) -> bool {
+        self.acks.offer(seq, feedback)
+    }
+
+    /// Current per-layer burst-bound estimates, rounded for use by
+    /// `calculatePermutation`.
+    pub fn estimates(&self) -> Vec<usize> {
+        self.estimators.iter().map(|e| e.as_burst_bound()).collect()
+    }
+
+    /// Raw (un-rounded) estimator values, for reporting.
+    pub fn raw_estimates(&self) -> Vec<f64> {
+        self.estimators.iter().map(|e| e.value()).collect()
+    }
+
+    /// Starts a new buffer window: folds in the freshest unapplied ACK and
+    /// returns the transmission plan.
+    pub fn plan_window(&mut self, poset: &Poset) -> WindowPlan {
+        if let Some(fb) = self.acks.latest() {
+            let newer = self
+                .last_applied_window
+                .is_none_or(|applied| fb.window > applied);
+            if newer {
+                self.last_applied_window = Some(fb.window);
+                let bursts = fb.per_layer_burst.clone();
+                for (est, observed) in self.estimators.iter_mut().zip(&bursts) {
+                    est.observe(*observed as f64);
+                }
+            }
+        }
+        WindowPlan::build(self.ordering, poset, &self.estimates())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espread_trace::GopPattern;
+
+    fn setup() -> (ProtocolConfig, Poset) {
+        (
+            ProtocolConfig::paper(0.6, 1),
+            GopPattern::gop12().dependency_poset(2, false),
+        )
+    }
+
+    #[test]
+    fn initial_estimates_are_half_layer_length() {
+        let (config, poset) = setup();
+        let server = Server::new(&config, &poset);
+        // Layers: 2, 2, 2, 2, 16 → priors 1, 1, 1, 1, 8.
+        assert_eq!(server.estimates(), vec![1, 1, 1, 1, 8]);
+    }
+
+    #[test]
+    fn ack_updates_estimates_via_exponential_averaging() {
+        let (config, poset) = setup();
+        let mut server = Server::new(&config, &poset);
+        server.offer_ack(
+            1,
+            WindowFeedback {
+                window: 0,
+                per_layer_burst: vec![1, 1, 1, 1, 2],
+            },
+        );
+        let _ = server.plan_window(&poset);
+        // B layer: (8 + 2) / 2 = 5.
+        assert_eq!(server.estimates()[4], 5);
+        assert!((server.raw_estimates()[4] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_ack_not_applied_twice() {
+        let (config, poset) = setup();
+        let mut server = Server::new(&config, &poset);
+        server.offer_ack(
+            1,
+            WindowFeedback {
+                window: 0,
+                per_layer_burst: vec![1, 1, 1, 1, 2],
+            },
+        );
+        let _ = server.plan_window(&poset);
+        let once = server.raw_estimates();
+        let _ = server.plan_window(&poset);
+        assert_eq!(server.raw_estimates(), once);
+    }
+
+    #[test]
+    fn out_of_order_acks_ignored() {
+        let (config, poset) = setup();
+        let mut server = Server::new(&config, &poset);
+        assert!(server.offer_ack(
+            5,
+            WindowFeedback {
+                window: 3,
+                per_layer_burst: vec![1, 1, 1, 1, 4],
+            }
+        ));
+        assert!(!server.offer_ack(
+            2,
+            WindowFeedback {
+                window: 1,
+                per_layer_burst: vec![1, 1, 1, 1, 16],
+            }
+        ));
+        let _ = server.plan_window(&poset);
+        assert_eq!(server.estimates()[4], 6); // (8+4)/2, not (8+16)/2
+    }
+
+    #[test]
+    fn plan_uses_current_estimates() {
+        let (config, poset) = setup();
+        let mut server = Server::new(&config, &poset);
+        let plan = server.plan_window(&poset);
+        assert_eq!(plan.layers[4].burst_bound, 8);
+        server.offer_ack(
+            1,
+            WindowFeedback {
+                window: 0,
+                per_layer_burst: vec![1, 1, 1, 1, 0],
+            },
+        );
+        let plan = server.plan_window(&poset);
+        assert_eq!(plan.layers[4].burst_bound, 4); // (8+0)/2
+    }
+}

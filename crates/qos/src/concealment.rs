@@ -1,0 +1,197 @@
+//! Receiver-side error concealment modelling.
+//!
+//! The paper's taxonomy (§1, §4.3) lists **error concealment** — "some
+//! form of reconstruction … at the receiver to minimize the impact of
+//! missing data" (reference \[16\]) — as one of the schemes error
+//! spreading composes with. Concealment works by interpolating a missing
+//! LDU from its neighbours, which is only possible when those neighbours
+//! arrived: an *isolated* loss is concealable, a loss inside a run is not.
+//!
+//! That asymmetry is precisely why spreading helps concealment: it turns
+//! runs (unconcealable) into isolated losses (concealable) without
+//! changing the loss count. [`Concealment`] quantifies the effect.
+
+use crate::loss::LossPattern;
+use crate::metrics::ContinuityMetrics;
+
+/// A neighbour-interpolation concealment model.
+///
+/// A lost LDU is **concealable** when at least `neighbours` adjacent LDUs
+/// on *each* side were delivered (1 for simple freeze/interpolate
+/// concealment, 2 for motion-compensated interpolation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Concealment {
+    neighbours: usize,
+}
+
+impl Concealment {
+    /// Simple concealment: one delivered neighbour on each side suffices
+    /// (frame repetition / linear interpolation).
+    pub fn simple() -> Self {
+        Concealment { neighbours: 1 }
+    }
+
+    /// Creates a model requiring `neighbours` delivered LDUs on each side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neighbours == 0` (that would conceal everything).
+    pub fn new(neighbours: usize) -> Self {
+        assert!(neighbours > 0, "concealment needs at least one neighbour");
+        Concealment { neighbours }
+    }
+
+    /// Required delivered neighbours per side.
+    pub fn neighbours(self) -> usize {
+        self.neighbours
+    }
+
+    /// Whether the loss at `index` in `pattern` is concealable.
+    ///
+    /// Window edges count as delivered context (the previous window's tail
+    /// and next window's head are assumed available).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds or not a loss.
+    pub fn is_concealable(self, pattern: &LossPattern, index: usize) -> bool {
+        assert!(pattern.is_lost(index), "index {index} is not a loss");
+        let n = pattern.len();
+        for d in 1..=self.neighbours {
+            if index >= d && pattern.is_lost(index - d) {
+                return false;
+            }
+            if index + d < n && pattern.is_lost(index + d) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The pattern after concealment: concealable losses become received.
+    ///
+    /// Concealment is evaluated against the *original* pattern (a repaired
+    /// neighbour does not enable further repairs — interpolated data is
+    /// not a prediction source).
+    pub fn apply(self, pattern: &LossPattern) -> LossPattern {
+        let mut out = pattern.clone();
+        for index in pattern.lost_indices() {
+            if self.is_concealable(pattern, index) {
+                out.mark_received(index);
+            }
+        }
+        out
+    }
+
+    /// Fraction of losses that are concealable (1.0 when nothing was
+    /// lost — vacuously fine).
+    pub fn concealable_fraction(self, pattern: &LossPattern) -> f64 {
+        let lost = pattern.lost_indices();
+        if lost.is_empty() {
+            return 1.0;
+        }
+        let concealable = lost
+            .iter()
+            .filter(|&&i| self.is_concealable(pattern, i))
+            .count();
+        concealable as f64 / lost.len() as f64
+    }
+
+    /// Continuity metrics of the concealed stream.
+    pub fn effective_metrics(self, pattern: &LossPattern) -> ContinuityMetrics {
+        ContinuityMetrics::of(&self.apply(pattern))
+    }
+}
+
+impl Default for Concealment {
+    fn default() -> Self {
+        Self::simple()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_losses_concealable_runs_not() {
+        // .X..XX.
+        let p = LossPattern::from_lost_indices(7, [1, 4, 5]);
+        let c = Concealment::simple();
+        assert!(c.is_concealable(&p, 1));
+        assert!(!c.is_concealable(&p, 4));
+        assert!(!c.is_concealable(&p, 5));
+        assert!((c.concealable_fraction(&p) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_repairs_only_isolated() {
+        let p = LossPattern::from_lost_indices(7, [1, 4, 5]);
+        let repaired = Concealment::simple().apply(&p);
+        assert_eq!(repaired.lost_indices(), vec![4, 5]);
+        let m = Concealment::simple().effective_metrics(&p);
+        assert_eq!(m.clf(), 2);
+        assert_eq!(m.lost(), 2);
+    }
+
+    #[test]
+    fn repairs_do_not_cascade() {
+        // X.X — both isolated vs the ORIGINAL pattern; both conceal.
+        let p = LossPattern::from_lost_indices(3, [0, 2]);
+        let repaired = Concealment::simple().apply(&p);
+        assert_eq!(repaired.lost(), 0);
+        // XX — neither conceals even though repairing one would free the
+        // other's neighbour: interpolation needs true data.
+        let p = LossPattern::from_lost_indices(2, [0, 1]);
+        assert_eq!(Concealment::simple().apply(&p).lost(), 2);
+    }
+
+    #[test]
+    fn wider_context_requirement() {
+        // .X.X. — each loss has one good neighbour each side, but its
+        // second neighbour on one side is lost.
+        let p = LossPattern::from_lost_indices(5, [1, 3]);
+        assert!(Concealment::simple().is_concealable(&p, 1));
+        assert!(!Concealment::new(2).is_concealable(&p, 1));
+    }
+
+    #[test]
+    fn edges_count_as_context() {
+        let p = LossPattern::from_lost_indices(3, [0]);
+        assert!(Concealment::simple().is_concealable(&p, 0));
+        let p = LossPattern::from_lost_indices(3, [2]);
+        assert!(Concealment::new(2).is_concealable(&p, 2));
+    }
+
+    #[test]
+    fn spreading_makes_losses_concealable() {
+        // The paper's synergy in miniature: same 3 losses, bursty vs
+        // spread.
+        let bursty = LossPattern::from_lost_indices(9, [3, 4, 5]);
+        let spread = LossPattern::from_lost_indices(9, [1, 4, 7]);
+        let c = Concealment::simple();
+        assert_eq!(c.concealable_fraction(&bursty), 0.0);
+        assert_eq!(c.concealable_fraction(&spread), 1.0);
+        assert_eq!(c.effective_metrics(&spread).lost(), 0);
+        assert_eq!(c.effective_metrics(&bursty).lost(), 3);
+    }
+
+    #[test]
+    fn clean_window_is_fully_concealable() {
+        let p = LossPattern::all_received(4);
+        assert_eq!(Concealment::simple().concealable_fraction(&p), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one neighbour")]
+    fn zero_neighbours_rejected() {
+        let _ = Concealment::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a loss")]
+    fn concealing_received_slot_panics() {
+        let p = LossPattern::all_received(3);
+        let _ = Concealment::simple().is_concealable(&p, 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! Logical data units (LDUs) and their ideal playout timing.
+//!
+//! The uniform framework of Steinmetz & Blakowski (reference \[22\]) views a
+//! CM stream as a sequence of LDUs, each with an ideal playout slot. The
+//! paper fixes a video LDU to one frame and an audio LDU to 266 samples of
+//! 8-bit 8 kHz SunAudio — the amount of audio played in one video-frame time
+//! (1/30 s).
+
+use std::fmt;
+
+/// Samples per audio LDU: 8000 Hz / 30 fps ≈ 266 samples (paper §2.1).
+pub const AUDIO_SAMPLES_PER_LDU: u32 = 266;
+
+/// Audio sample rate assumed by the paper (SunAudio: 8-bit, 8 kHz).
+pub const AUDIO_SAMPLE_RATE_HZ: u32 = 8_000;
+
+/// Identifier of an LDU within a stream: its position in playout order.
+///
+/// `LduId` is a zero-based index. It orders LDUs by their ideal appearance
+/// time, which is what "consecutive" means in the consecutive-loss metric.
+///
+/// # Example
+///
+/// ```
+/// use espread_qos::LduId;
+/// let a = LduId::new(3);
+/// let b = LduId::new(4);
+/// assert!(a.is_predecessor_of(b));
+/// assert_eq!(b.index(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LduId(u64);
+
+impl LduId {
+    /// Creates an LDU identifier from a zero-based playout index.
+    pub fn new(index: u64) -> Self {
+        LduId(index)
+    }
+
+    /// Returns the zero-based playout index.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the LDU immediately following this one in playout order.
+    pub fn next(self) -> Self {
+        LduId(self.0 + 1)
+    }
+
+    /// Returns `true` when `self` plays out immediately before `other`.
+    pub fn is_predecessor_of(self, other: LduId) -> bool {
+        self.0 + 1 == other.0
+    }
+}
+
+impl fmt::Display for LduId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ldu#{}", self.0)
+    }
+}
+
+impl From<u64> for LduId {
+    fn from(index: u64) -> Self {
+        LduId(index)
+    }
+}
+
+/// The kind of medium carried by a stream.
+///
+/// The distinction matters for perceptual tolerances (video tolerates a CLF
+/// of about 2, audio about 3 — paper §2.1) and for LDU sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MediaKind {
+    /// A video stream; one LDU per frame.
+    Video,
+    /// An audio stream; one LDU per [`AUDIO_SAMPLES_PER_LDU`] samples.
+    Audio,
+}
+
+impl fmt::Display for MediaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediaKind::Video => f.write_str("video"),
+            MediaKind::Audio => f.write_str("audio"),
+        }
+    }
+}
+
+/// Static description of a CM stream: its medium and LDU rate.
+///
+/// # Example
+///
+/// ```
+/// use espread_qos::{MediaKind, StreamSpec};
+///
+/// let video = StreamSpec::video(30);
+/// assert_eq!(video.kind(), MediaKind::Video);
+/// assert_eq!(video.ldu_duration_us(), 33_333);
+///
+/// let audio = StreamSpec::sun_audio();
+/// assert_eq!(audio.ldus_per_second(), 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamSpec {
+    kind: MediaKind,
+    ldus_per_second: u32,
+}
+
+impl StreamSpec {
+    /// Describes a video stream at `fps` frames (LDUs) per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is zero.
+    pub fn video(fps: u32) -> Self {
+        assert!(fps > 0, "frame rate must be positive");
+        StreamSpec {
+            kind: MediaKind::Video,
+            ldus_per_second: fps,
+        }
+    }
+
+    /// Describes an audio stream at `ldus_per_second` LDUs per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ldus_per_second` is zero.
+    pub fn audio(ldus_per_second: u32) -> Self {
+        assert!(ldus_per_second > 0, "LDU rate must be positive");
+        StreamSpec {
+            kind: MediaKind::Audio,
+            ldus_per_second,
+        }
+    }
+
+    /// The paper's audio configuration: 8 kHz SunAudio packaged as 266-sample
+    /// LDUs, i.e. 30 LDUs per second.
+    pub fn sun_audio() -> Self {
+        Self::audio(AUDIO_SAMPLE_RATE_HZ / AUDIO_SAMPLES_PER_LDU)
+    }
+
+    /// Returns the medium of this stream.
+    pub fn kind(self) -> MediaKind {
+        self.kind
+    }
+
+    /// Returns the LDU rate in LDUs per second.
+    pub fn ldus_per_second(self) -> u32 {
+        self.ldus_per_second
+    }
+
+    /// Returns the ideal duration of one LDU slot, in microseconds
+    /// (truncated).
+    pub fn ldu_duration_us(self) -> u64 {
+        1_000_000 / u64::from(self.ldus_per_second)
+    }
+}
+
+/// Maps LDU indices to ideal playout times and back.
+///
+/// The clock anchors LDU 0 at `start_us` and spaces subsequent LDUs at the
+/// stream's ideal slot duration. It answers the two questions continuity
+/// accounting needs: *when should LDU i appear?* and *which slot does time t
+/// fall into?*
+///
+/// # Example
+///
+/// ```
+/// use espread_qos::{LduClock, LduId, StreamSpec};
+///
+/// let clock = LduClock::new(StreamSpec::video(30), 1_000_000);
+/// assert_eq!(clock.ideal_time_us(LduId::new(0)), 1_000_000);
+/// assert_eq!(clock.ideal_time_us(LduId::new(30)), 1_999_990);
+/// assert_eq!(clock.slot_at(1_050_000), LduId::new(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LduClock {
+    spec: StreamSpec,
+    start_us: u64,
+}
+
+impl LduClock {
+    /// Creates a clock for `spec` with LDU 0 ideally appearing at
+    /// `start_us` microseconds.
+    pub fn new(spec: StreamSpec, start_us: u64) -> Self {
+        LduClock { spec, start_us }
+    }
+
+    /// Returns the stream specification this clock follows.
+    pub fn spec(self) -> StreamSpec {
+        self.spec
+    }
+
+    /// The ideal appearance time of `ldu`, in microseconds.
+    pub fn ideal_time_us(self, ldu: LduId) -> u64 {
+        self.start_us + ldu.index() * self.spec.ldu_duration_us()
+    }
+
+    /// The LDU slot that the instant `time_us` falls into.
+    ///
+    /// Times earlier than the stream start map to slot 0.
+    pub fn slot_at(self, time_us: u64) -> LduId {
+        let elapsed = time_us.saturating_sub(self.start_us);
+        LduId::new(elapsed / self.spec.ldu_duration_us())
+    }
+
+    /// How late `actual_us` is relative to `ldu`'s ideal slot start, in
+    /// microseconds; `0` when on time or early.
+    pub fn lateness_us(self, ldu: LduId, actual_us: u64) -> u64 {
+        actual_us.saturating_sub(self.ideal_time_us(ldu))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ldu_id_ordering_and_succession() {
+        let a = LduId::new(7);
+        assert_eq!(a.next(), LduId::new(8));
+        assert!(a.is_predecessor_of(a.next()));
+        assert!(!a.is_predecessor_of(LduId::new(9)));
+        assert!(!a.is_predecessor_of(a));
+        assert!(LduId::new(1) < LduId::new(2));
+    }
+
+    #[test]
+    fn ldu_id_display_and_from() {
+        assert_eq!(LduId::from(5).to_string(), "ldu#5");
+        assert_eq!(LduId::default(), LduId::new(0));
+    }
+
+    #[test]
+    fn video_spec_durations() {
+        assert_eq!(StreamSpec::video(30).ldu_duration_us(), 33_333);
+        assert_eq!(StreamSpec::video(24).ldu_duration_us(), 41_666);
+        assert_eq!(StreamSpec::video(25).ldu_duration_us(), 40_000);
+    }
+
+    #[test]
+    fn sun_audio_matches_paper_footnote() {
+        // 8000/266 = 30 LDUs per second, i.e. one video-frame time each.
+        let spec = StreamSpec::sun_audio();
+        assert_eq!(spec.kind(), MediaKind::Audio);
+        assert_eq!(spec.ldus_per_second(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame rate must be positive")]
+    fn zero_fps_rejected() {
+        let _ = StreamSpec::video(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "LDU rate must be positive")]
+    fn zero_audio_rate_rejected() {
+        let _ = StreamSpec::audio(0);
+    }
+
+    #[test]
+    fn clock_round_trip() {
+        let clock = LduClock::new(StreamSpec::video(25), 500);
+        for i in 0..100 {
+            let ldu = LduId::new(i);
+            let t = clock.ideal_time_us(ldu);
+            assert_eq!(clock.slot_at(t), ldu);
+            // Any instant strictly inside the slot maps back to it.
+            assert_eq!(clock.slot_at(t + 39_999), ldu);
+        }
+    }
+
+    #[test]
+    fn clock_before_start_clamps_to_zero() {
+        let clock = LduClock::new(StreamSpec::video(30), 1_000);
+        assert_eq!(clock.slot_at(0), LduId::new(0));
+    }
+
+    #[test]
+    fn lateness_is_saturating() {
+        let clock = LduClock::new(StreamSpec::video(30), 0);
+        let ldu = LduId::new(3);
+        let ideal = clock.ideal_time_us(ldu);
+        assert_eq!(clock.lateness_us(ldu, ideal), 0);
+        assert_eq!(clock.lateness_us(ldu, ideal - 10), 0);
+        assert_eq!(clock.lateness_us(ldu, ideal + 10), 10);
+    }
+
+    #[test]
+    fn media_kind_display() {
+        assert_eq!(MediaKind::Video.to_string(), "video");
+        assert_eq!(MediaKind::Audio.to_string(), "audio");
+    }
+}

@@ -1,0 +1,377 @@
+//! Loss patterns over a window of LDUs and their run structure.
+//!
+//! A *unit loss* (paper §2.1, after \[21\]) is the loss or repetition of one
+//! LDU slot. [`LossPattern`] records, for each slot of a window in playout
+//! order, whether the slot's ideal LDU was delivered. All continuity metrics
+//! are computed from the run structure of this pattern.
+
+use std::fmt;
+
+/// A maximal run of consecutive unit losses within a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LossRun {
+    /// Zero-based playout index of the first lost slot in the run.
+    pub start: usize,
+    /// Number of consecutive lost slots (always ≥ 1).
+    pub len: usize,
+}
+
+impl LossRun {
+    /// The slot index one past the end of the run.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+impl fmt::Display for LossRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})×{}", self.start, self.end(), self.len)
+    }
+}
+
+/// Per-slot delivery record for one window of a CM stream, in playout order.
+///
+/// `LossPattern` is the bridge between the transport (which knows which
+/// transmission slots were lost) and the QoS metrics (which care about
+/// playout order): un-permuting a transmission-domain loss vector yields the
+/// playout-domain `LossPattern` whose runs determine the CLF.
+///
+/// # Example
+///
+/// ```
+/// use espread_qos::LossPattern;
+///
+/// let mut p = LossPattern::all_received(10);
+/// p.mark_lost(3);
+/// p.mark_lost(4);
+/// p.mark_lost(8);
+/// assert_eq!(p.lost(), 3);
+/// assert_eq!(p.longest_run(), 2);
+/// assert_eq!(p.runs().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct LossPattern {
+    received: Vec<bool>,
+}
+
+impl LossPattern {
+    /// Creates a pattern of `len` slots, all marked received.
+    pub fn all_received(len: usize) -> Self {
+        LossPattern {
+            received: vec![true; len],
+        }
+    }
+
+    /// Creates a pattern of `len` slots, all marked lost.
+    pub fn all_lost(len: usize) -> Self {
+        LossPattern {
+            received: vec![false; len],
+        }
+    }
+
+    /// Builds a pattern from per-slot received flags (`true` = delivered).
+    pub fn from_received<I: IntoIterator<Item = bool>>(flags: I) -> Self {
+        LossPattern {
+            received: flags.into_iter().collect(),
+        }
+    }
+
+    /// Builds a pattern of `len` slots where exactly the slots in `lost`
+    /// are marked lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `lost` is out of bounds.
+    pub fn from_lost_indices<I: IntoIterator<Item = usize>>(len: usize, lost: I) -> Self {
+        let mut pattern = Self::all_received(len);
+        for index in lost {
+            pattern.mark_lost(index);
+        }
+        pattern
+    }
+
+    /// Number of slots in the window.
+    pub fn len(&self) -> usize {
+        self.received.len()
+    }
+
+    /// Returns `true` when the window has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.received.is_empty()
+    }
+
+    /// Marks playout slot `index` as lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn mark_lost(&mut self, index: usize) {
+        self.received[index] = false;
+    }
+
+    /// Marks playout slot `index` as received (e.g. after a successful
+    /// retransmission).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn mark_received(&mut self, index: usize) {
+        self.received[index] = true;
+    }
+
+    /// Whether playout slot `index` was delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn is_received(&self, index: usize) -> bool {
+        self.received[index]
+    }
+
+    /// Whether playout slot `index` was lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn is_lost(&self, index: usize) -> bool {
+        !self.received[index]
+    }
+
+    /// Total number of lost slots (the numerator of the ALF).
+    pub fn lost(&self) -> usize {
+        self.received.iter().filter(|&&r| !r).count()
+    }
+
+    /// Total number of delivered slots.
+    pub fn received_count(&self) -> usize {
+        self.len() - self.lost()
+    }
+
+    /// Iterates over the maximal runs of consecutive losses, in order.
+    pub fn runs(&self) -> Vec<LossRun> {
+        let mut runs = Vec::new();
+        let mut i = 0;
+        while i < self.received.len() {
+            if !self.received[i] {
+                let start = i;
+                while i < self.received.len() && !self.received[i] {
+                    i += 1;
+                }
+                runs.push(LossRun {
+                    start,
+                    len: i - start,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        runs
+    }
+
+    /// Length of the longest run of consecutive losses (the CLF numerator);
+    /// `0` when nothing was lost.
+    pub fn longest_run(&self) -> usize {
+        let mut best = 0;
+        let mut current = 0;
+        for &r in &self.received {
+            if r {
+                current = 0;
+            } else {
+                current += 1;
+                best = best.max(current);
+            }
+        }
+        best
+    }
+
+    /// Indices of all lost slots, ascending.
+    pub fn lost_indices(&self) -> Vec<usize> {
+        self.received
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &r)| (!r).then_some(i))
+            .collect()
+    }
+
+    /// Merges another pattern of the same window: a slot is received if it
+    /// is received in *either* pattern (models recovery paths such as
+    /// retransmission or FEC repair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two patterns have different lengths.
+    pub fn merge_recoveries(&mut self, other: &LossPattern) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "cannot merge loss patterns of different lengths"
+        );
+        for (slot, &recovered) in self.received.iter_mut().zip(&other.received) {
+            *slot = *slot || recovered;
+        }
+    }
+
+    /// Reorders a transmission-domain pattern back into playout order.
+    ///
+    /// `order[t]` is the playout index of the LDU carried in transmission
+    /// slot `t`; `self` records per-transmission-slot delivery. The result
+    /// records per-playout-slot delivery — the pattern the viewer perceives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..self.len()`.
+    pub fn unpermute(&self, order: &[usize]) -> LossPattern {
+        assert_eq!(order.len(), self.len(), "order length must match window");
+        let mut playout = vec![None::<bool>; self.len()];
+        for (slot, &ldu) in order.iter().enumerate() {
+            assert!(ldu < self.len(), "order entry {ldu} out of bounds");
+            assert!(
+                playout[ldu].is_none(),
+                "order repeats playout index {ldu}; not a permutation"
+            );
+            playout[ldu] = Some(self.received[slot]);
+        }
+        LossPattern {
+            received: playout.into_iter().map(|r| r.expect("covered")).collect(),
+        }
+    }
+}
+
+impl fmt::Display for LossPattern {
+    /// Renders the window as `.` (received) and `X` (lost).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &r in &self.received {
+            f.write_str(if r { "." } else { "X" })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for LossPattern {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        Self::from_received(iter)
+    }
+}
+
+impl Extend<bool> for LossPattern {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        self.received.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_pattern() {
+        let p = LossPattern::default();
+        assert!(p.is_empty());
+        assert_eq!(p.lost(), 0);
+        assert_eq!(p.longest_run(), 0);
+        assert!(p.runs().is_empty());
+    }
+
+    #[test]
+    fn all_received_and_all_lost() {
+        let r = LossPattern::all_received(5);
+        assert_eq!(r.lost(), 0);
+        assert_eq!(r.received_count(), 5);
+        assert_eq!(r.longest_run(), 0);
+
+        let l = LossPattern::all_lost(5);
+        assert_eq!(l.lost(), 5);
+        assert_eq!(l.longest_run(), 5);
+        assert_eq!(l.runs(), vec![LossRun { start: 0, len: 5 }]);
+    }
+
+    #[test]
+    fn run_structure() {
+        // .XX..XXX.X
+        let p = LossPattern::from_lost_indices(10, [1, 2, 5, 6, 7, 9]);
+        assert_eq!(
+            p.runs(),
+            vec![
+                LossRun { start: 1, len: 2 },
+                LossRun { start: 5, len: 3 },
+                LossRun { start: 9, len: 1 },
+            ]
+        );
+        assert_eq!(p.longest_run(), 3);
+        assert_eq!(p.lost_indices(), vec![1, 2, 5, 6, 7, 9]);
+        assert_eq!(p.to_string(), ".XX..XXX.X");
+    }
+
+    #[test]
+    fn run_display() {
+        let run = LossRun { start: 5, len: 3 };
+        assert_eq!(run.end(), 8);
+        assert_eq!(run.to_string(), "[5..8)×3");
+    }
+
+    #[test]
+    fn mark_and_recover() {
+        let mut p = LossPattern::all_received(4);
+        p.mark_lost(2);
+        assert!(p.is_lost(2));
+        p.mark_received(2);
+        assert!(p.is_received(2));
+        assert_eq!(p.lost(), 0);
+    }
+
+    #[test]
+    fn merge_recoveries_unions_received() {
+        let mut base = LossPattern::from_received([false, false, true, false]);
+        let repair = LossPattern::from_received([true, false, false, false]);
+        base.merge_recoveries(&repair);
+        assert_eq!(base, LossPattern::from_received([true, false, true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "different lengths")]
+    fn merge_length_mismatch_panics() {
+        let mut a = LossPattern::all_received(3);
+        a.merge_recoveries(&LossPattern::all_received(4));
+    }
+
+    #[test]
+    fn unpermute_identity() {
+        let p = LossPattern::from_lost_indices(6, [2, 3]);
+        let order: Vec<usize> = (0..6).collect();
+        assert_eq!(p.unpermute(&order), p);
+    }
+
+    #[test]
+    fn unpermute_spreads_burst() {
+        // Paper Table 1 in miniature: transmission order via stride.
+        // order[t] = playout index sent in slot t.
+        let order = vec![0, 3, 6, 1, 4, 7, 2, 5];
+        // Burst kills transmission slots 1..4 (playout LDUs 3, 6, 1).
+        let tx = LossPattern::from_lost_indices(8, [1, 2, 3]);
+        let playout = tx.unpermute(&order);
+        assert_eq!(playout.lost_indices(), vec![1, 3, 6]);
+        assert_eq!(playout.longest_run(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn unpermute_rejects_duplicate_entries() {
+        let p = LossPattern::all_received(3);
+        let _ = p.unpermute(&[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn unpermute_rejects_out_of_range() {
+        let p = LossPattern::all_received(3);
+        let _ = p.unpermute(&[0, 1, 5]);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut p: LossPattern = [true, false].into_iter().collect();
+        p.extend([true]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.lost(), 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! The continuity metrics: Aggregate Loss Factor and Consecutive Loss Factor.
+//!
+//! Both metrics are computed over a *window* of LDU slots in playout order
+//! (paper §2.1, after \[21\]):
+//!
+//! * the **ALF** of a window is `lost / window_len` — the fraction of unit
+//!   losses;
+//! * the **CLF** of a window is the length of its longest run of
+//!   consecutive unit losses.
+//!
+//! In the example streams of Fig. 1, both streams have ALF 2/4 over their
+//! interior slots but CLFs of 2 and 1 respectively.
+
+use std::fmt;
+
+use crate::loss::LossPattern;
+
+/// An aggregate loss factor: a ratio `lost / total` kept in exact integer
+/// form.
+///
+/// Keeping the exact fraction (rather than an `f64`) lets callers compare
+/// windows of different sizes without rounding surprises; [`Alf::as_f64`]
+/// converts when a float is wanted.
+///
+/// # Example
+///
+/// ```
+/// use espread_qos::Alf;
+/// let alf = Alf::new(2, 4);
+/// assert_eq!(alf.as_f64(), 0.5);
+/// assert_eq!(alf.to_string(), "2/4");
+/// assert!(Alf::new(1, 4) < Alf::new(2, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Alf {
+    lost: usize,
+    total: usize,
+}
+
+impl Alf {
+    /// Creates an ALF of `lost` unit losses over a window of `total` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lost > total`.
+    pub fn new(lost: usize, total: usize) -> Self {
+        assert!(lost <= total, "cannot lose more slots than the window has");
+        Alf { lost, total }
+    }
+
+    /// Number of unit losses.
+    pub fn lost(self) -> usize {
+        self.lost
+    }
+
+    /// Window length in slots.
+    pub fn total(self) -> usize {
+        self.total
+    }
+
+    /// The loss fraction as a float; `0.0` for an empty window.
+    pub fn as_f64(self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.lost as f64 / self.total as f64
+        }
+    }
+}
+
+impl PartialOrd for Alf {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Alf {
+    /// Compares loss *fractions* via cross-multiplication (exact).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // lost_a/total_a ? lost_b/total_b  ⟺  lost_a·total_b ? lost_b·total_a
+        // Empty windows compare as zero loss.
+        let left = self.lost as u128 * other.total.max(1) as u128;
+        let right = other.lost as u128 * self.total.max(1) as u128;
+        left.cmp(&right)
+    }
+}
+
+impl fmt::Display for Alf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.lost, self.total)
+    }
+}
+
+/// Continuity metrics of one window: the ALF and CLF together.
+///
+/// # Example
+///
+/// ```
+/// use espread_qos::{ContinuityMetrics, LossPattern};
+///
+/// let window = LossPattern::from_lost_indices(17, [4, 5, 6, 7, 8]);
+/// let m = ContinuityMetrics::of(&window);
+/// assert_eq!(m.clf(), 5);             // one burst of 5 → CLF 5
+/// assert_eq!(m.alf().to_string(), "5/17");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ContinuityMetrics {
+    alf: Alf,
+    clf: usize,
+}
+
+impl ContinuityMetrics {
+    /// Computes both metrics for a playout-order loss pattern.
+    pub fn of(pattern: &LossPattern) -> Self {
+        ContinuityMetrics {
+            alf: Alf::new(pattern.lost(), pattern.len()),
+            clf: pattern.longest_run(),
+        }
+    }
+
+    /// Assembles metrics from already-known components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clf > alf.lost()` (a run cannot exceed the loss count) or
+    /// if `alf.lost() > 0` but `clf == 0`.
+    pub fn from_parts(alf: Alf, clf: usize) -> Self {
+        assert!(clf <= alf.lost(), "CLF cannot exceed the unit-loss count");
+        assert!(
+            alf.lost() == 0 || clf >= 1,
+            "non-zero loss implies at least a 1-run"
+        );
+        ContinuityMetrics { alf, clf }
+    }
+
+    /// The aggregate loss factor.
+    pub fn alf(self) -> Alf {
+        self.alf
+    }
+
+    /// The consecutive loss factor: the longest run of unit losses.
+    pub fn clf(self) -> usize {
+        self.clf
+    }
+
+    /// Number of unit losses in the window.
+    pub fn lost(self) -> usize {
+        self.alf.lost()
+    }
+
+    /// Window length in slots.
+    pub fn window_len(self) -> usize {
+        self.alf.total()
+    }
+}
+
+impl fmt::Display for ContinuityMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ALF {} CLF {}", self.alf, self.clf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_example_streams() {
+        // Fig. 1: both streams lose 2 of 4 interior LDUs; stream 1
+        // consecutively (CLF 2), stream 2 spread out (CLF 1).
+        let stream1 = LossPattern::from_received([false, false, true, true]);
+        let stream2 = LossPattern::from_received([false, true, true, false]);
+        let m1 = ContinuityMetrics::of(&stream1);
+        let m2 = ContinuityMetrics::of(&stream2);
+        assert_eq!(m1.alf(), Alf::new(2, 4));
+        assert_eq!(m2.alf(), Alf::new(2, 4));
+        assert_eq!(m1.clf(), 2);
+        assert_eq!(m2.clf(), 1);
+    }
+
+    #[test]
+    fn clean_window() {
+        let m = ContinuityMetrics::of(&LossPattern::all_received(10));
+        assert_eq!(m.clf(), 0);
+        assert_eq!(m.alf().as_f64(), 0.0);
+        assert_eq!(m.lost(), 0);
+        assert_eq!(m.window_len(), 10);
+    }
+
+    #[test]
+    fn fully_lost_window() {
+        let m = ContinuityMetrics::of(&LossPattern::all_lost(6));
+        assert_eq!(m.clf(), 6);
+        assert_eq!(m.alf(), Alf::new(6, 6));
+    }
+
+    #[test]
+    fn alf_fraction_ordering() {
+        assert!(Alf::new(1, 3) > Alf::new(1, 4));
+        assert!(Alf::new(2, 8) == Alf::new(2, 8));
+        assert_eq!(Alf::new(1, 2).cmp(&Alf::new(2, 4)), std::cmp::Ordering::Equal);
+        assert!(Alf::new(0, 5) < Alf::new(1, 100));
+    }
+
+    #[test]
+    fn alf_empty_window_is_zero() {
+        let alf = Alf::new(0, 0);
+        assert_eq!(alf.as_f64(), 0.0);
+        assert_eq!(alf.cmp(&Alf::new(0, 10)), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot lose more")]
+    fn alf_rejects_excess_loss() {
+        let _ = Alf::new(5, 4);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let m = ContinuityMetrics::from_parts(Alf::new(3, 10), 2);
+        assert_eq!(m.clf(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "CLF cannot exceed")]
+    fn from_parts_rejects_clf_above_loss() {
+        let _ = ContinuityMetrics::from_parts(Alf::new(1, 10), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero loss")]
+    fn from_parts_rejects_zero_clf_with_loss() {
+        let _ = ContinuityMetrics::from_parts(Alf::new(1, 10), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = ContinuityMetrics::of(&LossPattern::from_lost_indices(4, [0, 1]));
+        assert_eq!(m.to_string(), "ALF 2/4 CLF 2");
+    }
+}

@@ -1,0 +1,212 @@
+//! Perceptual tolerance profiles for continuity metrics.
+//!
+//! The user study the paper relies on (Wijesekera, Srivastava, Nerode &
+//! Foresti, reference \[6\]) established that viewer dissatisfaction rises
+//! dramatically once consecutive loss exceeds a small threshold: about **2
+//! frames for video** and **3 frames for audio** (§2.1). Aggregate loss is
+//! far better tolerated provided it is spread out.
+//!
+//! [`PerceptionProfile`] packages those thresholds so protocols and
+//! experiments can ask a single question: *is this window perceptually
+//! acceptable?*
+
+use std::fmt;
+
+use crate::ldu::MediaKind;
+use crate::metrics::ContinuityMetrics;
+
+/// The paper's tolerable CLF for video streams (2 consecutive frames).
+pub const VIDEO_CLF_THRESHOLD: usize = 2;
+
+/// The paper's tolerable CLF for audio streams (3 consecutive LDUs).
+pub const AUDIO_CLF_THRESHOLD: usize = 3;
+
+/// Default tolerable ALF used when a profile does not override it.
+///
+/// Reference \[6\] reports that "a reasonable amount of overall error is
+/// acceptable, as long as it is spread out"; we adopt a 20 % default, which
+/// callers can override with [`PerceptionProfile::with_alf_threshold`].
+pub const DEFAULT_ALF_THRESHOLD: f64 = 0.20;
+
+/// Verdict on one window of a stream against a perception profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Acceptability {
+    /// Both CLF and ALF are within tolerance.
+    Acceptable,
+    /// The consecutive-loss threshold was exceeded (the "annoying" failure
+    /// mode error spreading exists to prevent).
+    TooBursty,
+    /// Aggregate loss alone exceeded tolerance.
+    TooLossy,
+    /// Both thresholds were exceeded.
+    Unwatchable,
+}
+
+impl Acceptability {
+    /// Returns `true` for [`Acceptability::Acceptable`].
+    pub fn is_acceptable(self) -> bool {
+        self == Acceptability::Acceptable
+    }
+}
+
+impl fmt::Display for Acceptability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            Acceptability::Acceptable => "acceptable",
+            Acceptability::TooBursty => "too bursty (CLF over threshold)",
+            Acceptability::TooLossy => "too lossy (ALF over threshold)",
+            Acceptability::Unwatchable => "unwatchable (ALF and CLF over threshold)",
+        };
+        f.write_str(text)
+    }
+}
+
+/// Tolerance thresholds for a medium, used to judge continuity metrics.
+///
+/// # Example
+///
+/// ```
+/// use espread_qos::{ContinuityMetrics, LossPattern, MediaKind, PerceptionProfile};
+///
+/// let profile = PerceptionProfile::for_media(MediaKind::Video);
+/// let bursty = ContinuityMetrics::of(&LossPattern::from_lost_indices(30, [4, 5, 6]));
+/// let spread = ContinuityMetrics::of(&LossPattern::from_lost_indices(30, [4, 14, 24]));
+///
+/// assert!(!profile.judge(bursty).is_acceptable()); // CLF 3 > 2
+/// assert!(profile.judge(spread).is_acceptable());  // CLF 1, ALF 10 %
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerceptionProfile {
+    max_clf: usize,
+    max_alf: f64,
+}
+
+impl PerceptionProfile {
+    /// Creates a profile with an explicit CLF threshold and the default ALF
+    /// threshold.
+    pub fn new(max_clf: usize) -> Self {
+        PerceptionProfile {
+            max_clf,
+            max_alf: DEFAULT_ALF_THRESHOLD,
+        }
+    }
+
+    /// The paper's thresholds for a medium: CLF ≤ 2 for video, ≤ 3 for
+    /// audio.
+    pub fn for_media(kind: MediaKind) -> Self {
+        match kind {
+            MediaKind::Video => Self::new(VIDEO_CLF_THRESHOLD),
+            MediaKind::Audio => Self::new(AUDIO_CLF_THRESHOLD),
+        }
+    }
+
+    /// Replaces the aggregate-loss threshold (a fraction in `[0, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_alf` is not a finite fraction in `[0, 1]`.
+    pub fn with_alf_threshold(mut self, max_alf: f64) -> Self {
+        assert!(
+            max_alf.is_finite() && (0.0..=1.0).contains(&max_alf),
+            "ALF threshold must be a fraction in [0, 1]"
+        );
+        self.max_alf = max_alf;
+        self
+    }
+
+    /// The maximum tolerable consecutive loss.
+    pub fn max_clf(self) -> usize {
+        self.max_clf
+    }
+
+    /// The maximum tolerable aggregate-loss fraction.
+    pub fn max_alf(self) -> f64 {
+        self.max_alf
+    }
+
+    /// Judges one window's metrics against the thresholds.
+    pub fn judge(self, metrics: ContinuityMetrics) -> Acceptability {
+        let bursty = metrics.clf() > self.max_clf;
+        let lossy = metrics.alf().as_f64() > self.max_alf;
+        match (bursty, lossy) {
+            (false, false) => Acceptability::Acceptable,
+            (true, false) => Acceptability::TooBursty,
+            (false, true) => Acceptability::TooLossy,
+            (true, true) => Acceptability::Unwatchable,
+        }
+    }
+}
+
+impl Default for PerceptionProfile {
+    /// Defaults to the video profile, the stricter of the paper's two.
+    fn default() -> Self {
+        Self::for_media(MediaKind::Video)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::LossPattern;
+
+    fn metrics(len: usize, lost: &[usize]) -> ContinuityMetrics {
+        ContinuityMetrics::of(&LossPattern::from_lost_indices(len, lost.iter().copied()))
+    }
+
+    #[test]
+    fn media_thresholds_match_paper() {
+        assert_eq!(PerceptionProfile::for_media(MediaKind::Video).max_clf(), 2);
+        assert_eq!(PerceptionProfile::for_media(MediaKind::Audio).max_clf(), 3);
+    }
+
+    #[test]
+    fn video_tolerates_two_but_not_three_consecutive() {
+        let p = PerceptionProfile::for_media(MediaKind::Video);
+        assert!(p.judge(metrics(30, &[5, 6])).is_acceptable());
+        assert_eq!(p.judge(metrics(30, &[5, 6, 7])), Acceptability::TooBursty);
+    }
+
+    #[test]
+    fn audio_tolerates_three_consecutive() {
+        let p = PerceptionProfile::for_media(MediaKind::Audio);
+        assert!(p.judge(metrics(30, &[5, 6, 7])).is_acceptable());
+        assert_eq!(
+            p.judge(metrics(30, &[5, 6, 7, 8])),
+            Acceptability::TooBursty
+        );
+    }
+
+    #[test]
+    fn aggregate_threshold_applies() {
+        let p = PerceptionProfile::new(2).with_alf_threshold(0.10);
+        // CLF 1 everywhere but 20 % aggregate loss.
+        let spread = metrics(10, &[0, 5]);
+        assert_eq!(p.judge(spread), Acceptability::TooLossy);
+    }
+
+    #[test]
+    fn both_violations_is_unwatchable() {
+        let p = PerceptionProfile::new(2).with_alf_threshold(0.10);
+        assert_eq!(p.judge(metrics(10, &[0, 1, 2])), Acceptability::Unwatchable);
+    }
+
+    #[test]
+    fn clean_window_is_acceptable() {
+        let p = PerceptionProfile::default();
+        assert_eq!(p.judge(metrics(10, &[])), Acceptability::Acceptable);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction in [0, 1]")]
+    fn invalid_alf_threshold_rejected() {
+        let _ = PerceptionProfile::new(2).with_alf_threshold(1.5);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Acceptability::Acceptable.to_string(), "acceptable");
+        assert!(Acceptability::TooBursty.to_string().contains("CLF"));
+        assert!(Acceptability::TooLossy.to_string().contains("ALF"));
+        assert!(Acceptability::Unwatchable.to_string().contains("unwatchable"));
+    }
+}

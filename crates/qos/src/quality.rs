@@ -1,0 +1,135 @@
+//! A scalar quality score derived from the continuity metrics.
+//!
+//! The perceptual study the paper builds on (\[6\]) reports viewer
+//! dissatisfaction as a function of loss amount and burstiness: quality
+//! degrades gently with aggregate loss but **dramatically** once
+//! consecutive loss crosses the medium's threshold. [`QualityScore`]
+//! condenses that shape into a single MOS-style number in `[1, 5]` so
+//! experiments can report one curve per scheme.
+//!
+//! The exact functional form below is this reproduction's modelling
+//! choice (the study published thresholds, not a formula); its defining
+//! properties are tested: monotone in both metrics, gentle in ALF,
+//! cliff-like in CLF at the threshold.
+
+use crate::ldu::MediaKind;
+use crate::metrics::ContinuityMetrics;
+use crate::perception::PerceptionProfile;
+
+/// A mean-opinion-score-style quality value in `[1.0, 5.0]`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct QualityScore(f64);
+
+impl QualityScore {
+    /// Perfect quality.
+    pub const BEST: QualityScore = QualityScore(5.0);
+    /// Unusable.
+    pub const WORST: QualityScore = QualityScore(1.0);
+
+    /// The scalar value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Whether viewers would generally accept this quality (MOS ≥ 3.5,
+    /// the conventional "good" boundary).
+    pub fn is_acceptable(self) -> bool {
+        self.0 >= 3.5
+    }
+}
+
+impl std::fmt::Display for QualityScore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MOS {:.2}", self.0)
+    }
+}
+
+/// Scores one window's metrics for a medium.
+///
+/// Shape: starts at 5; aggregate loss costs up to 2 points linearly to
+/// 50 % loss; consecutive loss costs little up to the medium's threshold
+/// and then one point per extra consecutive LDU (the "dramatic rise in
+/// dissatisfaction" of \[6\]), floored at 1.
+///
+/// # Example
+///
+/// ```
+/// use espread_qos::{score, ContinuityMetrics, LossPattern, MediaKind};
+///
+/// let spread = ContinuityMetrics::of(&LossPattern::from_lost_indices(30, [3, 13, 23]));
+/// let bursty = ContinuityMetrics::of(&LossPattern::from_lost_indices(30, [3, 4, 5]));
+/// assert!(score(spread, MediaKind::Video) > score(bursty, MediaKind::Video));
+/// ```
+pub fn score(metrics: ContinuityMetrics, kind: MediaKind) -> QualityScore {
+    let threshold = PerceptionProfile::for_media(kind).max_clf() as f64;
+    let alf = metrics.alf().as_f64();
+    let clf = metrics.clf() as f64;
+
+    // Gentle aggregate penalty: 2 points by 50 % loss.
+    let alf_penalty = 2.0 * (alf / 0.5).min(1.0);
+    // Burstiness: negligible below the threshold, steep past it.
+    let clf_penalty = if clf <= threshold {
+        0.3 * clf / threshold.max(1.0)
+    } else {
+        0.3 + (clf - threshold)
+    };
+    QualityScore((5.0 - alf_penalty - clf_penalty).clamp(1.0, 5.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::LossPattern;
+
+    fn metrics(len: usize, lost: &[usize]) -> ContinuityMetrics {
+        ContinuityMetrics::of(&LossPattern::from_lost_indices(len, lost.iter().copied()))
+    }
+
+    #[test]
+    fn clean_window_is_perfect() {
+        let s = score(metrics(30, &[]), MediaKind::Video);
+        assert_eq!(s, QualityScore::BEST);
+        assert!(s.is_acceptable());
+    }
+
+    #[test]
+    fn total_loss_is_worst() {
+        let lost: Vec<usize> = (0..30).collect();
+        let s = score(metrics(30, &lost), MediaKind::Video);
+        assert_eq!(s, QualityScore::WORST);
+        assert!(!s.is_acceptable());
+    }
+
+    #[test]
+    fn cliff_at_the_threshold() {
+        // Same ALF; CLF 2 vs 3 (video threshold = 2): crossing the
+        // threshold costs far more than staying at it.
+        let at = score(metrics(60, &[10, 11, 30, 50]), MediaKind::Video);
+        let past = score(metrics(60, &[10, 11, 12, 30]), MediaKind::Video);
+        assert!(at.value() - past.value() > 0.5, "{at} vs {past}");
+    }
+
+    #[test]
+    fn audio_tolerates_longer_runs() {
+        let m = metrics(60, &[10, 11, 12]); // CLF 3
+        assert!(score(m, MediaKind::Audio).value() > score(m, MediaKind::Video).value());
+    }
+
+    #[test]
+    fn monotone_in_both_metrics() {
+        // More aggregate loss (same CLF) never improves the score.
+        let less = score(metrics(60, &[10, 30]), MediaKind::Video);
+        let more = score(metrics(60, &[10, 20, 30, 40]), MediaKind::Video);
+        assert!(more <= less);
+        // Longer runs (same ALF) never improve the score.
+        let spread = score(metrics(60, &[10, 20, 30]), MediaKind::Video);
+        let bursty = score(metrics(60, &[10, 11, 12]), MediaKind::Video);
+        assert!(bursty <= spread);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = score(metrics(30, &[]), MediaKind::Video);
+        assert_eq!(s.to_string(), "MOS 5.00");
+    }
+}

@@ -1,0 +1,144 @@
+//! Deriving loss patterns from arrival timing.
+//!
+//! The continuity metrics treat a *late* LDU like a lost one: an LDU that
+//! misses its playout slot contributes a unit loss even if its bits
+//! eventually arrive (\[21\] folds timing drift into the same loss
+//! accounting). [`PlayoutTimeline`] records per-LDU arrival instants
+//! against an [`LduClock`] and renders any window of the stream as the
+//! [`LossPattern`] the viewer actually perceives.
+
+use std::collections::HashMap;
+
+use crate::ldu::{LduClock, LduId};
+use crate::loss::LossPattern;
+
+/// Per-LDU arrival bookkeeping against an ideal playout clock.
+///
+/// # Example
+///
+/// ```
+/// use espread_qos::{LduClock, LduId, PlayoutTimeline, StreamSpec};
+///
+/// // Playout starts at t = 100 ms with 40 ms slots.
+/// let clock = LduClock::new(StreamSpec::video(25), 100_000);
+/// let mut timeline = PlayoutTimeline::new(clock);
+/// timeline.record_arrival(LduId::new(0), 10_000);   // early: plays fine
+/// timeline.record_arrival(LduId::new(1), 190_000);  // after its slot: late
+/// // LDU 2 never arrives.
+///
+/// let pattern = timeline.window_pattern(LduId::new(0), 3);
+/// assert_eq!(pattern.to_string(), ".XX");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlayoutTimeline {
+    clock: LduClock,
+    arrivals: HashMap<u64, u64>,
+}
+
+impl PlayoutTimeline {
+    /// Creates an empty timeline against `clock`.
+    pub fn new(clock: LduClock) -> Self {
+        PlayoutTimeline {
+            clock,
+            arrivals: HashMap::new(),
+        }
+    }
+
+    /// The clock in use.
+    pub fn clock(&self) -> LduClock {
+        self.clock
+    }
+
+    /// Records that `ldu` became playable at `time_us`. Re-recording keeps
+    /// the earliest arrival.
+    pub fn record_arrival(&mut self, ldu: LduId, time_us: u64) {
+        self.arrivals
+            .entry(ldu.index())
+            .and_modify(|t| *t = (*t).min(time_us))
+            .or_insert(time_us);
+    }
+
+    /// Whether `ldu` arrived in time for its ideal playout instant.
+    pub fn is_on_time(&self, ldu: LduId) -> bool {
+        match self.arrivals.get(&ldu.index()) {
+            Some(&arrived) => arrived <= self.clock.ideal_time_us(ldu),
+            None => false,
+        }
+    }
+
+    /// How late `ldu` was, in microseconds (`None` if it never arrived,
+    /// `Some(0)` when on time).
+    pub fn lateness_us(&self, ldu: LduId) -> Option<u64> {
+        self.arrivals
+            .get(&ldu.index())
+            .map(|&arrived| self.clock.lateness_us(ldu, arrived))
+    }
+
+    /// The perceived loss pattern of the window of `len` LDUs starting at
+    /// `first`: an LDU is lost when it never arrived **or** arrived after
+    /// its playout instant.
+    pub fn window_pattern(&self, first: LduId, len: usize) -> LossPattern {
+        LossPattern::from_received(
+            (0..len as u64).map(|offset| self.is_on_time(LduId::new(first.index() + offset))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ldu::StreamSpec;
+    use crate::metrics::ContinuityMetrics;
+
+    fn clock() -> LduClock {
+        LduClock::new(StreamSpec::video(25), 1_000_000) // slots at 1.0 s + 40 ms·i
+    }
+
+    #[test]
+    fn on_time_late_and_missing() {
+        let mut t = PlayoutTimeline::new(clock());
+        t.record_arrival(LduId::new(0), 1_000_000); // exactly on time
+        t.record_arrival(LduId::new(1), 1_041_000); // 1 ms late
+        assert!(t.is_on_time(LduId::new(0)));
+        assert!(!t.is_on_time(LduId::new(1)));
+        assert!(!t.is_on_time(LduId::new(2))); // missing
+        assert_eq!(t.lateness_us(LduId::new(0)), Some(0));
+        assert_eq!(t.lateness_us(LduId::new(1)), Some(1_000));
+        assert_eq!(t.lateness_us(LduId::new(2)), None);
+    }
+
+    #[test]
+    fn earliest_arrival_wins() {
+        let mut t = PlayoutTimeline::new(clock());
+        t.record_arrival(LduId::new(0), 2_000_000); // late copy first
+        t.record_arrival(LduId::new(0), 900_000); // retransmission beat it? keep earliest
+        assert!(t.is_on_time(LduId::new(0)));
+    }
+
+    #[test]
+    fn window_pattern_feeds_metrics() {
+        let mut t = PlayoutTimeline::new(clock());
+        for i in [0u64, 1, 4, 5] {
+            t.record_arrival(LduId::new(i), 1_000_000); // before every slot
+        }
+        let pattern = t.window_pattern(LduId::new(0), 6);
+        assert_eq!(pattern.to_string(), "..XX..");
+        let m = ContinuityMetrics::of(&pattern);
+        assert_eq!(m.clf(), 2);
+        assert_eq!(m.lost(), 2);
+    }
+
+    #[test]
+    fn windows_can_start_anywhere() {
+        let mut t = PlayoutTimeline::new(clock());
+        t.record_arrival(LduId::new(10), 1_000_000);
+        let pattern = t.window_pattern(LduId::new(9), 3);
+        assert_eq!(pattern.to_string(), "X.X");
+    }
+
+    #[test]
+    fn clock_accessor() {
+        let t = PlayoutTimeline::new(clock());
+        assert_eq!(t.clock().spec().ldus_per_second(), 25);
+    }
+}

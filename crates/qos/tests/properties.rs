@@ -1,0 +1,139 @@
+//! Property-based tests for the continuity-metric invariants.
+
+use espread_qos::{score, Alf, Concealment, ContinuityMetrics, LossPattern, MediaKind, WindowSeries};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary loss pattern of 0..=64 slots.
+fn loss_pattern() -> impl Strategy<Value = LossPattern> {
+    prop::collection::vec(any::<bool>(), 0..=64).prop_map(LossPattern::from_received)
+}
+
+/// Strategy: a permutation of 0..n for n in 1..=32, as a Vec<usize>.
+fn permutation() -> impl Strategy<Value = Vec<usize>> {
+    (1usize..=32).prop_flat_map(|n| Just((0..n).collect::<Vec<_>>()).prop_shuffle())
+}
+
+proptest! {
+    /// CLF is bounded by the loss count, which is bounded by the window.
+    #[test]
+    fn clf_le_lost_le_len(p in loss_pattern()) {
+        let m = ContinuityMetrics::of(&p);
+        prop_assert!(m.clf() <= m.lost());
+        prop_assert!(m.lost() <= p.len());
+    }
+
+    /// Runs partition the lost slots exactly.
+    #[test]
+    fn runs_partition_losses(p in loss_pattern()) {
+        let runs = p.runs();
+        let total: usize = runs.iter().map(|r| r.len).sum();
+        prop_assert_eq!(total, p.lost());
+        // Runs are separated: each run is preceded and followed by a
+        // received slot or a window boundary.
+        for r in &runs {
+            if r.start > 0 {
+                prop_assert!(p.is_received(r.start - 1));
+            }
+            if r.end() < p.len() {
+                prop_assert!(p.is_received(r.end()));
+            }
+            for i in r.start..r.end() {
+                prop_assert!(p.is_lost(i));
+            }
+        }
+        // Longest run is the max run length.
+        let max_run = runs.iter().map(|r| r.len).max().unwrap_or(0);
+        prop_assert_eq!(max_run, p.longest_run());
+    }
+
+    /// Un-permuting preserves the number of losses (the ALF is invariant
+    /// under error spreading — only the CLF changes).
+    #[test]
+    fn unpermute_preserves_alf(order in permutation(), seed in any::<u64>()) {
+        let n = order.len();
+        // Derive a deterministic loss pattern from the seed.
+        let tx = LossPattern::from_received(
+            (0..n).map(|i| (seed >> (i % 64)) & 1 == 0),
+        );
+        let playout = tx.unpermute(&order);
+        prop_assert_eq!(playout.lost(), tx.lost());
+        prop_assert_eq!(playout.len(), tx.len());
+    }
+
+    /// Un-permuting by the identity is the identity.
+    #[test]
+    fn unpermute_identity_is_identity(p in loss_pattern()) {
+        let order: Vec<usize> = (0..p.len()).collect();
+        prop_assert_eq!(p.unpermute(&order), p);
+    }
+
+    /// Marking one more slot lost never decreases either metric.
+    #[test]
+    fn metrics_monotone_under_extra_loss(p in loss_pattern(), idx in any::<prop::sample::Index>()) {
+        prop_assume!(!p.is_empty());
+        let before = ContinuityMetrics::of(&p);
+        let mut worse = p.clone();
+        worse.mark_lost(idx.index(p.len()));
+        let after = ContinuityMetrics::of(&worse);
+        prop_assert!(after.lost() >= before.lost());
+        prop_assert!(after.clf() >= before.clf());
+    }
+
+    /// ALF ordering agrees with float comparison on exact fractions.
+    #[test]
+    fn alf_order_matches_float(a in 0usize..50, ta in 50usize..100, b in 0usize..50, tb in 50usize..100) {
+        let x = Alf::new(a, ta);
+        let y = Alf::new(b, tb);
+        let float_cmp = x.as_f64().partial_cmp(&y.as_f64()).unwrap();
+        prop_assert_eq!(x.cmp(&y), float_cmp);
+    }
+
+    /// Concealment never increases loss or CLF, repairs only isolated
+    /// losses, and is idempotent.
+    #[test]
+    fn concealment_invariants(p in loss_pattern()) {
+        let c = Concealment::simple();
+        let repaired = c.apply(&p);
+        prop_assert!(repaired.lost() <= p.lost());
+        prop_assert!(repaired.longest_run() <= p.longest_run());
+        // Everything still lost was part of a run of ≥ 2 in the original.
+        for i in repaired.lost_indices() {
+            prop_assert!(!c.is_concealable(&p, i));
+        }
+        // Idempotent: runs that survive stay unconcealable.
+        prop_assert_eq!(c.apply(&repaired), repaired);
+    }
+
+    /// The MOS score is monotone: any extra loss can only lower it.
+    #[test]
+    fn quality_score_monotone(p in loss_pattern(), idx in any::<prop::sample::Index>()) {
+        prop_assume!(!p.is_empty());
+        let before = score(ContinuityMetrics::of(&p), MediaKind::Video);
+        let mut worse = p.clone();
+        worse.mark_lost(idx.index(p.len()));
+        let after = score(ContinuityMetrics::of(&worse), MediaKind::Video);
+        prop_assert!(after <= before);
+        prop_assert!((1.0..=5.0).contains(&after.value()));
+    }
+
+    /// A series' mean CLF lies between the min and max per-window CLF, and
+    /// the deviation is zero iff all values are equal.
+    #[test]
+    fn summary_statistics_sane(patterns in prop::collection::vec(loss_pattern(), 1..16)) {
+        let series: WindowSeries = patterns
+            .iter()
+            .map(ContinuityMetrics::of)
+            .collect();
+        let summary = series.summary();
+        let min = series.clf_values().min().unwrap() as f64;
+        let max = series.clf_values().max().unwrap() as f64;
+        prop_assert!(summary.mean_clf >= min - 1e-12);
+        prop_assert!(summary.mean_clf <= max + 1e-12);
+        let all_equal = series.clf_values().all(|c| c as f64 == min);
+        if all_equal {
+            prop_assert!(summary.dev_clf.abs() < 1e-12);
+        } else {
+            prop_assert!(summary.dev_clf > 0.0);
+        }
+    }
+}

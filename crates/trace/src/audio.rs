@@ -1,0 +1,140 @@
+//! Audio LDU streams (the paper's dependency-free case).
+//!
+//! The paper's audio model (§2.1 footnote): SunAudio, 8-bit samples at
+//! 8 kHz, one LDU = 266 samples ≈ one video-frame time (1/30 s). Audio has
+//! **no inter-LDU dependency**, so its dependency poset is an antichain and
+//! the protocol degenerates to pure window scrambling — the case solved by
+//! the authors' earlier work \[19, 20\] and subsumed here.
+
+use espread_poset::Poset;
+
+/// Samples per audio LDU (8000 Hz / 30 ≈ 266).
+pub const SAMPLES_PER_LDU: u32 = 266;
+
+/// Bytes per audio LDU: 8-bit samples, so equal to the sample count.
+pub const BYTES_PER_LDU: u32 = SAMPLES_PER_LDU;
+
+/// One audio LDU: playout position and (constant) payload size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AudioLdu {
+    /// Zero-based playout index.
+    pub index: usize,
+    /// Payload size in bytes (constant for PCM SunAudio).
+    pub size_bytes: u32,
+}
+
+/// A constant-bitrate SunAudio stream source.
+///
+/// # Example
+///
+/// ```
+/// use espread_trace::{AudioStream, BYTES_PER_LDU};
+///
+/// let stream = AudioStream::sun_audio();
+/// let ldus = stream.ldus(30); // one second of audio
+/// assert_eq!(ldus.len(), 30);
+/// assert!(ldus.iter().all(|l| l.size_bytes == BYTES_PER_LDU));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AudioStream {
+    ldu_bytes: u32,
+    ldus_per_second: u32,
+}
+
+impl AudioStream {
+    /// The paper's SunAudio configuration: 266-byte LDUs at 30 per second.
+    pub fn sun_audio() -> Self {
+        AudioStream {
+            ldu_bytes: BYTES_PER_LDU,
+            ldus_per_second: 30,
+        }
+    }
+
+    /// A custom constant-bitrate stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    pub fn new(ldu_bytes: u32, ldus_per_second: u32) -> Self {
+        assert!(ldu_bytes > 0, "LDU size must be positive");
+        assert!(ldus_per_second > 0, "LDU rate must be positive");
+        AudioStream {
+            ldu_bytes,
+            ldus_per_second,
+        }
+    }
+
+    /// Bytes per LDU.
+    pub fn ldu_bytes(self) -> u32 {
+        self.ldu_bytes
+    }
+
+    /// LDUs per second.
+    pub fn ldus_per_second(self) -> u32 {
+        self.ldus_per_second
+    }
+
+    /// The first `count` LDUs of the stream.
+    pub fn ldus(self, count: usize) -> Vec<AudioLdu> {
+        (0..count)
+            .map(|index| AudioLdu {
+                index,
+                size_bytes: self.ldu_bytes,
+            })
+            .collect()
+    }
+
+    /// The dependency poset of a window of `n` LDUs: an antichain (audio
+    /// LDUs are independent), so every window permutation is legal.
+    pub fn dependency_poset(self, n: usize) -> Poset {
+        Poset::antichain(n)
+    }
+
+    /// The stream bitrate in bits per second.
+    pub fn bits_per_second(self) -> u64 {
+        u64::from(self.ldu_bytes) * 8 * u64::from(self.ldus_per_second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sun_audio_parameters() {
+        let s = AudioStream::sun_audio();
+        assert_eq!(s.ldu_bytes(), 266);
+        assert_eq!(s.ldus_per_second(), 30);
+        // ≈ 64 kbps raw PCM.
+        assert_eq!(s.bits_per_second(), 266 * 8 * 30);
+    }
+
+    #[test]
+    fn ldus_are_constant_size_and_indexed() {
+        let ldus = AudioStream::sun_audio().ldus(5);
+        for (i, l) in ldus.iter().enumerate() {
+            assert_eq!(l.index, i);
+            assert_eq!(l.size_bytes, 266);
+        }
+    }
+
+    #[test]
+    fn poset_is_antichain() {
+        let p = AudioStream::sun_audio().dependency_poset(6);
+        assert_eq!(p.height(), 1);
+        assert_eq!(p.len(), 6);
+        assert!(p.incomparable(0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "LDU size must be positive")]
+    fn zero_ldu_size_rejected() {
+        let _ = AudioStream::new(0, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "LDU rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = AudioStream::new(266, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Video frames: types and sizes.
+
+use std::fmt;
+
+/// The MPEG picture type of a frame.
+///
+/// I- and P-frames are **anchor** pictures: other frames are predicted from
+/// them, so their loss cascades. B-frames are leaves of the dependency
+/// graph (nothing is predicted from a B-frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FrameType {
+    /// Intra-coded picture; self-contained, largest, most critical.
+    I,
+    /// Predictive-coded picture; depends on the previous anchor.
+    P,
+    /// Bidirectionally predicted picture; depends on the surrounding
+    /// anchors, nothing depends on it.
+    B,
+}
+
+impl FrameType {
+    /// Whether this is an anchor picture (I or P).
+    pub fn is_anchor(self) -> bool {
+        matches!(self, FrameType::I | FrameType::P)
+    }
+
+    /// Parses a single pattern character (`'I'`, `'P'`, `'B'`, any case).
+    pub fn from_char(c: char) -> Option<FrameType> {
+        match c.to_ascii_uppercase() {
+            'I' => Some(FrameType::I),
+            'P' => Some(FrameType::P),
+            'B' => Some(FrameType::B),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FrameType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            FrameType::I => 'I',
+            FrameType::P => 'P',
+            FrameType::B => 'B',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// One video frame of a trace: its playout position, picture type and
+/// encoded size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frame {
+    /// Zero-based playout (display) index within the trace.
+    pub index: usize,
+    /// Picture type.
+    pub frame_type: FrameType,
+    /// Encoded size in bytes.
+    pub size_bytes: u32,
+}
+
+impl Frame {
+    /// Whether this frame is an anchor picture.
+    pub fn is_anchor(&self) -> bool {
+        self.frame_type.is_anchor()
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{} ({} B)", self.frame_type, self.index, self.size_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_classification() {
+        assert!(FrameType::I.is_anchor());
+        assert!(FrameType::P.is_anchor());
+        assert!(!FrameType::B.is_anchor());
+        let f = Frame {
+            index: 3,
+            frame_type: FrameType::B,
+            size_bytes: 1000,
+        };
+        assert!(!f.is_anchor());
+    }
+
+    #[test]
+    fn parse_pattern_chars() {
+        assert_eq!(FrameType::from_char('I'), Some(FrameType::I));
+        assert_eq!(FrameType::from_char('p'), Some(FrameType::P));
+        assert_eq!(FrameType::from_char('b'), Some(FrameType::B));
+        assert_eq!(FrameType::from_char('x'), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FrameType::I.to_string(), "I");
+        let f = Frame {
+            index: 7,
+            frame_type: FrameType::P,
+            size_bytes: 512,
+        };
+        assert_eq!(f.to_string(), "P#7 (512 B)");
+    }
+}

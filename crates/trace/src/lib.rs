@@ -1,0 +1,43 @@
+//! Continuous-media workload generation for the error-spreading evaluation.
+//!
+//! The paper streams MPEG-1 video (the UMass *Jurassic Park* trace, GOP 12)
+//! and SunAudio; this crate generates both kinds of workload:
+//!
+//! * [`GopPattern`] — display-order GOP structures and their **dependency
+//!   posets** (the paper's Fig. 2), open- or closed-GOP;
+//! * [`MpegTrace`] — deterministic synthetic MPEG traces calibrated to the
+//!   per-movie maximum GOP sizes quoted in §4.1 (the original UMass traces
+//!   are no longer available; see `DESIGN.md` §2.3 for the substitution
+//!   argument);
+//! * [`AudioStream`] — the dependency-free constant-bitrate audio case;
+//! * [`TraceStats`] — workload summaries for calibration and reporting.
+//!
+//! # Example
+//!
+//! ```
+//! use espread_trace::{GopPattern, Movie, MpegTrace};
+//!
+//! let trace = MpegTrace::new(Movie::JurassicPark, 1);
+//! let window = trace.gops(2); // a 2-GOP sender buffer, W=2
+//! assert_eq!(window.len(), 24);
+//!
+//! let poset = GopPattern::gop12().dependency_poset(2, true);
+//! assert_eq!(poset.height(), 5); // layers: I, P1, P2, P3, B
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audio;
+pub mod frame;
+pub mod gop;
+pub mod io;
+pub mod mpeg;
+pub mod stats;
+
+pub use audio::{AudioLdu, AudioStream, BYTES_PER_LDU, SAMPLES_PER_LDU};
+pub use frame::{Frame, FrameType};
+pub use gop::{GopPattern, GopPatternError};
+pub use io::{read_trace, write_trace, TraceParseError};
+pub use mpeg::{Movie, MpegTrace};
+pub use stats::{TraceStats, TypeStats};

@@ -1,0 +1,184 @@
+//! Descriptive statistics of generated traces.
+//!
+//! Used by the calibration tests and the experiment harness to report the
+//! workload actually streamed (per-type frame counts and sizes, GOP sizes),
+//! mirroring the way the paper summarises its traces in §4.1.
+
+use std::fmt;
+
+use crate::frame::{Frame, FrameType};
+
+/// Per-frame-type summary: count, mean size, min/max size.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TypeStats {
+    /// Number of frames of this type.
+    pub count: usize,
+    /// Mean frame size in bytes (0 when `count == 0`).
+    pub mean_bytes: f64,
+    /// Smallest frame in bytes.
+    pub min_bytes: u32,
+    /// Largest frame in bytes.
+    pub max_bytes: u32,
+}
+
+/// Full trace summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Statistics for I frames.
+    pub i: TypeStats,
+    /// Statistics for P frames.
+    pub p: TypeStats,
+    /// Statistics for B frames.
+    pub b: TypeStats,
+    /// GOP sizes in bytes, one entry per complete GOP.
+    pub gop_bytes: Vec<u64>,
+    /// Total stream size in bytes.
+    pub total_bytes: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics for `frames`, grouping GOPs of length
+    /// `gop_len` (incomplete trailing GOPs are ignored for `gop_bytes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gop_len == 0`.
+    pub fn of(frames: &[Frame], gop_len: usize) -> Self {
+        assert!(gop_len > 0, "GOP length must be positive");
+        let mut acc: [(usize, u64, u32, u32); 3] = [(0, 0, u32::MAX, 0); 3];
+        for f in frames {
+            let slot = match f.frame_type {
+                FrameType::I => 0,
+                FrameType::P => 1,
+                FrameType::B => 2,
+            };
+            let (count, sum, min, max) = &mut acc[slot];
+            *count += 1;
+            *sum += u64::from(f.size_bytes);
+            *min = (*min).min(f.size_bytes);
+            *max = (*max).max(f.size_bytes);
+        }
+        let to_stats = |(count, sum, min, max): (usize, u64, u32, u32)| TypeStats {
+            count,
+            mean_bytes: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            min_bytes: if count == 0 { 0 } else { min },
+            max_bytes: max,
+        };
+        let gop_bytes: Vec<u64> = frames
+            .chunks_exact(gop_len)
+            .map(|g| g.iter().map(|f| u64::from(f.size_bytes)).sum())
+            .collect();
+        TraceStats {
+            i: to_stats(acc[0]),
+            p: to_stats(acc[1]),
+            b: to_stats(acc[2]),
+            gop_bytes,
+            total_bytes: frames.iter().map(|f| u64::from(f.size_bytes)).sum(),
+        }
+    }
+
+    /// The largest complete GOP in bytes (0 when no complete GOP exists).
+    pub fn max_gop_bytes(&self) -> u64 {
+        self.gop_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The mean complete-GOP size in bytes.
+    pub fn mean_gop_bytes(&self) -> f64 {
+        if self.gop_bytes.is_empty() {
+            0.0
+        } else {
+            self.gop_bytes.iter().sum::<u64>() as f64 / self.gop_bytes.len() as f64
+        }
+    }
+
+    /// Mean bitrate in bits per second at the given frame rate.
+    pub fn mean_bitrate_bps(&self, fps: u32, frame_count: usize) -> f64 {
+        if frame_count == 0 {
+            return 0.0;
+        }
+        let seconds = frame_count as f64 / f64::from(fps);
+        self.total_bytes as f64 * 8.0 / seconds
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "I: {} frames, mean {:.0} B | P: {} frames, mean {:.0} B | B: {} frames, mean {:.0} B",
+            self.i.count, self.i.mean_bytes, self.p.count, self.p.mean_bytes, self.b.count,
+            self.b.mean_bytes
+        )?;
+        write!(
+            f,
+            "GOPs: {} complete, mean {:.0} B, max {} B",
+            self.gop_bytes.len(),
+            self.mean_gop_bytes(),
+            self.max_gop_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpeg::{Movie, MpegTrace};
+
+    #[test]
+    fn stats_of_synthetic_trace() {
+        let frames = MpegTrace::new(Movie::JurassicPark, 11).gops(20);
+        let stats = TraceStats::of(&frames, 12);
+        assert_eq!(stats.i.count, 20);
+        assert_eq!(stats.p.count, 60);
+        assert_eq!(stats.b.count, 160);
+        assert_eq!(stats.gop_bytes.len(), 20);
+        assert!(stats.i.mean_bytes > stats.p.mean_bytes);
+        assert!(stats.p.mean_bytes > stats.b.mean_bytes);
+        assert!(stats.max_gop_bytes() <= Movie::JurassicPark.max_gop_bits() / 8);
+        assert_eq!(
+            stats.total_bytes,
+            frames.iter().map(|f| u64::from(f.size_bytes)).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn empty_trace() {
+        let stats = TraceStats::of(&[], 12);
+        assert_eq!(stats.i.count, 0);
+        assert_eq!(stats.i.mean_bytes, 0.0);
+        assert_eq!(stats.max_gop_bytes(), 0);
+        assert_eq!(stats.mean_gop_bytes(), 0.0);
+        assert_eq!(stats.mean_bitrate_bps(24, 0), 0.0);
+    }
+
+    #[test]
+    fn bitrate_computation() {
+        let frames = MpegTrace::new(Movie::JurassicPark, 11).gops(10);
+        let stats = TraceStats::of(&frames, 12);
+        let bps = stats.mean_bitrate_bps(24, frames.len());
+        // 120 frames at 24 fps = 5 s of video.
+        let expected = stats.total_bytes as f64 * 8.0 / 5.0;
+        assert!((bps - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn incomplete_gop_ignored_for_gop_stats() {
+        let frames = MpegTrace::new(Movie::JurassicPark, 11).frames(30);
+        let stats = TraceStats::of(&frames, 12);
+        assert_eq!(stats.gop_bytes.len(), 2); // 30 frames = 2 complete GOPs
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let frames = MpegTrace::new(Movie::JurassicPark, 11).gops(2);
+        let text = TraceStats::of(&frames, 12).to_string();
+        assert!(text.contains("I: 2 frames"));
+        assert!(text.contains("GOPs: 2 complete"));
+    }
+
+    #[test]
+    #[should_panic(expected = "GOP length must be positive")]
+    fn zero_gop_len_rejected() {
+        let _ = TraceStats::of(&[], 0);
+    }
+}

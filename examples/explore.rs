@@ -1,0 +1,73 @@
+//! Explore: an interactive-ish CLI around `calculatePermutation`.
+//!
+//! ```sh
+//! cargo run --example explore -- 17 5            # window 17, burst 5
+//! cargo run --example explore -- 24 4 IBBPBB     # layered view of a GOP
+//! ```
+
+use error_spreading::core::{burst::clf_profile, ibo::inverse_binary_order};
+use error_spreading::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args
+        .first()
+        .map(|a| a.parse().expect("window size must be an integer"))
+        .unwrap_or(17);
+    let b: usize = args
+        .get(1)
+        .map(|a| a.parse().expect("burst bound must be an integer"))
+        .unwrap_or(5);
+
+    println!("window n = {n}, burst bound b = {b}\n");
+
+    let choice = calculate_permutation(n, b);
+    let bound = theorem_one(n, b);
+    println!("calculatePermutation → {} ", choice.permutation);
+    println!("family: {}", choice.family);
+    println!(
+        "worst-case CLF {} (Theorem 1 bracket [{}, {}]), identity would give {}",
+        choice.worst_clf,
+        bound.lower,
+        bound.upper,
+        worst_case_clf(&Permutation::identity(n), b)
+    );
+    println!(
+        "IBO on the same window: worst-case CLF {}",
+        worst_case_clf(&inverse_binary_order(n), b)
+    );
+    println!(
+        "largest burst tolerable at the video threshold (CLF ≤ 2): {}",
+        max_tolerable_burst(n, 2)
+    );
+
+    let profile = clf_profile(&choice.permutation, b);
+    println!("\nper-burst-position CLF profile: {profile:?}");
+
+    if let Some(pattern_text) = args.get(2) {
+        let pattern: GopPattern = pattern_text
+            .parse()
+            .expect("third argument must be a GOP pattern like IBBPBB");
+        let gops = n / pattern.len().max(1);
+        if gops == 0 {
+            println!("\n(n = {n} is smaller than one GOP of {}; skipping layered view)", pattern.len());
+            return;
+        }
+        let poset = pattern.dependency_poset(gops, false);
+        let order = LayeredOrder::with_uniform_bound(&poset, b);
+        println!(
+            "\nlayered view of {gops} × {pattern} ({} frames, {} layers):",
+            poset.len(),
+            order.layer_count()
+        );
+        for (i, layer) in order.layers().iter().enumerate() {
+            println!(
+                "  layer {i}: {:?} ({}, worst CLF {})",
+                layer.frames(),
+                if layer.is_critical() { "critical" } else { "permutable" },
+                layer.worst_clf()
+            );
+        }
+        println!("  sequence: {:?}", order.transmission_sequence());
+    }
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure/ablation and stores the outputs in results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+bins=(
+  fig1_metrics table1_example theorem1_validation fig3_layered_order
+  table2_ibo_vs_cpo fig11_bandwidth_sweep fig12_buffer_sweep
+  orthogonality_blocks ablation_adaptation ablation_timing
+  ablation_loss_models extension_multi_burst extension_concealment
+  extension_stochastic_orders movie_sweep
+)
+for bin in "${bins[@]}"; do
+  echo "=== $bin ==="
+  cargo run --quiet --release -p espread-bench --bin "$bin" | tee "results/$bin.txt"
+done
+for pbad in 0.6 0.7; do
+  echo "=== fig8_network_loss pbad=$pbad ==="
+  cargo run --quiet --release -p espread-bench --bin fig8_network_loss -- --pbad "$pbad" \
+    | tee "results/fig8_pbad_$pbad.txt"
+done
+echo "=== generate_report ==="
+cargo run --quiet --release -p espread-bench --bin generate_report > /dev/null
+echo "All experiment outputs written to results/."

@@ -1,0 +1,152 @@
+//! Exact reproductions of the paper's in-text artifacts: Fig. 1, Table 1,
+//! Table 2, Theorem 1, and the Fig. 2/3 layered order.
+
+use error_spreading::core::{
+    burst_loss_pattern, cpo::stride_permutation, ibo::inverse_binary_order,
+};
+use error_spreading::prelude::*;
+
+#[test]
+fn figure_1_metric_example() {
+    // Two streams, both losing LDUs 2 of 4: stream 1 back-to-back
+    // (ALF 2/4, CLF 2), stream 2 spread (ALF 2/4, CLF 1).
+    let stream1 = LossPattern::from_received([false, false, true, true]);
+    let stream2 = LossPattern::from_received([false, true, true, false]);
+    let m1 = ContinuityMetrics::of(&stream1);
+    let m2 = ContinuityMetrics::of(&stream2);
+    assert_eq!(m1.alf().to_string(), "2/4");
+    assert_eq!(m2.alf().to_string(), "2/4");
+    assert_eq!(m1.clf(), 2);
+    assert_eq!(m2.clf(), 1);
+}
+
+#[test]
+fn table_1_frame_orders_and_clf() {
+    // Row 1: frames 01..17 in order, burst of 5 → CLF 5/17.
+    // Row 2: permuted 01 06 11 16 04 09 14 02 07 12 17 05 10 15 03 08 13,
+    //        same burst → CLF 1/17 (0-indexed here).
+    let paper_order: Vec<usize> = vec![0, 5, 10, 15, 3, 8, 13, 1, 6, 11, 16, 4, 9, 14, 2, 7, 12];
+    assert_eq!(stride_permutation(17, 5).as_slice(), paper_order.as_slice());
+
+    let in_order = Permutation::identity(17);
+    for start in 0..=12 {
+        assert_eq!(burst_loss_pattern(&in_order, start, 5).longest_run(), 5);
+        assert_eq!(
+            burst_loss_pattern(&stride_permutation(17, 5), start, 5).longest_run(),
+            1,
+            "start={start}"
+        );
+    }
+    // And calculatePermutation finds an order at least this good.
+    assert_eq!(calculate_permutation(17, 5).worst_clf, 1);
+}
+
+#[test]
+fn table_2_ibo_vs_cpo() {
+    // "8 frames ordering of IBO and one of the cases of our scrambled
+    // order": IBO = 01 05 03 07 02 06 04 08.
+    assert_eq!(
+        inverse_binary_order(8).as_slice(),
+        &[0, 4, 2, 6, 1, 5, 3, 7]
+    );
+    // IBO is fine below half-window losses and degrades past them, while
+    // CPO stays within the Theorem-1 bound.
+    for b in 1..8 {
+        let ibo_clf = worst_case_clf(&inverse_binary_order(8), b);
+        let cpo = calculate_permutation(8, b);
+        assert!(cpo.worst_clf <= ibo_clf, "b={b}");
+        if b <= 4 {
+            assert!(ibo_clf <= 2, "IBO good below half window, b={b}");
+        }
+    }
+    // The pathological case: more than half the window lost.
+    assert!(worst_case_clf(&inverse_binary_order(8), 6) >= 2 * calculate_permutation(8, 6).worst_clf);
+}
+
+#[test]
+fn theorem_1_bounds_hold_exhaustively() {
+    for n in 1..=28 {
+        for b in 0..=n + 1 {
+            let bound = theorem_one(n, b);
+            let exact = calculate_permutation(n, b).worst_clf;
+            assert!(
+                bound.lower <= exact && exact <= bound.upper,
+                "n={n} b={b}: {} ≤ {exact} ≤ {} violated",
+                bound.lower,
+                bound.upper
+            );
+            assert_eq!(clf_lower_bound(n, b), bound.lower);
+        }
+    }
+}
+
+#[test]
+fn theorem_1_degenerate_regimes() {
+    // b ≥ n ⇒ the whole window is lost.
+    assert_eq!(calculate_permutation(10, 10).worst_clf, 10);
+    // b = 1 ⇒ CLF 1 under any order.
+    assert_eq!(calculate_permutation(10, 1).worst_clf, 1);
+    // b² ≤ n ⇒ CLF 1 achievable.
+    for b in 2..7usize {
+        assert_eq!(calculate_permutation(b * b, b).worst_clf, 1, "b={b}");
+        assert_eq!(calculate_permutation(b * b + 3, b).worst_clf, 1, "b={b}+3");
+    }
+}
+
+#[test]
+fn figure_2_and_3_layered_order() {
+    // The MPEG dependency poset of a 2-GOP buffer decomposes into the
+    // paper's layers (I, P1, P2, P3, B) and the layered order is a valid
+    // transmission order.
+    let poset = GopPattern::gop12().dependency_poset(2, true);
+    assert_eq!(poset.height(), 5);
+    let order = LayeredOrder::with_uniform_bound(&poset, 2);
+    assert_eq!(order.layer_count(), 5);
+    assert_eq!(order.layer(0).frames(), &[0, 12]); // Z's (I frames)
+    assert_eq!(order.layer(1).frames(), &[3, 15]); // P1's
+    assert_eq!(order.layer(2).frames(), &[6, 18]);
+    assert_eq!(order.layer(3).frames(), &[9, 21]);
+    assert_eq!(order.layer(4).len(), 16); // all B frames
+    assert!(order.layer(0).is_critical());
+    assert!(!order.layer(4).is_critical());
+    assert!(poset.is_linear_extension(&order.transmission_sequence()));
+}
+
+#[test]
+fn section_4_1_buffer_requirement() {
+    // §4.1: N = W × GOP frames; with Star Wars' 932 710-bit max GOP and
+    // W = 2 the buffer is ≈ 228 KiB — "quite viable".
+    let max_gop_bytes = Movie::StarWars.max_gop_bits() / 8;
+    let w = 2;
+    let buffer_bytes = w * max_gop_bytes;
+    assert_eq!(max_gop_bytes, 116_588);
+    assert!(buffer_bytes < 256 * 1024);
+    // Our generated traces respect that bound.
+    let trace = MpegTrace::new(Movie::StarWars, 1);
+    let frames = trace.gops(20);
+    for gop in frames.chunks(12) {
+        let total: u64 = gop.iter().map(|f| u64::from(f.size_bytes)).sum();
+        assert!(total <= max_gop_bytes);
+    }
+}
+
+#[test]
+fn equation_1_exponential_averaging() {
+    // b̂_{i+1} = α·b_i + (1−α)·b̂_i with α = ½.
+    let mut est = BurstEstimator::paper_default(6.0);
+    est.observe(2.0);
+    assert_eq!(est.value(), 4.0);
+    est.observe(4.0);
+    assert_eq!(est.value(), 4.0);
+    est.observe(0.0);
+    assert_eq!(est.value(), 2.0);
+}
+
+#[test]
+fn gilbert_parameters_of_section_5_1() {
+    let ch = GilbertModel::paper(0.6, 0);
+    assert_eq!(ch.p_good(), 0.92);
+    // Steady-state loss 0.08/0.48 ≈ 16.7 %, mean burst 2.5 packets.
+    assert!((ch.steady_state_loss() - 1.0 / 6.0).abs() < 1e-12);
+    assert!((ch.mean_burst_len() - 2.5).abs() < 1e-12);
+}
