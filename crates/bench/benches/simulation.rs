@@ -1,7 +1,9 @@
 //! Criterion benchmarks for the network substrate and full sessions.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use espread_netsim::{DropTailConfig, DropTailQueue, GilbertModel, Link, Packet, SimDuration, SimTime};
+use espread_netsim::{
+    DropTailConfig, DropTailQueue, GilbertModel, Link, Packet, SimDuration, SimTime,
+};
 use espread_protocol::{Ordering, ProtocolConfig, Session, StreamSource};
 use espread_trace::{Movie, MpegTrace};
 use std::hint::black_box;
@@ -62,7 +64,10 @@ fn bench_trace_generation(c: &mut Criterion) {
 fn bench_session(c: &mut Criterion) {
     let mut group = c.benchmark_group("session");
     group.sample_size(10);
-    for (name, ordering) in [("spread", Ordering::spread()), ("in_order", Ordering::InOrder)] {
+    for (name, ordering) in [
+        ("spread", Ordering::spread()),
+        ("in_order", Ordering::InOrder),
+    ] {
         group.bench_with_input(
             BenchmarkId::new("20_windows", name),
             &ordering,

@@ -18,14 +18,22 @@ fn run_mean(mut cfg: ProtocolConfig, ordering: Ordering, seeds: &[u64]) -> f64 {
     for &seed in seeds {
         let mut c = cfg.clone();
         c.seed = seed;
-        clfs.push(Session::new(c, paper_source(2, 80, 1)).run().summary().mean_clf);
+        clfs.push(
+            Session::new(c, paper_source(2, 80, 1))
+                .run()
+                .summary()
+                .mean_clf,
+        );
     }
     mean(&clfs)
 }
 
 fn main() {
     let seeds: Vec<u64> = (100..110).collect();
-    println!("Adaptation ablation (Pbad=0.7, 80 windows, {} seeds)\n", seeds.len());
+    println!(
+        "Adaptation ablation (Pbad=0.7, 80 windows, {} seeds)\n",
+        seeds.len()
+    );
 
     println!("α sweep (adaptive spread):");
     println!("{:>6} {:>10}", "α", "mean CLF");
@@ -33,7 +41,11 @@ fn main() {
         let mut cfg = ProtocolConfig::paper(0.7, 0);
         cfg.alpha = alpha;
         let m = run_mean(cfg, Ordering::spread(), &seeds);
-        let marker = if alpha == 0.5 { "  ← paper's choice" } else { "" };
+        let marker = if alpha == 0.5 {
+            "  ← paper's choice"
+        } else {
+            ""
+        };
         println!("{alpha:>6.2} {m:>10.3}{marker}");
     }
 
@@ -55,4 +67,6 @@ fn main() {
     println!("estimator's job (per the paper) is to stay calibrated with *minimal feedback*,");
     println!("one ACK per buffer window, not to eke out extra CLF. The estimate itself does");
     println!("track the channel (see the adaptation integration tests).");
+
+    espread_bench::write_telemetry_snapshot("ablation_adaptation");
 }

@@ -23,9 +23,17 @@ fn main() {
     );
     let blocks: [(&str, Ordering, Recovery); 4] = [
         ("in-order, none", Ordering::InOrder, Recovery::None),
-        ("in-order + retransmit", Ordering::InOrder, Recovery::Retransmit),
+        (
+            "in-order + retransmit",
+            Ordering::InOrder,
+            Recovery::Retransmit,
+        ),
         ("spread, none", Ordering::spread(), Recovery::None),
-        ("spread + retransmit", Ordering::spread(), Recovery::Retransmit),
+        (
+            "spread + retransmit",
+            Ordering::spread(),
+            Recovery::Retransmit,
+        ),
     ];
     for (name, ordering, recovery) in blocks {
         let cfg = ProtocolConfig::paper(0.7, 11)
@@ -46,4 +54,6 @@ fn main() {
     println!("arrive — its jitter matches the in-order baseline, while retransmission");
     println!("adds a latency tail (the recovered frames complete a NACK round later).");
     println!("All schemes stay inside the one-window start-up delay, so nothing is late.");
+
+    espread_bench::write_telemetry_snapshot("ablation_timing");
 }

@@ -30,7 +30,11 @@ fn main() {
         for seed in [42u64, 43, 44] {
             let source = paper_source(2, 100, 1);
             let cmp = Comparison::run(&ProtocolConfig::paper(0.6, seed), &source);
-            let report = if scheme == "scrambled" { &cmp.spread } else { &cmp.plain };
+            let report = if scheme == "scrambled" {
+                &cmp.spread
+            } else {
+                &cmp.plain
+            };
             clf.push(report.summary().mean_clf);
             let fractions: Vec<f64> = report
                 .patterns
@@ -58,4 +62,6 @@ fn main() {
     println!("interpolated; spreading isolates them, so concealment repairs the large");
     println!("majority and the *effective* loss rate drops — the two techniques compose");
     println!("super-additively, strengthening the paper's §4.3 orthogonality claim.");
+
+    espread_bench::write_telemetry_snapshot("extension_concealment");
 }

@@ -50,4 +50,6 @@ fn main() {
     println!("single-burst theory, and (b) calculate_permutation tie-breaks by");
     println!("multi-scale robustness: the single-burst model under-constrains the");
     println!("stochastic channel. A worthwhile future-work axis the paper leaves open.");
+
+    espread_bench::write_telemetry_snapshot("extension_multi_burst");
 }

@@ -34,8 +34,14 @@ fn main() {
         ("block 4 rows", block_interleaver(n, 4)),
         ("rev block 8 rows", block_interleaver_reversed(n, 8)),
         ("IBO", inverse_binary_order(n)),
-        ("calculatePermutation(b=3)", calculate_permutation(n, 3).permutation),
-        ("calculatePermutation(b=6)", calculate_permutation(n, 6).permutation),
+        (
+            "calculatePermutation(b=3)",
+            calculate_permutation(n, 3).permutation,
+        ),
+        (
+            "calculatePermutation(b=6)",
+            calculate_permutation(n, 6).permutation,
+        ),
     ];
 
     let mut seed = 0u64;
@@ -65,4 +71,6 @@ fn main() {
     println!("order; differences *among* interleavers are small under the stochastic");
     println!("process even where their adversarial guarantees differ — the worst-case");
     println!("theory picks the family, the channel statistics blur the order within it.");
+
+    espread_bench::write_telemetry_snapshot("extension_stochastic_orders");
 }

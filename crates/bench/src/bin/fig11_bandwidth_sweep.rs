@@ -56,4 +56,6 @@ fn main() {
     }
     println!("\npaper: both mean and standard deviation of CLF improved at every bandwidth;");
     println!("the scrambled scheme often keeps CLF at or below the perceptual threshold of 2.");
+
+    espread_bench::write_telemetry_snapshot("fig11_bandwidth_sweep");
 }

@@ -33,7 +33,8 @@ fn main() {
             spread_means.push(s.mean_clf);
             spread_devs.push(s.dev_clf);
         }
-        let better = mean(&spread_means) < mean(&plain_means) && mean(&spread_devs) < mean(&plain_devs);
+        let better =
+            mean(&spread_means) < mean(&plain_means) && mean(&spread_devs) < mean(&plain_devs);
         println!(
             "{w:>3} {:>10.1} {:>12.2} {:>10.2} {:>12.2} {:>10.2} {:>8}",
             w as f64 * 12.0 / 24.0,
@@ -44,7 +45,11 @@ fn main() {
             if better { "yes" } else { "no" },
         );
     }
-    println!("\npaper: both mean and deviation better at each buffer size (W up to 2, 0.5–1 s delay;");
+    println!(
+        "\npaper: both mean and deviation better at each buffer size (W up to 2, 0.5–1 s delay;"
+    );
     println!("we extend the sweep to W=4). Per-window CLF grows with W for both schemes simply");
     println!("because longer windows contain more loss bursts.");
+
+    espread_bench::write_telemetry_snapshot("fig12_buffer_sweep");
 }

@@ -9,10 +9,19 @@ use espread_qos::{ContinuityMetrics, LossPattern};
 fn main() {
     println!("Figure 1: two example streams used to explain the metrics\n");
     let streams = [
-        ("stream 1 (back-to-back losses)", LossPattern::from_received([false, false, true, true])),
-        ("stream 2 (spread-out losses)", LossPattern::from_received([false, true, true, false])),
+        (
+            "stream 1 (back-to-back losses)",
+            LossPattern::from_received([false, false, true, true]),
+        ),
+        (
+            "stream 2 (spread-out losses)",
+            LossPattern::from_received([false, true, true, false]),
+        ),
     ];
-    println!("{:<32} {:<8} {:>14} {:>16}", "stream", "slots", "aggregate loss", "consecutive loss");
+    println!(
+        "{:<32} {:<8} {:>14} {:>16}",
+        "stream", "slots", "aggregate loss", "consecutive loss"
+    );
     for (name, pattern) in streams {
         let m = ContinuityMetrics::of(&pattern);
         println!(
@@ -24,4 +33,6 @@ fn main() {
         );
     }
     println!("\npaper: both streams have aggregate loss 2/4; consecutive loss 2 vs 1.");
+
+    espread_bench::write_telemetry_snapshot("fig1_metrics");
 }

@@ -42,4 +42,6 @@ fn main() {
     assert!(poset.is_linear_extension(&seq));
     println!("\n✓ the sequence is a linear extension of the dependency poset");
     println!("✓ layers match the paper's Fig. 3: I's, P1's, P2's, P3's, then all B's");
+
+    espread_bench::write_telemetry_snapshot("fig3_layered_order");
 }

@@ -42,10 +42,7 @@ fn main() {
         "{}",
         ascii_plot(
             "CLF per buffer window (100 windows):",
-            &[
-                ("unscrambled", plain_series),
-                ("scrambled", spread_series),
-            ],
+            &[("unscrambled", plain_series), ("scrambled", spread_series),],
             8,
         )
     );
@@ -70,4 +67,6 @@ fn main() {
             leave_good / (leave_good + leave_bad) * 100.0
         }
     );
+
+    espread_bench::write_telemetry_snapshot(&format!("fig8_pbad_{p_bad}"));
 }

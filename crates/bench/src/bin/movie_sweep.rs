@@ -58,4 +58,6 @@ fn main() {
     println!("\nreading: the advantage persists from the smallest trace (Jurassic Park)");
     println!("to the largest (Star Wars) — more packets per window give the permutation");
     println!("finer granularity, so bigger streams spread at least as well.");
+
+    espread_bench::write_telemetry_snapshot("movie_sweep");
 }

@@ -19,11 +19,27 @@ fn main() {
     println!("Fig. 4 blocks on matched channels (Pbad=0.7, 60 windows, 5 seeds)\n");
     let blocks: [(&str, Ordering, Recovery); 6] = [
         ("A  classical, none", Ordering::InOrder, Recovery::None),
-        ("B  classical, retransmit", Ordering::InOrder, Recovery::Retransmit),
-        ("C  classical, FEC k=4", Ordering::InOrder, Recovery::Fec { group: 4 }),
+        (
+            "B  classical, retransmit",
+            Ordering::InOrder,
+            Recovery::Retransmit,
+        ),
+        (
+            "C  classical, FEC k=4",
+            Ordering::InOrder,
+            Recovery::Fec { group: 4 },
+        ),
         ("D  spread,    none", Ordering::spread(), Recovery::None),
-        ("E  spread,    retransmit", Ordering::spread(), Recovery::Retransmit),
-        ("F  spread,    FEC k=4", Ordering::spread(), Recovery::Fec { group: 4 }),
+        (
+            "E  spread,    retransmit",
+            Ordering::spread(),
+            Recovery::Retransmit,
+        ),
+        (
+            "F  spread,    FEC k=4",
+            Ordering::spread(),
+            Recovery::Fec { group: 4 },
+        ),
     ];
 
     println!(
@@ -65,7 +81,24 @@ fn main() {
             .expect("block present")
     };
     println!("\northogonality checks:");
-    println!("  D < A (spreading alone helps, zero extra bandwidth): {:.2} < {:.2} → {}", clf('D'), clf('A'), clf('D') < clf('A'));
-    println!("  E < B (spreading improves retransmission):           {:.2} < {:.2} → {}", clf('E'), clf('B'), clf('E') < clf('B'));
-    println!("  F < C (spreading improves FEC):                      {:.2} < {:.2} → {}", clf('F'), clf('C'), clf('F') < clf('C'));
+    println!(
+        "  D < A (spreading alone helps, zero extra bandwidth): {:.2} < {:.2} → {}",
+        clf('D'),
+        clf('A'),
+        clf('D') < clf('A')
+    );
+    println!(
+        "  E < B (spreading improves retransmission):           {:.2} < {:.2} → {}",
+        clf('E'),
+        clf('B'),
+        clf('E') < clf('B')
+    );
+    println!(
+        "  F < C (spreading improves FEC):                      {:.2} < {:.2} → {}",
+        clf('F'),
+        clf('C'),
+        clf('F') < clf('C')
+    );
+
+    espread_bench::write_telemetry_snapshot("orthogonality_blocks");
 }

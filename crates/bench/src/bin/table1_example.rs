@@ -8,7 +8,9 @@
 //! cargo run -p espread-bench --bin table1_example
 //! ```
 
-use espread_core::{burst_loss_pattern, calculate_permutation, cpo::stride_permutation, worst_case_clf, Permutation};
+use espread_core::{
+    burst_loss_pattern, calculate_permutation, cpo::stride_permutation, worst_case_clf, Permutation,
+};
 
 fn one_indexed(perm: &Permutation) -> String {
     perm.as_slice()
@@ -24,7 +26,10 @@ fn main() {
     let burst_start = 6; // the illustration's mid-window burst
 
     println!("Table 1: an example of how the order of frames sent affects CLF");
-    println!("(window n = {n}, bursty loss b = {b}, burst at slots {burst_start}..{})\n", burst_start + b);
+    println!(
+        "(window n = {n}, bursty loss b = {b}, burst at slots {burst_start}..{})\n",
+        burst_start + b
+    );
 
     let in_order = Permutation::identity(n);
     let permuted = stride_permutation(n, 5); // the paper's published order
@@ -35,8 +40,18 @@ fn main() {
     println!("{:<12} {}", "in order", one_indexed(&in_order));
     println!("{:<12} {}", "permuted", one_indexed(&permuted));
     println!();
-    println!("{:<12} {}   CLF {}/{n}", "in order", naive_loss, naive_loss.longest_run());
-    println!("{:<12} {}   CLF {}/{n}", "un-permuted", spread_loss, spread_loss.longest_run());
+    println!(
+        "{:<12} {}   CLF {}/{n}",
+        "in order",
+        naive_loss,
+        naive_loss.longest_run()
+    );
+    println!(
+        "{:<12} {}   CLF {}/{n}",
+        "un-permuted",
+        spread_loss,
+        spread_loss.longest_run()
+    );
     println!();
     println!(
         "worst case over all burst positions: in-order {}, permuted {}",
@@ -50,4 +65,6 @@ fn main() {
         choice.family, choice.worst_clf
     );
     println!("\npaper row values: CLF 5/17 in order, 1/17 permuted.");
+
+    espread_bench::write_telemetry_snapshot("table1_example");
 }

@@ -24,13 +24,25 @@ fn one_indexed(perm: &Permutation) -> String {
 fn main() {
     let n = 8;
     println!("Table 2: 8-frame orderings\n");
-    println!("{:<10} {}", "in order", one_indexed(&Permutation::identity(n)));
+    println!(
+        "{:<10} {}",
+        "in order",
+        one_indexed(&Permutation::identity(n))
+    );
     println!("{:<10} {}", "IBO", one_indexed(&inverse_binary_order(n)));
     let sample = calculate_permutation(n, 5);
-    println!("{:<10} {}   (one case: b = 5, {})\n", "k-CPO", one_indexed(&sample.permutation), sample.family);
+    println!(
+        "{:<10} {}   (one case: b = 5, {})\n",
+        "k-CPO",
+        one_indexed(&sample.permutation),
+        sample.family
+    );
 
     println!("worst-case CLF per burst size (window {n}):");
-    println!("{:>6} {:>9} {:>6} {:>6}   note", "burst", "in-order", "IBO", "CPO");
+    println!(
+        "{:>6} {:>9} {:>6} {:>6}   note",
+        "burst", "in-order", "IBO", "CPO"
+    );
     for b in 1..=n {
         let id = worst_case_clf(&Permutation::identity(n), b);
         let ibo = worst_case_clf(&inverse_binary_order(n), b);
@@ -46,4 +58,6 @@ fn main() {
         assert!(cpo <= ibo, "CPO must never be worse (b={b})");
     }
     println!("\n✓ k-CPO ≤ IBO at every burst size (the paper: \"better than IBO in all cases\")");
+
+    espread_bench::write_telemetry_snapshot("table2_ibo_vs_cpo");
 }

@@ -13,7 +13,10 @@ use espread_core::{calculate_permutation, theorem_one};
 
 fn main() {
     println!("Theorem 1 validation: k*(n, b) bracketed by the reconstructed bounds\n");
-    println!("{:>4} {:>4} {:>7} {:>7} {:>7} {:>7}  regime", "n", "b", "lower", "exact", "upper", "tight");
+    println!(
+        "{:>4} {:>4} {:>7} {:>7} {:>7} {:>7}  regime",
+        "n", "b", "lower", "exact", "upper", "tight"
+    );
     let mut checked = 0usize;
     let mut tight = 0usize;
     for n in [8usize, 12, 17, 24, 32, 48, 64] {
@@ -50,4 +53,6 @@ fn main() {
     }
     println!("\n{checked} (n, b) pairs checked; bounds tight in {tight} of them.");
     println!("Every exact optimum fell inside the reconstructed Theorem-1 bracket.");
+
+    espread_bench::write_telemetry_snapshot("theorem1_validation");
 }

@@ -103,6 +103,28 @@ pub fn ascii_plot(title: &str, series: &[(&str, Vec<f64>)], height: usize) -> St
     out
 }
 
+/// Dumps the global telemetry snapshot to `results/telemetry_<name>.json`
+/// (JSON-lines) and reports the path on stdout. Call at the end of each
+/// experiment binary; without the `telemetry` feature this is a no-op.
+#[cfg(feature = "telemetry")]
+pub fn write_telemetry_snapshot(name: &str) {
+    let snapshot = espread_telemetry::global().snapshot();
+    let path = format!("results/telemetry_{name}.json");
+    // Leading meta line keeps the file self-describing (and non-empty even
+    // for binaries that never touch an instrumented path).
+    let mut body = format!("{{\"type\":\"meta\",\"bench\":\"{name}\"}}\n");
+    body.push_str(&espread_telemetry::sink::to_json_lines(&snapshot));
+    let result = std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, body));
+    match result {
+        Ok(()) => println!("\ntelemetry snapshot written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+/// No-op without the `telemetry` feature.
+#[cfg(not(feature = "telemetry"))]
+pub fn write_telemetry_snapshot(_name: &str) {}
+
 /// Mean of a slice (0 when empty).
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {

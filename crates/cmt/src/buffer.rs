@@ -119,7 +119,11 @@ mod tests {
         buf.push(frame(3, FrameType::P), 1000);
         buf.push(frame(2, FrameType::B), 1000);
         buf.push(frame(6, FrameType::P), 1000);
-        let order: Vec<usize> = buf.drain_prioritised().iter().map(|f| f.frame.index).collect();
+        let order: Vec<usize> = buf
+            .drain_prioritised()
+            .iter()
+            .map(|f| f.frame.index)
+            .collect();
         assert_eq!(order, vec![0, 3, 6, 1, 2]);
         assert!(buf.is_empty());
     }

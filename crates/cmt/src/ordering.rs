@@ -67,10 +67,7 @@ mod tests {
         for b in 1..8 {
             let ibo = BFrameOrdering::Ibo.permutation(8);
             let cpo = BFrameOrdering::Cpo { burst: b }.permutation(8);
-            assert!(
-                worst_case_clf(&cpo, b) <= worst_case_clf(&ibo, b),
-                "b={b}"
-            );
+            assert!(worst_case_clf(&cpo, b) <= worst_case_clf(&ibo, b), "b={b}");
         }
     }
 

@@ -86,6 +86,7 @@ impl Pipeline {
 
     /// Streams every cycle and collects per-cycle continuity metrics.
     pub fn run(mut self) -> WindowSeries {
+        let _span = crate::telem::span("cmt.pipeline.run_ns");
         let mut series = WindowSeries::new();
         let mut cycle_index = 0u64;
         while let Some(mut buffer) = self.file_segment.next_cycle() {
@@ -95,6 +96,7 @@ impl Pipeline {
             let outcome = self
                 .pkt_src
                 .send_cycle_with(&mut buffer, now, deadline, self.strategy);
+            crate::telem::count_n("cmt.pipeline.cycles", 1);
             series.push(outcome.metrics);
             cycle_index += 1;
         }
@@ -166,7 +168,10 @@ mod tests {
                     ..PipelineConfig::default()
                 };
                 let trace = MpegTrace::new(Movie::JurassicPark, 3);
-                total += Pipeline::new(trace, &config, ordering).run().summary().mean_clf;
+                total += Pipeline::new(trace, &config, ordering)
+                    .run()
+                    .summary()
+                    .mean_clf;
             }
             total / 10.0
         };

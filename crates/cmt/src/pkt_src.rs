@@ -121,6 +121,7 @@ impl PktSrc {
         deadline: SimTime,
         strategy: SendStrategy,
     ) -> CycleOutcome {
+        let _cycle_span = crate::telem::span("cmt.pkt_src.send_cycle_ns");
         // Order: anchors (classes 0 and 1) in playout order, then the B
         // class under the plug-in ordering.
         let anchors: Vec<_> = buffer
@@ -129,9 +130,12 @@ impl PktSrc {
             .chain(buffer.of_class(1))
             .collect();
         let bs = buffer.of_class(2);
-        let b_order = self.ordering.permutation(bs.len());
-        let ordered_bs = b_order.as_slice().iter().map(|&i| bs[i]);
-        let frames: Vec<_> = anchors.into_iter().chain(ordered_bs).collect();
+        let frames: Vec<_> = {
+            let _span = crate::telem::span("cmt.pkt_src.permute_ns");
+            let b_order = self.ordering.permutation(bs.len());
+            let ordered_bs = b_order.as_slice().iter().map(|&i| bs[i]);
+            anchors.into_iter().chain(ordered_bs).collect()
+        };
 
         let mut dest = PktDest::new(frames.iter().map(|f| f.frame.index).collect());
         let mut attempted = vec![false; frames.len()];
@@ -195,7 +199,10 @@ impl PktSrc {
             }
         }
 
-        let pattern = dest.pattern();
+        let pattern = {
+            let _span = crate::telem::span("cmt.pkt_dest.depermute_ns");
+            dest.pattern()
+        };
         let dropped = attempted.iter().filter(|&&a| !a).count();
         let network_lost = frames
             .iter()
@@ -203,6 +210,9 @@ impl PktSrc {
             .filter(|(idx, f)| attempted[*idx] && dest.arrival_of(f.frame.index).is_none())
             .count();
         let _ = buffer.drain_prioritised(); // the cycle is consumed
+        crate::telem::count_n("cmt.pkt_src.frames_dropped", dropped as u64);
+        crate::telem::count_n("cmt.pkt_src.frames_network_lost", network_lost as u64);
+        crate::telem::count_n("cmt.pkt_src.resends", resends);
 
         CycleOutcome {
             metrics: ContinuityMetrics::of(&pattern),
@@ -338,7 +348,12 @@ mod tests {
             );
             let mut src = PktSrc::new(link, BFrameOrdering::Cpo { burst: 3 }, 2048, 28);
             let mut buf = staged_buffer(10);
-            src.send_cycle_with(&mut buf, SimTime::ZERO, SimTime::from_micros(5_000_000), strategy)
+            src.send_cycle_with(
+                &mut buf,
+                SimTime::ZERO,
+                SimTime::from_micros(5_000_000),
+                strategy,
+            )
         };
         let mut single_lost = 0;
         let mut cyclic_lost = 0;

@@ -1,0 +1,35 @@
+//! Telemetry shim: real instruments when the `telemetry` feature is on,
+//! allocation-free no-ops otherwise, so call sites need no `cfg` of their
+//! own.
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    /// Starts an RAII span recording elapsed nanoseconds into the named
+    /// histogram of the global registry.
+    #[inline]
+    pub(crate) fn span(name: &'static str) -> espread_telemetry::SpanGuard {
+        espread_telemetry::global().histogram(name).start_timer()
+    }
+
+    /// Adds `n` to the named counter of the global registry.
+    #[inline]
+    pub(crate) fn count_n(name: &'static str, n: u64) {
+        espread_telemetry::global().counter(name).add(n);
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod imp {
+    /// Stand-in for [`espread_telemetry::SpanGuard`]; does nothing on drop.
+    pub(crate) struct NoopSpan;
+
+    #[inline(always)]
+    pub(crate) fn span(_name: &'static str) -> NoopSpan {
+        NoopSpan
+    }
+
+    #[inline(always)]
+    pub(crate) fn count_n(_name: &'static str, _n: u64) {}
+}
+
+pub(crate) use imp::*;

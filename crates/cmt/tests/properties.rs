@@ -5,11 +5,7 @@ use espread_trace::{Frame, FrameType, Movie, MpegTrace};
 use proptest::prelude::*;
 
 fn any_frame_type() -> impl Strategy<Value = FrameType> {
-    prop_oneof![
-        Just(FrameType::I),
-        Just(FrameType::P),
-        Just(FrameType::B)
-    ]
+    prop_oneof![Just(FrameType::I), Just(FrameType::P), Just(FrameType::B)]
 }
 
 fn any_ordering() -> impl Strategy<Value = BFrameOrdering> {

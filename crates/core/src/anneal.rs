@@ -96,8 +96,7 @@ pub fn optimize_order(n: usize, b: usize, iterations: usize, seed: u64) -> Optim
             j = (j + 1) % n;
         }
         current.swap(i, j);
-        let candidate =
-            Permutation::from_vec(current.clone()).expect("swap preserves permutation");
+        let candidate = Permutation::from_vec(current.clone()).expect("swap preserves permutation");
         let s = score(&candidate, b);
         if s < best_score {
             best_score = s;

@@ -140,6 +140,8 @@ pub fn stride_permutation(n: usize, s: usize) -> Permutation {
 /// assert_eq!(choice.worst_clf, 1); // Table 1: burst of 5 spread to CLF 1
 /// ```
 pub fn calculate_permutation(n: usize, b: usize) -> SpreadChoice {
+    let _span = crate::telem::span("core.calculate_permutation.ns");
+    crate::telem::count("core.calculate_permutation.calls");
     if n == 0 || b == 0 || b >= n {
         let permutation = Permutation::identity(n);
         let worst_clf = worst_case_clf(&permutation, b);
@@ -159,7 +161,10 @@ pub fn calculate_permutation(n: usize, b: usize) -> SpreadChoice {
     // Block interleavers with every feasible row count (rows ≥ 2, at least
     // two columns); these occasionally beat strides for composite n.
     for rows in 2..=n / 2 {
-        candidates.push((block_interleaver(n, rows), OrderFamily::BlockInterleave(rows)));
+        candidates.push((
+            block_interleaver(n, rows),
+            OrderFamily::BlockInterleave(rows),
+        ));
         candidates.push((
             block_interleaver_reversed(n, rows),
             OrderFamily::BlockInterleaveReversed(rows),
@@ -204,10 +209,7 @@ pub fn calculate_permutation(n: usize, b: usize) -> SpreadChoice {
         if scores[idx] != best_clf {
             continue;
         }
-        let profile: usize = probe_sizes
-            .iter()
-            .map(|&pb| worst_case_clf(perm, pb))
-            .sum();
+        let profile: usize = probe_sizes.iter().map(|&pb| worst_case_clf(perm, pb)).sum();
         let gap = min_spread_gap(perm, b);
         let better = match best {
             None => true,
@@ -332,6 +334,7 @@ pub fn min_window_for(k: usize, b: usize, limit: usize) -> Option<usize> {
 /// largest *spreadable* burst, `n − 1`, so the returned permutation is
 /// still a useful interleaving rather than the degenerate identity.
 pub fn k_cpo(n: usize, k: usize) -> SpreadChoice {
+    let _span = crate::telem::span("core.k_cpo.ns");
     let b = max_tolerable_burst(n, k).clamp(1, n.saturating_sub(1).max(1));
     calculate_permutation(n, b)
 }

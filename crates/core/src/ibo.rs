@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn paper_table2_order() {
-        assert_eq!(inverse_binary_order(8).as_slice(), &[0, 4, 2, 6, 1, 5, 3, 7]);
+        assert_eq!(
+            inverse_binary_order(8).as_slice(),
+            &[0, 4, 2, 6, 1, 5, 3, 7]
+        );
     }
 
     #[test]

@@ -280,7 +280,10 @@ mod tests {
         let b = Permutation::from_vec(vec![1, 2, 0]).unwrap();
         let c = a.compose(&b);
         for t in 0..3 {
-            assert_eq!(c.playout_of_slot(t), a.playout_of_slot(b.playout_of_slot(t)));
+            assert_eq!(
+                c.playout_of_slot(t),
+                a.playout_of_slot(b.playout_of_slot(t))
+            );
         }
     }
 

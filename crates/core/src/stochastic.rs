@@ -173,9 +173,7 @@ mod tests {
             let mut p = bernoulli(11, 150);
             means.push(monte_carlo_clf(&perm, 4000, &mut p).mean_clf);
         }
-        let spread = means
-            .iter()
-            .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        let spread = means.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
             - means.iter().fold(f64::INFINITY, |a, &b| a.min(b));
         assert!(spread < 0.12, "iid means should agree, got {means:?}");
     }

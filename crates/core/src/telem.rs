@@ -1,0 +1,35 @@
+//! Telemetry shim: real instruments when the `telemetry` feature is on,
+//! allocation-free no-ops otherwise, so call sites need no `cfg` of their
+//! own.
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    /// Starts an RAII span recording elapsed nanoseconds into the named
+    /// histogram of the global registry.
+    #[inline]
+    pub(crate) fn span(name: &'static str) -> espread_telemetry::SpanGuard {
+        espread_telemetry::global().histogram(name).start_timer()
+    }
+
+    /// Bumps the named counter of the global registry.
+    #[inline]
+    pub(crate) fn count(name: &'static str) {
+        espread_telemetry::global().counter(name).inc();
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod imp {
+    /// Stand-in for [`espread_telemetry::SpanGuard`]; does nothing on drop.
+    pub(crate) struct NoopSpan;
+
+    #[inline(always)]
+    pub(crate) fn span(_name: &'static str) -> NoopSpan {
+        NoopSpan
+    }
+
+    #[inline(always)]
+    pub(crate) fn count(_name: &'static str) {}
+}
+
+pub(crate) use imp::*;

@@ -130,11 +130,19 @@ mod tests {
     use crate::time::SimDuration;
 
     fn lossless_link(bps: u64) -> Link {
-        Link::new(bps, SimDuration::from_millis(10), GilbertModel::new(1.0, 0.0, 0))
+        Link::new(
+            bps,
+            SimDuration::from_millis(10),
+            GilbertModel::new(1.0, 0.0, 0),
+        )
     }
 
     fn dead_link(bps: u64) -> Link {
-        Link::new(bps, SimDuration::from_millis(10), GilbertModel::new(0.0, 1.0, 0))
+        Link::new(
+            bps,
+            SimDuration::from_millis(10),
+            GilbertModel::new(0.0, 1.0, 0),
+        )
     }
 
     #[test]

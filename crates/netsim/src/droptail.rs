@@ -56,7 +56,10 @@ impl DropTailConfig {
         if self.drain_bps == 0 {
             return Err("drain rate must be positive".into());
         }
-        for (name, p) in [("p_stay_on", self.p_stay_on), ("p_stay_off", self.p_stay_off)] {
+        for (name, p) in [
+            ("p_stay_on", self.p_stay_on),
+            ("p_stay_off", self.p_stay_off),
+        ] {
             if !p.is_finite() || !(0.0..=1.0).contains(&p) {
                 return Err(format!("{name} must be a probability"));
             }
@@ -197,7 +200,7 @@ mod tests {
         }
         let admitted = outcomes.iter().filter(|&&a| a).count();
         assert_eq!(admitted, 10); // 10 × 1000 B fill the 10 000 B buffer
-        // The drops are a single run at the tail: drop-tail burstiness.
+                                  // The drops are a single run at the tail: drop-tail burstiness.
         assert!(outcomes[..10].iter().all(|&a| a));
         assert!(outcomes[10..].iter().all(|&a| !a));
     }
@@ -209,7 +212,7 @@ mod tests {
             let _ = q.offer(SimTime::ZERO, 1000);
         }
         assert!(!q.offer(SimTime::ZERO, 1000)); // full
-        // After 40 ms the 1 Mbps drain clears 5000 B.
+                                                // After 40 ms the 1 Mbps drain clears 5000 B.
         assert!(q.offer(SimTime::ZERO + SimDuration::from_millis(40), 1000));
         assert!(q.backlog_bytes() <= 7_000.0);
     }
@@ -237,7 +240,10 @@ mod tests {
                 max_run = max_run.max(cur);
             }
         }
-        assert!(max_run >= 2, "drop-tail losses must be bursty, got {max_run}");
+        assert!(
+            max_run >= 2,
+            "drop-tail losses must be bursty, got {max_run}"
+        );
     }
 
     #[test]

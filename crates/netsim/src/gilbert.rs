@@ -39,6 +39,7 @@ pub struct GilbertModel {
     p_bad: f64,
     state: ChannelState,
     rng: DetRng,
+    bursts: crate::telem::BurstTracker,
 }
 
 impl GilbertModel {
@@ -63,6 +64,7 @@ impl GilbertModel {
             p_bad,
             state: ChannelState::Good,
             rng: DetRng::seed_from(seed),
+            bursts: crate::telem::BurstTracker::new(),
         }
     }
 
@@ -96,7 +98,9 @@ impl GilbertModel {
             ChannelState::Bad if stay < self.p_bad => ChannelState::Bad,
             ChannelState::Bad => ChannelState::Good,
         };
-        self.state == ChannelState::Good
+        let delivered = self.state == ChannelState::Good;
+        self.bursts.observe(delivered);
+        delivered
     }
 
     /// The stationary probability of the BAD state — the long-run packet

@@ -40,18 +40,19 @@
 #![warn(missing_docs)]
 
 pub mod channel;
-pub mod event;
 pub mod droptail;
+pub mod event;
 pub mod gilbert;
 pub mod link;
 pub mod lossmodel;
 pub mod packet;
 pub mod rng;
+mod telem;
 pub mod time;
 
 pub use channel::DuplexChannel;
-pub use event::EventQueue;
 pub use droptail::{DropTailConfig, DropTailQueue};
+pub use event::EventQueue;
 pub use gilbert::{ChannelState, GilbertModel};
 pub use link::{Link, LinkStats, TransmitOutcome};
 pub use lossmodel::{LossProcess, ReplayTrace};

@@ -93,6 +93,7 @@ pub struct Link {
     stats: LinkStats,
     jitter: SimDuration,
     jitter_rng: DetRng,
+    telem: crate::telem::LinkTelem,
 }
 
 impl Link {
@@ -101,11 +102,7 @@ impl Link {
     /// # Panics
     ///
     /// Panics if `bandwidth_bps` is zero.
-    pub fn new(
-        bandwidth_bps: u64,
-        propagation: SimDuration,
-        loss: impl Into<LossProcess>,
-    ) -> Self {
+    pub fn new(bandwidth_bps: u64, propagation: SimDuration, loss: impl Into<LossProcess>) -> Self {
         assert!(bandwidth_bps > 0, "bandwidth must be positive");
         Link {
             bandwidth_bps,
@@ -115,6 +112,7 @@ impl Link {
             stats: LinkStats::default(),
             jitter: SimDuration::ZERO,
             jitter_rng: DetRng::seed_from(0),
+            telem: crate::telem::LinkTelem::new(),
         }
     }
 
@@ -162,9 +160,11 @@ impl Link {
         self.busy_until = departure;
         self.stats.offered += 1;
         self.stats.bytes_offered += u64::from(packet.size_bytes);
+        self.telem.on_offered();
         if self.loss.step_delivers(now, packet.size_bytes) {
             self.stats.delivered += 1;
             self.stats.bytes_delivered += u64::from(packet.size_bytes);
+            self.telem.on_delivered();
             let jitter = if self.jitter == SimDuration::ZERO {
                 SimDuration::ZERO
             } else {
@@ -176,6 +176,7 @@ impl Link {
             })
         } else {
             self.stats.lost += 1;
+            self.telem.on_lost();
             TransmitOutcome::Lost(packet)
         }
     }
@@ -304,8 +305,9 @@ mod tests {
             .with_jitter(SimDuration::from_millis(20), 4);
         let mut arrivals = Vec::new();
         for i in 0..100u64 {
-            if let Some(d) =
-                link.transmit(SimTime::ZERO, Packet::new(i, 100, SimTime::ZERO, i)).delivered()
+            if let Some(d) = link
+                .transmit(SimTime::ZERO, Packet::new(i, 100, SimTime::ZERO, i))
+                .delivered()
             {
                 arrivals.push((d.arrived_at, d.packet.payload));
             }

@@ -35,10 +35,7 @@ pub struct ReplayTrace {
 impl ReplayTrace {
     /// Wraps a per-packet delivery record (`true` = delivered).
     pub fn new(delivered: Vec<bool>) -> Self {
-        ReplayTrace {
-            delivered,
-            next: 0,
-        }
+        ReplayTrace { delivered, next: 0 }
     }
 
     /// Packets consumed so far.

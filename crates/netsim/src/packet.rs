@@ -49,7 +49,11 @@ impl<T> Packet<T> {
 
 impl<T> fmt::Display for Packet<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pkt#{} ({} B, {})", self.seq, self.size_bytes, self.sent_at)
+        write!(
+            f,
+            "pkt#{} ({} B, {})",
+            self.seq, self.size_bytes, self.sent_at
+        )
     }
 }
 

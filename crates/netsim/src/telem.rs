@@ -1,0 +1,109 @@
+//! Telemetry shim: real instruments when the `telemetry` feature is on,
+//! no-ops otherwise, so the simulator structs embed one field and stay
+//! `cfg`-free at the call sites.
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    use espread_telemetry::{global, Counter, Histogram};
+
+    /// Tracks loss runs and records each completed burst's length into the
+    /// global `netsim.gilbert.burst_len` histogram.
+    #[derive(Debug, Clone)]
+    pub struct BurstTracker {
+        hist: Histogram,
+        current: u64,
+    }
+
+    impl BurstTracker {
+        pub(crate) fn new() -> Self {
+            BurstTracker {
+                hist: global().histogram("netsim.gilbert.burst_len"),
+                current: 0,
+            }
+        }
+
+        /// Feeds one packet outcome; a delivery closes any open loss run.
+        #[inline]
+        pub(crate) fn observe(&mut self, delivered: bool) {
+            if delivered {
+                if self.current > 0 {
+                    self.hist.record(self.current);
+                    self.current = 0;
+                }
+            } else {
+                self.current += 1;
+            }
+        }
+    }
+
+    /// Per-link counters mirrored into the global registry.
+    #[derive(Debug, Clone)]
+    pub struct LinkTelem {
+        offered: Counter,
+        delivered: Counter,
+        lost: Counter,
+    }
+
+    impl LinkTelem {
+        pub(crate) fn new() -> Self {
+            let g = global();
+            LinkTelem {
+                offered: g.counter("netsim.link.packets_offered"),
+                delivered: g.counter("netsim.link.packets_delivered"),
+                lost: g.counter("netsim.link.packets_lost"),
+            }
+        }
+
+        #[inline]
+        pub(crate) fn on_offered(&self) {
+            self.offered.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_delivered(&self) {
+            self.delivered.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_lost(&self) {
+            self.lost.inc();
+        }
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod imp {
+    /// No-op stand-in; see the `telemetry`-feature variant.
+    #[derive(Debug, Clone)]
+    pub struct BurstTracker;
+
+    impl BurstTracker {
+        pub(crate) fn new() -> Self {
+            BurstTracker
+        }
+
+        #[inline(always)]
+        pub(crate) fn observe(&mut self, _delivered: bool) {}
+    }
+
+    /// No-op stand-in; see the `telemetry`-feature variant.
+    #[derive(Debug, Clone)]
+    pub struct LinkTelem;
+
+    impl LinkTelem {
+        pub(crate) fn new() -> Self {
+            LinkTelem
+        }
+
+        #[inline(always)]
+        pub(crate) fn on_offered(&self) {}
+
+        #[inline(always)]
+        pub(crate) fn on_delivered(&self) {}
+
+        #[inline(always)]
+        pub(crate) fn on_lost(&self) {}
+    }
+}
+
+pub(crate) use imp::{BurstTracker, LinkTelem};

@@ -195,7 +195,7 @@ mod tests {
         // 2 KiB at 1.2 Mbps: 16384 bits / 1.2e6 bps = 13.65 ms.
         let d = SimDuration::serialization(2048, 1_200_000);
         assert_eq!(d.as_micros(), 13_654); // rounded up
-        // 1 byte at 8 bps = 1 s exactly.
+                                           // 1 byte at 8 bps = 1 s exactly.
         assert_eq!(SimDuration::serialization(1, 8).as_micros(), 1_000_000);
         // Rounding up: 1 byte at 1 Gbps is still ≥ 1 µs.
         assert!(SimDuration::serialization(1, 1_000_000_000).as_micros() >= 1);

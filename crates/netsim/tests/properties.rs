@@ -1,8 +1,6 @@
 //! Property-based tests for the simulator's physical invariants.
 
-use espread_netsim::{
-    DuplexChannel, EventQueue, GilbertModel, Link, Packet, SimDuration, SimTime,
-};
+use espread_netsim::{DuplexChannel, EventQueue, GilbertModel, Link, Packet, SimDuration, SimTime};
 use proptest::prelude::*;
 
 proptest! {

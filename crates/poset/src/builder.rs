@@ -42,7 +42,10 @@ impl fmt::Display for PosetBuildError {
                 write!(f, "element {element} out of range for poset of size {len}")
             }
             PosetBuildError::SelfRelation { element } => {
-                write!(f, "self-relation on element {element} violates irreflexivity")
+                write!(
+                    f,
+                    "self-relation on element {element} violates irreflexivity"
+                )
             }
             PosetBuildError::Cycle { element } => {
                 write!(f, "relations contain a cycle through element {element}")

@@ -118,8 +118,12 @@ impl ClientWindow {
     /// only by FEC repair are stamped with `now` (repair happens at window
     /// close).
     pub fn finalize(mut self, now: SimTime) -> WindowOutcome {
-        let fec_recovered =
-            apply_fec_recovery(&mut self.reassembly, &mut self.received_keys, &self.parities);
+        let _span = crate::telem::span("protocol.client.finalize_ns");
+        let fec_recovered = apply_fec_recovery(
+            &mut self.reassembly,
+            &mut self.received_keys,
+            &self.parities,
+        );
 
         let completeness = self.reassembly.completeness();
         for (f, &complete) in completeness.iter().enumerate() {
@@ -181,13 +185,7 @@ mod tests {
 
     fn small_window() -> ClientWindow {
         // 4 frames: frames 0,1 critical (layer 0), frames 2,3 layer 1.
-        ClientWindow::new(
-            0,
-            &[Ldu::new(100); 4],
-            &[2, 2],
-            vec![0, 1],
-            2048,
-        )
+        ClientWindow::new(0, &[Ldu::new(100); 4], &[2, 2], vec![0, 1], 2048)
     }
 
     #[test]
@@ -236,26 +234,32 @@ mod tests {
         let ldus = [Ldu::new(5000)]; // 3 fragments at 2048
         let mut c = ClientWindow::new(0, &ldus, &[1], vec![0], 2048);
         for fr in 0..2u16 {
-            c.accept(T0, &DataPayload::Fragment(Fragment {
+            c.accept(
+                T0,
+                &DataPayload::Fragment(Fragment {
+                    window: 0,
+                    frame: 0,
+                    frag: fr,
+                    frags_total: 3,
+                    layer: 0,
+                    layer_slot: 0,
+                    retransmit: false,
+                }),
+            );
+        }
+        assert_eq!(c.missing_critical(), vec![0]);
+        c.accept(
+            T0,
+            &DataPayload::Fragment(Fragment {
                 window: 0,
                 frame: 0,
-                frag: fr,
+                frag: 2,
                 frags_total: 3,
                 layer: 0,
                 layer_slot: 0,
                 retransmit: false,
-            }));
-        }
-        assert_eq!(c.missing_critical(), vec![0]);
-        c.accept(T0, &DataPayload::Fragment(Fragment {
-            window: 0,
-            frame: 0,
-            frag: 2,
-            frags_total: 3,
-            layer: 0,
-            layer_slot: 0,
-            retransmit: false,
-        }));
+            }),
+        );
         assert!(c.missing_critical().is_empty());
         let out = c.finalize(T0);
         assert_eq!(out.pattern.lost(), 0);
@@ -265,15 +269,18 @@ mod tests {
     fn fec_parity_repairs_single_loss() {
         let mut c = ClientWindow::new(0, &[Ldu::new(100); 2], &[2], vec![], 2048);
         c.accept(T0, &frag(0, 0, 0, 0));
-        c.accept(T0, &DataPayload::Parity(ParityPacket {
-            window: 0,
-            group: 0,
-            members: vec![
-                FragmentKey { frame: 0, frag: 0 },
-                FragmentKey { frame: 1, frag: 0 },
-            ],
-            size_bytes: 100,
-        }));
+        c.accept(
+            T0,
+            &DataPayload::Parity(ParityPacket {
+                window: 0,
+                group: 0,
+                members: vec![
+                    FragmentKey { frame: 0, frag: 0 },
+                    FragmentKey { frame: 1, frag: 0 },
+                ],
+                size_bytes: 100,
+            }),
+        );
         let out = c.finalize(T0);
         assert_eq!(out.fec_recovered, 1);
         assert_eq!(out.pattern.lost(), 0);

@@ -37,7 +37,11 @@ pub struct WindowFeedback {
 
 impl fmt::Display for WindowFeedback {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ack(w{}, bursts {:?})", self.window, self.per_layer_burst)
+        write!(
+            f,
+            "ack(w{}, bursts {:?})",
+            self.window, self.per_layer_burst
+        )
     }
 }
 

@@ -96,7 +96,10 @@ impl WindowPlan {
                 Ordering::Spread { .. } => {
                     let b = bound_for(idx, len, critical, adaptive);
                     (
-                        calculate_permutation(len, b).permutation.as_slice().to_vec(),
+                        calculate_permutation(len, b)
+                            .permutation
+                            .as_slice()
+                            .to_vec(),
                         b,
                     )
                 }
@@ -300,5 +303,4 @@ mod tests {
             }
         }
     }
-
 }

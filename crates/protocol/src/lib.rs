@@ -53,6 +53,7 @@ pub mod packetize;
 pub mod server;
 pub mod session;
 pub mod source;
+mod telem;
 pub mod timing;
 
 pub use client::{ClientWindow, DataPayload, WindowOutcome};
@@ -60,9 +61,11 @@ pub use config::{LossModel, Ordering, ProtocolConfig, Recovery};
 pub use feedback::{AckTracker, FeedbackMsg, WindowFeedback};
 pub use layers::{LayerInfo, ScheduledFrame, WindowPlan};
 pub use mux::{aligned_av_sources, MuxReport, MuxSession, StreamId};
-pub use negotiation::{negotiate, AgreedSession, ClientCapabilities, NegotiationError, SessionOffer};
+pub use negotiation::{
+    negotiate, AgreedSession, ClientCapabilities, NegotiationError, SessionOffer,
+};
 pub use packetize::{Fragment, Ldu, Reassembly};
-pub use server::Server;
+pub use server::{AdaptationRecord, Server};
 pub use session::{Session, SessionReport};
 pub use source::StreamSource;
 pub use timing::{TimingAccumulator, TimingStats};

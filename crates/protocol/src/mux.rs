@@ -116,7 +116,8 @@ impl MuxSession {
         let mut video_series = WindowSeries::new();
 
         for w in 0..self.video.window_count() {
-            let window_start = SimTime::ZERO + SimDuration::from_micros(cycle.as_micros() * w as u64);
+            let window_start =
+                SimTime::ZERO + SimDuration::from_micros(cycle.as_micros() * w as u64);
             let window_end = window_start + cycle;
             let deadline = window_end + prop;
 
@@ -199,12 +200,18 @@ impl MuxSession {
             channel.send_ack(
                 deadline,
                 64,
-                (StreamId::Audio, FeedbackMsg::WindowAck(audio_outcome.feedback)),
+                (
+                    StreamId::Audio,
+                    FeedbackMsg::WindowAck(audio_outcome.feedback),
+                ),
             );
             channel.send_ack(
                 deadline,
                 64,
-                (StreamId::Video, FeedbackMsg::WindowAck(video_outcome.feedback)),
+                (
+                    StreamId::Video,
+                    FeedbackMsg::WindowAck(video_outcome.feedback),
+                ),
             );
         }
 
@@ -289,8 +296,14 @@ mod tests {
             plain_audio += plain.audio.summary().mean_clf;
             plain_video += plain.video.summary().mean_clf;
         }
-        assert!(spread_audio < plain_audio, "{spread_audio} vs {plain_audio}");
-        assert!(spread_video < plain_video, "{spread_video} vs {plain_video}");
+        assert!(
+            spread_audio < plain_audio,
+            "{spread_audio} vs {plain_audio}"
+        );
+        assert!(
+            spread_video < plain_video,
+            "{spread_video} vs {plain_video}"
+        );
     }
 
     #[test]

@@ -224,10 +224,7 @@ mod tests {
         let offer = paper_offer();
         assert_eq!(offer.frames_per_window(), 24);
         assert!((offer.startup_delay_secs() - 1.0).abs() < 1e-12);
-        assert_eq!(
-            offer.buffer_bytes(),
-            24 * u64::from(offer.max_frame_bytes)
-        );
+        assert_eq!(offer.buffer_bytes(), 24 * u64::from(offer.max_frame_bytes));
     }
 
     #[test]
@@ -298,7 +295,9 @@ mod tests {
             limit_ms: 600,
         };
         assert!(e.to_string().contains("start-up delay"));
-        assert!(NegotiationError::Invalid("x".into()).to_string().contains("invalid"));
+        assert!(NegotiationError::Invalid("x".into())
+            .to_string()
+            .contains("invalid"));
     }
 
     #[test]

@@ -149,7 +149,9 @@ impl Reassembly {
 
     /// Per-frame completeness for the whole window (`true` = decodable).
     pub fn completeness(&self) -> Vec<bool> {
-        (0..self.received.len()).map(|f| self.is_complete(f)).collect()
+        (0..self.received.len())
+            .map(|f| self.is_complete(f))
+            .collect()
     }
 
     /// Indices of frames still missing at least one fragment.

@@ -12,6 +12,21 @@ use crate::config::{Ordering, ProtocolConfig};
 use crate::feedback::{AckTracker, WindowFeedback};
 use crate::layers::WindowPlan;
 
+/// One applied adaptation step: the feedback that triggered it and how the
+/// per-layer estimates moved. Plain data, kept regardless of the
+/// `telemetry` feature so callers can observe adaptation either way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptationRecord {
+    /// The window the triggering feedback described.
+    pub feedback_window: u64,
+    /// Per-layer burst observations carried by the feedback.
+    pub observed_bursts: Vec<usize>,
+    /// Raw per-layer estimates before folding the feedback in.
+    pub old_estimates: Vec<f64>,
+    /// Raw per-layer estimates after folding the feedback in.
+    pub new_estimates: Vec<f64>,
+}
+
 /// Server state across buffer windows.
 #[derive(Debug, Clone)]
 pub struct Server {
@@ -19,6 +34,7 @@ pub struct Server {
     estimators: Vec<BurstEstimator>,
     acks: AckTracker,
     last_applied_window: Option<u64>,
+    last_adaptation: Option<AdaptationRecord>,
 }
 
 impl Server {
@@ -47,6 +63,7 @@ impl Server {
             estimators,
             acks: AckTracker::new(),
             last_applied_window: None,
+            last_adaptation: None,
         }
     }
 
@@ -70,19 +87,35 @@ impl Server {
     /// Starts a new buffer window: folds in the freshest unapplied ACK and
     /// returns the transmission plan.
     pub fn plan_window(&mut self, poset: &Poset) -> WindowPlan {
+        self.last_adaptation = None;
         if let Some(fb) = self.acks.latest() {
             let newer = self
                 .last_applied_window
                 .is_none_or(|applied| fb.window > applied);
             if newer {
                 self.last_applied_window = Some(fb.window);
+                let feedback_window = fb.window;
                 let bursts = fb.per_layer_burst.clone();
+                let old_estimates = self.raw_estimates();
                 for (est, observed) in self.estimators.iter_mut().zip(&bursts) {
                     est.observe(*observed as f64);
                 }
+                self.last_adaptation = Some(AdaptationRecord {
+                    feedback_window,
+                    observed_bursts: bursts,
+                    old_estimates,
+                    new_estimates: self.raw_estimates(),
+                });
             }
         }
         WindowPlan::build(self.ordering, poset, &self.estimates())
+    }
+
+    /// The adaptation performed by the most recent [`Self::plan_window`]
+    /// call, if that call applied fresh feedback. Consumes the record, so a
+    /// planning round without new feedback reads as `None`.
+    pub fn take_last_adaptation(&mut self) -> Option<AdaptationRecord> {
+        self.last_adaptation.take()
     }
 }
 

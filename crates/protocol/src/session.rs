@@ -100,6 +100,7 @@ impl SessionReport {
 pub struct Session {
     config: ProtocolConfig,
     source: StreamSource,
+    telem: crate::telem::SessionTelem,
 }
 
 impl Session {
@@ -112,7 +113,20 @@ impl Session {
         if let Err(e) = config.validate() {
             panic!("invalid protocol configuration: {e}");
         }
-        Session { config, source }
+        Session {
+            config,
+            source,
+            telem: crate::telem::SessionTelem::default_global(),
+        }
+    }
+
+    /// Routes this session's telemetry (phase spans, per-window ALF/CLF
+    /// gauges, adaptation events) to `registry` instead of the process
+    /// global — used by tests to observe one session in isolation.
+    #[cfg(feature = "telemetry")]
+    pub fn with_telemetry(mut self, registry: espread_telemetry::Registry) -> Self {
+        self.telem = crate::telem::SessionTelem::new(registry);
+        self
     }
 
     /// The configuration in use.
@@ -161,12 +175,21 @@ impl Session {
             let window_end = window_start + cycle;
 
             // 1. Server reads feedback that has arrived by now.
-            for d in channel.poll_acks(window_start) {
-                if let FeedbackMsg::WindowAck(fb) = d.packet.payload {
-                    server.offer_ack(d.packet.seq, fb);
+            {
+                let _span = self.telem.span("protocol.session.feedback_ns");
+                for d in channel.poll_acks(window_start) {
+                    if let FeedbackMsg::WindowAck(fb) = d.packet.payload {
+                        server.offer_ack(d.packet.seq, fb);
+                    }
                 }
             }
-            let plan = server.plan_window(&self.source.poset);
+            let plan = {
+                let _span = self.telem.span("protocol.session.plan_ns");
+                server.plan_window(&self.source.poset)
+            };
+            if let Some(record) = server.take_last_adaptation() {
+                self.telem.adaptation(w, &record);
+            }
             estimate_history.push(server.raw_estimates());
 
             let mut client = ClientWindow::new(
@@ -234,9 +257,17 @@ impl Session {
             };
 
             // 2. Critical phase.
+            let send_span = self.telem.span("protocol.session.send_ns");
             let (critical, rest) = plan.schedule.split_at(plan.critical_prefix);
             for sf in critical {
-                let _ = send_frame(&mut channel, sf, false, true, window_start, &mut dropped_frames);
+                let _ = send_frame(
+                    &mut channel,
+                    sf,
+                    false,
+                    true,
+                    window_start,
+                    &mut dropped_frames,
+                );
             }
             let critical_done = channel.forward().busy_until().max(window_start);
             let client_sees_critical = critical_done + prop;
@@ -284,9 +315,16 @@ impl Session {
                             .iter()
                             .find(|s| s.frame == frame)
                             .expect("critical frame is scheduled");
-                        if send_frame(&mut channel, sf, true, false, resume_at, &mut dropped_frames)
-                        {
+                        if send_frame(
+                            &mut channel,
+                            sf,
+                            true,
+                            false,
+                            resume_at,
+                            &mut dropped_frames,
+                        ) {
                             retransmissions += 1;
+                            self.telem.on_retransmission();
                         }
                     }
                     resume_at = channel.forward().busy_until().max(resume_at);
@@ -307,10 +345,9 @@ impl Session {
             if let Some(mut enc) = fec.take() {
                 if let Some(parity) = enc.flush() {
                     // Best effort: the trailing parity ships if it fits.
-                    if channel.earliest_data_departure(
-                        resume_at,
-                        parity.size_bytes + cfg.header_bytes,
-                    ) <= window_end
+                    if channel
+                        .earliest_data_departure(resume_at, parity.size_bytes + cfg.header_bytes)
+                        <= window_end
                     {
                         channel.send_data(
                             resume_at,
@@ -320,6 +357,7 @@ impl Session {
                     }
                 }
             }
+            drop(send_span);
 
             // 5. Window close: deliver everything sent this cycle.
             let deadline = window_end + prop;
@@ -333,7 +371,10 @@ impl Session {
                 critical_total += 1;
                 critical_lost += u64::from(outcome.pattern.is_lost(f));
             }
-            series.push(ContinuityMetrics::of(&outcome.pattern));
+            let metrics = ContinuityMetrics::of(&outcome.pattern);
+            self.telem
+                .window_metrics(w, metrics.lost(), metrics.window_len(), metrics.clf());
+            series.push(metrics);
             patterns.push(outcome.pattern.clone());
             channel.send_ack(
                 deadline,

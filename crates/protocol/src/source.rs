@@ -31,7 +31,12 @@ impl StreamSource {
         let all = trace.frames(frames_per_window * count);
         let windows = all
             .chunks_exact(frames_per_window)
-            .map(|chunk| chunk.iter().map(|f| Ldu::new(f.size_bytes.max(1))).collect())
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|f| Ldu::new(f.size_bytes.max(1)))
+                    .collect()
+            })
             .collect();
         StreamSource {
             poset,

@@ -31,7 +31,7 @@ use crate::loss::LossPattern;
 /// assert_eq!(alf.to_string(), "2/4");
 /// assert!(Alf::new(1, 4) < Alf::new(2, 4));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Alf {
     lost: usize,
     total: usize,
@@ -65,6 +65,35 @@ impl Alf {
         } else {
             self.lost as f64 / self.total as f64
         }
+    }
+
+    /// The fraction in lowest terms; all zero-loss windows (including the
+    /// empty one) canonicalise to `0/1` so that equality and hashing agree
+    /// with [`Ord`], which compares fraction *values*.
+    fn reduced(self) -> (usize, usize) {
+        if self.lost == 0 {
+            return (0, 1);
+        }
+        let mut a = self.lost;
+        let mut b = self.total;
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        (self.lost / a, self.total / a)
+    }
+}
+
+impl PartialEq for Alf {
+    fn eq(&self, other: &Self) -> bool {
+        self.reduced() == other.reduced()
+    }
+}
+
+impl Eq for Alf {}
+
+impl std::hash::Hash for Alf {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.reduced().hash(state);
     }
 }
 
@@ -198,8 +227,42 @@ mod tests {
     fn alf_fraction_ordering() {
         assert!(Alf::new(1, 3) > Alf::new(1, 4));
         assert!(Alf::new(2, 8) == Alf::new(2, 8));
-        assert_eq!(Alf::new(1, 2).cmp(&Alf::new(2, 4)), std::cmp::Ordering::Equal);
+        assert_eq!(
+            Alf::new(1, 2).cmp(&Alf::new(2, 4)),
+            std::cmp::Ordering::Equal
+        );
         assert!(Alf::new(0, 5) < Alf::new(1, 100));
+    }
+
+    #[test]
+    fn alf_eq_and_hash_agree_with_ord() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+
+        let hash = |alf: Alf| {
+            let mut h = DefaultHasher::new();
+            alf.hash(&mut h);
+            h.finish()
+        };
+
+        // Equal fraction values must be ==, hash alike, and cmp Equal.
+        let pairs = [
+            (Alf::new(1, 2), Alf::new(2, 4)),
+            (Alf::new(0, 0), Alf::new(0, 7)),
+            (Alf::new(3, 3), Alf::new(5, 5)),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+            assert_eq!(a, b);
+            assert_eq!(hash(a), hash(b));
+        }
+
+        // Distinct fraction values stay distinct.
+        assert_ne!(Alf::new(1, 2), Alf::new(1, 3));
+        assert_ne!(
+            Alf::new(1, 2).cmp(&Alf::new(1, 3)),
+            std::cmp::Ordering::Equal
+        );
     }
 
     #[test]

@@ -207,6 +207,8 @@ mod tests {
         assert_eq!(Acceptability::Acceptable.to_string(), "acceptable");
         assert!(Acceptability::TooBursty.to_string().contains("CLF"));
         assert!(Acceptability::TooLossy.to_string().contains("ALF"));
-        assert!(Acceptability::Unwatchable.to_string().contains("unwatchable"));
+        assert!(Acceptability::Unwatchable
+            .to_string()
+            .contains("unwatchable"));
     }
 }

@@ -1,6 +1,8 @@
 //! Property-based tests for the continuity-metric invariants.
 
-use espread_qos::{score, Alf, Concealment, ContinuityMetrics, LossPattern, MediaKind, WindowSeries};
+use espread_qos::{
+    score, Alf, Concealment, ContinuityMetrics, LossPattern, MediaKind, WindowSeries,
+};
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary loss pattern of 0..=64 slots.

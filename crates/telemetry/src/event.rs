@@ -1,0 +1,75 @@
+//! Streaming-domain telemetry events.
+
+/// One discrete occurrence worth logging alongside the numeric metrics.
+///
+/// Events capture the *adaptive* behaviour of the protocol — the things a
+/// gauge cannot: which feedback triggered a re-permutation and how the
+/// estimates moved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The sender folded a window ACK into its per-layer burst estimators
+    /// and re-planned — the paper's §4.2 adaptation step.
+    Adaptation {
+        /// The window being planned when the ACK was applied.
+        window: u64,
+        /// The window the triggering feedback described.
+        feedback_window: u64,
+        /// Per-layer burst observations carried by the feedback.
+        observed_bursts: Vec<usize>,
+        /// Raw per-layer estimates before folding the feedback in.
+        old_estimates: Vec<f64>,
+        /// Raw per-layer estimates after folding the feedback in.
+        new_estimates: Vec<f64>,
+    },
+    /// Continuity metrics of one finished playout window.
+    WindowMetrics {
+        /// The window index.
+        window: u64,
+        /// Unit losses in the window (the ALF numerator).
+        lost: usize,
+        /// Window length in slots (the ALF denominator).
+        window_len: usize,
+        /// Longest run of consecutive losses (the CLF).
+        clf: usize,
+    },
+}
+
+impl Event {
+    /// Writes the event as one JSON object (no trailing newline).
+    pub(crate) fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            Event::Adaptation {
+                window,
+                feedback_window,
+                observed_bursts,
+                old_estimates,
+                new_estimates,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"event\",\"kind\":\"adaptation\",\"window\":{window},\
+                     \"feedback_window\":{feedback_window},\"observed_bursts\":"
+                );
+                crate::json::write_usize_array(out, observed_bursts);
+                out.push_str(",\"old_estimates\":");
+                crate::json::write_f64_array(out, old_estimates);
+                out.push_str(",\"new_estimates\":");
+                crate::json::write_f64_array(out, new_estimates);
+                out.push('}');
+            }
+            Event::WindowMetrics {
+                window,
+                lost,
+                window_len,
+                clf,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"event\",\"kind\":\"window_metrics\",\"window\":{window},\
+                     \"lost\":{lost},\"window_len\":{window_len},\"clf\":{clf}}}"
+                );
+            }
+        }
+    }
+}

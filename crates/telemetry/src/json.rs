@@ -1,0 +1,74 @@
+//! Hand-rolled JSON fragments (the crate is dependency-free by design).
+
+use std::fmt::Write as _;
+
+/// Escapes and quotes a string for JSON.
+pub(crate) fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes an f64 as a JSON number (`null` for non-finite values).
+pub(crate) fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Writes `[a,b,c]` of f64s.
+pub(crate) fn write_f64_array(out: &mut String, vs: &[f64]) {
+    out.push('[');
+    for (i, &v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_f64(out, v);
+    }
+    out.push(']');
+}
+
+/// Writes `[a,b,c]` of usizes.
+pub(crate) fn write_usize_array(out: &mut String, vs: &[usize]) {
+    out.push('[');
+    for (i, &v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        write_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        write_f64_array(&mut out, &[1.5, f64::NAN, f64::INFINITY]);
+        assert_eq!(out, "[1.5,null,null]");
+    }
+}

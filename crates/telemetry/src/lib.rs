@@ -1,0 +1,53 @@
+//! # espread-telemetry
+//!
+//! Observability substrate for the error-spreading workspace: a lock-cheap
+//! [`Registry`] of counters / gauges / log-linear histograms, RAII
+//! [span timing](Histogram::start_timer) for hot paths, a streaming-domain
+//! [event log](Event) (adaptation decisions, per-window continuity
+//! metrics), and pluggable [sinks](sink) — JSON-lines, Prometheus text
+//! exposition, and an in-memory sink for test assertions.
+//!
+//! ## Design
+//!
+//! * **Recording is lock-free.** Handles ([`Counter`], [`Gauge`],
+//!   [`Histogram`]) are `Arc`s over atomics; the registry's maps are only
+//!   locked at registration/lookup and snapshot time. Hot paths keep their
+//!   handle and record with a single atomic RMW.
+//! * **Snapshot anywhere.** [`Registry::snapshot`] reads every instrument
+//!   without stopping writers; [`Snapshot::merge`] folds snapshots from
+//!   several registries (or runs) together.
+//! * **Compile-out-able.** This crate is always cheap to build (std only);
+//!   the *instrumented* crates gate their call sites behind their own
+//!   `telemetry` cargo feature (on by default), so
+//!   `--no-default-features` builds reduce every call site to a no-op.
+//!
+//! ## Example
+//!
+//! ```
+//! use espread_telemetry::{Registry, sink::{InMemorySink, Sink}};
+//!
+//! let registry = Registry::new();
+//! registry.counter("windows.sent").add(3);
+//! registry.gauge("window.alf").set(0.25);
+//! let hist = registry.histogram("plan.ns");
+//! hist.record(1_200);
+//! {
+//!     let _span = hist.start_timer(); // records on drop
+//! }
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counter("windows.sent"), Some(3));
+//!
+//! let mut sink = InMemorySink::new();
+//! sink.export(&snapshot).unwrap();
+//! assert_eq!(sink.last().unwrap().counter("windows.sent"), Some(3));
+//! ```
+
+mod event;
+mod hist;
+pub(crate) mod json;
+mod registry;
+pub mod sink;
+
+pub use event::Event;
+pub use hist::HistogramSnapshot;
+pub use registry::{global, Counter, Gauge, Histogram, Registry, Snapshot, SpanGuard};

@@ -1,0 +1,78 @@
+//! Property-based tests for the histogram and snapshot invariants.
+
+use espread_telemetry::Registry;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every recorded sample lands in exactly one bucket: the snapshot's
+    /// total count always equals the sum over its (sparse) buckets.
+    #[test]
+    fn sample_count_equals_bucket_total(samples in prop::collection::vec(any::<u64>(), 0..200)) {
+        let registry = Registry::new();
+        let hist = registry.histogram("prop.samples");
+        for &s in &samples {
+            hist.record(s);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+        prop_assert_eq!(snap.bucket_total(), snap.count);
+        prop_assert_eq!(snap.sum, samples.iter().fold(0u64, |a, &s| a.wrapping_add(s)));
+        if let (Some(&lo), Some(&hi)) = (samples.iter().min(), samples.iter().max()) {
+            prop_assert_eq!(snap.min, lo);
+            prop_assert_eq!(snap.max, hi);
+        }
+    }
+
+    /// Bucket lower bounds never exceed the values they bin: a value
+    /// recorded alone occupies a bucket whose bound is ≤ the value, within
+    /// the log-linear scheme's relative-error budget.
+    #[test]
+    fn bucket_bound_below_value(value in any::<u64>()) {
+        let registry = Registry::new();
+        let hist = registry.histogram("prop.single");
+        hist.record(value);
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.buckets.len(), 1);
+        let (bound, count) = snap.buckets[0];
+        prop_assert_eq!(count, 1);
+        prop_assert!(bound <= value.max(1));
+    }
+
+    /// Merging two independently recorded histograms preserves counts and
+    /// sums exactly (bucket-wise addition loses no samples).
+    #[test]
+    fn merge_preserves_totals(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let reg_a = Registry::new();
+        let reg_b = Registry::new();
+        for &s in &a {
+            reg_a.histogram("prop.merge").record(s);
+        }
+        for &s in &b {
+            reg_b.histogram("prop.merge").record(s);
+        }
+        let mut merged = reg_a.snapshot();
+        merged.merge(&reg_b.snapshot());
+        let snap = merged.histogram("prop.merge").expect("histogram registered");
+        prop_assert_eq!(snap.count, (a.len() + b.len()) as u64);
+        prop_assert_eq!(snap.bucket_total(), snap.count);
+        prop_assert_eq!(
+            snap.sum,
+            a.iter().chain(&b).sum::<u64>()
+        );
+    }
+
+    /// Counters across merged snapshots add.
+    #[test]
+    fn merge_adds_counters(x in 0u64..1_000_000, y in 0u64..1_000_000) {
+        let reg_a = Registry::new();
+        let reg_b = Registry::new();
+        reg_a.counter("prop.counter").add(x);
+        reg_b.counter("prop.counter").add(y);
+        let mut merged = reg_a.snapshot();
+        merged.merge(&reg_b.snapshot());
+        prop_assert_eq!(merged.counter("prop.counter"), Some(x + y));
+    }
+}

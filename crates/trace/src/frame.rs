@@ -67,7 +67,11 @@ impl Frame {
 
 impl fmt::Display for Frame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}#{} ({} B)", self.frame_type, self.index, self.size_bytes)
+        write!(
+            f,
+            "{}#{} ({} B)",
+            self.frame_type, self.index, self.size_bytes
+        )
     }
 }
 

@@ -141,10 +141,7 @@ impl GopPattern {
 
     /// Number of B-frames per GOP.
     pub fn b_frames(&self) -> usize {
-        self.types
-            .iter()
-            .filter(|t| **t == FrameType::B)
-            .count()
+        self.types.iter().filter(|t| **t == FrameType::B).count()
     }
 
     /// The frame types of `w` consecutive GOPs, in display order.
@@ -208,7 +205,9 @@ impl GopPattern {
                 // dependency; across a GOP boundary only for open GOPs.
                 let same_gop = a / self.len() == i / self.len();
                 if same_gop || open {
-                    builder.add_relation(a, i).expect("B depends forward, no cycle");
+                    builder
+                        .add_relation(a, i)
+                        .expect("B depends forward, no cycle");
                 }
             }
         }
@@ -266,7 +265,10 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert_eq!("".parse::<GopPattern>().unwrap_err(), GopPatternError::Empty);
+        assert_eq!(
+            "".parse::<GopPattern>().unwrap_err(),
+            GopPatternError::Empty
+        );
         assert_eq!(
             "BIP".parse::<GopPattern>().unwrap_err(),
             GopPatternError::MustStartWithI
@@ -396,7 +398,9 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(GopPatternError::Empty.to_string().contains("empty"));
-        assert!(GopPatternError::MustStartWithI.to_string().contains("start"));
+        assert!(GopPatternError::MustStartWithI
+            .to_string()
+            .contains("start"));
         assert!(GopPatternError::InteriorI { position: 2 }
             .to_string()
             .contains("interior"));

@@ -80,7 +80,9 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<Vec<Frame>, TraceParseError> 
             .ok_or_else(|| err("missing index".into()))?
             .parse()
             .map_err(|e| err(format!("bad index: {e}")))?;
-        let type_text = parts.next().ok_or_else(|| err("missing frame type".into()))?;
+        let type_text = parts
+            .next()
+            .ok_or_else(|| err("missing frame type".into()))?;
         let frame_type = type_text
             .chars()
             .next()

@@ -60,7 +60,11 @@ impl TraceStats {
         }
         let to_stats = |(count, sum, min, max): (usize, u64, u32, u32)| TypeStats {
             count,
-            mean_bytes: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            mean_bytes: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
             min_bytes: if count == 0 { 0 } else { min },
             max_bytes: max,
         };
@@ -106,7 +110,11 @@ impl fmt::Display for TraceStats {
         writeln!(
             f,
             "I: {} frames, mean {:.0} B | P: {} frames, mean {:.0} B | B: {} frames, mean {:.0} B",
-            self.i.count, self.i.mean_bytes, self.p.count, self.p.mean_bytes, self.b.count,
+            self.i.count,
+            self.i.mean_bytes,
+            self.p.count,
+            self.p.mean_bytes,
+            self.b.count,
             self.b.mean_bytes
         )?;
         write!(

@@ -48,7 +48,10 @@ fn main() {
         total / series.len() as f64
     };
 
-    println!("{:<14} {:>12} {:>12} {:>10}", "stream", "mean CLF", "dev", "mean MOS");
+    println!(
+        "{:<14} {:>12} {:>12} {:>10}",
+        "stream", "mean CLF", "dev", "mean MOS"
+    );
     for (label, series, kind) in [
         ("audio plain", &plain.audio, MediaKind::Audio),
         ("audio spread", &spread.audio, MediaKind::Audio),

@@ -50,7 +50,10 @@ fn main() {
             .expect("third argument must be a GOP pattern like IBBPBB");
         let gops = n / pattern.len().max(1);
         if gops == 0 {
-            println!("\n(n = {n} is smaller than one GOP of {}; skipping layered view)", pattern.len());
+            println!(
+                "\n(n = {n} is smaller than one GOP of {}; skipping layered view)",
+                pattern.len()
+            );
             return;
         }
         let poset = pattern.dependency_poset(gops, false);
@@ -64,7 +67,11 @@ fn main() {
             println!(
                 "  layer {i}: {:?} ({}, worst CLF {})",
                 layer.frames(),
-                if layer.is_critical() { "critical" } else { "permutable" },
+                if layer.is_critical() {
+                    "critical"
+                } else {
+                    "permutable"
+                },
                 layer.worst_clf()
             );
         }

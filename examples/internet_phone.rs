@@ -38,7 +38,10 @@ fn main() {
     let ok_plain = plain.series.fraction_within_clf(profile.max_clf());
     let ok_spread = spread.series.fraction_within_clf(profile.max_clf());
 
-    println!("\n             mean CLF   dev    acceptable windows (CLF ≤ {})", profile.max_clf());
+    println!(
+        "\n             mean CLF   dev    acceptable windows (CLF ≤ {})",
+        profile.max_clf()
+    );
     println!(
         "unscrambled  {:>8.2}  {:>5.2}   {:>5.1}%",
         plain.summary().mean_clf,

@@ -20,11 +20,27 @@ fn main() {
 
     let blocks: [(&str, Ordering, Recovery); 6] = [
         ("A: plain, no recovery", Ordering::InOrder, Recovery::None),
-        ("B: plain + retransmit", Ordering::InOrder, Recovery::Retransmit),
-        ("C: plain + FEC(k=4)", Ordering::InOrder, Recovery::Fec { group: 4 }),
+        (
+            "B: plain + retransmit",
+            Ordering::InOrder,
+            Recovery::Retransmit,
+        ),
+        (
+            "C: plain + FEC(k=4)",
+            Ordering::InOrder,
+            Recovery::Fec { group: 4 },
+        ),
         ("D: spread, no recovery", Ordering::spread(), Recovery::None),
-        ("E: spread + retransmit", Ordering::spread(), Recovery::Retransmit),
-        ("F: spread + FEC(k=4)", Ordering::spread(), Recovery::Fec { group: 4 }),
+        (
+            "E: spread + retransmit",
+            Ordering::spread(),
+            Recovery::Retransmit,
+        ),
+        (
+            "F: spread + FEC(k=4)",
+            Ordering::spread(),
+            Recovery::Fec { group: 4 },
+        ),
     ];
 
     println!("block                    mean CLF   dev   mean ALF   bytes sent");
@@ -52,10 +68,14 @@ fn main() {
     println!();
     println!(
         "spreading alone (D {:.2}) vs naive (A {:.2}): pure reordering, zero extra bandwidth",
-        clf("D"), clf("A")
+        clf("D"),
+        clf("A")
     );
     println!(
         "spreading under recovery: B {:.2} → E {:.2}, C {:.2} → F {:.2}",
-        clf("B"), clf("E"), clf("C"), clf("F")
+        clf("B"),
+        clf("E"),
+        clf("C"),
+        clf("F")
     );
 }

@@ -7,8 +7,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use error_spreading::prelude::*;
 use error_spreading::core::burst_loss_pattern;
+use error_spreading::prelude::*;
 
 fn main() {
     let n = 17;

@@ -1,8 +1,31 @@
 #!/usr/bin/env bash
 # Regenerates every table/figure/ablation and stores the outputs in results/.
+# Each bench binary also drops a telemetry snapshot (JSON lines) at
+# results/telemetry_<name>.json; this script verifies the snapshot landed
+# and aborts on the first binary that exits non-zero.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results
+
+fail() {
+  echo "error: $*" >&2
+  exit 1
+}
+
+# Runs one bench binary, teeing stdout to results/$out.txt and checking
+# that its telemetry snapshot results/telemetry_$snap.json was (re)written.
+run_bench() {
+  local bin=$1 out=$2 snap=$3
+  shift 3
+  local snapshot="results/telemetry_$snap.json"
+  rm -f "$snapshot"
+  echo "=== $out ==="
+  cargo run --quiet --release -p espread-bench --bin "$bin" -- "$@" \
+    | tee "results/$out.txt" \
+    || fail "$bin exited non-zero"
+  [[ -s $snapshot ]] || fail "$bin did not write $snapshot"
+}
+
 bins=(
   fig1_metrics table1_example theorem1_validation fig3_layered_order
   table2_ibo_vs_cpo fig11_bandwidth_sweep fig12_buffer_sweep
@@ -11,14 +34,14 @@ bins=(
   extension_stochastic_orders movie_sweep
 )
 for bin in "${bins[@]}"; do
-  echo "=== $bin ==="
-  cargo run --quiet --release -p espread-bench --bin "$bin" | tee "results/$bin.txt"
+  run_bench "$bin" "$bin" "$bin"
 done
 for pbad in 0.6 0.7; do
-  echo "=== fig8_network_loss pbad=$pbad ==="
-  cargo run --quiet --release -p espread-bench --bin fig8_network_loss -- --pbad "$pbad" \
-    | tee "results/fig8_pbad_$pbad.txt"
+  run_bench fig8_network_loss "fig8_pbad_$pbad" "fig8_pbad_$pbad" --pbad "$pbad"
 done
 echo "=== generate_report ==="
-cargo run --quiet --release -p espread-bench --bin generate_report > /dev/null
-echo "All experiment outputs written to results/."
+cargo run --quiet --release -p espread-bench --bin generate_report > /dev/null \
+  || fail "generate_report exited non-zero"
+
+count=$(ls results/telemetry_*.json 2>/dev/null | wc -l)
+echo "All experiment outputs written to results/ ($count telemetry snapshots)."

@@ -70,8 +70,8 @@ pub mod prelude {
         Ordering, ProtocolConfig, Recovery, Session, SessionReport, StreamSource,
     };
     pub use espread_qos::{
-        Acceptability, ContinuityMetrics, LossPattern, MediaKind, PerceptionProfile,
-        WindowSeries, WindowSummary,
+        Acceptability, ContinuityMetrics, LossPattern, MediaKind, PerceptionProfile, WindowSeries,
+        WindowSummary,
     };
     pub use espread_trace::{AudioStream, FrameType, GopPattern, Movie, MpegTrace};
 }

@@ -26,11 +26,7 @@ fn ibo_plan_on_audio_is_pure_ibo() {
     // An antichain has one non-critical layer, so the IBO ordering is the
     // bit-reversal of the whole window.
     let poset = AudioStream::sun_audio().dependency_poset(8);
-    let plan = WindowPlan::build(
-        error_spreading::protocol::Ordering::Ibo,
-        &poset,
-        &[],
-    );
+    let plan = WindowPlan::build(error_spreading::protocol::Ordering::Ibo, &poset, &[]);
     let order: Vec<usize> = plan.schedule.iter().map(|s| s.frame).collect();
     assert_eq!(order, vec![0, 4, 2, 6, 1, 5, 3, 7]);
     assert_eq!(plan.critical_prefix, 0);
@@ -115,8 +111,8 @@ fn playout_timeline_integrates_with_perception() {
         timeline.record_arrival(LduId::new(i), arrival);
     }
     let pattern = timeline.window_pattern(LduId::new(0), 30);
-    let verdict = PerceptionProfile::for_media(MediaKind::Video)
-        .judge(ContinuityMetrics::of(&pattern));
+    let verdict =
+        PerceptionProfile::for_media(MediaKind::Video).judge(ContinuityMetrics::of(&pattern));
     assert_eq!(verdict, Acceptability::TooBursty);
 }
 
@@ -141,10 +137,7 @@ fn negotiation_drives_a_real_session() {
     );
     let report = Session::new(ProtocolConfig::paper(0.6, 31), src).run();
     assert_eq!(report.series.len(), 10);
-    assert_eq!(
-        report.estimate_history[0].len(),
-        agreed.layer_sizes.len()
-    );
+    assert_eq!(report.estimate_history[0].len(), agreed.layer_sizes.len());
 }
 
 #[test]

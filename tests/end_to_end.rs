@@ -172,8 +172,7 @@ fn perception_verdicts_improve_under_spreading() {
     .run();
     let threshold = PerceptionProfile::for_media(MediaKind::Video).max_clf();
     assert!(
-        spread.series.fraction_within_clf(threshold)
-            >= plain.series.fraction_within_clf(threshold)
+        spread.series.fraction_within_clf(threshold) >= plain.series.fraction_within_clf(threshold)
     );
 }
 

@@ -59,7 +59,10 @@ fn extreme_fragmentation_still_round_trips() {
     cfg.packet_bytes = 64;
     let report = Session::new(cfg, mpeg_source(5)).run();
     assert_eq!(report.summary().total_lost, 0);
-    assert!(report.packets_offered > 500, "fragmentation must multiply packets");
+    assert!(
+        report.packets_offered > 500,
+        "fragmentation must multiply packets"
+    );
 }
 
 #[test]
@@ -82,8 +85,7 @@ fn tiny_audio_windows_work() {
 
 #[test]
 fn zero_loss_zero_everything() {
-    let mut cfg = ProtocolConfig::paper(0.0, 9)
-        .with_recovery(Recovery::Fec { group: 3 });
+    let mut cfg = ProtocolConfig::paper(0.0, 9).with_recovery(Recovery::Fec { group: 3 });
     cfg.p_good = 1.0;
     cfg.p_bad = 0.0;
     let report = Session::new(cfg, mpeg_source(5)).run();
@@ -113,8 +115,7 @@ fn bandwidth_starvation_prioritises_anchors() {
     cfg.p_bad = 0.0;
     let report = Session::new(cfg, mpeg_source(10)).run();
     assert!(report.dropped_frames > 0);
-    let overall_loss =
-        report.summary().total_lost as f64 / (report.series.len() * 24) as f64;
+    let overall_loss = report.summary().total_lost as f64 / (report.series.len() * 24) as f64;
     assert!(
         report.critical_loss_rate() < overall_loss,
         "anchors must fare better than average: {} !< {overall_loss}",

@@ -60,7 +60,9 @@ fn table_2_ibo_vs_cpo() {
         }
     }
     // The pathological case: more than half the window lost.
-    assert!(worst_case_clf(&inverse_binary_order(8), 6) >= 2 * calculate_permutation(8, 6).worst_clf);
+    assert!(
+        worst_case_clf(&inverse_binary_order(8), 6) >= 2 * calculate_permutation(8, 6).worst_clf
+    );
 }
 
 #[test]

@@ -1,0 +1,41 @@
+//! Minimal, deterministic, offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of the real API this workspace uses: the
+//! [`proptest!`] test macro, assertion/assumption macros, [`prop_oneof!`],
+//! the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//! `prop_flat_map`, `prop_shuffle` and `prop_filter`, `any::<T>()`,
+//! `prop::collection::vec`, `prop::sample::Index`, and
+//! [`ProptestConfig`](test_runner::ProptestConfig).
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case prints the generated inputs and the
+//!   case seed; re-running reproduces it exactly.
+//! * **Deterministic seeding.** Each case's seed is derived from the test
+//!   name and case index — no OS entropy, no persistence files.
+//! * **Default case count is 64** (override with the `PROPTEST_CASES`
+//!   environment variable or `ProptestConfig::with_cases`).
+
+pub mod arbitrary;
+pub mod collection;
+mod macros;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Module-style access (`prop::collection::vec`, `prop::sample::Index`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}

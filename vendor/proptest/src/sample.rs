@@ -1,0 +1,23 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An arbitrary index usable against any non-empty slice length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    pub(crate) fn from_raw(raw: usize) -> Self {
+        Index { raw }
+    }
+
+    /// Projects this index into `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        self.raw % len
+    }
+}

@@ -1,0 +1,124 @@
+//! The case runner behind the [`crate::proptest!`] macro.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rng::TestRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases, overridable via the `PROPTEST_CASES` environment variable.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+///
+/// Returned (not panicked) from the generated test body so that `?` and
+/// early `return Err(...)` work inside `proptest!` bodies, matching the
+/// upstream crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and should be regenerated.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// FNV-1a, for deriving a stable per-test seed from its name.
+fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Runs `f` until `config.cases` cases pass.
+///
+/// `f` receives the case RNG and a scratch string it must fill with a
+/// human-readable description of the generated inputs *before* running the
+/// test body; on failure that description and the case seed are printed
+/// before the test panics. Cases rejected via `prop_assume!` do not count,
+/// up to a bounded rejection budget.
+pub fn run<F>(config: &ProptestConfig, name: &str, f: F)
+where
+    F: Fn(&mut TestRng, &mut String) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejections = config.cases.saturating_mul(16).max(1024);
+    let mut case = 0u64;
+    while passed < config.cases {
+        let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        case += 1;
+        let mut rng = TestRng::new(seed);
+        let mut desc = String::new();
+        match catch_unwind(AssertUnwindSafe(|| f(&mut rng, &mut desc))) {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejections,
+                    "proptest '{name}': too many prop_assume! rejections \
+                     ({rejected} after {passed} passing cases)"
+                );
+            }
+            Ok(Err(TestCaseError::Fail(reason))) => {
+                panic!(
+                    "proptest '{name}' failed at case {case} (seed {seed:#018x}): {reason}\n\
+                     minimal failing input (unshrunk): {desc}"
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "proptest '{name}' failed at case {case} (seed {seed:#018x})\n\
+                     minimal failing input (unshrunk): {desc}"
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
