@@ -9,10 +9,11 @@
 //! of exactly the frames it rescues.
 //!
 //! ```sh
-//! cargo run --release -p espread-bench --bin ablation_timing
+//! cargo run --release -p espread-bench --bin ablation_timing -- --jobs 4
 //! ```
 
-use espread_bench::paper_source;
+use espread_bench::{paper_source, sweep};
+use espread_exec::Json;
 use espread_protocol::{Ordering, ProtocolConfig, Recovery, Session};
 
 fn main() {
@@ -35,25 +36,47 @@ fn main() {
             Recovery::Retransmit,
         ),
     ];
-    for (name, ordering, recovery) in blocks {
+
+    let grid: Vec<(Ordering, Recovery)> = blocks
+        .iter()
+        .map(|&(_, ordering, recovery)| (ordering, recovery))
+        .collect();
+    let reports = sweep::executor("ablation_timing").run(grid, |_, (ordering, recovery)| {
         let cfg = ProtocolConfig::paper(0.7, 11)
             .with_ordering(ordering)
             .with_recovery(recovery);
-        let report = Session::new(cfg, paper_source(2, 60, 1)).run();
-        let t = report.timing;
+        Session::new(cfg, paper_source(2, 60, 1)).run()
+    });
+
+    let mut rows = Vec::new();
+    for ((name, _, _), report) in blocks.into_iter().zip(&reports) {
+        let t = &report.timing;
+        let mean_clf = report.summary().mean_clf;
         println!(
             "{name:<26} {:>12.1} {:>12.1} {:>12.1} {:>8} {:>9.2}",
             t.mean_latency_us / 1000.0,
             t.max_latency_us as f64 / 1000.0,
             t.jitter_us / 1000.0,
             t.late_frames,
-            report.summary().mean_clf
+            mean_clf
         );
+        let mut row = Json::object();
+        row.push("scheme", name)
+            .push("mean_latency_us", t.mean_latency_us)
+            .push("max_latency_us", t.max_latency_us)
+            .push("jitter_us", t.jitter_us)
+            .push("late_frames", t.late_frames)
+            .push("mean_clf", mean_clf);
+        rows.push(row);
     }
     println!("\nreading: spreading changes *which* frames a burst hits, not *when* frames");
     println!("arrive — its jitter matches the in-order baseline, while retransmission");
     println!("adds a latency tail (the recovered frames complete a NACK round later).");
     println!("All schemes stay inside the one-window start-up delay, so nothing is late.");
 
+    sweep::write_results(
+        "ablation_timing",
+        &sweep::results_doc("ablation_timing", rows),
+    );
     espread_bench::write_telemetry_snapshot("ablation_timing");
 }

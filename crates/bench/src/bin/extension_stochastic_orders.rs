@@ -7,17 +7,18 @@
 //! exposing where the two rankings agree and where they diverge.
 //!
 //! ```sh
-//! cargo run --release -p espread-bench --bin extension_stochastic_orders
+//! cargo run --release -p espread-bench --bin extension_stochastic_orders -- --jobs 4
 //! ```
 
+use espread_bench::sweep;
 use espread_core::{
     calculate_permutation,
     cpo::stride_permutation,
     ibo::inverse_binary_order,
     interleave::{block_interleaver, block_interleaver_reversed},
-    rank_orders, worst_case_clf, Permutation,
+    monte_carlo_clf, rank_orders_by, worst_case_clf, Permutation,
 };
-use espread_netsim::GilbertModel;
+use espread_exec::Json;
 
 fn main() {
     let n = 24;
@@ -44,17 +45,32 @@ fn main() {
         ),
     ];
 
-    let mut seed = 0u64;
-    let ranking = rank_orders(&orders, windows, move || {
-        seed += 1;
-        let mut chain = GilbertModel::paper(0.6, seed * 7919);
-        Box::new(move || !chain.step_delivers())
+    // The 20 000-window Monte-Carlo per order is the hot loop; each order
+    // is one executor cell. Channel seeds replicate the serial sweep:
+    // order i (input order) drives a chain seeded with (i + 1) · 7919.
+    let grid: Vec<Permutation> = orders.iter().map(|(_, p)| p.clone()).collect();
+    let means = sweep::executor("extension_stochastic_orders").run(grid, |ctx, perm| {
+        let mut chain = espread_netsim::GilbertModel::paper(0.6, (ctx.index() as u64 + 1) * 7919);
+        let mut process = move || !chain.step_delivers();
+        monte_carlo_clf(&perm, windows, &mut process).mean_clf
+    });
+
+    let ranking = rank_orders_by(&orders, |name, _| {
+        let i = orders.iter().position(|(n2, _)| n2 == &name).unwrap();
+        means[i]
     });
 
     println!("{:<28} {:>12} {:>18}", "order", "E[CLF]", "worst-case b=3");
+    let mut rows = Vec::new();
     for (name, mean) in &ranking {
         let perm = &orders.iter().find(|(n2, _)| n2 == name).unwrap().1;
-        println!("{name:<28} {mean:>12.3} {:>18}", worst_case_clf(perm, 3));
+        let worst = worst_case_clf(perm, 3);
+        println!("{name:<28} {mean:>12.3} {worst:>18}");
+        let mut row = Json::object();
+        row.push("order", *name)
+            .push("expected_clf", *mean)
+            .push("worst_case_clf_b3", worst);
+        rows.push(row);
     }
 
     let identity_mean = ranking
@@ -72,5 +88,9 @@ fn main() {
     println!("process even where their adversarial guarantees differ — the worst-case");
     println!("theory picks the family, the channel statistics blur the order within it.");
 
+    sweep::write_results(
+        "extension_stochastic_orders",
+        &sweep::results_doc("extension_stochastic_orders", rows),
+    );
     espread_bench::write_telemetry_snapshot("extension_stochastic_orders");
 }

@@ -7,11 +7,22 @@
 //! video stream".
 //!
 //! ```sh
-//! cargo run --release -p espread-bench --bin fig11_bandwidth_sweep
+//! cargo run --release -p espread-bench --bin fig11_bandwidth_sweep -- --jobs 4
 //! ```
 
-use espread_bench::{mean, paper_source, Comparison};
+use espread_bench::{mean, paper_source, sweep, Comparison};
+use espread_exec::Json;
 use espread_protocol::ProtocolConfig;
+
+const SEEDS: [u64; 3] = [42, 43, 44];
+
+// The synthetic Jurassic Park trace averages ≈ 80 kbps (its real
+// counterpart was a low-rate MPEG-1 clip), so the interesting region
+// of the sweep — where the sender must start dropping frames — sits
+// below ~100 kbps; above that the channel loss process alone decides.
+const BANDWIDTHS: [u64; 9] = [
+    40_000, 60_000, 80_000, 100_000, 150_000, 200_000, 400_000, 1_200_000, 2_500_000,
+];
 
 fn main() {
     println!("Figure 11: impact of available bandwidth (W=2, Pbad=0.6, 100 windows, 3 seeds)\n");
@@ -20,42 +31,56 @@ fn main() {
         "BW (kbps)", "plain mean", "plain dev", "spread mean", "spread dev", "spread ≤ 2"
     );
 
-    // The synthetic Jurassic Park trace averages ≈ 80 kbps (its real
-    // counterpart was a low-rate MPEG-1 clip), so the interesting region
-    // of the sweep — where the sender must start dropping frames — sits
-    // below ~100 kbps; above that the channel loss process alone decides.
-    let bandwidths = [
-        40_000u64, 60_000, 80_000, 100_000, 150_000, 200_000, 400_000, 1_200_000, 2_500_000,
-    ];
-    for bw in bandwidths {
-        let mut plain_means = Vec::new();
-        let mut plain_devs = Vec::new();
-        let mut spread_means = Vec::new();
-        let mut spread_devs = Vec::new();
-        let mut within = Vec::new();
-        for seed in [42u64, 43, 44] {
-            let source = paper_source(2, 100, 1);
-            let cfg = ProtocolConfig::paper(0.6, seed).with_bandwidth(bw);
-            let cmp = Comparison::run(&cfg, &source);
-            let (p, s) = cmp.summaries();
-            plain_means.push(p.mean_clf);
-            plain_devs.push(p.dev_clf);
-            spread_means.push(s.mean_clf);
-            spread_devs.push(s.dev_clf);
-            within.push(cmp.spread.series.fraction_within_clf(2));
-        }
+    let grid: Vec<(u64, u64)> = BANDWIDTHS
+        .into_iter()
+        .flat_map(|bw| SEEDS.into_iter().map(move |seed| (bw, seed)))
+        .collect();
+    let cells = sweep::executor("fig11_bandwidth_sweep").run(grid, |_, (bw, seed)| {
+        let source = paper_source(2, 100, 1);
+        let cfg = ProtocolConfig::paper(0.6, seed).with_bandwidth(bw);
+        let cmp = Comparison::run(&cfg, &source);
+        let (p, s) = cmp.summaries();
+        (
+            p.mean_clf,
+            p.dev_clf,
+            s.mean_clf,
+            s.dev_clf,
+            cmp.spread.series.fraction_within_clf(2),
+        )
+    });
+
+    let mut rows = Vec::new();
+    for (i, bw) in BANDWIDTHS.into_iter().enumerate() {
+        let per_seed = &cells[i * SEEDS.len()..(i + 1) * SEEDS.len()];
+        let plain_mean = mean(&per_seed.iter().map(|c| c.0).collect::<Vec<_>>());
+        let plain_dev = mean(&per_seed.iter().map(|c| c.1).collect::<Vec<_>>());
+        let spread_mean = mean(&per_seed.iter().map(|c| c.2).collect::<Vec<_>>());
+        let spread_dev = mean(&per_seed.iter().map(|c| c.3).collect::<Vec<_>>());
+        let within = mean(&per_seed.iter().map(|c| c.4).collect::<Vec<_>>());
         println!(
             "{:>10} {:>12.2} {:>10.2} {:>12.2} {:>10.2} {:>11.0}%",
             bw / 1000,
-            mean(&plain_means),
-            mean(&plain_devs),
-            mean(&spread_means),
-            mean(&spread_devs),
-            mean(&within) * 100.0
+            plain_mean,
+            plain_dev,
+            spread_mean,
+            spread_dev,
+            within * 100.0
         );
+        let mut row = Json::object();
+        row.push("bandwidth_bps", bw)
+            .push("plain_mean", plain_mean)
+            .push("plain_dev", plain_dev)
+            .push("spread_mean", spread_mean)
+            .push("spread_dev", spread_dev)
+            .push("spread_within_clf2", within);
+        rows.push(row);
     }
     println!("\npaper: both mean and standard deviation of CLF improved at every bandwidth;");
     println!("the scrambled scheme often keeps CLF at or below the perceptual threshold of 2.");
 
+    sweep::write_results(
+        "fig11_bandwidth_sweep",
+        &sweep::results_doc("fig11_bandwidth_sweep", rows),
+    );
     espread_bench::write_telemetry_snapshot("fig11_bandwidth_sweep");
 }

@@ -7,11 +7,15 @@
 //! W/2 seconds).
 //!
 //! ```sh
-//! cargo run --release -p espread-bench --bin fig12_buffer_sweep
+//! cargo run --release -p espread-bench --bin fig12_buffer_sweep -- --jobs 4
 //! ```
 
-use espread_bench::{mean, paper_source, Comparison};
+use espread_bench::{mean, paper_source, sweep, Comparison};
+use espread_exec::Json;
 use espread_protocol::ProtocolConfig;
+
+const SEEDS: [u64; 3] = [42, 43, 44];
+const BUFFERS: [usize; 3] = [1, 2, 4];
 
 fn main() {
     println!("Figure 12: impact of buffer size (Pbad=0.6, BW=1.2 Mbps, 100 windows, 3 seeds)\n");
@@ -19,31 +23,44 @@ fn main() {
         "{:>3} {:>10} {:>12} {:>10} {:>12} {:>10} {:>8}",
         "W", "delay (s)", "plain mean", "plain dev", "spread mean", "spread dev", "better?"
     );
-    for w in [1usize, 2, 4] {
-        let mut plain_means = Vec::new();
-        let mut plain_devs = Vec::new();
-        let mut spread_means = Vec::new();
-        let mut spread_devs = Vec::new();
-        for seed in [42u64, 43, 44] {
-            let source = paper_source(w, 100, 1);
-            let cmp = Comparison::run(&ProtocolConfig::paper(0.6, seed), &source);
-            let (p, s) = cmp.summaries();
-            plain_means.push(p.mean_clf);
-            plain_devs.push(p.dev_clf);
-            spread_means.push(s.mean_clf);
-            spread_devs.push(s.dev_clf);
-        }
-        let better =
-            mean(&spread_means) < mean(&plain_means) && mean(&spread_devs) < mean(&plain_devs);
+
+    let grid: Vec<(usize, u64)> = BUFFERS
+        .into_iter()
+        .flat_map(|w| SEEDS.into_iter().map(move |seed| (w, seed)))
+        .collect();
+    let cells = sweep::executor("fig12_buffer_sweep").run(grid, |_, (w, seed)| {
+        let source = paper_source(w, 100, 1);
+        let cmp = Comparison::run(&ProtocolConfig::paper(0.6, seed), &source);
+        let (p, s) = cmp.summaries();
+        (p.mean_clf, p.dev_clf, s.mean_clf, s.dev_clf)
+    });
+
+    let mut rows = Vec::new();
+    for (i, w) in BUFFERS.into_iter().enumerate() {
+        let per_seed = &cells[i * SEEDS.len()..(i + 1) * SEEDS.len()];
+        let plain_mean = mean(&per_seed.iter().map(|c| c.0).collect::<Vec<_>>());
+        let plain_dev = mean(&per_seed.iter().map(|c| c.1).collect::<Vec<_>>());
+        let spread_mean = mean(&per_seed.iter().map(|c| c.2).collect::<Vec<_>>());
+        let spread_dev = mean(&per_seed.iter().map(|c| c.3).collect::<Vec<_>>());
+        let better = spread_mean < plain_mean && spread_dev < plain_dev;
         println!(
             "{w:>3} {:>10.1} {:>12.2} {:>10.2} {:>12.2} {:>10.2} {:>8}",
             w as f64 * 12.0 / 24.0,
-            mean(&plain_means),
-            mean(&plain_devs),
-            mean(&spread_means),
-            mean(&spread_devs),
+            plain_mean,
+            plain_dev,
+            spread_mean,
+            spread_dev,
             if better { "yes" } else { "no" },
         );
+        let mut row = Json::object();
+        row.push("gops_per_buffer", w)
+            .push("startup_delay_s", w as f64 * 12.0 / 24.0)
+            .push("plain_mean", plain_mean)
+            .push("plain_dev", plain_dev)
+            .push("spread_mean", spread_mean)
+            .push("spread_dev", spread_dev)
+            .push("spread_wins", better);
+        rows.push(row);
     }
     println!(
         "\npaper: both mean and deviation better at each buffer size (W up to 2, 0.5–1 s delay;"
@@ -51,5 +68,9 @@ fn main() {
     println!("we extend the sweep to W=4). Per-window CLF grows with W for both schemes simply");
     println!("because longer windows contain more loss bursts.");
 
+    sweep::write_results(
+        "fig12_buffer_sweep",
+        &sweep::results_doc("fig12_buffer_sweep", rows),
+    );
     espread_bench::write_telemetry_snapshot("fig12_buffer_sweep");
 }

@@ -4,6 +4,8 @@
 //! cargo run -p espread-bench --bin fig1_metrics
 //! ```
 
+use espread_bench::sweep;
+use espread_exec::Json;
 use espread_qos::{ContinuityMetrics, LossPattern};
 
 fn main() {
@@ -22,17 +24,24 @@ fn main() {
         "{:<32} {:<8} {:>14} {:>16}",
         "stream", "slots", "aggregate loss", "consecutive loss"
     );
-    for (name, pattern) in streams {
+
+    let cells = sweep::executor("fig1_metrics").run(streams.to_vec(), |_, (name, pattern)| {
         let m = ContinuityMetrics::of(&pattern);
-        println!(
-            "{:<32} {:<8} {:>14} {:>16}",
-            name,
-            pattern.to_string(),
-            m.alf().to_string(),
-            m.clf()
-        );
+        (name, pattern.to_string(), m.alf().to_string(), m.clf())
+    });
+
+    let mut rows = Vec::new();
+    for (name, slots, alf, clf) in cells {
+        println!("{name:<32} {slots:<8} {alf:>14} {clf:>16}");
+        let mut row = Json::object();
+        row.push("stream", name)
+            .push("slots", slots.as_str())
+            .push("alf", alf.as_str())
+            .push("clf", clf);
+        rows.push(row);
     }
     println!("\npaper: both streams have aggregate loss 2/4; consecutive loss 2 vs 1.");
 
+    sweep::write_results("fig1_metrics", &sweep::results_doc("fig1_metrics", rows));
     espread_bench::write_telemetry_snapshot("fig1_metrics");
 }

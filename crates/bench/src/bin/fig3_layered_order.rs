@@ -5,7 +5,9 @@
 //! cargo run -p espread-bench --bin fig3_layered_order
 //! ```
 
+use espread_bench::sweep;
 use espread_core::LayeredOrder;
+use espread_exec::Json;
 use espread_trace::GopPattern;
 
 fn main() {
@@ -22,7 +24,14 @@ fn main() {
         poset.height()
     );
 
-    let order = LayeredOrder::from_poset(&poset, |idx, len| if idx < 4 { len / 2 } else { 3 });
+    // A single construction — run as a one-cell grid so the binary shares
+    // the executor's --jobs interface with the sweeps.
+    let mut orders = sweep::executor("fig3_layered_order").run(vec![poset.clone()], |_, poset| {
+        LayeredOrder::from_poset(&poset, |idx, len| if idx < 4 { len / 2 } else { 3 })
+    });
+    let order = orders.pop().expect("one cell");
+
+    let mut rows = Vec::new();
     println!("\nlayer  critical  frames (playout idx)          burst b  worst CLF  order family");
     for (i, layer) in order.layers().iter().enumerate() {
         println!(
@@ -34,6 +43,23 @@ fn main() {
             layer.worst_clf(),
             layer.family(),
         );
+        let mut row = Json::object();
+        row.push("layer", i)
+            .push("critical", layer.is_critical())
+            .push(
+                "frames",
+                Json::Array(
+                    layer
+                        .frames()
+                        .iter()
+                        .map(|&f| Json::Int(f as i64))
+                        .collect(),
+                ),
+            )
+            .push("burst_bound", layer.burst_bound())
+            .push("worst_clf", layer.worst_clf())
+            .push("family", layer.family().to_string());
+        rows.push(row);
     }
 
     let seq = order.transmission_sequence();
@@ -43,5 +69,11 @@ fn main() {
     println!("\n✓ the sequence is a linear extension of the dependency poset");
     println!("✓ layers match the paper's Fig. 3: I's, P1's, P2's, P3's, then all B's");
 
+    let mut doc = sweep::results_doc("fig3_layered_order", rows);
+    doc.push(
+        "transmission_sequence",
+        Json::Array(seq.iter().map(|&f| Json::Int(f as i64)).collect()),
+    );
+    sweep::write_results("fig3_layered_order", &doc);
     espread_bench::write_telemetry_snapshot("fig3_layered_order");
 }

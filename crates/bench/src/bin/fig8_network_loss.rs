@@ -10,8 +10,9 @@
 //! cargo run --release -p espread-bench --bin fig8_network_loss -- --pbad 0.7
 //! ```
 
-use espread_bench::{ascii_plot, paper_source, Comparison};
-use espread_protocol::ProtocolConfig;
+use espread_bench::{ascii_plot, paper_source, sweep};
+use espread_exec::Json;
+use espread_protocol::{Ordering, ProtocolConfig, Session};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -32,22 +33,33 @@ fn main() {
         "Figure 8: CLF pattern, RTT=23 ms, BW=1200000 bps, Pgood=0.92, Pbad={p_bad}, W=2, GOP 12, packet 2 KiB\n"
     );
 
-    let source = paper_source(2, 100, 1);
-    let cmp = Comparison::run(&ProtocolConfig::paper(p_bad, seed), &source);
+    // The two schemes run on matched (identically seeded) channels; as
+    // executor cells they are independent sessions.
+    let orderings = [Ordering::InOrder, Ordering::spread()];
+    let mut reports =
+        sweep::executor("fig8_network_loss").run(orderings.to_vec(), |_, ordering| {
+            let cfg = ProtocolConfig::paper(p_bad, seed).with_ordering(ordering);
+            Session::new(cfg, paper_source(2, 100, 1)).run()
+        });
+    let spread = reports.pop().expect("spread report");
+    let plain = reports.pop().expect("plain report");
 
-    let plain_series: Vec<f64> = cmp.plain.series.clf_values().map(|c| c as f64).collect();
-    let spread_series: Vec<f64> = cmp.spread.series.clf_values().map(|c| c as f64).collect();
+    let plain_series: Vec<f64> = plain.series.clf_values().map(|c| c as f64).collect();
+    let spread_series: Vec<f64> = spread.series.clf_values().map(|c| c as f64).collect();
 
     print!(
         "{}",
         ascii_plot(
             "CLF per buffer window (100 windows):",
-            &[("unscrambled", plain_series), ("scrambled", spread_series),],
+            &[
+                ("unscrambled", plain_series.clone()),
+                ("scrambled", spread_series.clone()),
+            ],
             8,
         )
     );
 
-    let (p, s) = cmp.summaries();
+    let (p, s) = (plain.summary(), spread.summary());
     println!();
     println!("Un Scrambled Mean {:.2}, Dev {:.2}", p.mean_clf, p.dev_clf);
     println!("Scrambled    Mean {:.2}, Dev {:.2}", s.mean_clf, s.dev_clf);
@@ -59,8 +71,8 @@ fn main() {
     );
     println!(
         "\nchannel: {} packets offered, {:.1}% lost (steady state {:.1}%)",
-        cmp.spread.packets_offered,
-        cmp.spread.packet_loss_rate() * 100.0,
+        spread.packets_offered,
+        spread.packet_loss_rate() * 100.0,
         {
             let leave_good = 1.0 - 0.92f64;
             let leave_bad = 1.0 - p_bad;
@@ -68,5 +80,25 @@ fn main() {
         }
     );
 
-    espread_bench::write_telemetry_snapshot(&format!("fig8_pbad_{p_bad}"));
+    let name = format!("fig8_pbad_{p_bad}");
+    let mut doc = Json::object();
+    doc.push("experiment", name.as_str())
+        .push("p_bad", p_bad)
+        .push("seed", seed)
+        .push("plain_mean", p.mean_clf)
+        .push("plain_dev", p.dev_clf)
+        .push("spread_mean", s.mean_clf)
+        .push("spread_dev", s.dev_clf)
+        .push("packets_offered", spread.packets_offered)
+        .push("packet_loss_rate", spread.packet_loss_rate())
+        .push(
+            "plain_clf_series",
+            Json::Array(plain_series.into_iter().map(Json::Float).collect()),
+        )
+        .push(
+            "spread_clf_series",
+            Json::Array(spread_series.into_iter().map(Json::Float).collect()),
+        );
+    sweep::write_results(&name, &doc);
+    espread_bench::write_telemetry_snapshot(&name);
 }

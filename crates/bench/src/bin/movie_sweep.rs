@@ -7,12 +7,15 @@
 //! size, hence in packets-per-window and burst exposure).
 //!
 //! ```sh
-//! cargo run --release -p espread-bench --bin movie_sweep
+//! cargo run --release -p espread-bench --bin movie_sweep -- --jobs 4
 //! ```
 
-use espread_bench::{mean, Comparison};
+use espread_bench::{mean, sweep, Comparison};
+use espread_exec::Json;
 use espread_protocol::{ProtocolConfig, StreamSource};
 use espread_trace::{Movie, MpegTrace, TraceStats};
+
+const SEEDS: [u64; 3] = [5, 6, 7];
 
 fn main() {
     println!("Movie sweep (Pbad=0.6, W=2, 80 windows, 3 seeds, 8 Mbps so nothing drops)\n");
@@ -20,44 +23,60 @@ fn main() {
         "{:<22} {:>9} {:>11} {:>12} {:>10} {:>12} {:>10}",
         "movie", "max GOP", "mean kbps", "plain mean", "plain dev", "spread mean", "spread dev"
     );
-    for movie in Movie::ALL {
+
+    let grid: Vec<(Movie, u64)> = Movie::ALL
+        .into_iter()
+        .flat_map(|movie| SEEDS.into_iter().map(move |seed| (movie, seed)))
+        .collect();
+    let cells = sweep::executor("movie_sweep").run(grid.clone(), |_, (movie, seed)| {
+        let trace = MpegTrace::new(movie, 1);
+        let source = StreamSource::mpeg(&trace, 2, 80, false);
+        let cfg = ProtocolConfig::paper(0.6, seed).with_bandwidth(8_000_000);
+        let cmp = Comparison::run(&cfg, &source);
+        let (p, s) = cmp.summaries();
+        (p.mean_clf, p.dev_clf, s.mean_clf, s.dev_clf)
+    });
+
+    let mut rows = Vec::new();
+    for (movie_idx, movie) in Movie::ALL.into_iter().enumerate() {
         let trace = MpegTrace::new(movie, 1);
         let frames = trace.gops(160);
         let stats = TraceStats::of(&frames, trace.pattern().len());
         let kbps = stats.mean_bitrate_bps(trace.fps(), frames.len()) / 1000.0;
 
-        let mut plain_means = Vec::new();
-        let mut plain_devs = Vec::new();
-        let mut spread_means = Vec::new();
-        let mut spread_devs = Vec::new();
-        for seed in [5u64, 6, 7] {
-            let source = StreamSource::mpeg(&trace, 2, 80, false);
-            let cfg = ProtocolConfig::paper(0.6, seed).with_bandwidth(8_000_000);
-            let cmp = Comparison::run(&cfg, &source);
-            let (p, s) = cmp.summaries();
-            plain_means.push(p.mean_clf);
-            plain_devs.push(p.dev_clf);
-            spread_means.push(s.mean_clf);
-            spread_devs.push(s.dev_clf);
-        }
+        let per_seed = &cells[movie_idx * SEEDS.len()..(movie_idx + 1) * SEEDS.len()];
+        let plain_mean = mean(&per_seed.iter().map(|c| c.0).collect::<Vec<_>>());
+        let plain_dev = mean(&per_seed.iter().map(|c| c.1).collect::<Vec<_>>());
+        let spread_mean = mean(&per_seed.iter().map(|c| c.2).collect::<Vec<_>>());
+        let spread_dev = mean(&per_seed.iter().map(|c| c.3).collect::<Vec<_>>());
         println!(
             "{:<22} {:>8}b {:>11.0} {:>12.2} {:>10.2} {:>12.2} {:>10.2}",
             movie.name(),
             movie.max_gop_bits(),
             kbps,
-            mean(&plain_means),
-            mean(&plain_devs),
-            mean(&spread_means),
-            mean(&spread_devs)
+            plain_mean,
+            plain_dev,
+            spread_mean,
+            spread_dev
         );
         assert!(
-            mean(&spread_means) <= mean(&plain_means),
+            spread_mean <= plain_mean,
             "{movie:?}: spreading must not lose"
         );
+        let mut row = Json::object();
+        row.push("movie", movie.name())
+            .push("max_gop_bits", movie.max_gop_bits())
+            .push("mean_kbps", kbps)
+            .push("plain_mean", plain_mean)
+            .push("plain_dev", plain_dev)
+            .push("spread_mean", spread_mean)
+            .push("spread_dev", spread_dev);
+        rows.push(row);
     }
     println!("\nreading: the advantage persists from the smallest trace (Jurassic Park)");
     println!("to the largest (Star Wars) — more packets per window give the permutation");
     println!("finer granularity, so bigger streams spread at least as well.");
 
+    sweep::write_results("movie_sweep", &sweep::results_doc("movie_sweep", rows));
     espread_bench::write_telemetry_snapshot("movie_sweep");
 }

@@ -9,11 +9,14 @@
 //! | **error spreading**  | D | E | F |
 //!
 //! ```sh
-//! cargo run --release -p espread-bench --bin orthogonality_blocks
+//! cargo run --release -p espread-bench --bin orthogonality_blocks -- --jobs 4
 //! ```
 
-use espread_bench::{mean, paper_source};
+use espread_bench::{mean, paper_source, sweep};
+use espread_exec::Json;
 use espread_protocol::{Ordering, ProtocolConfig, Recovery, Session};
+
+const SEEDS: [u64; 5] = [7, 8, 9, 10, 11];
 
 fn main() {
     println!("Fig. 4 blocks on matched channels (Pbad=0.7, 60 windows, 5 seeds)\n");
@@ -46,31 +49,47 @@ fn main() {
         "{:<26} {:>9} {:>8} {:>9} {:>12}",
         "block", "mean CLF", "dev", "mean ALF", "bytes"
     );
-    let mut results: Vec<(&str, f64)> = Vec::new();
-    for (name, ordering, recovery) in blocks {
-        let mut clfs = Vec::new();
-        let mut devs = Vec::new();
-        let mut alfs = Vec::new();
-        let mut bytes = Vec::new();
-        for seed in [7u64, 8, 9, 10, 11] {
+
+    let grid: Vec<(Ordering, Recovery, u64)> = blocks
+        .iter()
+        .flat_map(|&(_, ordering, recovery)| {
+            SEEDS
+                .into_iter()
+                .map(move |seed| (ordering, recovery, seed))
+        })
+        .collect();
+    let cells =
+        sweep::executor("orthogonality_blocks").run(grid, |_, (ordering, recovery, seed)| {
             let cfg = ProtocolConfig::paper(0.7, seed)
                 .with_ordering(ordering)
                 .with_recovery(recovery);
             let report = Session::new(cfg, paper_source(2, 60, 1)).run();
             let s = report.summary();
-            clfs.push(s.mean_clf);
-            devs.push(s.dev_clf);
-            alfs.push(s.mean_alf);
-            bytes.push(report.bytes_offered as f64);
-        }
-        println!(
-            "{name:<26} {:>9.2} {:>8.2} {:>9.3} {:>12.0}",
-            mean(&clfs),
-            mean(&devs),
-            mean(&alfs),
-            mean(&bytes)
-        );
-        results.push((name, mean(&clfs)));
+            (
+                s.mean_clf,
+                s.dev_clf,
+                s.mean_alf,
+                report.bytes_offered as f64,
+            )
+        });
+
+    let mut rows = Vec::new();
+    let mut results: Vec<(&str, f64)> = Vec::new();
+    for (i, (name, _, _)) in blocks.into_iter().enumerate() {
+        let per_seed = &cells[i * SEEDS.len()..(i + 1) * SEEDS.len()];
+        let clf = mean(&per_seed.iter().map(|c| c.0).collect::<Vec<_>>());
+        let dev = mean(&per_seed.iter().map(|c| c.1).collect::<Vec<_>>());
+        let alf = mean(&per_seed.iter().map(|c| c.2).collect::<Vec<_>>());
+        let bytes = mean(&per_seed.iter().map(|c| c.3).collect::<Vec<_>>());
+        println!("{name:<26} {clf:>9.2} {dev:>8.2} {alf:>9.3} {bytes:>12.0}");
+        results.push((name, clf));
+        let mut row = Json::object();
+        row.push("block", name)
+            .push("mean_clf", clf)
+            .push("dev_clf", dev)
+            .push("mean_alf", alf)
+            .push("mean_bytes", bytes);
+        rows.push(row);
     }
 
     let clf = |letter: char| {
@@ -100,5 +119,9 @@ fn main() {
         clf('F') < clf('C')
     );
 
+    sweep::write_results(
+        "orthogonality_blocks",
+        &sweep::results_doc("orthogonality_blocks", rows),
+    );
     espread_bench::write_telemetry_snapshot("orthogonality_blocks");
 }

@@ -8,9 +8,11 @@
 //! cargo run -p espread-bench --bin table1_example
 //! ```
 
+use espread_bench::sweep;
 use espread_core::{
     burst_loss_pattern, calculate_permutation, cpo::stride_permutation, worst_case_clf, Permutation,
 };
+use espread_exec::Json;
 
 fn one_indexed(perm: &Permutation) -> String {
     perm.as_slice()
@@ -34,29 +36,33 @@ fn main() {
     let in_order = Permutation::identity(n);
     let permuted = stride_permutation(n, 5); // the paper's published order
 
-    let naive_loss = burst_loss_pattern(&in_order, burst_start, b);
-    let spread_loss = burst_loss_pattern(&permuted, burst_start, b);
+    // Each order's burst analysis and worst-case scan is one cell.
+    let orders = [
+        ("in order", in_order.clone()),
+        ("permuted", permuted.clone()),
+    ];
+    let cells = sweep::executor("table1_example").run(orders.to_vec(), |_, (name, perm)| {
+        let loss = burst_loss_pattern(&perm, burst_start, b);
+        (
+            name,
+            loss.to_string(),
+            loss.longest_run(),
+            worst_case_clf(&perm, b),
+        )
+    });
 
     println!("{:<12} {}", "in order", one_indexed(&in_order));
     println!("{:<12} {}", "permuted", one_indexed(&permuted));
     println!();
+    println!("{:<12} {}   CLF {}/{n}", "in order", cells[0].1, cells[0].2);
     println!(
         "{:<12} {}   CLF {}/{n}",
-        "in order",
-        naive_loss,
-        naive_loss.longest_run()
-    );
-    println!(
-        "{:<12} {}   CLF {}/{n}",
-        "un-permuted",
-        spread_loss,
-        spread_loss.longest_run()
+        "un-permuted", cells[1].1, cells[1].2
     );
     println!();
     println!(
         "worst case over all burst positions: in-order {}, permuted {}",
-        worst_case_clf(&in_order, b),
-        worst_case_clf(&permuted, b)
+        cells[0].3, cells[1].3
     );
 
     let choice = calculate_permutation(n, b);
@@ -66,5 +72,18 @@ fn main() {
     );
     println!("\npaper row values: CLF 5/17 in order, 1/17 permuted.");
 
+    let mut rows = Vec::new();
+    for (name, loss, clf, worst) in &cells {
+        let mut row = Json::object();
+        row.push("order", *name)
+            .push("loss_pattern", loss.as_str())
+            .push("clf", *clf)
+            .push("worst_case_clf", *worst);
+        rows.push(row);
+    }
+    let mut doc = sweep::results_doc("table1_example", rows);
+    doc.push("chosen_family", choice.family.to_string())
+        .push("chosen_worst_clf", choice.worst_clf);
+    sweep::write_results("table1_example", &doc);
     espread_bench::write_telemetry_snapshot("table1_example");
 }

@@ -11,7 +11,9 @@
 //! cargo run -p espread-bench --bin table2_ibo_vs_cpo
 //! ```
 
+use espread_bench::sweep;
 use espread_core::{calculate_permutation, ibo::inverse_binary_order, worst_case_clf, Permutation};
+use espread_exec::Json;
 
 fn one_indexed(perm: &Permutation) -> String {
     perm.as_slice()
@@ -38,15 +40,23 @@ fn main() {
         sample.family
     );
 
+    // One cell per burst size: each runs the exact k-CPO search.
+    let cells = sweep::executor("table2_ibo_vs_cpo").run((1..=n).collect(), |_, b| {
+        let id = worst_case_clf(&Permutation::identity(n), b);
+        let ibo = worst_case_clf(&inverse_binary_order(n), b);
+        let cpo = calculate_permutation(n, b).worst_clf;
+        assert!(cpo <= ibo, "CPO must never be worse (b={b})");
+        (id, ibo, cpo)
+    });
+
     println!("worst-case CLF per burst size (window {n}):");
     println!(
         "{:>6} {:>9} {:>6} {:>6}   note",
         "burst", "in-order", "IBO", "CPO"
     );
-    for b in 1..=n {
-        let id = worst_case_clf(&Permutation::identity(n), b);
-        let ibo = worst_case_clf(&inverse_binary_order(n), b);
-        let cpo = calculate_permutation(n, b).worst_clf;
+    let mut rows = Vec::new();
+    for (i, &(id, ibo, cpo)) in cells.iter().enumerate() {
+        let b = i + 1;
         let note = if b > n / 2 && ibo > cpo {
             "← pathological regime: IBO degrades, CPO holds"
         } else if b <= n / 2 {
@@ -55,9 +65,18 @@ fn main() {
             ""
         };
         println!("{b:>6} {id:>9} {ibo:>6} {cpo:>6}   {note}");
-        assert!(cpo <= ibo, "CPO must never be worse (b={b})");
+        let mut row = Json::object();
+        row.push("burst", b)
+            .push("in_order_clf", id)
+            .push("ibo_clf", ibo)
+            .push("cpo_clf", cpo);
+        rows.push(row);
     }
     println!("\n✓ k-CPO ≤ IBO at every burst size (the paper: \"better than IBO in all cases\")");
 
+    sweep::write_results(
+        "table2_ibo_vs_cpo",
+        &sweep::results_doc("table2_ibo_vs_cpo", rows),
+    );
     espread_bench::write_telemetry_snapshot("table2_ibo_vs_cpo");
 }

@@ -6,10 +6,12 @@
 //! regimes of the theorem (`b = 1`, `b² ≤ n`, `b ≥ n`).
 //!
 //! ```sh
-//! cargo run --release -p espread-bench --bin theorem1_validation
+//! cargo run --release -p espread-bench --bin theorem1_validation -- --jobs 4
 //! ```
 
+use espread_bench::sweep;
 use espread_core::{calculate_permutation, theorem_one};
+use espread_exec::Json;
 
 fn main() {
     println!("Theorem 1 validation: k*(n, b) bracketed by the reconstructed bounds\n");
@@ -17,42 +19,62 @@ fn main() {
         "{:>4} {:>4} {:>7} {:>7} {:>7} {:>7}  regime",
         "n", "b", "lower", "exact", "upper", "tight"
     );
+
+    let grid: Vec<(usize, usize)> = [8usize, 12, 17, 24, 32, 48, 64]
+        .into_iter()
+        .flat_map(|n| {
+            [1usize, 2, 3, 5, 8, 12, 16, 24, 32, 48, 64]
+                .into_iter()
+                .filter(move |&b| b <= n)
+                .map(move |b| (n, b))
+        })
+        .collect();
+    // Each (n, b) cell runs the exact search once — the grid's hot loop.
+    let cells = sweep::executor("theorem1_validation").run(grid.clone(), |_, (n, b)| {
+        let bound = theorem_one(n, b);
+        let exact = calculate_permutation(n, b).worst_clf;
+        assert!(
+            bound.lower <= exact && exact <= bound.upper,
+            "bracket violated at n={n} b={b}"
+        );
+        (bound.lower, exact, bound.upper, bound.is_tight())
+    });
+
     let mut checked = 0usize;
     let mut tight = 0usize;
-    for n in [8usize, 12, 17, 24, 32, 48, 64] {
-        for b in [1usize, 2, 3, 5, 8, 12, 16, 24, 32, 48, 64] {
-            if b > n {
-                continue;
-            }
-            let bound = theorem_one(n, b);
-            let exact = calculate_permutation(n, b).worst_clf;
-            assert!(
-                bound.lower <= exact && exact <= bound.upper,
-                "bracket violated at n={n} b={b}"
-            );
-            let regime = if b >= n {
-                "b ≥ n ⇒ k = n"
-            } else if b == 1 {
-                "b = 1 ⇒ k = 1"
-            } else if b * b <= n {
-                "b² ≤ n ⇒ k = 1"
-            } else {
-                ""
-            };
-            checked += 1;
-            if bound.is_tight() {
-                tight += 1;
-            }
-            println!(
-                "{n:>4} {b:>4} {:>7} {exact:>7} {:>7} {:>7}  {regime}",
-                bound.lower,
-                bound.upper,
-                if bound.is_tight() { "yes" } else { "" },
-            );
+    let mut rows = Vec::new();
+    for (&(n, b), &(lower, exact, upper, is_tight)) in grid.iter().zip(&cells) {
+        let regime = if b >= n {
+            "b ≥ n ⇒ k = n"
+        } else if b == 1 {
+            "b = 1 ⇒ k = 1"
+        } else if b * b <= n {
+            "b² ≤ n ⇒ k = 1"
+        } else {
+            ""
+        };
+        checked += 1;
+        if is_tight {
+            tight += 1;
         }
+        println!(
+            "{n:>4} {b:>4} {lower:>7} {exact:>7} {upper:>7} {:>7}  {regime}",
+            if is_tight { "yes" } else { "" },
+        );
+        let mut row = Json::object();
+        row.push("n", n)
+            .push("b", b)
+            .push("lower", lower)
+            .push("exact", exact)
+            .push("upper", upper)
+            .push("tight", is_tight);
+        rows.push(row);
     }
     println!("\n{checked} (n, b) pairs checked; bounds tight in {tight} of them.");
     println!("Every exact optimum fell inside the reconstructed Theorem-1 bracket.");
 
+    let mut doc = sweep::results_doc("theorem1_validation", rows);
+    doc.push("checked", checked).push("tight", tight);
+    sweep::write_results("theorem1_validation", &doc);
     espread_bench::write_telemetry_snapshot("theorem1_validation");
 }

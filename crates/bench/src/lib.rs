@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod report;
+pub mod sweep;
 
 use espread_protocol::{Ordering, ProtocolConfig, Session, SessionReport, StreamSource};
 use espread_qos::WindowSummary;

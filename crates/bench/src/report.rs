@@ -76,18 +76,19 @@ pub fn to_markdown(title: &str, rows: &[ComparisonRow]) -> String {
 }
 
 /// Measures the paper's headline grid (Fig. 8 parameters at both loss
-/// rates) and renders it; `windows` trades precision for runtime.
-pub fn fig8_summary(windows: usize, seed: u64) -> String {
-    let rows: Vec<ComparisonRow> = [0.6, 0.7]
-        .iter()
-        .map(|&p_bad| {
+/// rates) and renders it; `windows` trades precision for runtime. The
+/// two loss rates run as executor cells (`jobs` as in
+/// [`Executor::new`](espread_exec::Executor::new): `0` = available
+/// parallelism); results are identical for every worker count.
+pub fn fig8_summary(windows: usize, seed: u64, jobs: usize) -> String {
+    let rows =
+        espread_exec::Executor::new("fig8_summary", jobs).run(vec![0.6, 0.7], |_, p_bad: f64| {
             ComparisonRow::measure(
                 format!("P_bad = {p_bad}"),
                 &ProtocolConfig::paper(p_bad, seed),
                 windows,
             )
-        })
-        .collect();
+        });
     to_markdown("Fig. 8 — network-loss comparison", &rows)
 }
 
@@ -132,7 +133,7 @@ mod tests {
 
     #[test]
     fn fig8_summary_contains_both_rates() {
-        let md = fig8_summary(10, 42);
+        let md = fig8_summary(10, 42, 1);
         assert!(md.contains("P_bad = 0.6"));
         assert!(md.contains("P_bad = 0.7"));
     }

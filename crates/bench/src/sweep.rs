@@ -1,0 +1,87 @@
+//! The bench binaries' side of the parallel executor.
+//!
+//! Every experiment binary sweeps an independent grid (movie × seed ×
+//! parameter); this module wires those grids into
+//! [`espread_exec::Executor`] uniformly:
+//!
+//! * [`jobs_from_args`] parses the shared `--jobs N` flag (`0` or absent
+//!   means "use available parallelism");
+//! * [`executor`] builds the experiment's executor with that worker
+//!   count;
+//! * [`write_results`] stores the deterministic sweep artifact at
+//!   `results/<name>.json`.
+//!
+//! The worker count never changes results — cells are sharded statically
+//! and every trial's RNG stream derives from a stable key — so the
+//! artifact written by `--jobs 1` and `--jobs 8` is byte-identical (the
+//! CI determinism job diffs exactly these files). Telemetry snapshots are
+//! *not* covered by that guarantee: they contain wall-clock span timings.
+
+use espread_exec::{Executor, Json};
+
+/// Parses `--jobs N` from the process arguments.
+///
+/// Returns `0` ("use available parallelism") when the flag is absent, so
+/// the result can be handed straight to [`Executor::new`].
+///
+/// # Panics
+///
+/// Panics with a usage message when `--jobs` is present without a valid
+/// count.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--jobs" || a == "-j")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .expect("--jobs takes a worker count")
+        })
+        .unwrap_or(0)
+}
+
+/// An [`Executor`] for `experiment` honouring the `--jobs` flag.
+pub fn executor(experiment: &str) -> Executor {
+    Executor::new(experiment, jobs_from_args())
+}
+
+/// Writes the deterministic sweep artifact `results/<name>.json` and
+/// reports the path on stdout.
+///
+/// Everything in `doc` must derive from cell results (no timings, no
+/// worker counts): these files are the byte-identical-across-`--jobs`
+/// surface the CI determinism job diffs.
+pub fn write_results(name: &str, doc: &Json) {
+    let path = format!("results/{name}.json");
+    let result = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(&path, doc.render_pretty()));
+    match result {
+        Ok(()) => println!("results written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+/// Builds the standard artifact skeleton: `{"experiment": <name>,
+/// "rows": [...]}` with rows in grid order.
+pub fn results_doc(name: &str, rows: Vec<Json>) -> Json {
+    let mut doc = Json::object();
+    doc.push("experiment", name).push("rows", Json::Array(rows));
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_jobs_is_auto() {
+        // The test harness never passes --jobs.
+        assert_eq!(jobs_from_args(), 0);
+    }
+
+    #[test]
+    fn doc_skeleton_shape() {
+        let doc = results_doc("t", vec![Json::Int(1)]);
+        assert_eq!(doc.render(), r#"{"experiment":"t","rows":[1]}"#);
+    }
+}

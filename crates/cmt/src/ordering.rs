@@ -6,7 +6,7 @@
 //! be optimal, it is better than IBO in all cases." This module is that
 //! plug point.
 
-use espread_core::{calculate_permutation, ibo::inverse_binary_order, Permutation};
+use espread_core::{calculate_permutation_cached, ibo::inverse_binary_order, Permutation};
 
 /// How PktSrc orders the B-frames of a buffer for transmission (anchors
 /// always go first, in decode order).
@@ -31,7 +31,9 @@ impl BFrameOrdering {
             BFrameOrdering::InOrder => Permutation::identity(n),
             BFrameOrdering::Ibo => inverse_binary_order(n),
             BFrameOrdering::Cpo { burst } => {
-                calculate_permutation(n, burst.clamp(1, n.max(1))).permutation
+                calculate_permutation_cached(n, burst.clamp(1, n.max(1)))
+                    .permutation
+                    .clone()
             }
         }
     }

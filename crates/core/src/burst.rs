@@ -46,6 +46,52 @@ pub fn burst_clf(perm: &Permutation, start: usize, len: usize) -> usize {
     clf_of_lost_sorted(&mut burst_lost_indices(perm, start, len))
 }
 
+/// Non-panicking [`burst_loss_pattern`]: a burst running past the end of
+/// the window is **truncated** to the slots that exist (the overflow hit a
+/// neighbouring window, not this one). Returns `None` only when the burst
+/// starts outside the window entirely, or is empty.
+///
+/// The protocol feedback path needs this: a client reports bursts in
+/// arrival order, and a burst that straddles a window boundary arrives
+/// with a start inside the window but a length that runs past it.
+///
+/// # Example
+///
+/// ```
+/// use espread_core::{burst_loss_pattern, try_burst_loss_pattern, Permutation};
+///
+/// let p = Permutation::identity(5);
+/// // Straddling burst: slots 3..7 requested, slots 3..5 analysed.
+/// let loss = try_burst_loss_pattern(&p, 3, 4).unwrap();
+/// assert_eq!(loss.lost_indices(), vec![3, 4]);
+/// // Entirely out of window: nothing to analyse.
+/// assert!(try_burst_loss_pattern(&p, 5, 2).is_none());
+/// // In-window bursts match the panicking variant.
+/// assert_eq!(try_burst_loss_pattern(&p, 1, 2), Some(burst_loss_pattern(&p, 1, 2)));
+/// ```
+pub fn try_burst_loss_pattern(perm: &Permutation, start: usize, len: usize) -> Option<LossPattern> {
+    let n = perm.len();
+    if start >= n || len == 0 {
+        return None;
+    }
+    let end = (start + len).min(n);
+    Some(LossPattern::from_lost_indices(
+        n,
+        (start..end).map(|t| perm.playout_of_slot(t)),
+    ))
+}
+
+/// Non-panicking [`burst_clf`]: truncates like [`try_burst_loss_pattern`].
+pub fn try_burst_clf(perm: &Permutation, start: usize, len: usize) -> Option<usize> {
+    let n = perm.len();
+    if start >= n || len == 0 {
+        return None;
+    }
+    let end = (start + len).min(n);
+    let mut lost: Vec<usize> = (start..end).map(|t| perm.playout_of_slot(t)).collect();
+    Some(clf_of_lost_sorted(&mut lost))
+}
+
 fn burst_lost_indices(perm: &Permutation, start: usize, len: usize) -> Vec<usize> {
     let n = perm.len();
     assert!(
@@ -293,6 +339,28 @@ mod tests {
     fn burst_must_fit() {
         let p = Permutation::identity(5);
         let _ = burst_loss_pattern(&p, 3, 4);
+    }
+
+    #[test]
+    fn try_variants_truncate_straddling_bursts() {
+        let p = stride_permutation(17, 5);
+        // In-window: exact agreement with the panicking variants.
+        assert_eq!(
+            try_burst_loss_pattern(&p, 3, 5),
+            Some(burst_loss_pattern(&p, 3, 5))
+        );
+        assert_eq!(try_burst_clf(&p, 3, 5), Some(burst_clf(&p, 3, 5)));
+        // Straddling: analysed as the truncated in-window prefix.
+        assert_eq!(
+            try_burst_loss_pattern(&p, 14, 10),
+            Some(burst_loss_pattern(&p, 14, 3))
+        );
+        assert_eq!(try_burst_clf(&p, 14, 10), Some(burst_clf(&p, 14, 3)));
+        // Entirely out of window, or empty: nothing to analyse.
+        assert_eq!(try_burst_loss_pattern(&p, 17, 2), None);
+        assert_eq!(try_burst_clf(&p, 99, 1), None);
+        assert_eq!(try_burst_clf(&p, 0, 0), None);
+        assert_eq!(try_burst_clf(&Permutation::identity(0), 0, 1), None);
     }
 
     #[test]

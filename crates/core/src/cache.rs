@@ -1,0 +1,244 @@
+//! Memoized transmission orders.
+//!
+//! The adaptive loop re-runs `calculatePermutation(n, b)` every time the
+//! burst estimate changes — and estimates revisit the same handful of
+//! values constantly (eq. 1 is a smoothing filter), so the exact search
+//! recomputes identical orders thousands of times per experiment. The
+//! caches here memoize the two expensive entry points behind
+//! `RwLock<HashMap>`:
+//!
+//! * [`calculate_permutation_cached`] — keyed by `(n, b)`;
+//! * [`layered_uniform_cached`] — keyed by
+//!   ([`Poset::fingerprint`], `b`).
+//!
+//! Both are process-global and thread-safe: a sweep's worker threads
+//! share one warm cache. Lookups never hold a lock while computing — on
+//! a racing miss both threads compute (the search is deterministic and
+//! idempotent) and the first insert wins, so every caller sees the same
+//! [`Arc`].
+//!
+//! Hit/miss counts are exported through `espread-telemetry` as
+//! `core.order_cache.{hits,misses}` and `core.layered_cache.{hits,misses}`,
+//! and are also available lock-free via [`spread_cache_stats`] /
+//! [`layered_cache_stats`].
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use espread_poset::Poset;
+
+use crate::cpo::{calculate_permutation, SpreadChoice};
+use crate::layered::LayeredOrder;
+
+/// A thread-safe memoization map with hit/miss accounting.
+#[derive(Debug)]
+pub struct OrderCache<K, V> {
+    map: RwLock<HashMap<K, Arc<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    hit_counter: &'static str,
+    miss_counter: &'static str,
+}
+
+/// Point-in-time cache counters (see [`spread_cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the map.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the map (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl<K: Eq + Hash, V> OrderCache<K, V> {
+    /// An empty cache reporting through the given telemetry counters.
+    pub fn new(hit_counter: &'static str, miss_counter: &'static str) -> Self {
+        OrderCache {
+            map: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            hit_counter,
+            miss_counter,
+        }
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it on a
+    /// miss. `compute` runs **without** holding the lock; on a racing miss
+    /// the first insert wins and every caller gets the same `Arc`.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
+        if let Some(hit) = self.map.read().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            crate::telem::count(self.hit_counter);
+            return Arc::clone(hit);
+        }
+        let computed = Arc::new(compute());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        crate::telem::count(self.miss_counter);
+        let mut map = self.map.write().expect("cache lock");
+        Arc::clone(map.entry(key).or_insert(computed))
+    }
+
+    /// Current counters and size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.read().expect("cache lock").len(),
+        }
+    }
+}
+
+fn spread_cache() -> &'static OrderCache<(usize, usize), SpreadChoice> {
+    static CACHE: OnceLock<OrderCache<(usize, usize), SpreadChoice>> = OnceLock::new();
+    CACHE.get_or_init(|| OrderCache::new("core.order_cache.hits", "core.order_cache.misses"))
+}
+
+fn layered_cache() -> &'static OrderCache<(u64, usize), LayeredOrder> {
+    static CACHE: OnceLock<OrderCache<(u64, usize), LayeredOrder>> = OnceLock::new();
+    CACHE.get_or_init(|| OrderCache::new("core.layered_cache.hits", "core.layered_cache.misses"))
+}
+
+/// [`calculate_permutation`](crate::calculate_permutation) through the
+/// process-global `(n, b)` cache. The search is deterministic, so the
+/// cached choice is exactly what a fresh call would return.
+pub fn calculate_permutation_cached(n: usize, b: usize) -> Arc<SpreadChoice> {
+    spread_cache().get_or_compute((n, b), || calculate_permutation(n, b))
+}
+
+/// [`LayeredOrder::with_uniform_bound`] through the process-global
+/// (poset fingerprint, `b`) cache.
+pub fn layered_uniform_cached(poset: &Poset, b: usize) -> Arc<LayeredOrder> {
+    layered_cache().get_or_compute((poset.fingerprint(), b), || {
+        LayeredOrder::with_uniform_bound(poset, b)
+    })
+}
+
+/// Counters for the `(n, b)` spread-order cache.
+pub fn spread_cache_stats() -> CacheStats {
+    spread_cache().stats()
+}
+
+/// Counters for the layered-order cache.
+pub fn layered_cache_stats() -> CacheStats {
+    layered_cache().stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let cache: OrderCache<(usize, usize), SpreadChoice> = OrderCache::new("t.hit", "t.miss");
+        let first = cache.get_or_compute((17, 5), || calculate_permutation(17, 5));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+
+        let second = cache.get_or_compute((17, 5), || panic!("must not recompute"));
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache: OrderCache<(usize, usize), usize> = OrderCache::new("t.hit", "t.miss");
+        let a = cache.get_or_compute((8, 2), || 1);
+        let b = cache.get_or_compute((8, 3), || 2);
+        assert_eq!((*a, *b), (1, 2));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn cached_choice_matches_fresh_computation() {
+        for (n, b) in [(9, 3), (17, 5), (12, 4)] {
+            let cached = calculate_permutation_cached(n, b);
+            assert_eq!(*cached, calculate_permutation(n, b), "n={n} b={b}");
+        }
+    }
+
+    #[test]
+    fn layered_cache_reuses_by_fingerprint() {
+        let poset = Poset::chain(6);
+        let first = layered_uniform_cached(&poset, 2);
+        // A structurally identical poset hits the same entry.
+        let same = Poset::chain(6);
+        let second = layered_uniform_cached(&same, 2);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(*first, LayeredOrder::with_uniform_bound(&poset, 2));
+        // A different bound is a different entry.
+        let other = layered_uniform_cached(&poset, 3);
+        assert!(!Arc::ptr_eq(&first, &other));
+    }
+
+    #[test]
+    fn cross_thread_reuse() {
+        let cache: Arc<OrderCache<(usize, usize), SpreadChoice>> =
+            Arc::new(OrderCache::new("t.hit", "t.miss"));
+        // Warm one entry, then hammer it from several threads.
+        let warm = cache.get_or_compute((17, 5), || calculate_permutation(17, 5));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    (0..16)
+                        .map(|_| cache.get_or_compute((17, 5), || panic!("cache was warm")))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for got in handle.join().expect("no panic") {
+                assert!(Arc::ptr_eq(&warm, &got), "all threads share one entry");
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 64);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn racing_misses_converge_to_one_entry() {
+        let cache: Arc<OrderCache<(usize, usize), SpreadChoice>> =
+            Arc::new(OrderCache::new("t.hit", "t.miss"));
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_compute((19, 4), || calculate_permutation(19, 4))
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect();
+        // However the race resolved, exactly one entry survived and every
+        // caller sees it.
+        assert_eq!(cache.stats().entries, 1);
+        for pair in results.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+        }
+        assert_eq!(*results[0], calculate_permutation(19, 4));
+    }
+}

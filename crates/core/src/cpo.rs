@@ -290,9 +290,11 @@ pub fn max_tolerable_burst(n: usize, k: usize) -> usize {
         return n;
     }
     // worst CLF of the best order is nondecreasing in b, so scan upward.
+    // The scan revisits the same (n, b) pairs every adaptation step, so it
+    // goes through the memoized cache.
     let mut best_b = 0;
     for b in 1..=n {
-        if calculate_permutation(n, b).worst_clf <= k {
+        if crate::cache::calculate_permutation_cached(n, b).worst_clf <= k {
             best_b = b;
         } else {
             break;
@@ -324,7 +326,7 @@ pub fn min_window_for(k: usize, b: usize, limit: usize) -> Option<usize> {
     if k == 0 {
         return (b == 0).then_some(0);
     }
-    (b + 1..=limit).find(|&n| calculate_permutation(n, b).worst_clf <= k)
+    (b + 1..=limit).find(|&n| crate::cache::calculate_permutation_cached(n, b).worst_clf <= k)
 }
 
 /// A `k`-CPO: the best order for window `n` sized to the largest burst the
@@ -336,7 +338,7 @@ pub fn min_window_for(k: usize, b: usize, limit: usize) -> Option<usize> {
 pub fn k_cpo(n: usize, k: usize) -> SpreadChoice {
     let _span = crate::telem::span("core.k_cpo.ns");
     let b = max_tolerable_burst(n, k).clamp(1, n.saturating_sub(1).max(1));
-    calculate_permutation(n, b)
+    (*crate::cache::calculate_permutation_cached(n, b)).clone()
 }
 
 #[cfg(test)]

@@ -97,6 +97,15 @@ impl BurstEstimator {
     pub fn as_burst_bound(&self) -> usize {
         (self.value.ceil() as usize).max(1)
     }
+
+    /// The estimate as a burst bound clamped to a window of `n` slots:
+    /// `1 ..= n`. After a run of full-window losses the raw estimate can
+    /// exceed `n`, and spreading against `b > n` is meaningless (it can
+    /// also trip window-bound asserts downstream) — protocol call sites
+    /// planning a window of `n` should use this accessor.
+    pub fn bounded(&self, n: usize) -> usize {
+        self.as_burst_bound().min(n.max(1))
+    }
 }
 
 impl fmt::Display for BurstEstimator {
@@ -150,6 +159,22 @@ mod tests {
         assert_eq!(BurstEstimator::paper_default(0.0).as_burst_bound(), 1);
         assert_eq!(BurstEstimator::paper_default(2.2).as_burst_bound(), 3);
         assert_eq!(BurstEstimator::paper_default(2.0).as_burst_bound(), 2);
+    }
+
+    #[test]
+    fn bounded_clamps_to_window() {
+        // A run of full-window losses drives the estimate past n.
+        let mut est = BurstEstimator::paper_default(8.0);
+        for _ in 0..10 {
+            est.observe(30.0);
+        }
+        assert!(est.as_burst_bound() > 8);
+        assert_eq!(est.bounded(8), 8);
+        // In-range estimates pass through unchanged.
+        assert_eq!(BurstEstimator::paper_default(2.2).bounded(8), 3);
+        // Degenerate windows still yield a usable bound.
+        assert_eq!(BurstEstimator::paper_default(5.0).bounded(0), 1);
+        assert_eq!(BurstEstimator::paper_default(0.0).bounded(4), 1);
     }
 
     #[test]

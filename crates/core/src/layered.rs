@@ -18,7 +18,8 @@
 
 use espread_poset::Poset;
 
-use crate::cpo::{calculate_permutation, OrderFamily};
+use crate::cache::calculate_permutation_cached;
+use crate::cpo::OrderFamily;
 use crate::permutation::Permutation;
 
 /// One layer of a layered transmission schedule.
@@ -141,10 +142,10 @@ impl LayeredOrder {
         for (idx, frames) in decomposition.into_iter().enumerate() {
             let critical = frames.iter().any(|&f| poset.upset_size(f) > 0);
             let b = burst_bound(idx, frames.len()).min(frames.len());
-            let choice = calculate_permutation(frames.len(), b);
+            let choice = calculate_permutation_cached(frames.len(), b);
             layers.push(LayerPlan {
                 frames,
-                order: choice.permutation,
+                order: choice.permutation.clone(),
                 critical,
                 burst_bound: b,
                 worst_clf: choice.worst_clf,

@@ -46,6 +46,7 @@
 pub mod anneal;
 pub mod bounds;
 pub mod burst;
+pub mod cache;
 pub mod cpo;
 pub mod estimator;
 pub mod ibo;
@@ -59,8 +60,12 @@ mod telem;
 pub use anneal::{optimize_order, OptimizedOrder};
 pub use bounds::{clf_lower_bound, theorem_one, TheoremOneBound};
 pub use burst::{
-    burst_clf, burst_loss_pattern, clf_profile, multi_burst_lower_bound, worst_case_clf,
-    worst_case_clf_multi,
+    burst_clf, burst_loss_pattern, clf_profile, multi_burst_lower_bound, try_burst_clf,
+    try_burst_loss_pattern, worst_case_clf, worst_case_clf_multi,
+};
+pub use cache::{
+    calculate_permutation_cached, layered_cache_stats, layered_uniform_cached, spread_cache_stats,
+    CacheStats, OrderCache,
 };
 pub use cpo::{
     calculate_permutation, k_cpo, max_tolerable_burst, min_window_for, OrderFamily, SpreadChoice,
@@ -69,4 +74,4 @@ pub use estimator::BurstEstimator;
 pub use layered::{LayerPlan, LayeredOrder};
 pub use module::{Descrambler, Scrambled, Scrambler};
 pub use permutation::{Permutation, PermutationError};
-pub use stochastic::{monte_carlo_clf, monte_carlo_series, rank_orders};
+pub use stochastic::{monte_carlo_clf, monte_carlo_series, rank_orders, rank_orders_by};

@@ -99,14 +99,26 @@ pub fn rank_orders<'a>(
             "all candidate orders must share a window length"
         );
     }
+    rank_orders_by(orders, |_, perm| {
+        let mut process = process_factory();
+        monte_carlo_clf(perm, windows, &mut process).mean_clf
+    })
+}
+
+/// Ranks named orders by an arbitrary score (smaller is better), ascending.
+///
+/// The sort uses [`f64::total_cmp`], so degenerate scores (a NaN mean from
+/// an empty or zero-probability sample set) rank after every finite score
+/// instead of panicking the comparison.
+pub fn rank_orders_by<'a>(
+    orders: &'a [(&'a str, Permutation)],
+    mut score: impl FnMut(&str, &Permutation) -> f64,
+) -> Vec<(&'a str, f64)> {
     let mut scored: Vec<(&str, f64)> = orders
         .iter()
-        .map(|(name, perm)| {
-            let mut process = process_factory();
-            (*name, monte_carlo_clf(perm, windows, &mut process).mean_clf)
-        })
+        .map(|(name, perm)| (*name, score(name, perm)))
         .collect();
-    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("CLF means are finite"));
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
     scored
 }
 
@@ -199,6 +211,33 @@ mod tests {
         assert_eq!(ranking.last().unwrap().0, "identity");
         assert_eq!(ranking.last().unwrap().1, 4.0);
         assert!(ranking[0].1 <= 2.0);
+    }
+
+    #[test]
+    fn nan_scores_rank_last_without_panicking() {
+        // Regression: a degenerate loss model (zero-probability window,
+        // empty sample set) yields a NaN mean CLF; ranking used to panic
+        // in partial_cmp. NaN candidates must sort after every finite one.
+        let orders = vec![
+            ("healthy", Permutation::identity(8)),
+            ("degenerate", stride_permutation(8, 3)),
+            ("worse", inverse_binary_order(8)),
+        ];
+        let ranking = rank_orders_by(&orders, |name, _| match name {
+            "healthy" => 1.5,
+            "worse" => 3.0,
+            _ => f64::NAN,
+        });
+        assert_eq!(ranking[0].0, "healthy");
+        assert_eq!(ranking[1].0, "worse");
+        assert_eq!(ranking[2].0, "degenerate");
+        assert!(ranking[2].1.is_nan());
+
+        // All-NaN: still no panic, order is the (stable) input order.
+        let all_nan = rank_orders_by(&orders, |_, _| f64::NAN);
+        assert_eq!(all_nan.len(), 3);
+        assert!(all_nan.iter().all(|(_, s)| s.is_nan()));
+        assert_eq!(all_nan[0].0, "healthy");
     }
 
     #[test]

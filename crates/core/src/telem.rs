@@ -5,16 +5,17 @@
 #[cfg(feature = "telemetry")]
 mod imp {
     /// Starts an RAII span recording elapsed nanoseconds into the named
-    /// histogram of the global registry.
+    /// histogram of the current registry (thread-local override when one
+    /// is installed via `espread_telemetry::with_current`, else global).
     #[inline]
     pub(crate) fn span(name: &'static str) -> espread_telemetry::SpanGuard {
-        espread_telemetry::global().histogram(name).start_timer()
+        espread_telemetry::current().histogram(name).start_timer()
     }
 
-    /// Bumps the named counter of the global registry.
+    /// Bumps the named counter of the current registry.
     #[inline]
     pub(crate) fn count(name: &'static str) {
-        espread_telemetry::global().counter(name).inc();
+        espread_telemetry::current().counter(name).inc();
     }
 }
 

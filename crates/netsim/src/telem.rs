@@ -4,10 +4,12 @@
 
 #[cfg(feature = "telemetry")]
 mod imp {
-    use espread_telemetry::{global, Counter, Histogram};
+    use espread_telemetry::{current, Counter, Histogram};
 
     /// Tracks loss runs and records each completed burst's length into the
-    /// global `netsim.gilbert.burst_len` histogram.
+    /// current registry's `netsim.gilbert.burst_len` histogram (handles are
+    /// resolved at construction, so build the simulator inside
+    /// `espread_telemetry::with_current` to route it to a worker registry).
     #[derive(Debug, Clone)]
     pub struct BurstTracker {
         hist: Histogram,
@@ -17,7 +19,7 @@ mod imp {
     impl BurstTracker {
         pub(crate) fn new() -> Self {
             BurstTracker {
-                hist: global().histogram("netsim.gilbert.burst_len"),
+                hist: current().histogram("netsim.gilbert.burst_len"),
                 current: 0,
             }
         }
@@ -36,7 +38,7 @@ mod imp {
         }
     }
 
-    /// Per-link counters mirrored into the global registry.
+    /// Per-link counters mirrored into the current registry.
     #[derive(Debug, Clone)]
     pub struct LinkTelem {
         offered: Counter,
@@ -46,7 +48,7 @@ mod imp {
 
     impl LinkTelem {
         pub(crate) fn new() -> Self {
-            let g = global();
+            let g = current();
             LinkTelem {
                 offered: g.counter("netsim.link.packets_offered"),
                 delivered: g.counter("netsim.link.packets_delivered"),

@@ -159,6 +159,33 @@ impl Poset {
         &self.covers_up[a]
     }
 
+    /// A stable 64-bit fingerprint of the poset's structure (element count
+    /// plus the cover relation), suitable as a memoization key for derived
+    /// schedules. Insensitive to the order relations were added in; two
+    /// posets over the same elements with the same covers always agree.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let fold = |mut h: u64, v: u64| -> u64 {
+            for byte in v.to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            }
+            h
+        };
+        // Length-prefixed per-element cover lists make the byte stream
+        // uniquely parseable, so distinct posets hash distinct streams.
+        let mut h = fold(FNV_OFFSET, self.n as u64);
+        for a in 0..self.n {
+            let mut ups = self.covers_up[a].clone();
+            ups.sort_unstable();
+            h = fold(h, ups.len() as u64);
+            for b in ups {
+                h = fold(h, b as u64);
+            }
+        }
+        h
+    }
+
     /// The minimal elements (depend on nothing): MPEG I-frames in the
     /// paper's model.
     pub fn minimal_elements(&self) -> Vec<usize> {
@@ -406,5 +433,28 @@ mod tests {
         let text = format!("{:?}", diamond());
         assert!(text.contains("Poset"));
         assert!(text.contains("height"));
+    }
+
+    #[test]
+    fn fingerprint_is_structural() {
+        // Same poset, relations added in a different order: same print.
+        let mut b = Poset::builder(4);
+        b.add_relation(2, 3).unwrap();
+        b.add_relation(0, 2).unwrap();
+        b.add_relation(1, 3).unwrap();
+        b.add_relation(0, 1).unwrap();
+        let reordered = b.build().unwrap();
+        assert_eq!(diamond().fingerprint(), reordered.fingerprint());
+
+        // Different structures disagree.
+        assert_ne!(diamond().fingerprint(), Poset::chain(4).fingerprint());
+        assert_ne!(diamond().fingerprint(), Poset::antichain(4).fingerprint());
+        assert_ne!(
+            Poset::antichain(4).fingerprint(),
+            Poset::antichain(5).fingerprint()
+        );
+        // Stable across calls.
+        let p = diamond();
+        assert_eq!(p.fingerprint(), p.fingerprint());
     }
 }

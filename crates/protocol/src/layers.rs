@@ -15,7 +15,9 @@
 //! * [`Ordering::InOrder`]: plain playout order (the "usual MPEG
 //!   transmission model"), layer labels kept for bookkeeping.
 
-use espread_core::{calculate_permutation, ibo::inverse_binary_order};
+use espread_core::{
+    calculate_permutation_cached, ibo::inverse_binary_order, try_burst_clf, Permutation,
+};
 use espread_poset::Poset;
 
 use crate::config::Ordering;
@@ -40,6 +42,21 @@ pub struct LayerInfo {
     pub critical: bool,
     /// The burst bound its permutation was sized for.
     pub burst_bound: usize,
+    /// The within-layer transmission order: entry `slot` is the
+    /// layer-local playout index sent at that layer slot.
+    pub order: Vec<usize>,
+}
+
+impl LayerInfo {
+    /// The CLF (in layer-local playout positions) a burst over this
+    /// layer's transmission slots `start .. start + len` would cause under
+    /// the layer's order. Out-of-window bursts are truncated (feedback can
+    /// report a burst straddling the window boundary); returns `None` for
+    /// a burst entirely outside the layer.
+    pub fn projected_clf(&self, start: usize, len: usize) -> Option<usize> {
+        let perm = Permutation::from_vec(self.order.clone()).ok()?;
+        try_burst_clf(&perm, start, len)
+    }
 }
 
 /// A complete send plan for one buffer window.
@@ -96,7 +113,7 @@ impl WindowPlan {
                 Ordering::Spread { .. } => {
                     let b = bound_for(idx, len, critical, adaptive);
                     (
-                        calculate_permutation(len, b)
+                        calculate_permutation_cached(len, b)
                             .permutation
                             .as_slice()
                             .to_vec(),
@@ -111,12 +128,13 @@ impl WindowPlan {
                     }
                 }
             };
-            layer_orders.push(order);
             layers.push(LayerInfo {
                 frames: frames.clone(),
                 critical,
                 burst_bound: bound,
+                order: order.clone(),
             });
+            layer_orders.push(order);
         }
 
         // Assemble the global schedule.

@@ -32,6 +32,7 @@ pub struct AdaptationRecord {
 pub struct Server {
     ordering: Ordering,
     estimators: Vec<BurstEstimator>,
+    layer_sizes: Vec<usize>,
     acks: AckTracker,
     last_applied_window: Option<u64>,
     last_adaptation: Option<AdaptationRecord>,
@@ -61,6 +62,7 @@ impl Server {
         Server {
             ordering: config.ordering,
             estimators,
+            layer_sizes,
             acks: AckTracker::new(),
             last_applied_window: None,
             last_adaptation: None,
@@ -74,9 +76,15 @@ impl Server {
     }
 
     /// Current per-layer burst-bound estimates, rounded for use by
-    /// `calculatePermutation`.
+    /// `calculatePermutation` and clamped to each layer's length — after a
+    /// run of full-window losses the raw estimate can exceed the layer
+    /// size, and spreading against `b > n` is meaningless.
     pub fn estimates(&self) -> Vec<usize> {
-        self.estimators.iter().map(|e| e.as_burst_bound()).collect()
+        self.estimators
+            .iter()
+            .zip(&self.layer_sizes)
+            .map(|(e, &len)| e.bounded(len))
+            .collect()
     }
 
     /// Raw (un-rounded) estimator values, for reporting.
@@ -193,6 +201,29 @@ mod tests {
         ));
         let _ = server.plan_window(&poset);
         assert_eq!(server.estimates()[4], 6); // (8+4)/2, not (8+16)/2
+    }
+
+    #[test]
+    fn estimates_clamped_to_layer_sizes() {
+        let (config, poset) = setup();
+        let mut server = Server::new(&config, &poset);
+        // Repeated full-window losses drive the raw B-layer estimate past
+        // the 16-frame layer (ceil rounds up, ACKs report the whole layer
+        // and then some after retransmission accounting).
+        for seq in 1..=6 {
+            server.offer_ack(
+                seq,
+                WindowFeedback {
+                    window: seq - 1,
+                    per_layer_burst: vec![9, 9, 9, 9, 40],
+                },
+            );
+            let _ = server.plan_window(&poset);
+        }
+        assert!(server.raw_estimates()[4] > 16.0);
+        let estimates = server.estimates();
+        assert_eq!(estimates[4], 16, "B layer clamped to its length");
+        assert!(estimates[..4].iter().all(|&e| e <= 2), "anchor layers too");
     }
 
     #[test]

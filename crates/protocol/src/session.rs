@@ -189,6 +189,26 @@ impl Session {
             };
             if let Some(record) = server.take_last_adaptation() {
                 self.telem.adaptation(w, &record);
+                // Project the observed bursts through the freshly planned
+                // orders: the worst CLF the new plan would admit if each
+                // layer's reported burst recurred at the least favourable
+                // slot. Observed bursts can exceed a (shrunken) layer or
+                // straddle the window boundary, hence the truncating
+                // projection.
+                let worst = plan
+                    .layers
+                    .iter()
+                    .zip(&record.observed_bursts)
+                    .filter(|&(_, &b)| b > 0)
+                    .filter_map(|(layer, &b)| {
+                        (0..layer.order.len())
+                            .filter_map(|start| layer.projected_clf(start, b))
+                            .max()
+                    })
+                    .max();
+                if let Some(clf) = worst {
+                    self.telem.projected_clf(clf);
+                }
             }
             estimate_history.push(server.raw_estimates());
 

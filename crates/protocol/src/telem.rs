@@ -3,15 +3,15 @@
 
 #[cfg(feature = "telemetry")]
 mod imp {
-    use espread_telemetry::{global, Counter, Event, Gauge, Registry, SpanGuard};
+    use espread_telemetry::{current, Counter, Event, Gauge, Registry, SpanGuard};
 
     use crate::server::AdaptationRecord;
 
-    /// Starts an RAII span on the **global** registry (for call sites that
-    /// have no session handle, e.g. the client).
+    /// Starts an RAII span on the **current** registry (for call sites
+    /// that have no session handle, e.g. the client).
     #[inline]
     pub(crate) fn span(name: &'static str) -> SpanGuard {
-        global().histogram(name).start_timer()
+        current().histogram(name).start_timer()
     }
 
     /// Per-session instrument handles, resolved once per run.
@@ -20,6 +20,7 @@ mod imp {
         registry: Registry,
         alf: Gauge,
         clf: Gauge,
+        projected_clf: Gauge,
         windows: Counter,
         retransmissions: Counter,
     }
@@ -29,15 +30,17 @@ mod imp {
             SessionTelem {
                 alf: registry.gauge("protocol.window.alf"),
                 clf: registry.gauge("protocol.window.clf"),
+                projected_clf: registry.gauge("protocol.adaptation.projected_clf"),
                 windows: registry.counter("protocol.session.windows"),
                 retransmissions: registry.counter("protocol.session.retransmissions"),
                 registry,
             }
         }
 
-        /// Handles bound to the process-wide global registry (the default).
+        /// Handles bound to the current registry — the thread-local
+        /// override when one is installed, else the process-wide global.
         pub(crate) fn default_global() -> Self {
-            Self::new(global().clone())
+            Self::new(current())
         }
 
         /// Starts an RAII span on this session's registry.
@@ -80,6 +83,17 @@ mod imp {
                 old_estimates: record.old_estimates.clone(),
                 new_estimates: record.new_estimates.clone(),
             });
+        }
+
+        /// Records the worst CLF the freshly planned orders would admit if
+        /// the adaptation's observed bursts recurred (truncated projection,
+        /// see the session loop).
+        #[inline]
+        pub(crate) fn projected_clf(&self, clf: usize) {
+            self.projected_clf.set(clf as f64);
+            self.registry
+                .histogram("protocol.adaptation.projected_clf_hist")
+                .record(clf as u64);
         }
 
         /// Bumps the retransmission counter.
@@ -128,6 +142,9 @@ mod imp {
 
         #[inline(always)]
         pub(crate) fn adaptation(&self, _window: u64, _record: &AdaptationRecord) {}
+
+        #[inline(always)]
+        pub(crate) fn projected_clf(&self, _clf: usize) {}
 
         #[inline(always)]
         pub(crate) fn on_retransmission(&self) {}

@@ -67,6 +67,22 @@ impl HistogramCore {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Folds a snapshot (typically from another registry's histogram of
+    /// the same name) into this live histogram. Bucket bounds map back to
+    /// their own indices, so bucket-wise addition is exact.
+    pub(crate) fn absorb(&self, snap: &HistogramSnapshot) {
+        if snap.count == 0 {
+            return;
+        }
+        for &(bound, n) in &snap.buckets {
+            self.buckets[bucket_index(bound)].fetch_add(n, Ordering::Relaxed);
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.min.fetch_min(snap.min, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count.load(Ordering::Relaxed);
         let buckets = self

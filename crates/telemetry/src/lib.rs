@@ -15,7 +15,13 @@
 //!   handle and record with a single atomic RMW.
 //! * **Snapshot anywhere.** [`Registry::snapshot`] reads every instrument
 //!   without stopping writers; [`Snapshot::merge`] folds snapshots from
-//!   several registries (or runs) together.
+//!   several registries (or runs) together, and [`Registry::absorb`]
+//!   folds a snapshot back into a live registry.
+//! * **Thread-scoped routing.** [`with_current`] installs a thread-local
+//!   registry override that [`current`] resolves; the per-crate shims
+//!   record through [`current`], so a parallel executor can hand each
+//!   worker a private registry and merge the deltas once at join instead
+//!   of contending on shared atomics in the hot loop.
 //! * **Compile-out-able.** This crate is always cheap to build (std only);
 //!   the *instrumented* crates gate their call sites behind their own
 //!   `telemetry` cargo feature (on by default), so
@@ -50,4 +56,6 @@ pub mod sink;
 
 pub use event::Event;
 pub use hist::HistogramSnapshot;
-pub use registry::{global, Counter, Gauge, Histogram, Registry, Snapshot, SpanGuard};
+pub use registry::{
+    current, global, with_current, Counter, Gauge, Histogram, Registry, Snapshot, SpanGuard,
+};

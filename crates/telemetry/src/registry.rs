@@ -1,5 +1,6 @@
 //! The metrics registry and its instrument handles.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
@@ -70,6 +71,13 @@ impl Histogram {
         let out = f();
         self.record(start.elapsed().as_nanos() as u64);
         out
+    }
+
+    /// Folds a [`HistogramSnapshot`] into this live histogram —
+    /// bucket-wise addition, widening min/max. Used by
+    /// [`Registry::absorb`] to merge per-worker deltas at thread join.
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        self.0.absorb(snap);
     }
 
     /// Starts an RAII span: the guard records elapsed nanoseconds into
@@ -195,6 +203,37 @@ impl Registry {
         self.inner.events.lock().unwrap().clone()
     }
 
+    /// Folds a [`Snapshot`] (typically taken from a worker thread's
+    /// private registry) into this live registry: counters add, gauges
+    /// take the snapshot's value, histograms merge bucket-wise, events
+    /// append. This is how a parallel executor merges per-worker telemetry
+    /// deltas **once at join** instead of contending on shared atomics in
+    /// the hot loop.
+    pub fn absorb(&self, snap: &Snapshot) {
+        for (name, v) in &snap.counters {
+            self.counter(name).add(*v);
+        }
+        for (name, v) in &snap.gauges {
+            self.gauge(name).set(*v);
+        }
+        for (name, h) in &snap.histograms {
+            self.histogram(name).absorb(h);
+        }
+        {
+            let mut events = self.inner.events.lock().unwrap();
+            for event in &snap.events {
+                if events.len() < EVENT_CAP {
+                    events.push(event.clone());
+                } else {
+                    self.inner.events_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.inner
+            .events_dropped
+            .fetch_add(snap.events_dropped, Ordering::Relaxed);
+    }
+
     /// Reads every instrument and the event log into a [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -233,6 +272,42 @@ impl Registry {
 pub fn global() -> &'static Registry {
     static GLOBAL: OnceLock<Registry> = OnceLock::new();
     GLOBAL.get_or_init(Registry::new)
+}
+
+thread_local! {
+    /// Stack of thread-local registry overrides (see [`with_current`]).
+    static CURRENT: RefCell<Vec<Registry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pops the thread-local override on scope exit, including unwinds.
+struct CurrentGuard;
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// Runs `f` with `registry` installed as this thread's [`current`]
+/// registry. Overrides nest (a stack) and are restored on exit, including
+/// panics. Instrumentation that resolves its registry through [`current`]
+/// — the per-crate telemetry shims — records into `registry` for the
+/// duration, letting a parallel executor give each worker thread a
+/// private registry and merge the deltas once at join.
+pub fn with_current<R>(registry: &Registry, f: impl FnOnce() -> R) -> R {
+    CURRENT.with(|stack| stack.borrow_mut().push(registry.clone()));
+    let _guard = CurrentGuard;
+    f()
+}
+
+/// This thread's effective registry: the innermost [`with_current`]
+/// override, or [`global`] when none is installed.
+pub fn current() -> Registry {
+    CURRENT
+        .with(|stack| stack.borrow().last().cloned())
+        .unwrap_or_else(|| global().clone())
 }
 
 /// A point-in-time copy of a whole registry.
@@ -400,6 +475,102 @@ mod tests {
                 .unwrap()
                 >= 1
         );
+    }
+
+    #[test]
+    fn absorb_folds_a_worker_snapshot() {
+        let main = Registry::new();
+        main.counter("c").add(5);
+        main.histogram("h").record(3);
+
+        let worker = Registry::new();
+        worker.counter("c").add(2);
+        worker.gauge("g").set(0.75);
+        worker.histogram("h").record(7);
+        worker.emit(Event::WindowMetrics {
+            window: 1,
+            lost: 2,
+            window_len: 8,
+            clf: 2,
+        });
+
+        main.absorb(&worker.snapshot());
+        let snap = main.snapshot();
+        assert_eq!(snap.counter("c"), Some(7));
+        assert_eq!(snap.gauge("g"), Some(0.75));
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 10);
+        assert_eq!(h.min, 3);
+        assert_eq!(h.max, 7);
+        assert_eq!(snap.events.len(), 1);
+    }
+
+    #[test]
+    fn absorb_respects_event_cap() {
+        let main = Registry::new();
+        let worker = Registry::new();
+        for w in 0..(EVENT_CAP + 5) as u64 {
+            worker.emit(Event::WindowMetrics {
+                window: w,
+                lost: 0,
+                window_len: 1,
+                clf: 0,
+            });
+        }
+        main.absorb(&worker.snapshot());
+        let snap = main.snapshot();
+        assert_eq!(snap.events.len(), EVENT_CAP);
+        assert_eq!(snap.events_dropped, 5);
+    }
+
+    #[test]
+    fn with_current_overrides_and_restores() {
+        let local = Registry::new();
+        with_current(&local, || {
+            current().counter("scoped").inc();
+            // Nested override wins over the outer one.
+            let inner = Registry::new();
+            with_current(&inner, || current().counter("scoped").inc());
+            assert_eq!(inner.snapshot().counter("scoped"), Some(1));
+        });
+        assert_eq!(local.snapshot().counter("scoped"), Some(1));
+        // Outside any override, current() is the global registry.
+        assert_eq!(
+            global().snapshot().counter("scoped"),
+            current().snapshot().counter("scoped")
+        );
+    }
+
+    #[test]
+    fn with_current_restores_after_panic() {
+        let local = Registry::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_current(&local, || panic!("boom"));
+        }));
+        assert!(result.is_err());
+        // The override stack must be empty again.
+        current().counter("telemetry.test.after_panic").inc();
+        assert!(local
+            .snapshot()
+            .counter("telemetry.test.after_panic")
+            .is_none());
+    }
+
+    #[test]
+    fn current_is_thread_local() {
+        let local = Registry::new();
+        with_current(&local, || {
+            let handle = std::thread::spawn(|| {
+                // The spawned thread sees no override.
+                current().counter("telemetry.test.other_thread").inc();
+            });
+            handle.join().unwrap();
+        });
+        assert!(local
+            .snapshot()
+            .counter("telemetry.test.other_thread")
+            .is_none());
     }
 
     #[test]
