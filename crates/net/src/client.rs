@@ -1,0 +1,497 @@
+//! The UDP streaming client: handshake, un-permute, measure, ACK.
+//!
+//! [`NetClient::connect`] runs the `Hello`/`Accept` negotiation under
+//! bounded retry; [`NetClient::stream`] then receives the whole stream,
+//! tracking each window with [`NetWindow`](crate::clientwin::NetWindow) —
+//! reassembling fragments, observing per-layer loss bursts in the
+//! transmission-slot domain — and answering every `WindowEnd` with a
+//! sequence-numbered `WindowAck`. Lost `WindowEnd`s are healed two ways:
+//! the server retries them, and data for a *newer* window implicitly
+//! finalizes the current one.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::time::{Duration, Instant};
+
+use espread_protocol::{ClientCapabilities, Ordering};
+use espread_qos::{ContinuityMetrics, LossPattern, WindowSeries};
+
+use crate::clientwin::NetWindow;
+use crate::error::NetError;
+use crate::retry::RetryPolicy;
+use crate::telem::ClientTelem;
+use crate::wire::{self, Accept, CriticalNackMsg, Hello, Msg, WindowAckMsg, CONN_NONE};
+
+/// Socket poll granularity while streaming.
+const POLL: Duration = Duration::from_millis(10);
+
+/// Per-process handshake-nonce discriminator (the local port provides
+/// cross-process uniqueness).
+static NONCE_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+/// Client-side session parameters.
+#[derive(Debug, Clone)]
+pub struct NetClientConfig {
+    /// Resources the handshake checks the offer against.
+    pub capabilities: ClientCapabilities,
+    /// Transmission ordering to request from the server.
+    pub ordering: Ordering,
+    /// Whether to NACK missing critical frames at window end, for up to
+    /// `retry.max_attempts` retransmission rounds per window (each round
+    /// rides the channel again, so one round is rarely enough on a lossy
+    /// link).
+    pub recovery: bool,
+    /// Retry schedule for the handshake and `Begin`.
+    pub retry: RetryPolicy,
+    /// Hard ceiling on the whole stream's wall-clock time.
+    pub deadline: Duration,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> Self {
+        NetClientConfig {
+            capabilities: ClientCapabilities::desktop(),
+            ordering: Ordering::spread(),
+            recovery: false,
+            retry: RetryPolicy::lan(),
+            deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What the client saw over the whole stream.
+#[derive(Debug, Clone)]
+pub struct NetClientReport {
+    /// Per-window continuity metrics, in window order.
+    pub series: WindowSeries,
+    /// Per-window playout loss patterns, in window order.
+    pub patterns: Vec<LossPattern>,
+    /// Windows finalized (acked).
+    pub windows_completed: usize,
+    /// Windows the server promised at negotiation.
+    pub windows_total: usize,
+    /// `WindowAck`s sent (including re-acks of retried `WindowEnd`s).
+    pub acks_sent: u64,
+    /// `CriticalNack`s sent.
+    pub nacks_sent: u64,
+    /// Datagrams received (including undecodable ones).
+    pub datagrams_rx: u64,
+    /// Bytes received.
+    pub bytes_rx: u64,
+    /// Extra `Hello` sends beyond the first.
+    pub hello_retries: u32,
+    /// Whether the server's `Bye` arrived (graceful close).
+    pub saw_bye: bool,
+}
+
+/// A connected (negotiated) client, ready to stream.
+#[derive(Debug)]
+pub struct NetClient {
+    socket: UdpSocket,
+    conn_id: u32,
+    accept: Accept,
+    config: NetClientConfig,
+    telem: ClientTelem,
+    hello_retries: u32,
+}
+
+impl NetClient {
+    /// Negotiates a session with the server at `server`.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, a server [`NetError::Rejected`], or
+    /// [`NetError::HandshakeTimeout`] after the retry schedule runs dry.
+    pub fn connect(server: SocketAddr, config: NetClientConfig) -> Result<Self, NetError> {
+        config.retry.validate().map_err(NetError::Config)?;
+        if config.deadline.is_zero() {
+            return Err(NetError::Config("deadline must be positive".into()));
+        }
+        let bind_ip: IpAddr = match server.ip() {
+            IpAddr::V4(ip) if ip.is_loopback() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::UNSPECIFIED),
+            IpAddr::V6(ip) if ip.is_loopback() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::UNSPECIFIED),
+        };
+        let socket = UdpSocket::bind((bind_ip, 0))?;
+        socket.connect(server)?;
+        let telem = ClientTelem::default_global();
+        let nonce = (u64::from(socket.local_addr()?.port()) << 32)
+            | NONCE_COUNTER.fetch_add(1, AtomicOrdering::Relaxed);
+        let hello = Msg::Hello(Hello {
+            nonce,
+            buffer_bytes: config.capabilities.buffer_bytes,
+            max_startup_delay_ms: config.capabilities.max_startup_delay_ms,
+            ordering: config.ordering,
+        });
+        let mut buf = vec![0u8; 65_536];
+        let mut hello_retries = 0u32;
+        for attempt in 0..config.retry.max_attempts {
+            if attempt > 0 {
+                hello_retries += 1;
+                telem.on_hello_retry();
+            }
+            send_on(&socket, &telem, CONN_NONE, &hello);
+            let deadline = Instant::now() + config.retry.backoff(attempt);
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                socket.set_read_timeout(Some(remaining.min(POLL)))?;
+                let len = match socket.recv(&mut buf) {
+                    Ok(len) => len,
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(e) => return Err(NetError::Io(e)),
+                };
+                telem.on_rx();
+                match wire::decode(&buf[..len]) {
+                    Ok((conn_id, Msg::Accept(accept))) if accept.nonce == nonce => {
+                        return Ok(NetClient {
+                            socket,
+                            conn_id,
+                            accept,
+                            config,
+                            telem,
+                            hello_retries,
+                        });
+                    }
+                    Ok((_, Msg::Reject(reject))) if reject.nonce == nonce => {
+                        return Err(NetError::Rejected(reject.reason));
+                    }
+                    Ok(_) => {} // stale or foreign: keep waiting
+                    Err(_) => telem.on_decode_error(),
+                }
+            }
+        }
+        Err(NetError::HandshakeTimeout)
+    }
+
+    /// The negotiated session shape.
+    pub fn session(&self) -> &Accept {
+        &self.accept
+    }
+
+    /// Streams to completion (or deadline) and reports what arrived.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::StreamTimeout`] when the first datagram never arrives
+    /// or the overall deadline passes; socket errors.
+    pub fn stream(self) -> Result<NetClientReport, NetError> {
+        let hard_deadline = Instant::now() + self.config.deadline;
+        let mut st = StreamState::new(&self.accept, &self.config);
+        let mut buf = vec![0u8; 65_536];
+
+        // Begin, retried until the stream actually starts flowing.
+        let mut started = false;
+        'begin: for attempt in 0..self.config.retry.max_attempts {
+            if attempt > 0 {
+                self.telem.on_begin_retry();
+            }
+            send_on(&self.socket, &self.telem, self.conn_id, &Msg::Begin);
+            let deadline = Instant::now() + self.config.retry.backoff(attempt);
+            while Instant::now() < deadline {
+                if let Some(len) = self.recv(&mut buf, deadline)? {
+                    st.bytes_rx += len as u64;
+                    st.datagrams_rx += 1;
+                    match wire::decode(&buf[..len]) {
+                        Ok((_, Msg::Accept(_))) => {} // duplicate handshake reply
+                        Ok((_, msg)) => {
+                            self.process(&mut st, msg);
+                            started = true;
+                            break 'begin;
+                        }
+                        Err(_) => self.telem.on_decode_error(),
+                    }
+                }
+            }
+        }
+        if !started {
+            return Err(NetError::StreamTimeout);
+        }
+
+        while !st.done {
+            let now = Instant::now();
+            if now >= hard_deadline {
+                return Err(NetError::StreamTimeout);
+            }
+            // All windows in: linger for the Bye, but don't stall forever.
+            if let Some(at) = st.completed_at {
+                if now.saturating_duration_since(at) > self.config.retry.total_wait() {
+                    break;
+                }
+            }
+            let wait_until = Instant::now() + POLL;
+            if let Some(len) = self.recv(&mut buf, wait_until.min(hard_deadline))? {
+                st.bytes_rx += len as u64;
+                st.datagrams_rx += 1;
+                match wire::decode(&buf[..len]) {
+                    Ok((_, msg)) => self.process(&mut st, msg),
+                    Err(_) => self.telem.on_decode_error(),
+                }
+            }
+        }
+
+        Ok(NetClientReport {
+            series: st.series,
+            patterns: st.patterns,
+            windows_completed: st.acked.len(),
+            windows_total: st.windows_total,
+            acks_sent: st.acks_sent,
+            nacks_sent: st.nacks_sent,
+            datagrams_rx: st.datagrams_rx,
+            bytes_rx: st.bytes_rx,
+            hello_retries: self.hello_retries,
+            saw_bye: st.saw_bye,
+        })
+    }
+
+    /// One timed receive; `None` on timeout.
+    fn recv(&self, buf: &mut [u8], deadline: Instant) -> Result<Option<usize>, NetError> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Ok(None);
+        }
+        self.socket
+            .set_read_timeout(Some(remaining.min(POLL)))
+            .map_err(NetError::Io)?;
+        match self.socket.recv(buf) {
+            Ok(len) => {
+                self.telem.on_rx();
+                Ok(Some(len))
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(NetError::Io(e)),
+        }
+    }
+
+    fn process(&self, st: &mut StreamState, msg: Msg) {
+        match msg {
+            Msg::Data(data) => {
+                let w = data.fragment.window;
+                match &st.current {
+                    Some(cur) if w == cur.window() => {}
+                    Some(cur) if w > cur.window() => {
+                        // The WindowEnd was lost but the stream moved on:
+                        // close the old window implicitly (echo 0 = no
+                        // RTT sample).
+                        let cur = st.current.take().expect("matched Some");
+                        self.finalize(st, cur, 0);
+                        st.open(w);
+                    }
+                    Some(_) => return, // stale retransmission
+                    None => {
+                        if st.acked.contains_key(&w) {
+                            return; // duplicate after finalize
+                        }
+                        st.open(w);
+                    }
+                }
+                let cur = st.current.as_mut().expect("opened above");
+                if !cur.accept(&data) {
+                    self.telem.on_bad_fragment();
+                }
+            }
+            Msg::WindowEnd(end) => {
+                if let Some(bursts) = st.acked.get(&end.window).cloned() {
+                    // Our ack was lost and the server retried: re-ack
+                    // with a fresh sequence number.
+                    self.ack(st, end.window, end.sent_at_us, bursts);
+                    return;
+                }
+                match &st.current {
+                    Some(cur) if end.window < cur.window() => return, // stale
+                    Some(cur) if end.window > cur.window() => {
+                        let cur = st.current.take().expect("matched Some");
+                        self.finalize(st, cur, 0);
+                        st.open(end.window);
+                    }
+                    Some(_) => {}
+                    None => st.open(end.window),
+                }
+                let nack_rounds = match st.nacked {
+                    Some((w, rounds)) if w == end.window => rounds,
+                    _ => 0,
+                };
+                if self.config.recovery && nack_rounds < self.config.retry.max_attempts {
+                    let missing = st
+                        .current
+                        .as_ref()
+                        .expect("opened above")
+                        .missing_critical();
+                    if !missing.is_empty() {
+                        st.nacked = Some((end.window, nack_rounds + 1));
+                        st.nacks_sent += 1;
+                        send_on(
+                            &self.socket,
+                            &self.telem,
+                            self.conn_id,
+                            &Msg::CriticalNack(CriticalNackMsg {
+                                window: end.window,
+                                missing,
+                            }),
+                        );
+                        // Wait for the recovery round; the server re-sends
+                        // WindowEnd after retransmitting.
+                        return;
+                    }
+                }
+                let cur = st.current.take().expect("checked above");
+                self.finalize(st, cur, end.sent_at_us);
+            }
+            Msg::Bye(_) => {
+                if let Some(cur) = st.current.take() {
+                    self.finalize(st, cur, 0);
+                }
+                send_on(&self.socket, &self.telem, self.conn_id, &Msg::ByeAck);
+                st.saw_bye = true;
+                st.done = true;
+            }
+            // Handshake duplicates and client-side message types echoed
+            // back are not ours to act on.
+            _ => {}
+        }
+    }
+
+    fn finalize(&self, st: &mut StreamState, win: NetWindow, echo_us: u64) {
+        let outcome = win.finalize();
+        st.series.push(ContinuityMetrics::of(&outcome.pattern));
+        st.patterns.push(outcome.pattern);
+        self.telem.on_window();
+        self.ack(st, outcome.window, echo_us, outcome.per_layer_burst.clone());
+        st.acked.insert(outcome.window, outcome.per_layer_burst);
+        if st.acked.len() >= st.windows_total && st.completed_at.is_none() {
+            st.completed_at = Some(Instant::now());
+        }
+    }
+
+    fn ack(&self, st: &mut StreamState, window: u64, echo_us: u64, bursts: Vec<u16>) {
+        st.ack_seq += 1;
+        st.acks_sent += 1;
+        send_on(
+            &self.socket,
+            &self.telem,
+            self.conn_id,
+            &Msg::WindowAck(WindowAckMsg {
+                ack_seq: st.ack_seq,
+                window,
+                echo_us,
+                per_layer_burst: bursts,
+            }),
+        );
+    }
+}
+
+fn send_on(socket: &UdpSocket, telem: &ClientTelem, conn_id: u32, msg: &Msg) {
+    let bytes = wire::encode(conn_id, msg);
+    let _ = socket.send(&bytes);
+    telem.on_tx();
+}
+
+/// Mutable receive-loop state.
+struct StreamState {
+    frames_per_window: usize,
+    layer_sizes: Vec<u16>,
+    critical_frames: Vec<u16>,
+    windows_total: usize,
+    current: Option<NetWindow>,
+    /// window → its acked bursts, for re-acking retried `WindowEnd`s.
+    acked: HashMap<u64, Vec<u16>>,
+    /// `(window, rounds)`: critical-NACK rounds already spent on `window`.
+    nacked: Option<(u64, u32)>,
+    ack_seq: u64,
+    acks_sent: u64,
+    nacks_sent: u64,
+    datagrams_rx: u64,
+    bytes_rx: u64,
+    series: WindowSeries,
+    patterns: Vec<LossPattern>,
+    completed_at: Option<Instant>,
+    saw_bye: bool,
+    done: bool,
+}
+
+impl StreamState {
+    fn new(accept: &Accept, _config: &NetClientConfig) -> Self {
+        StreamState {
+            frames_per_window: usize::from(accept.frames_per_window),
+            layer_sizes: accept.layer_sizes.clone(),
+            critical_frames: accept.critical_frames.clone(),
+            windows_total: accept.windows_total as usize,
+            current: None,
+            acked: HashMap::new(),
+            nacked: None,
+            ack_seq: 0,
+            acks_sent: 0,
+            nacks_sent: 0,
+            datagrams_rx: 0,
+            bytes_rx: 0,
+            series: WindowSeries::new(),
+            patterns: Vec::new(),
+            completed_at: None,
+            saw_bye: false,
+            done: false,
+        }
+    }
+
+    fn open(&mut self, window: u64) {
+        self.current = Some(NetWindow::new(
+            window,
+            self.frames_per_window,
+            &self.layer_sizes,
+            &self.critical_frames,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = NetClientConfig::default();
+        assert_eq!(c.ordering, Ordering::spread());
+        assert!(!c.recovery);
+        assert!(c.retry.validate().is_ok());
+        assert!(c.deadline > Duration::ZERO);
+    }
+
+    #[test]
+    fn connect_times_out_against_a_silent_peer() {
+        // A bound socket nobody serves on: the handshake must give up.
+        let silent = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let config = NetClientConfig {
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base: Duration::from_millis(5),
+                max: Duration::from_millis(10),
+            },
+            ..NetClientConfig::default()
+        };
+        let err = NetClient::connect(silent.local_addr().unwrap(), config).unwrap_err();
+        assert!(matches!(err, NetError::HandshakeTimeout), "{err}");
+    }
+
+    #[test]
+    fn zero_deadline_rejected() {
+        let config = NetClientConfig {
+            deadline: Duration::ZERO,
+            ..NetClientConfig::default()
+        };
+        let err = NetClient::connect("127.0.0.1:1".parse().unwrap(), config).unwrap_err();
+        assert!(matches!(err, NetError::Config(_)));
+    }
+}

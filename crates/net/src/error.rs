@@ -1,0 +1,96 @@
+//! Transport-level errors.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use crate::wire::WireError;
+
+/// Anything that can go wrong running the protocol over real sockets.
+#[derive(Debug)]
+pub enum NetError {
+    /// An operating-system socket error.
+    Io(io::Error),
+    /// The configuration is internally inconsistent (field named in the
+    /// message).
+    Config(String),
+    /// The server rejected the handshake, with its stated reason.
+    Rejected(String),
+    /// The handshake exhausted its retries without an answer.
+    HandshakeTimeout,
+    /// The stream stalled past the client's overall deadline.
+    StreamTimeout,
+    /// The peer spoke the protocol wrongly (a decodable but out-of-place
+    /// message).
+    Protocol(&'static str),
+    /// A datagram failed to decode (only surfaced where a first reply
+    /// *must* be well-formed; data-path decode errors are counted and
+    /// skipped instead).
+    Wire(WireError),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Config(why) => write!(f, "invalid configuration: {why}"),
+            NetError::Rejected(why) => write!(f, "server rejected session: {why}"),
+            NetError::HandshakeTimeout => f.write_str("handshake timed out"),
+            NetError::StreamTimeout => f.write_str("stream timed out"),
+            NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            NetError::Wire(e) => write!(f, "malformed datagram: {e}"),
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(NetError, &str)> = vec![
+            (NetError::Io(io::Error::other("x")), "socket error"),
+            (NetError::Config("bad".into()), "invalid configuration"),
+            (NetError::Rejected("no".into()), "rejected"),
+            (NetError::HandshakeTimeout, "handshake"),
+            (NetError::StreamTimeout, "stream timed out"),
+            (NetError::Protocol("odd"), "protocol violation"),
+            (NetError::Wire(WireError::BadMagic(3)), "malformed datagram"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = NetError::from(io::Error::other("x"));
+        assert!(e.source().is_some());
+        let e = NetError::from(WireError::TrailingBytes(1));
+        assert!(e.source().is_some());
+        assert!(NetError::HandshakeTimeout.source().is_none());
+    }
+}

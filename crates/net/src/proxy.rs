@@ -1,0 +1,433 @@
+//! A userspace fault-injecting UDP proxy for loopback experiments.
+//!
+//! The proxy sits between client and server and gives each direction its
+//! own [`FaultPolicy`]: a seeded Gilbert–Elliott loss process applied to
+//! **data** datagrams only (reusing `espread-netsim`'s channel, so a
+//! seed pins the exact loss realisation), a drop-the-first-N knob for
+//! **control** datagrams (exercising retry/backoff), and counter-driven
+//! duplicate/reorder knobs (deterministic — every Nth survivor, no RNG).
+//! Datagrams that don't parse as ours are forwarded untouched.
+//!
+//! Because the Gilbert chain steps once per data datagram *in arrival
+//! order*, two sessions that send the same number of data datagrams per
+//! window see the *identical* per-slot loss realisation — the property
+//! the end-to-end spread-vs-in-order comparison rests on (the paper's
+//! same-channel methodology, §5.1, carried onto real sockets).
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use espread_netsim::GilbertModel;
+
+use crate::telem::ProxyTelem;
+use crate::wire::peek_type;
+
+/// Wire type byte of `Msg::Data` (the class the loss process applies to).
+const DATA_TYPE: u8 = 4;
+
+/// Fault injection for one direction of traffic.
+#[derive(Debug, Clone)]
+pub struct FaultPolicy {
+    gilbert: Option<(f64, f64, u64)>,
+    drop_first_control: u32,
+    duplicate_every: Option<u64>,
+    reorder_every: Option<u64>,
+}
+
+impl FaultPolicy {
+    /// Forward everything untouched.
+    pub fn transparent() -> Self {
+        FaultPolicy {
+            gilbert: None,
+            drop_first_control: 0,
+            duplicate_every: None,
+            reorder_every: None,
+        }
+    }
+
+    /// Drops data datagrams through a seeded Gilbert–Elliott channel with
+    /// stay probabilities `p_good`/`p_bad` (the paper's §5.1 channel).
+    pub fn gilbert_data_loss(mut self, p_good: f64, p_bad: f64, seed: u64) -> Self {
+        self.gilbert = Some((p_good, p_bad, seed));
+        self
+    }
+
+    /// Drops the first `n` control (non-data) datagrams — handshake and
+    /// ACK traffic — to exercise retry paths.
+    pub fn drop_first_control(mut self, n: u32) -> Self {
+        self.drop_first_control = n;
+        self
+    }
+
+    /// Duplicates every `n`th surviving datagram.
+    pub fn duplicate_every(mut self, n: u64) -> Self {
+        self.duplicate_every = Some(n.max(1));
+        self
+    }
+
+    /// Holds every `n`th surviving datagram back and releases it after
+    /// the next one — an adjacent swap (bounded reorder/delay).
+    pub fn reorder_every(mut self, n: u64) -> Self {
+        self.reorder_every = Some(n.max(1));
+        self
+    }
+}
+
+/// Snapshot of what the proxy did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProxyStats {
+    /// Datagrams sent on (duplicates included).
+    pub forwarded: u64,
+    /// Data datagrams the Gilbert channel swallowed.
+    pub dropped_data: u64,
+    /// Control datagrams dropped by `drop_first_control`.
+    pub dropped_control: u64,
+    /// Extra copies emitted.
+    pub duplicated: u64,
+    /// Datagrams released out of order.
+    pub reordered: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    forwarded: AtomicU64,
+    dropped_data: AtomicU64,
+    dropped_control: AtomicU64,
+    duplicated: AtomicU64,
+    reordered: AtomicU64,
+}
+
+/// Per-direction fault state.
+struct DirState {
+    gilbert: Option<GilbertModel>,
+    to_drop_control: u32,
+    duplicate_every: Option<u64>,
+    reorder_every: Option<u64>,
+    survivors: u64,
+    held: Option<Vec<u8>>,
+    counters: Arc<Counters>,
+    telem: ProxyTelem,
+}
+
+impl DirState {
+    fn new(policy: &FaultPolicy, counters: Arc<Counters>, telem: ProxyTelem) -> Self {
+        DirState {
+            gilbert: policy
+                .gilbert
+                .map(|(p_good, p_bad, seed)| GilbertModel::new(p_good, p_bad, seed)),
+            to_drop_control: policy.drop_first_control,
+            duplicate_every: policy.duplicate_every,
+            reorder_every: policy.reorder_every,
+            survivors: 0,
+            held: None,
+            counters: counters.clone(),
+            telem,
+        }
+    }
+
+    /// Applies the policy to one datagram; returns what to send now, in
+    /// order.
+    fn process(&mut self, datagram: &[u8]) -> Vec<Vec<u8>> {
+        match peek_type(datagram) {
+            Some(DATA_TYPE) => {
+                if let Some(channel) = &mut self.gilbert {
+                    if !channel.step_delivers() {
+                        self.counters
+                            .dropped_data
+                            .fetch_add(1, AtomicOrdering::Relaxed);
+                        self.telem.on_dropped();
+                        return Vec::new();
+                    }
+                }
+            }
+            Some(_) if self.to_drop_control > 0 => {
+                self.to_drop_control -= 1;
+                self.counters
+                    .dropped_control
+                    .fetch_add(1, AtomicOrdering::Relaxed);
+                self.telem.on_dropped();
+                return Vec::new();
+            }
+            // Other control datagrams and alien traffic pass untouched.
+            Some(_) | None => {}
+        }
+        self.survivors += 1;
+        let mut out = Vec::with_capacity(2);
+        if self
+            .reorder_every
+            .is_some_and(|n| self.survivors.is_multiple_of(n) && self.held.is_none())
+        {
+            self.held = Some(datagram.to_vec());
+            self.counters
+                .reordered
+                .fetch_add(1, AtomicOrdering::Relaxed);
+            self.telem.on_reordered();
+            return out;
+        }
+        out.push(datagram.to_vec());
+        if self
+            .duplicate_every
+            .is_some_and(|n| self.survivors.is_multiple_of(n))
+        {
+            out.push(datagram.to_vec());
+            self.counters
+                .duplicated
+                .fetch_add(1, AtomicOrdering::Relaxed);
+            self.telem.on_duplicated();
+        }
+        if let Some(held) = self.held.take() {
+            out.push(held);
+        }
+        self.counters
+            .forwarded
+            .fetch_add(out.len() as u64, AtomicOrdering::Relaxed);
+        for _ in &out {
+            self.telem.on_forwarded();
+        }
+        out
+    }
+}
+
+/// A running proxy; dropping (or [`FaultProxy::shutdown`]) stops and
+/// joins its thread.
+#[derive(Debug)]
+pub struct FaultProxy {
+    client_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    counters: Arc<Counters>,
+}
+
+impl FaultProxy {
+    /// Starts a proxy in front of the server at `upstream`. `to_client`
+    /// shapes server→client traffic (the data path); `to_server` shapes
+    /// client→server traffic (the feedback path). Clients connect to
+    /// [`FaultProxy::client_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Socket setup failures.
+    pub fn spawn(
+        upstream: SocketAddr,
+        to_client: FaultPolicy,
+        to_server: FaultPolicy,
+    ) -> io::Result<Self> {
+        let client_sock = UdpSocket::bind("127.0.0.1:0")?;
+        client_sock.set_read_timeout(Some(Duration::from_millis(1)))?;
+        let client_addr = client_sock.local_addr()?;
+        let server_sock = UdpSocket::bind("127.0.0.1:0")?;
+        server_sock.set_read_timeout(Some(Duration::from_millis(1)))?;
+        server_sock.connect(upstream)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let telem = ProxyTelem::default_global();
+        let mut down = DirState::new(&to_client, Arc::clone(&counters), telem.clone());
+        let mut up = DirState::new(&to_server, Arc::clone(&counters), telem);
+        let stop = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("espread-net-proxy".into())
+            .spawn(move || {
+                let mut buf = vec![0u8; 65_536];
+                let mut last_client: Option<SocketAddr> = None;
+                while !stop.load(AtomicOrdering::SeqCst) {
+                    // Drain each socket completely per cycle — the 1 ms
+                    // read timeout only bites when a direction is idle,
+                    // so a window's burst is relayed back-to-back.
+                    loop {
+                        match client_sock.recv_from(&mut buf) {
+                            Ok((len, from)) => {
+                                last_client = Some(from);
+                                for out in up.process(&buf[..len]) {
+                                    let _ = server_sock.send(&out);
+                                }
+                            }
+                            Err(e)
+                                if e.kind() == io::ErrorKind::WouldBlock
+                                    || e.kind() == io::ErrorKind::TimedOut =>
+                            {
+                                break
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    loop {
+                        match server_sock.recv(&mut buf) {
+                            Ok(len) => {
+                                if let Some(client) = last_client {
+                                    for out in down.process(&buf[..len]) {
+                                        let _ = client_sock.send_to(&out, client);
+                                    }
+                                }
+                            }
+                            Err(e)
+                                if e.kind() == io::ErrorKind::WouldBlock
+                                    || e.kind() == io::ErrorKind::TimedOut =>
+                            {
+                                break
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                }
+            })?;
+        Ok(FaultProxy {
+            client_addr,
+            shutdown,
+            handle: Some(handle),
+            counters,
+        })
+    }
+
+    /// The address clients should treat as "the server".
+    pub fn client_addr(&self) -> SocketAddr {
+        self.client_addr
+    }
+
+    /// What the proxy has done so far.
+    pub fn stats(&self) -> ProxyStats {
+        ProxyStats {
+            forwarded: self.counters.forwarded.load(AtomicOrdering::Relaxed),
+            dropped_data: self.counters.dropped_data.load(AtomicOrdering::Relaxed),
+            dropped_control: self.counters.dropped_control.load(AtomicOrdering::Relaxed),
+            duplicated: self.counters.duplicated.load(AtomicOrdering::Relaxed),
+            reordered: self.counters.reordered.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    /// Stops the proxy thread and joins it. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, AtomicOrdering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{self, ByeReason, DataMsg, Msg};
+    use espread_protocol::{Fragment, Ldu};
+
+    fn data_bytes(slot: u16) -> Vec<u8> {
+        wire::encode(
+            1,
+            &Msg::Data(DataMsg {
+                fragment: Fragment {
+                    window: 0,
+                    frame: usize::from(slot),
+                    frag: 0,
+                    frags_total: 1,
+                    layer: 0,
+                    layer_slot: slot,
+                    retransmit: false,
+                },
+                ldu: Ldu::new(64),
+                payload_len: 64,
+            }),
+        )
+    }
+
+    fn control_bytes() -> Vec<u8> {
+        wire::encode(1, &Msg::Bye(ByeReason::Complete))
+    }
+
+    fn state(policy: FaultPolicy) -> DirState {
+        DirState::new(
+            &policy,
+            Arc::new(Counters::default()),
+            ProxyTelem::default_global(),
+        )
+    }
+
+    #[test]
+    fn transparent_forwards_everything() {
+        let mut s = state(FaultPolicy::transparent());
+        for i in 0..5 {
+            assert_eq!(s.process(&data_bytes(i)).len(), 1);
+        }
+        assert_eq!(s.process(&control_bytes()).len(), 1);
+        assert_eq!(s.process(b"alien bytes").len(), 1);
+        assert_eq!(s.counters.forwarded.load(AtomicOrdering::Relaxed), 7);
+    }
+
+    #[test]
+    fn gilbert_drops_data_only_and_matches_the_model() {
+        let mut s = state(FaultPolicy::transparent().gilbert_data_loss(0.92, 0.6, 7));
+        let mut reference = GilbertModel::new(0.92, 0.6, 7);
+        for i in 0..200u16 {
+            let forwarded = !s.process(&data_bytes(i)).is_empty();
+            assert_eq!(forwarded, reference.step_delivers(), "datagram {i}");
+            // Control never steps the chain, never dropped.
+            assert_eq!(s.process(&control_bytes()).len(), 1);
+        }
+        assert!(s.counters.dropped_data.load(AtomicOrdering::Relaxed) > 0);
+        assert_eq!(s.counters.dropped_control.load(AtomicOrdering::Relaxed), 0);
+    }
+
+    #[test]
+    fn first_control_datagrams_dropped() {
+        let mut s = state(FaultPolicy::transparent().drop_first_control(2));
+        assert!(s.process(&control_bytes()).is_empty());
+        assert!(s.process(&data_bytes(0)).len() == 1, "data unaffected");
+        assert!(s.process(&control_bytes()).is_empty());
+        assert_eq!(s.process(&control_bytes()).len(), 1, "budget spent");
+        assert_eq!(s.counters.dropped_control.load(AtomicOrdering::Relaxed), 2);
+    }
+
+    #[test]
+    fn duplicate_and_reorder_are_counter_driven() {
+        let mut s = state(FaultPolicy::transparent().duplicate_every(3));
+        assert_eq!(s.process(&data_bytes(0)).len(), 1);
+        assert_eq!(s.process(&data_bytes(1)).len(), 1);
+        assert_eq!(s.process(&data_bytes(2)).len(), 2, "every 3rd doubled");
+
+        let mut s = state(FaultPolicy::transparent().reorder_every(2));
+        assert_eq!(s.process(&data_bytes(0)).len(), 1);
+        assert!(s.process(&data_bytes(1)).is_empty(), "held back");
+        let out = s.process(&data_bytes(2));
+        assert_eq!(out.len(), 2, "held one released after the next");
+        assert_eq!(out[0], data_bytes(2));
+        assert_eq!(out[1], data_bytes(1));
+    }
+
+    #[test]
+    fn spawn_forwards_and_shuts_down_cleanly() {
+        let echo = UdpSocket::bind("127.0.0.1:0").unwrap();
+        echo.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        let mut proxy = FaultProxy::spawn(
+            echo.local_addr().unwrap(),
+            FaultPolicy::transparent(),
+            FaultPolicy::transparent(),
+        )
+        .unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        client
+            .send_to(&control_bytes(), proxy.client_addr())
+            .unwrap();
+        let mut buf = [0u8; 1500];
+        let (len, from) = echo.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..len], &control_bytes()[..]);
+        // And back through the proxy to the client.
+        echo.send_to(&data_bytes(3), from).unwrap();
+        let (len, _) = client.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..len], &data_bytes(3)[..]);
+        assert_eq!(proxy.stats().forwarded, 2);
+        proxy.shutdown();
+        proxy.shutdown(); // idempotent
+    }
+}

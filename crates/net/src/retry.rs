@@ -1,0 +1,114 @@
+//! Bounded retry with exponential backoff for control datagrams.
+//!
+//! UDP gives the handshake, end-of-window ACK exchange, and teardown no
+//! delivery guarantee, so each control wait is governed by a
+//! [`RetryPolicy`]: attempt `k` waits `base × 2^k`, capped at `max`, and
+//! after `max_attempts` unanswered sends the caller gives up and moves on
+//! (streaming must not stall forever on a dead peer).
+
+use std::time::Duration;
+
+/// Retry schedule for an unacknowledged control datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total sends before giving up (≥ 1).
+    pub max_attempts: u32,
+    /// Wait after the first send.
+    pub base: Duration,
+    /// Upper bound any single wait is clamped to.
+    pub max: Duration,
+}
+
+impl RetryPolicy {
+    /// A loopback/LAN-friendly schedule: 6 attempts, 25 ms doubling to a
+    /// 400 ms cap (≈ 1.6 s worst case per exchange).
+    pub fn lan() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base: Duration::from_millis(25),
+            max: Duration::from_millis(400),
+        }
+    }
+
+    /// The wait after send `attempt` (0-based): `base × 2^attempt`,
+    /// clamped to `max`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base.saturating_mul(factor).min(self.max)
+    }
+
+    /// Sum of all waits — the longest one exchange can take.
+    pub fn total_wait(&self) -> Duration {
+        (0..self.max_attempts).map(|a| self.backoff(a)).sum()
+    }
+
+    /// Validates the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("retry policy needs at least one attempt".into());
+        }
+        if self.base.is_zero() {
+            return Err("retry base wait must be positive".into());
+        }
+        if self.max < self.base {
+            return Err("retry max wait must be at least the base wait".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy::lan();
+        assert_eq!(p.backoff(0), Duration::from_millis(25));
+        assert_eq!(p.backoff(1), Duration::from_millis(50));
+        assert_eq!(p.backoff(2), Duration::from_millis(100));
+        assert_eq!(p.backoff(3), Duration::from_millis(200));
+        assert_eq!(p.backoff(4), Duration::from_millis(400));
+        assert_eq!(p.backoff(5), Duration::from_millis(400)); // capped
+        assert_eq!(p.backoff(40), Duration::from_millis(400)); // shift overflow safe
+    }
+
+    #[test]
+    fn total_wait_sums_the_schedule() {
+        let p = RetryPolicy::lan();
+        assert_eq!(
+            p.total_wait(),
+            Duration::from_millis(25 + 50 + 100 + 200 + 400 + 400)
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RetryPolicy::lan().validate().is_ok());
+        let p = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::lan()
+        };
+        assert!(p.validate().unwrap_err().contains("attempt"));
+        let p = RetryPolicy {
+            base: Duration::ZERO,
+            ..RetryPolicy::lan()
+        };
+        assert!(p.validate().unwrap_err().contains("base"));
+        let p = RetryPolicy {
+            max: Duration::from_millis(1),
+            ..RetryPolicy::lan()
+        };
+        assert!(p.validate().unwrap_err().contains("max"));
+    }
+}

@@ -1,0 +1,653 @@
+//! The threaded multi-session UDP server.
+//!
+//! One demux thread owns the socket: it answers handshakes (idempotently
+//! — a duplicate `Hello` gets the cached reply), assigns connection ids,
+//! and routes decoded control datagrams to per-session worker threads
+//! over channels. Each session thread drives the simulator-grade
+//! [`Server`](espread_protocol::Server) planner — fold the freshest ACK
+//! in, plan the window's layered permutation order, send every fragment —
+//! then closes the window with a `WindowEnd`/`WindowAck` exchange under
+//! bounded retry with exponential backoff. Malformed datagrams are
+//! counted and dropped, never trusted.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use espread_protocol::{
+    negotiate, AgreedSession, ClientCapabilities, ProtocolConfig, Server, SessionOffer,
+    StreamSource, WindowFeedback, WindowPlan,
+};
+
+use crate::error::NetError;
+use crate::retry::RetryPolicy;
+use crate::telem::ServerTelem;
+use crate::wire::{self, Accept, ByeReason, DataMsg, Msg, Reject, WindowEnd, CONN_NONE};
+
+/// How long a blocking socket/channel wait may run before re-checking the
+/// shutdown flag.
+const POLL: Duration = Duration::from_millis(5);
+
+/// Everything the server needs to stream one source to many clients.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Protocol parameters (α, packet size, recovery…). The *ordering* is
+    /// a per-session choice the client makes in its `Hello`.
+    pub protocol: ProtocolConfig,
+    /// The session offer clients negotiate against.
+    pub offer: SessionOffer,
+    /// The stream to serve.
+    pub source: StreamSource,
+    /// Retry schedule for control exchanges (window ACK, teardown).
+    pub retry: RetryPolicy,
+    /// Inter-datagram send pacing (keeps a burst of a whole window from
+    /// overrunning loopback socket buffers).
+    pub pace: Duration,
+}
+
+impl NetServerConfig {
+    /// A config with the LAN retry schedule and 50 µs pacing.
+    pub fn new(protocol: ProtocolConfig, offer: SessionOffer, source: StreamSource) -> Self {
+        NetServerConfig {
+            protocol,
+            offer,
+            source,
+            retry: RetryPolicy::lan(),
+            pace: Duration::from_micros(50),
+        }
+    }
+
+    fn validate(&self) -> Result<(), NetError> {
+        self.protocol.validate().map_err(NetError::Config)?;
+        self.retry.validate().map_err(NetError::Config)?;
+        self.offer
+            .validate()
+            .map_err(|e| NetError::Config(e.to_string()))?;
+        if self.offer.frames_per_window() != self.source.frames_per_window() {
+            return Err(NetError::Config(format!(
+                "offer advertises {} frames per window but the source has {}",
+                self.offer.frames_per_window(),
+                self.source.frames_per_window()
+            )));
+        }
+        if self.offer.fps != self.source.fps {
+            return Err(NetError::Config("offer and source disagree on fps".into()));
+        }
+        if self.offer.frames_per_window() > usize::from(u16::MAX) {
+            return Err(NetError::Config("window too large for the wire".into()));
+        }
+        if self.offer.packet_bytes > u32::from(u16::MAX) {
+            return Err(NetError::Config(
+                "packet size exceeds the wire's 64 KiB payload field".into(),
+            ));
+        }
+        if u32::try_from(self.source.window_count()).is_err() {
+            return Err(NetError::Config("too many windows for the wire".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A running server; dropping (or [`NetServer::shutdown`]) stops the
+/// demux thread, disconnects the sessions, and joins every thread.
+#[derive(Debug)]
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    demux: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Configuration inconsistencies and socket errors.
+    pub fn bind(addr: impl ToSocketAddrs, config: NetServerConfig) -> Result<Self, NetError> {
+        config.validate()?;
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_read_timeout(Some(POLL))?;
+        let local_addr = socket.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let demux = Demux {
+            socket: Arc::new(socket),
+            source: Arc::new(config.source),
+            protocol: config.protocol,
+            offer: config.offer,
+            retry: config.retry,
+            pace: config.pace,
+            shutdown: Arc::clone(&shutdown),
+            telem: ServerTelem::default_global(),
+        };
+        let handle = std::thread::Builder::new()
+            .name("espread-net-demux".into())
+            .spawn(move || demux.run())
+            .map_err(NetError::Io)?;
+        Ok(NetServer {
+            local_addr,
+            shutdown,
+            demux: Some(handle),
+        })
+    }
+
+    /// The bound address clients (or a proxy) should send to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops serving: signals every thread and joins them. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, AtomicOrdering::SeqCst);
+        if let Some(handle) = self.demux.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A datagram routed to a session, stamped with its arrival time.
+struct Routed {
+    msg: Msg,
+    at: Instant,
+}
+
+struct Demux {
+    socket: Arc<UdpSocket>,
+    source: Arc<StreamSource>,
+    protocol: ProtocolConfig,
+    offer: SessionOffer,
+    retry: RetryPolicy,
+    pace: Duration,
+    shutdown: Arc<AtomicBool>,
+    telem: ServerTelem,
+}
+
+impl Demux {
+    fn run(self) {
+        let mut sessions: HashMap<u32, Sender<Routed>> = HashMap::new();
+        let mut handshakes: HashMap<u64, (SocketAddr, Vec<u8>)> = HashMap::new();
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        let mut next_conn: u32 = 1;
+        let mut buf = vec![0u8; 65_536];
+        while !self.shutdown.load(AtomicOrdering::SeqCst) {
+            let (len, from) = match self.socket.recv_from(&mut buf) {
+                Ok(ok) => ok,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(_) => continue,
+            };
+            self.telem.on_rx();
+            let (conn_id, msg) = match wire::decode(&buf[..len]) {
+                Ok(ok) => ok,
+                Err(_) => {
+                    self.telem.on_decode_error();
+                    continue;
+                }
+            };
+            match msg {
+                Msg::Hello(hello) => {
+                    if let Some((addr, reply)) = handshakes.get(&hello.nonce) {
+                        // Duplicate Hello (our reply was lost): resend the
+                        // cached verdict, idempotently.
+                        let _ = self.socket.send_to(reply, *addr);
+                        self.telem.on_tx(reply.len());
+                        continue;
+                    }
+                    let caps = ClientCapabilities {
+                        buffer_bytes: hello.buffer_bytes,
+                        max_startup_delay_ms: hello.max_startup_delay_ms,
+                    };
+                    let reply = match negotiate(self.offer.clone(), caps)
+                        .map_err(|e| e.to_string())
+                        .and_then(|agreed| {
+                            accept_msg(hello.nonce, &agreed, self.source.window_count())
+                        }) {
+                        Ok(accept) => {
+                            let conn_id = next_conn;
+                            next_conn = next_conn.wrapping_add(1).max(1);
+                            let (tx, rx) = mpsc::channel();
+                            let session = Session {
+                                socket: Arc::clone(&self.socket),
+                                peer: from,
+                                conn_id,
+                                rx,
+                                shutdown: Arc::clone(&self.shutdown),
+                                protocol: self.protocol.clone().with_ordering(hello.ordering),
+                                source: Arc::clone(&self.source),
+                                retry: self.retry,
+                                pace: self.pace,
+                                telem: self.telem.clone(),
+                            };
+                            let handle = std::thread::Builder::new()
+                                .name(format!("espread-net-session-{conn_id}"))
+                                .spawn(move || session.run());
+                            match handle {
+                                Ok(handle) => {
+                                    workers.push(handle);
+                                    sessions.insert(conn_id, tx);
+                                    self.telem.on_session();
+                                    wire::encode(conn_id, &Msg::Accept(accept))
+                                }
+                                Err(_) => wire::encode(
+                                    CONN_NONE,
+                                    &Msg::Reject(Reject {
+                                        nonce: hello.nonce,
+                                        reason: "server cannot spawn a session".into(),
+                                    }),
+                                ),
+                            }
+                        }
+                        Err(reason) => wire::encode(
+                            CONN_NONE,
+                            &Msg::Reject(Reject {
+                                nonce: hello.nonce,
+                                reason,
+                            }),
+                        ),
+                    };
+                    let _ = self.socket.send_to(&reply, from);
+                    self.telem.on_tx(reply.len());
+                    handshakes.insert(hello.nonce, (from, reply));
+                }
+                other if conn_id != CONN_NONE => {
+                    if let Some(tx) = sessions.get(&conn_id) {
+                        if tx
+                            .send(Routed {
+                                msg: other,
+                                at: Instant::now(),
+                            })
+                            .is_err()
+                        {
+                            sessions.remove(&conn_id);
+                        }
+                    }
+                }
+                _ => {} // sessionless non-Hello: ignore
+            }
+        }
+        // Disconnect every session channel, then join the workers.
+        drop(sessions);
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Builds the wire `Accept`, refusing session shapes the wire's field
+/// widths cannot carry.
+fn accept_msg(nonce: u64, agreed: &AgreedSession, windows: usize) -> Result<Accept, String> {
+    let narrow = |v: usize| -> Result<u16, String> {
+        u16::try_from(v).map_err(|_| "session shape exceeds wire limits".to_string())
+    };
+    if agreed.layer_sizes.len() > 255 {
+        return Err("session has more than 255 layers".into());
+    }
+    Ok(Accept {
+        nonce,
+        frames_per_window: narrow(agreed.offer.frames_per_window())?,
+        windows_total: u32::try_from(windows).map_err(|_| "too many windows".to_string())?,
+        packet_bytes: agreed.offer.packet_bytes,
+        fps: agreed.offer.fps,
+        layer_sizes: agreed
+            .layer_sizes
+            .iter()
+            .map(|&s| narrow(s))
+            .collect::<Result<_, _>>()?,
+        critical_frames: agreed
+            .critical_frames
+            .iter()
+            .map(|&f| narrow(f))
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// Outcome of one window's ACK wait.
+enum AckWait {
+    Acked,
+    TimedOut,
+    Shutdown,
+}
+
+struct Session {
+    socket: Arc<UdpSocket>,
+    peer: SocketAddr,
+    conn_id: u32,
+    rx: Receiver<Routed>,
+    shutdown: Arc<AtomicBool>,
+    protocol: ProtocolConfig,
+    source: Arc<StreamSource>,
+    retry: RetryPolicy,
+    pace: Duration,
+    telem: ServerTelem,
+}
+
+impl Session {
+    fn run(self) {
+        let epoch = Instant::now();
+        if !self.await_begin(epoch) {
+            return;
+        }
+        let mut proto = Server::new(&self.protocol, &self.source.poset);
+        let windows_total = self.source.windows.len();
+        for w in 0..windows_total {
+            if self.stopping() {
+                return;
+            }
+            // Fold any feedback that arrived while we were sending.
+            while let Ok(routed) = self.rx.try_recv() {
+                self.feed(epoch, &routed, &mut proto);
+            }
+            let plan = proto.plan_window(&self.source.poset);
+            self.send_window(w as u64, &plan);
+            let end = WindowEnd {
+                window: w as u64,
+                sent_at_us: elapsed_us(epoch),
+                last: w + 1 == windows_total,
+            };
+            self.send(&Msg::WindowEnd(end));
+            match self.await_ack(epoch, w as u64, &plan, &mut proto) {
+                AckWait::Acked => {}
+                AckWait::TimedOut => self.telem.on_ack_timeout(),
+                AckWait::Shutdown => return,
+            }
+        }
+        self.teardown(epoch, &mut proto);
+        self.telem.on_session_complete();
+    }
+
+    fn stopping(&self) -> bool {
+        self.shutdown.load(AtomicOrdering::SeqCst)
+    }
+
+    fn send(&self, msg: &Msg) {
+        let bytes = wire::encode(self.conn_id, msg);
+        let _ = self.socket.send_to(&bytes, self.peer);
+        self.telem.on_tx(bytes.len());
+    }
+
+    /// Waits for the client's `Begin`, up to one full retry schedule.
+    fn await_begin(&self, _epoch: Instant) -> bool {
+        let deadline = Instant::now() + self.retry.total_wait();
+        loop {
+            if self.stopping() {
+                return false;
+            }
+            match self.rx.recv_timeout(POLL) {
+                Ok(routed) if matches!(routed.msg, Msg::Begin) => return true,
+                Ok(_) => {} // pre-Begin stragglers: ignore
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        self.telem.on_handshake_timeout();
+                        return false;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return false,
+            }
+        }
+    }
+
+    /// Sends every fragment of window `w` in the plan's order, paced.
+    fn send_window(&self, w: u64, plan: &WindowPlan) {
+        let ldus = &self.source.windows[w as usize];
+        for sched in &plan.schedule {
+            if self.stopping() {
+                return;
+            }
+            self.send_frame(w, plan, sched.frame, false, ldus);
+        }
+    }
+
+    /// Sends all fragments of one frame with its plan labelling.
+    fn send_frame(
+        &self,
+        w: u64,
+        plan: &WindowPlan,
+        frame: usize,
+        retransmit: bool,
+        ldus: &[espread_protocol::Ldu],
+    ) {
+        let Some(sched) = plan.schedule.iter().find(|s| s.frame == frame) else {
+            return;
+        };
+        let ldu = ldus[frame];
+        let packet = self.protocol.packet_bytes;
+        let frags_total = ldu.fragment_count(packet);
+        for frag in 0..frags_total {
+            let payload_len = ldu.fragment_size(packet, frag) as u16;
+            self.send(&Msg::Data(DataMsg {
+                fragment: espread_protocol::Fragment {
+                    window: w,
+                    frame,
+                    frag,
+                    frags_total,
+                    layer: sched.layer,
+                    layer_slot: sched.layer_slot,
+                    retransmit,
+                },
+                ldu,
+                payload_len,
+            }));
+            if !self.pace.is_zero() {
+                std::thread::sleep(self.pace);
+            }
+        }
+    }
+
+    /// Offers a routed message to the planner; ACKs also feed the RTT
+    /// histogram. Returns the window an ACK described, if any.
+    fn feed(&self, epoch: Instant, routed: &Routed, proto: &mut Server) -> Option<u64> {
+        if let Msg::WindowAck(ack) = &routed.msg {
+            if ack.echo_us != 0 {
+                let at_us = routed.at.saturating_duration_since(epoch).as_micros() as u64;
+                self.telem.rtt_us(at_us.saturating_sub(ack.echo_us));
+            }
+            proto.offer_ack(
+                ack.ack_seq,
+                WindowFeedback {
+                    window: ack.window,
+                    per_layer_burst: ack
+                        .per_layer_burst
+                        .iter()
+                        .map(|&b| usize::from(b))
+                        .collect(),
+                },
+            );
+            return Some(ack.window);
+        }
+        None
+    }
+
+    /// Waits for the ACK of window `w`, resending `WindowEnd` under the
+    /// retry schedule and serving one critical-recovery round per NACK.
+    fn await_ack(&self, epoch: Instant, w: u64, plan: &WindowPlan, proto: &mut Server) -> AckWait {
+        let ldus = &self.source.windows[w as usize];
+        for attempt in 0..self.retry.max_attempts {
+            let deadline = Instant::now() + self.retry.backoff(attempt);
+            loop {
+                if self.stopping() {
+                    return AckWait::Shutdown;
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                match self.rx.recv_timeout(remaining.min(POLL)) {
+                    Ok(routed) => match &routed.msg {
+                        Msg::CriticalNack(nack) if nack.window == w => {
+                            for &frame in &nack.missing {
+                                let frame = usize::from(frame);
+                                if frame < ldus.len() {
+                                    self.telem.on_retransmission();
+                                    self.send_frame(w, plan, frame, true, ldus);
+                                }
+                            }
+                            self.send(&Msg::WindowEnd(WindowEnd {
+                                window: w,
+                                sent_at_us: elapsed_us(epoch),
+                                last: w as usize + 1 == self.source.windows.len(),
+                            }));
+                        }
+                        _ => {
+                            if let Some(acked) = self.feed(epoch, &routed, proto) {
+                                if acked >= w {
+                                    return AckWait::Acked;
+                                }
+                            }
+                        }
+                    },
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return AckWait::Shutdown,
+                }
+            }
+            if attempt + 1 < self.retry.max_attempts {
+                self.telem.on_retry();
+                self.send(&Msg::WindowEnd(WindowEnd {
+                    window: w,
+                    sent_at_us: elapsed_us(epoch),
+                    last: w as usize + 1 == self.source.windows.len(),
+                }));
+            }
+        }
+        AckWait::TimedOut
+    }
+
+    /// Graceful teardown: `Bye` until `ByeAck`, bounded.
+    fn teardown(&self, epoch: Instant, proto: &mut Server) {
+        for attempt in 0..self.retry.max_attempts {
+            self.send(&Msg::Bye(ByeReason::Complete));
+            let deadline = Instant::now() + self.retry.backoff(attempt);
+            loop {
+                if self.stopping() {
+                    return;
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                match self.rx.recv_timeout(remaining.min(POLL)) {
+                    Ok(routed) if matches!(routed.msg, Msg::ByeAck) => return,
+                    Ok(routed) => {
+                        let _ = self.feed(epoch, &routed, proto);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            if attempt + 1 < self.retry.max_attempts {
+                self.telem.on_retry();
+            }
+        }
+    }
+}
+
+fn elapsed_us(epoch: Instant) -> u64 {
+    // Never 0: an echo of 0 marks "no RTT sample" on the ACK path.
+    (epoch.elapsed().as_micros() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espread_trace::{GopPattern, Movie, MpegTrace};
+
+    fn paper_offer() -> SessionOffer {
+        SessionOffer {
+            gop_pattern: GopPattern::gop12(),
+            gops_per_window: 2,
+            open_gop: false,
+            fps: 24,
+            packet_bytes: 2048,
+            max_frame_bytes: 62_776 / 8,
+        }
+    }
+
+    fn config() -> NetServerConfig {
+        let trace = MpegTrace::new(Movie::JurassicPark, 1);
+        NetServerConfig::new(
+            espread_protocol::ProtocolConfig::paper(0.6, 1),
+            paper_offer(),
+            StreamSource::mpeg(&trace, 2, 3, false),
+        )
+    }
+
+    #[test]
+    fn config_validation_catches_mismatches() {
+        assert!(config().validate().is_ok());
+
+        let mut c = config();
+        c.offer.gops_per_window = 1; // 12 frames vs source's 24
+        assert!(matches!(c.validate(), Err(NetError::Config(why)) if why.contains("frames")));
+
+        let mut c = config();
+        c.offer.fps = 30;
+        assert!(matches!(c.validate(), Err(NetError::Config(why)) if why.contains("fps")));
+
+        let mut c = config();
+        c.retry.max_attempts = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = config();
+        c.offer.packet_bytes = 100_000;
+        c.protocol.packet_bytes = 100_000;
+        assert!(matches!(c.validate(), Err(NetError::Config(why)) if why.contains("64 KiB")));
+    }
+
+    #[test]
+    fn accept_msg_narrows_or_refuses() {
+        let agreed = negotiate(paper_offer(), ClientCapabilities::desktop()).unwrap();
+        let accept = accept_msg(7, &agreed, 20).unwrap();
+        assert_eq!(accept.nonce, 7);
+        assert_eq!(accept.frames_per_window, 24);
+        assert_eq!(accept.windows_total, 20);
+        assert_eq!(accept.layer_sizes, vec![2, 2, 2, 2, 16]);
+        assert_eq!(accept.critical_frames.len(), 8);
+    }
+
+    #[test]
+    fn bind_and_shutdown_are_clean_and_idempotent() {
+        let mut server = NetServer::bind("127.0.0.1:0", config()).unwrap();
+        assert_eq!(
+            server.local_addr().ip(),
+            "127.0.0.1".parse::<std::net::IpAddr>().unwrap()
+        );
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn alien_datagrams_do_not_crash_the_demux() {
+        let mut server = NetServer::bind("127.0.0.1:0", config()).unwrap();
+        let probe = UdpSocket::bind("127.0.0.1:0").unwrap();
+        probe
+            .send_to(b"not espread at all", server.local_addr())
+            .unwrap();
+        probe.send_to(&[], server.local_addr()).unwrap();
+        // A sessionless data message is ignored too.
+        let stray = wire::encode(
+            99,
+            &Msg::WindowEnd(WindowEnd {
+                window: 0,
+                sent_at_us: 1,
+                last: false,
+            }),
+        );
+        probe.send_to(&stray, server.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        server.shutdown();
+    }
+}

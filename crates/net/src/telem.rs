@@ -1,0 +1,280 @@
+//! Telemetry shim: real instruments when the `telemetry` feature is on,
+//! allocation-free no-ops otherwise, so the transport loops stay
+//! `cfg`-free. Handles resolve against the **current** registry (the
+//! thread-local override when installed, else the process global) at
+//! construction time, on the caller's thread — construct before spawning
+//! worker threads so tests can scope metrics with `with_current`.
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    use espread_telemetry::{current, Counter, Histogram};
+
+    /// Server-side socket and retry instruments.
+    #[derive(Debug, Clone)]
+    pub(crate) struct ServerTelem {
+        sessions: Counter,
+        sessions_completed: Counter,
+        datagrams_tx: Counter,
+        datagrams_rx: Counter,
+        bytes_tx: Counter,
+        decode_errors: Counter,
+        retries: Counter,
+        ack_timeouts: Counter,
+        handshake_timeouts: Counter,
+        retransmissions: Counter,
+        rtt_us: Histogram,
+    }
+
+    impl ServerTelem {
+        pub(crate) fn default_global() -> Self {
+            let r = current();
+            ServerTelem {
+                sessions: r.counter("net.server.sessions"),
+                sessions_completed: r.counter("net.server.sessions_completed"),
+                datagrams_tx: r.counter("net.server.datagrams_tx"),
+                datagrams_rx: r.counter("net.server.datagrams_rx"),
+                bytes_tx: r.counter("net.server.bytes_tx"),
+                decode_errors: r.counter("net.server.decode_errors"),
+                retries: r.counter("net.server.retries"),
+                ack_timeouts: r.counter("net.server.ack_timeouts"),
+                handshake_timeouts: r.counter("net.server.handshake_timeouts"),
+                retransmissions: r.counter("net.server.retransmissions"),
+                rtt_us: r.histogram("net.server.rtt_us"),
+            }
+        }
+
+        #[inline]
+        pub(crate) fn on_session(&self) {
+            self.sessions.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_session_complete(&self) {
+            self.sessions_completed.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_tx(&self, bytes: usize) {
+            self.datagrams_tx.inc();
+            self.bytes_tx.add(bytes as u64);
+        }
+
+        #[inline]
+        pub(crate) fn on_rx(&self) {
+            self.datagrams_rx.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_decode_error(&self) {
+            self.decode_errors.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_retry(&self) {
+            self.retries.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_ack_timeout(&self) {
+            self.ack_timeouts.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_handshake_timeout(&self) {
+            self.handshake_timeouts.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_retransmission(&self) {
+            self.retransmissions.inc();
+        }
+
+        #[inline]
+        pub(crate) fn rtt_us(&self, us: u64) {
+            self.rtt_us.record(us);
+        }
+    }
+
+    /// Client-side socket instruments.
+    #[derive(Debug, Clone)]
+    pub(crate) struct ClientTelem {
+        datagrams_tx: Counter,
+        datagrams_rx: Counter,
+        hello_retries: Counter,
+        begin_retries: Counter,
+        windows: Counter,
+        bad_fragments: Counter,
+        decode_errors: Counter,
+    }
+
+    impl ClientTelem {
+        pub(crate) fn default_global() -> Self {
+            let r = current();
+            ClientTelem {
+                datagrams_tx: r.counter("net.client.datagrams_tx"),
+                datagrams_rx: r.counter("net.client.datagrams_rx"),
+                hello_retries: r.counter("net.client.hello_retries"),
+                begin_retries: r.counter("net.client.begin_retries"),
+                windows: r.counter("net.client.windows"),
+                bad_fragments: r.counter("net.client.bad_fragments"),
+                decode_errors: r.counter("net.client.decode_errors"),
+            }
+        }
+
+        #[inline]
+        pub(crate) fn on_tx(&self) {
+            self.datagrams_tx.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_rx(&self) {
+            self.datagrams_rx.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_hello_retry(&self) {
+            self.hello_retries.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_begin_retry(&self) {
+            self.begin_retries.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_window(&self) {
+            self.windows.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_bad_fragment(&self) {
+            self.bad_fragments.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_decode_error(&self) {
+            self.decode_errors.inc();
+        }
+    }
+
+    /// Proxy fault-injection instruments.
+    #[derive(Debug, Clone)]
+    pub(crate) struct ProxyTelem {
+        forwarded: Counter,
+        dropped: Counter,
+        duplicated: Counter,
+        reordered: Counter,
+    }
+
+    impl ProxyTelem {
+        pub(crate) fn default_global() -> Self {
+            let r = current();
+            ProxyTelem {
+                forwarded: r.counter("net.proxy.forwarded"),
+                dropped: r.counter("net.proxy.dropped"),
+                duplicated: r.counter("net.proxy.duplicated"),
+                reordered: r.counter("net.proxy.reordered"),
+            }
+        }
+
+        #[inline]
+        pub(crate) fn on_forwarded(&self) {
+            self.forwarded.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_dropped(&self) {
+            self.dropped.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_duplicated(&self) {
+            self.duplicated.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_reordered(&self) {
+            self.reordered.inc();
+        }
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod imp {
+    /// No-op stand-in; see the `telemetry`-feature variant.
+    #[derive(Debug, Clone)]
+    pub(crate) struct ServerTelem;
+
+    impl ServerTelem {
+        pub(crate) fn default_global() -> Self {
+            ServerTelem
+        }
+
+        #[inline(always)]
+        pub(crate) fn on_session(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_session_complete(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_tx(&self, _bytes: usize) {}
+        #[inline(always)]
+        pub(crate) fn on_rx(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_decode_error(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_retry(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_ack_timeout(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_handshake_timeout(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_retransmission(&self) {}
+        #[inline(always)]
+        pub(crate) fn rtt_us(&self, _us: u64) {}
+    }
+
+    /// No-op stand-in; see the `telemetry`-feature variant.
+    #[derive(Debug, Clone)]
+    pub(crate) struct ClientTelem;
+
+    impl ClientTelem {
+        pub(crate) fn default_global() -> Self {
+            ClientTelem
+        }
+
+        #[inline(always)]
+        pub(crate) fn on_tx(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_rx(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_hello_retry(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_begin_retry(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_window(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_bad_fragment(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_decode_error(&self) {}
+    }
+
+    /// No-op stand-in; see the `telemetry`-feature variant.
+    #[derive(Debug, Clone)]
+    pub(crate) struct ProxyTelem;
+
+    impl ProxyTelem {
+        pub(crate) fn default_global() -> Self {
+            ProxyTelem
+        }
+
+        #[inline(always)]
+        pub(crate) fn on_forwarded(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_dropped(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_duplicated(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_reordered(&self) {}
+    }
+}
+
+pub(crate) use imp::*;

@@ -1,0 +1,774 @@
+//! The versioned binary wire codec.
+//!
+//! Every datagram starts with a 10-byte header — magic (4), version (1),
+//! message type (1), connection id (4) — followed by a type-specific body.
+//! All integers are big-endian. Decoding is fully length-checked: a
+//! malformed, truncated, or alien datagram yields a [`WireError`], never a
+//! panic, so a hostile peer cannot crash the server or client.
+//!
+//! | type | message | body |
+//! |---|---|---|
+//! | 0 | [`Msg::Hello`] | nonce u64, buffer u64, startup ms u64, ordering u8 |
+//! | 1 | [`Msg::Accept`] | nonce u64, frames/window u16, windows u32, packet u32, fps u32, layer sizes (u8 count × u16), critical frames (u16 count × u16) |
+//! | 2 | [`Msg::Reject`] | nonce u64, reason (u16 len × utf-8) |
+//! | 3 | [`Msg::Begin`] | — |
+//! | 4 | [`Msg::Data`] | window u64, frame u16, frag u16, frags u16, layer u8, slot u16, flags u8, ldu bytes u32, payload (u16 len × bytes) |
+//! | 5 | [`Msg::WindowEnd`] | window u64, sent-at µs u64, last u8 |
+//! | 6 | [`Msg::WindowAck`] | ack seq u64, window u64, echo µs u64, bursts (u8 count × u16) |
+//! | 7 | [`Msg::CriticalNack`] | window u64, missing (u16 count × u16) |
+//! | 8 | [`Msg::Bye`] | reason u8 |
+//! | 9 | [`Msg::ByeAck`] | — |
+
+use std::error::Error;
+use std::fmt;
+
+use espread_protocol::{Fragment, Ldu, Ordering};
+
+/// The protocol magic, `"ESPR"` as a big-endian u32.
+pub const MAGIC: u32 = 0x4553_5052;
+
+/// Wire protocol version this codec speaks.
+pub const VERSION: u8 = 1;
+
+/// Size of the fixed datagram header in bytes.
+pub const HEADER_BYTES: usize = 10;
+
+/// Connection id used before a session exists (handshake datagrams).
+pub const CONN_NONE: u32 = 0;
+
+/// Decode failures; each names the malformed-datagram class it rejects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The datagram is shorter than the fixed header.
+    ShortHeader {
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// The magic number is not [`MAGIC`] — an alien datagram.
+    BadMagic(u32),
+    /// The version byte is not [`VERSION`].
+    BadVersion(u8),
+    /// The message-type byte names no known message.
+    UnknownType(u8),
+    /// The body ends before a fixed-width field or counted list.
+    Truncated {
+        /// Bytes the field needs.
+        need: usize,
+        /// Bytes remaining in the datagram.
+        have: usize,
+    },
+    /// A length field claims more payload than the datagram carries.
+    Overlength {
+        /// Bytes the length field declares.
+        declared: usize,
+        /// Bytes remaining in the datagram.
+        have: usize,
+    },
+    /// Bytes remain after a complete message.
+    TrailingBytes(usize),
+    /// A field decoded but holds a semantically invalid value.
+    BadValue(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::ShortHeader { have } => {
+                write!(f, "short header: {have} bytes < {HEADER_BYTES}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated body: need {need} bytes, have {have}")
+            }
+            WireError::Overlength { declared, have } => {
+                write!(
+                    f,
+                    "overlength field: declares {declared} bytes, have {have}"
+                )
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::BadValue(what) => write!(f, "invalid field value: {what}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// The client's opening handshake datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Client-chosen nonce identifying this connection attempt (retries
+    /// reuse it, so the server can answer duplicates idempotently).
+    pub nonce: u64,
+    /// Client decoder/reassembly buffer in bytes (§4.1 sizing check).
+    pub buffer_bytes: u64,
+    /// Largest tolerated start-up delay in milliseconds.
+    pub max_startup_delay_ms: u64,
+    /// Requested transmission ordering.
+    pub ordering: Ordering,
+}
+
+/// The server's acceptance: the negotiated session shape the client needs
+/// to size its per-layer slot tables and reassembly state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Accept {
+    /// Echo of the client's nonce.
+    pub nonce: u64,
+    /// Frames (LDUs) per buffer window.
+    pub frames_per_window: u16,
+    /// Total buffer windows the stream will carry.
+    pub windows_total: u32,
+    /// Negotiated packet payload size in bytes.
+    pub packet_bytes: u32,
+    /// Stream frame rate.
+    pub fps: u32,
+    /// Per-window layer sizes, most critical first.
+    pub layer_sizes: Vec<u16>,
+    /// Playout indices of the critical (anchor) frames per window.
+    pub critical_frames: Vec<u16>,
+}
+
+/// The server's refusal, carrying the negotiation error text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reject {
+    /// Echo of the client's nonce.
+    pub nonce: u64,
+    /// Human-readable refusal reason.
+    pub reason: String,
+}
+
+/// One media fragment on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataMsg {
+    /// The fragment's protocol labelling (window, frame, layer, slot, …).
+    pub fragment: Fragment,
+    /// The whole LDU this fragment belongs to (validated non-zero via
+    /// [`Ldu::try_new`] on decode).
+    pub ldu: Ldu,
+    /// Bytes of media payload carried after the header.
+    pub payload_len: u16,
+}
+
+/// End-of-window marker; also the RTT probe (the client echoes
+/// `sent_at_us` in its ACK).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowEnd {
+    /// The window just finished.
+    pub window: u64,
+    /// Server session clock at send time, in microseconds.
+    pub sent_at_us: u64,
+    /// Whether this was the stream's final window.
+    pub last: bool,
+}
+
+/// The sequence-numbered end-of-window ACK (§4.2) with per-layer burst
+/// observations and the RTT echo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowAckMsg {
+    /// Monotone ACK sequence number; the server keeps only the highest.
+    pub ack_seq: u64,
+    /// Window the feedback describes.
+    pub window: u64,
+    /// Echo of the triggering [`WindowEnd::sent_at_us`].
+    pub echo_us: u64,
+    /// Largest run of lost transmission slots per layer.
+    pub per_layer_burst: Vec<u16>,
+}
+
+/// Reactive report of critical frames still missing at window end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalNackMsg {
+    /// Window the NACK describes.
+    pub window: u64,
+    /// Missing critical frame indices (playout positions).
+    pub missing: Vec<u16>,
+}
+
+/// Why a [`Msg::Bye`] was sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByeReason {
+    /// The stream completed normally.
+    Complete,
+    /// The sender is tearing the session down early.
+    Aborted,
+}
+
+/// Every message the transport speaks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Client → server connection request.
+    Hello(Hello),
+    /// Server → client handshake acceptance.
+    Accept(Accept),
+    /// Server → client handshake refusal.
+    Reject(Reject),
+    /// Client → server: handshake complete, start streaming.
+    Begin,
+    /// Server → client media fragment.
+    Data(DataMsg),
+    /// Server → client end-of-window marker.
+    WindowEnd(WindowEnd),
+    /// Client → server window feedback.
+    WindowAck(WindowAckMsg),
+    /// Client → server critical-recovery request.
+    CriticalNack(CriticalNackMsg),
+    /// Graceful teardown.
+    Bye(ByeReason),
+    /// Teardown acknowledgement.
+    ByeAck,
+}
+
+impl Msg {
+    /// The message's wire type byte.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            Msg::Hello(_) => 0,
+            Msg::Accept(_) => 1,
+            Msg::Reject(_) => 2,
+            Msg::Begin => 3,
+            Msg::Data(_) => 4,
+            Msg::WindowEnd(_) => 5,
+            Msg::WindowAck(_) => 6,
+            Msg::CriticalNack(_) => 7,
+            Msg::Bye(_) => 8,
+            Msg::ByeAck => 9,
+        }
+    }
+
+    /// Whether this is a media-data datagram (the class the proxy's
+    /// Gilbert–Elliott loss process applies to).
+    pub fn is_data(&self) -> bool {
+        matches!(self, Msg::Data(_))
+    }
+}
+
+fn ordering_to_byte(ordering: Ordering) -> u8 {
+    match ordering {
+        Ordering::InOrder => 0,
+        Ordering::Spread { adaptive: true } => 1,
+        Ordering::Spread { adaptive: false } => 2,
+        Ordering::Ibo => 3,
+    }
+}
+
+fn ordering_from_byte(b: u8) -> Result<Ordering, WireError> {
+    match b {
+        0 => Ok(Ordering::InOrder),
+        1 => Ok(Ordering::Spread { adaptive: true }),
+        2 => Ok(Ordering::Spread { adaptive: false }),
+        3 => Ok(Ordering::Ibo),
+        _ => Err(WireError::BadValue("unknown ordering code")),
+    }
+}
+
+/// Encodes `msg` for connection `conn_id` into a fresh datagram buffer.
+///
+/// Data payload bytes are zero-filled: the simulator's traces carry frame
+/// *sizes*, not content, so the wire stays byte-accurate without shipping
+/// fake media.
+pub fn encode(conn_id: u32, msg: &Msg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.push(VERSION);
+    out.push(msg.type_byte());
+    out.extend_from_slice(&conn_id.to_be_bytes());
+    match msg {
+        Msg::Hello(h) => {
+            out.extend_from_slice(&h.nonce.to_be_bytes());
+            out.extend_from_slice(&h.buffer_bytes.to_be_bytes());
+            out.extend_from_slice(&h.max_startup_delay_ms.to_be_bytes());
+            out.push(ordering_to_byte(h.ordering));
+        }
+        Msg::Accept(a) => {
+            out.extend_from_slice(&a.nonce.to_be_bytes());
+            out.extend_from_slice(&a.frames_per_window.to_be_bytes());
+            out.extend_from_slice(&a.windows_total.to_be_bytes());
+            out.extend_from_slice(&a.packet_bytes.to_be_bytes());
+            out.extend_from_slice(&a.fps.to_be_bytes());
+            out.push(a.layer_sizes.len().min(255) as u8);
+            for &s in a.layer_sizes.iter().take(255) {
+                out.extend_from_slice(&s.to_be_bytes());
+            }
+            let n = a.critical_frames.len().min(usize::from(u16::MAX)) as u16;
+            out.extend_from_slice(&n.to_be_bytes());
+            for &f in a.critical_frames.iter().take(usize::from(n)) {
+                out.extend_from_slice(&f.to_be_bytes());
+            }
+        }
+        Msg::Reject(r) => {
+            out.extend_from_slice(&r.nonce.to_be_bytes());
+            let bytes = r.reason.as_bytes();
+            let n = bytes.len().min(usize::from(u16::MAX)) as u16;
+            out.extend_from_slice(&n.to_be_bytes());
+            out.extend_from_slice(&bytes[..usize::from(n)]);
+        }
+        Msg::Begin | Msg::ByeAck => {}
+        Msg::Data(d) => {
+            let f = &d.fragment;
+            out.extend_from_slice(&f.window.to_be_bytes());
+            out.extend_from_slice(&(f.frame as u16).to_be_bytes());
+            out.extend_from_slice(&f.frag.to_be_bytes());
+            out.extend_from_slice(&f.frags_total.to_be_bytes());
+            out.push(f.layer);
+            out.extend_from_slice(&f.layer_slot.to_be_bytes());
+            out.push(u8::from(f.retransmit));
+            out.extend_from_slice(&d.ldu.size_bytes.to_be_bytes());
+            out.extend_from_slice(&d.payload_len.to_be_bytes());
+            out.resize(out.len() + usize::from(d.payload_len), 0);
+        }
+        Msg::WindowEnd(e) => {
+            out.extend_from_slice(&e.window.to_be_bytes());
+            out.extend_from_slice(&e.sent_at_us.to_be_bytes());
+            out.push(u8::from(e.last));
+        }
+        Msg::WindowAck(a) => {
+            out.extend_from_slice(&a.ack_seq.to_be_bytes());
+            out.extend_from_slice(&a.window.to_be_bytes());
+            out.extend_from_slice(&a.echo_us.to_be_bytes());
+            out.push(a.per_layer_burst.len().min(255) as u8);
+            for &b in a.per_layer_burst.iter().take(255) {
+                out.extend_from_slice(&b.to_be_bytes());
+            }
+        }
+        Msg::CriticalNack(n) => {
+            out.extend_from_slice(&n.window.to_be_bytes());
+            let count = n.missing.len().min(usize::from(u16::MAX)) as u16;
+            out.extend_from_slice(&count.to_be_bytes());
+            for &f in n.missing.iter().take(usize::from(count)) {
+                out.extend_from_slice(&f.to_be_bytes());
+            }
+        }
+        Msg::Bye(reason) => {
+            out.push(match reason {
+                ByeReason::Complete => 0,
+                ByeReason::Aborted => 1,
+            });
+        }
+    }
+    out
+}
+
+/// Bounds-checked big-endian reader over a datagram body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `count`-element list of u16s, checking the length *before*
+    /// allocating so a hostile count cannot balloon memory.
+    fn u16_list(&mut self, count: usize) -> Result<Vec<u16>, WireError> {
+        if self.remaining() < count * 2 {
+            return Err(WireError::Truncated {
+                need: count * 2,
+                have: self.remaining(),
+            });
+        }
+        (0..count).map(|_| self.u16()).collect()
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() > 0 {
+            Err(WireError::TrailingBytes(self.remaining()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Peeks at a datagram's message-type byte without a full decode — the
+/// proxy uses this to classify data vs. control traffic. Returns `None`
+/// for anything that is not a well-formed header of ours.
+pub fn peek_type(datagram: &[u8]) -> Option<u8> {
+    if datagram.len() < HEADER_BYTES {
+        return None;
+    }
+    let magic = u32::from_be_bytes([datagram[0], datagram[1], datagram[2], datagram[3]]);
+    if magic != MAGIC || datagram[4] != VERSION {
+        return None;
+    }
+    Some(datagram[5])
+}
+
+/// Decodes one datagram into `(conn_id, message)`.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] naming the malformed-datagram class; never
+/// panics, whatever the input bytes.
+pub fn decode(datagram: &[u8]) -> Result<(u32, Msg), WireError> {
+    if datagram.len() < HEADER_BYTES {
+        return Err(WireError::ShortHeader {
+            have: datagram.len(),
+        });
+    }
+    let magic = u32::from_be_bytes([datagram[0], datagram[1], datagram[2], datagram[3]]);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if datagram[4] != VERSION {
+        return Err(WireError::BadVersion(datagram[4]));
+    }
+    let type_byte = datagram[5];
+    let conn_id = u32::from_be_bytes([datagram[6], datagram[7], datagram[8], datagram[9]]);
+    let mut c = Cursor::new(&datagram[HEADER_BYTES..]);
+    let msg = match type_byte {
+        0 => {
+            let nonce = c.u64()?;
+            let buffer_bytes = c.u64()?;
+            let max_startup_delay_ms = c.u64()?;
+            let ordering = ordering_from_byte(c.u8()?)?;
+            Msg::Hello(Hello {
+                nonce,
+                buffer_bytes,
+                max_startup_delay_ms,
+                ordering,
+            })
+        }
+        1 => {
+            let nonce = c.u64()?;
+            let frames_per_window = c.u16()?;
+            let windows_total = c.u32()?;
+            let packet_bytes = c.u32()?;
+            let fps = c.u32()?;
+            let n_layers = usize::from(c.u8()?);
+            let layer_sizes = c.u16_list(n_layers)?;
+            let n_critical = usize::from(c.u16()?);
+            let critical_frames = c.u16_list(n_critical)?;
+            Msg::Accept(Accept {
+                nonce,
+                frames_per_window,
+                windows_total,
+                packet_bytes,
+                fps,
+                layer_sizes,
+                critical_frames,
+            })
+        }
+        2 => {
+            let nonce = c.u64()?;
+            let len = usize::from(c.u16()?);
+            if c.remaining() < len {
+                return Err(WireError::Overlength {
+                    declared: len,
+                    have: c.remaining(),
+                });
+            }
+            let bytes = c.take(len)?;
+            let reason = String::from_utf8(bytes.to_vec())
+                .map_err(|_| WireError::BadValue("reject reason is not utf-8"))?;
+            Msg::Reject(Reject { nonce, reason })
+        }
+        3 => Msg::Begin,
+        4 => {
+            let window = c.u64()?;
+            let frame = usize::from(c.u16()?);
+            let frag = c.u16()?;
+            let frags_total = c.u16()?;
+            let layer = c.u8()?;
+            let layer_slot = c.u16()?;
+            let flags = c.u8()?;
+            let ldu_bytes = c.u32()?;
+            let ldu = Ldu::try_new(ldu_bytes).map_err(|_| WireError::BadValue("zero LDU size"))?;
+            if frags_total == 0 {
+                return Err(WireError::BadValue("zero fragment count"));
+            }
+            if frag >= frags_total {
+                return Err(WireError::BadValue("fragment index out of range"));
+            }
+            let payload_len = c.u16()?;
+            if c.remaining() < usize::from(payload_len) {
+                return Err(WireError::Overlength {
+                    declared: usize::from(payload_len),
+                    have: c.remaining(),
+                });
+            }
+            let _payload = c.take(usize::from(payload_len))?;
+            Msg::Data(DataMsg {
+                fragment: Fragment {
+                    window,
+                    frame,
+                    frag,
+                    frags_total,
+                    layer,
+                    layer_slot,
+                    retransmit: flags & 1 != 0,
+                },
+                ldu,
+                payload_len,
+            })
+        }
+        5 => {
+            let window = c.u64()?;
+            let sent_at_us = c.u64()?;
+            let last = c.u8()? != 0;
+            Msg::WindowEnd(WindowEnd {
+                window,
+                sent_at_us,
+                last,
+            })
+        }
+        6 => {
+            let ack_seq = c.u64()?;
+            let window = c.u64()?;
+            let echo_us = c.u64()?;
+            let n = usize::from(c.u8()?);
+            let per_layer_burst = c.u16_list(n)?;
+            Msg::WindowAck(WindowAckMsg {
+                ack_seq,
+                window,
+                echo_us,
+                per_layer_burst,
+            })
+        }
+        7 => {
+            let window = c.u64()?;
+            let n = usize::from(c.u16()?);
+            let missing = c.u16_list(n)?;
+            Msg::CriticalNack(CriticalNackMsg { window, missing })
+        }
+        8 => Msg::Bye(match c.u8()? {
+            0 => ByeReason::Complete,
+            1 => ByeReason::Aborted,
+            _ => return Err(WireError::BadValue("unknown bye reason")),
+        }),
+        9 => Msg::ByeAck,
+        other => return Err(WireError::UnknownType(other)),
+    };
+    c.finish()?;
+    Ok((conn_id, msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data() -> Msg {
+        Msg::Data(DataMsg {
+            fragment: Fragment {
+                window: 3,
+                frame: 17,
+                frag: 1,
+                frags_total: 3,
+                layer: 4,
+                layer_slot: 9,
+                retransmit: true,
+            },
+            ldu: Ldu::new(5000),
+            payload_len: 904,
+        })
+    }
+
+    fn all_messages() -> Vec<Msg> {
+        vec![
+            Msg::Hello(Hello {
+                nonce: 0xDEAD_BEEF,
+                buffer_bytes: 1024 * 1024,
+                max_startup_delay_ms: 2000,
+                ordering: Ordering::spread(),
+            }),
+            Msg::Accept(Accept {
+                nonce: 0xDEAD_BEEF,
+                frames_per_window: 24,
+                windows_total: 20,
+                packet_bytes: 2048,
+                fps: 24,
+                layer_sizes: vec![2, 2, 2, 2, 16],
+                critical_frames: vec![0, 3, 6, 9, 12, 15, 18, 21],
+            }),
+            Msg::Reject(Reject {
+                nonce: 1,
+                reason: "client buffer too small".into(),
+            }),
+            Msg::Begin,
+            sample_data(),
+            Msg::WindowEnd(WindowEnd {
+                window: 7,
+                sent_at_us: 123_456,
+                last: true,
+            }),
+            Msg::WindowAck(WindowAckMsg {
+                ack_seq: 9,
+                window: 7,
+                echo_us: 123_456,
+                per_layer_burst: vec![1, 0, 2, 0, 5],
+            }),
+            Msg::CriticalNack(CriticalNackMsg {
+                window: 7,
+                missing: vec![0, 12],
+            }),
+            Msg::Bye(ByeReason::Complete),
+            Msg::ByeAck,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_message_type() {
+        for msg in all_messages() {
+            let bytes = encode(42, &msg);
+            let (conn, decoded) = decode(&bytes).expect("decode");
+            assert_eq!(conn, 42);
+            assert_eq!(decoded, msg, "type {}", msg.type_byte());
+        }
+    }
+
+    #[test]
+    fn data_payload_travels_as_zeroes_of_declared_length() {
+        let bytes = encode(1, &sample_data());
+        // Header + body fields + 904 payload bytes.
+        assert_eq!(
+            bytes.len(),
+            HEADER_BYTES + 8 + 2 + 2 + 2 + 1 + 2 + 1 + 4 + 2 + 904
+        );
+        assert!(bytes[bytes.len() - 904..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn short_header_rejected() {
+        for len in 0..HEADER_BYTES {
+            let bytes = vec![0u8; len];
+            assert_eq!(decode(&bytes), Err(WireError::ShortHeader { have: len }));
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(1, &Msg::Begin);
+        bytes[0] = 0xFF;
+        assert!(matches!(decode(&bytes), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode(1, &Msg::Begin);
+        bytes[4] = VERSION + 1;
+        assert_eq!(decode(&bytes), Err(WireError::BadVersion(VERSION + 1)));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut bytes = encode(1, &Msg::Begin);
+        bytes[5] = 200;
+        assert_eq!(decode(&bytes), Err(WireError::UnknownType(200)));
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        for msg in all_messages() {
+            let bytes = encode(5, &msg);
+            for cut in HEADER_BYTES..bytes.len() {
+                let err = decode(&bytes[..cut]).expect_err("truncation must fail");
+                assert!(
+                    matches!(
+                        err,
+                        WireError::Truncated { .. } | WireError::Overlength { .. }
+                    ),
+                    "type {} cut at {cut}: {err}",
+                    msg.type_byte()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlength_payload_field_rejected() {
+        let mut bytes = encode(1, &sample_data());
+        // Inflate the declared payload length past the datagram end.
+        let len_at = bytes.len() - 904 - 2;
+        bytes[len_at] = 0xFF;
+        bytes[len_at + 1] = 0xFF;
+        assert!(matches!(decode(&bytes), Err(WireError::Overlength { .. })));
+    }
+
+    #[test]
+    fn zero_ldu_size_rejected_not_panicking() {
+        let mut bytes = encode(1, &sample_data());
+        // ldu_bytes sits just before the payload length field.
+        let at = bytes.len() - 904 - 2 - 4;
+        for b in &mut bytes[at..at + 4] {
+            *b = 0;
+        }
+        assert_eq!(decode(&bytes), Err(WireError::BadValue("zero LDU size")));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(1, &Msg::Begin);
+        bytes.push(0);
+        assert_eq!(decode(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn peek_type_classifies_and_ignores_aliens() {
+        assert_eq!(peek_type(&encode(1, &sample_data())), Some(4));
+        assert_eq!(peek_type(&encode(1, &Msg::Begin)), Some(3));
+        assert_eq!(peek_type(&[0u8; 4]), None);
+        assert_eq!(peek_type(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn error_display_names_each_class() {
+        let cases: Vec<(WireError, &str)> = vec![
+            (WireError::ShortHeader { have: 3 }, "short header"),
+            (WireError::BadMagic(7), "bad magic"),
+            (WireError::BadVersion(9), "version"),
+            (WireError::UnknownType(77), "unknown message type"),
+            (WireError::Truncated { need: 8, have: 2 }, "truncated"),
+            (
+                WireError::Overlength {
+                    declared: 900,
+                    have: 3,
+                },
+                "overlength",
+            ),
+            (WireError::TrailingBytes(4), "trailing"),
+            (WireError::BadValue("x"), "invalid field"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+}

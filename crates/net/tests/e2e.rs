@@ -1,0 +1,333 @@
+//! End-to-end loopback streaming: real sockets, real threads, a seeded
+//! fault-injecting proxy — and deterministic results.
+//!
+//! The determinism rests on two facts. The proxy's Gilbert–Elliott chain
+//! steps **only on data datagrams, in arrival order**, and UDP over
+//! loopback from a single sender preserves order; and with recovery off,
+//! every ordering sends the *same* fragments per window, so spread and
+//! in-order sessions see the identical per-slot loss realisation — the
+//! paper's same-channel methodology (§5.1) carried onto real sockets.
+
+use std::net::UdpSocket;
+use std::time::Duration;
+
+use espread_net::{
+    FaultPolicy, FaultProxy, NetClient, NetClientConfig, NetServer, NetServerConfig, RetryPolicy,
+};
+use espread_protocol::{Ordering, ProtocolConfig, SessionOffer, StreamSource};
+use espread_trace::{GopPattern, Movie, MpegTrace};
+
+fn paper_offer(gops_per_window: usize) -> SessionOffer {
+    SessionOffer {
+        gop_pattern: GopPattern::gop12(),
+        gops_per_window,
+        open_gop: false,
+        fps: 24,
+        packet_bytes: 2048,
+        max_frame_bytes: 62_776 / 8,
+    }
+}
+
+fn server_config(windows: usize) -> NetServerConfig {
+    let trace = MpegTrace::new(Movie::JurassicPark, 1);
+    NetServerConfig::new(
+        ProtocolConfig::paper(0.6, 1),
+        paper_offer(2),
+        StreamSource::mpeg(&trace, 2, windows, false),
+    )
+}
+
+fn quick_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 6,
+        base: Duration::from_millis(20),
+        max: Duration::from_millis(200),
+    }
+}
+
+/// One full session through a seeded Gilbert proxy; returns the
+/// per-window CLF values and the mean.
+fn run_once(ordering: Ordering, seed: u64, windows: usize) -> (Vec<usize>, f64) {
+    let mut server = NetServer::bind("127.0.0.1:0", server_config(windows)).unwrap();
+    let mut proxy = FaultProxy::spawn(
+        server.local_addr(),
+        FaultPolicy::transparent().gilbert_data_loss(0.92, 0.6, seed),
+        FaultPolicy::transparent(),
+    )
+    .unwrap();
+    let config = NetClientConfig {
+        ordering,
+        retry: quick_retry(),
+        ..NetClientConfig::default()
+    };
+    let client = NetClient::connect(proxy.client_addr(), config).unwrap();
+    let report = client.stream().unwrap();
+    proxy.shutdown();
+    server.shutdown();
+    assert_eq!(report.windows_completed, windows, "{ordering}");
+    assert!(report.saw_bye, "{ordering}: stream should close gracefully");
+    let clfs: Vec<usize> = report.series.clf_values().collect();
+    (clfs, report.series.summary().mean_clf)
+}
+
+/// The tentpole acceptance test: ≥10 windows of Jurassic Park through a
+/// seeded lossy proxy, twice per ordering on the same seed. Same seed ⇒
+/// identical CLF sequence; and on the identical loss realisation, the
+/// spread ordering yields a strictly lower mean CLF than in-order.
+#[test]
+fn spread_beats_in_order_on_the_same_loss_realisation_deterministically() {
+    const WINDOWS: usize = 12;
+    const SEED: u64 = 42;
+    let (spread_1, spread_mean_1) = run_once(Ordering::spread(), SEED, WINDOWS);
+    let (spread_2, spread_mean_2) = run_once(Ordering::spread(), SEED, WINDOWS);
+    let (inorder_1, inorder_mean_1) = run_once(Ordering::InOrder, SEED, WINDOWS);
+    let (inorder_2, inorder_mean_2) = run_once(Ordering::InOrder, SEED, WINDOWS);
+
+    assert_eq!(spread_1, spread_2, "spread runs must be identical");
+    assert_eq!(inorder_1, inorder_2, "in-order runs must be identical");
+    assert_eq!(spread_mean_1, spread_mean_2);
+    assert_eq!(inorder_mean_1, inorder_mean_2);
+
+    assert!(
+        spread_mean_1 < inorder_mean_1,
+        "spread mean CLF {spread_mean_1} must beat in-order {inorder_mean_1}"
+    );
+}
+
+/// Control-datagram loss: the proxy eats the first few handshake/ACK
+/// datagrams in both directions and the retry/backoff machinery still
+/// converges to a complete, lossless stream.
+#[test]
+fn retries_recover_from_dropped_control_datagrams() {
+    const WINDOWS: usize = 3;
+    let mut server = NetServer::bind("127.0.0.1:0", server_config(WINDOWS)).unwrap();
+    let mut proxy = FaultProxy::spawn(
+        server.local_addr(),
+        FaultPolicy::transparent().drop_first_control(2),
+        FaultPolicy::transparent().drop_first_control(2),
+    )
+    .unwrap();
+    let config = NetClientConfig {
+        retry: quick_retry(),
+        ..NetClientConfig::default()
+    };
+    let client = NetClient::connect(proxy.client_addr(), config).unwrap();
+    let report = client.stream().unwrap();
+    let stats = proxy.stats();
+    proxy.shutdown();
+    server.shutdown();
+
+    assert_eq!(report.windows_completed, WINDOWS);
+    assert!(
+        report.hello_retries >= 2,
+        "the dropped Hellos must have been retried (got {})",
+        report.hello_retries
+    );
+    assert_eq!(stats.dropped_control, 4, "both directions' budgets spent");
+    assert_eq!(stats.dropped_data, 0);
+    // Nothing was actually lost on the data path.
+    assert_eq!(report.series.summary().mean_clf, 0.0);
+}
+
+/// Duplicated and reordered datagrams are absorbed: reassembly is
+/// idempotent and slot bookkeeping is order-independent.
+#[test]
+fn duplicates_and_reordering_do_not_corrupt_the_stream() {
+    const WINDOWS: usize = 3;
+    let mut server = NetServer::bind("127.0.0.1:0", server_config(WINDOWS)).unwrap();
+    let mut proxy = FaultProxy::spawn(
+        server.local_addr(),
+        FaultPolicy::transparent()
+            .duplicate_every(5)
+            .reorder_every(7),
+        FaultPolicy::transparent(),
+    )
+    .unwrap();
+    let config = NetClientConfig {
+        retry: quick_retry(),
+        ..NetClientConfig::default()
+    };
+    let client = NetClient::connect(proxy.client_addr(), config).unwrap();
+    let report = client.stream().unwrap();
+    let stats = proxy.stats();
+    proxy.shutdown();
+    server.shutdown();
+
+    assert_eq!(report.windows_completed, WINDOWS);
+    assert!(stats.duplicated > 0);
+    assert!(stats.reordered > 0);
+    assert_eq!(report.series.summary().mean_clf, 0.0, "nothing truly lost");
+}
+
+/// Two concurrent clients demuxed by connection id on one server socket,
+/// each with its own ordering, both served to completion.
+#[test]
+fn server_demuxes_concurrent_sessions() {
+    const WINDOWS: usize = 2;
+    let mut server = NetServer::bind("127.0.0.1:0", server_config(WINDOWS)).unwrap();
+    let addr = server.local_addr();
+    let spawn = |ordering: Ordering| {
+        std::thread::spawn(move || {
+            let config = NetClientConfig {
+                ordering,
+                retry: quick_retry(),
+                ..NetClientConfig::default()
+            };
+            let client = NetClient::connect(addr, config).unwrap();
+            client.stream().unwrap()
+        })
+    };
+    let a = spawn(Ordering::spread());
+    let b = spawn(Ordering::InOrder);
+    let report_a = a.join().unwrap();
+    let report_b = b.join().unwrap();
+    server.shutdown();
+
+    for report in [&report_a, &report_b] {
+        assert_eq!(report.windows_completed, WINDOWS);
+        assert_eq!(report.series.summary().mean_clf, 0.0);
+        assert!(report.saw_bye);
+    }
+}
+
+/// Critical recovery over the wire: with bursty loss and `recovery`
+/// on, the client NACKs missing critical frames and keeps NACKing on
+/// each resent `WindowEnd` (retransmissions ride the lossy channel too),
+/// so within the retry budget no critical frame stays lost.
+#[test]
+fn critical_nack_round_recovers_anchor_frames() {
+    const WINDOWS: usize = 6;
+    let mut server = NetServer::bind("127.0.0.1:0", server_config(WINDOWS)).unwrap();
+    let mut proxy = FaultProxy::spawn(
+        server.local_addr(),
+        FaultPolicy::transparent().gilbert_data_loss(0.92, 0.6, 7),
+        FaultPolicy::transparent(),
+    )
+    .unwrap();
+    let config = NetClientConfig {
+        recovery: true,
+        retry: quick_retry(),
+        ..NetClientConfig::default()
+    };
+    let client = NetClient::connect(proxy.client_addr(), config).unwrap();
+    let session = client.session().clone();
+    let report = client.stream().unwrap();
+    proxy.shutdown();
+    server.shutdown();
+
+    assert_eq!(report.windows_completed, WINDOWS);
+    assert!(report.nacks_sent > 0, "bursty loss should trigger NACKs");
+    // Every critical (anchor) frame made it in every window.
+    let critical: Vec<usize> = session
+        .critical_frames
+        .iter()
+        .map(|&f| usize::from(f))
+        .collect();
+    for (w, pattern) in report.patterns.iter().enumerate() {
+        for &frame in &critical {
+            assert!(
+                pattern.is_received(frame),
+                "window {w}: critical frame {frame} still missing after recovery"
+            );
+        }
+    }
+}
+
+/// Telemetry end to end: a scoped registry captures socket, retry, and
+/// RTT-histogram metrics, and its Prometheus rendering parses.
+#[cfg(feature = "telemetry")]
+#[test]
+fn telemetry_counts_the_session_and_exports_prometheus() {
+    use espread_telemetry::sink::to_prometheus_text;
+    use espread_telemetry::{with_current, Registry};
+
+    const WINDOWS: usize = 2;
+    let registry = Registry::new();
+    let snapshot = with_current(&registry, || {
+        let mut server = NetServer::bind("127.0.0.1:0", server_config(WINDOWS)).unwrap();
+        let mut proxy = FaultProxy::spawn(
+            server.local_addr(),
+            FaultPolicy::transparent().gilbert_data_loss(0.92, 0.6, 5),
+            FaultPolicy::transparent(),
+        )
+        .unwrap();
+        let config = NetClientConfig {
+            retry: quick_retry(),
+            ..NetClientConfig::default()
+        };
+        let client = NetClient::connect(proxy.client_addr(), config).unwrap();
+        let report = client.stream().unwrap();
+        assert_eq!(report.windows_completed, WINDOWS);
+        proxy.shutdown();
+        server.shutdown();
+        registry.snapshot()
+    });
+
+    assert!(snapshot.counter("net.server.sessions") == Some(1));
+    assert!(snapshot.counter("net.server.datagrams_tx").unwrap_or(0) > 0);
+    assert!(snapshot.counter("net.client.datagrams_rx").unwrap_or(0) > 0);
+    assert!(snapshot.counter("net.proxy.dropped").unwrap_or(0) > 0);
+    let rtt = snapshot
+        .histogram("net.server.rtt_us")
+        .expect("RTT histogram populated");
+    assert!(
+        rtt.count >= WINDOWS as u64,
+        "one RTT sample per acked window"
+    );
+
+    let text = to_prometheus_text(&snapshot);
+    assert!(text.contains("net_server_datagrams_tx"));
+    assert!(text.contains("net_server_rtt_us"));
+    // Well-formed exposition: every non-comment line is `name value`
+    // with a parseable float.
+    for line in text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (name, value) = line.rsplit_once(' ').expect("name value");
+        assert!(!name.is_empty());
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable value in {line:?}"
+        );
+    }
+}
+
+/// A stray datagram blizzard (wrong magic, truncated, hostile lengths)
+/// aimed at a live server does not disturb a concurrent session.
+#[test]
+fn hostile_datagrams_do_not_disrupt_a_live_session() {
+    const WINDOWS: usize = 2;
+    let mut server = NetServer::bind("127.0.0.1:0", server_config(WINDOWS)).unwrap();
+    let addr = server.local_addr();
+    let attacker = std::thread::spawn(move || {
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for i in 0..200u32 {
+            let junk = match i % 4 {
+                0 => vec![0u8; (i % 9) as usize],        // short header
+                1 => b"GET / HTTP/1.1\r\n\r\n".to_vec(), // alien
+                2 => {
+                    let mut m = espread_net::encode(1, &espread_net::Msg::Begin);
+                    m[4] = 99; // bad version
+                    m
+                }
+                _ => {
+                    let mut m = espread_net::encode(u32::MAX, &espread_net::Msg::ByeAck);
+                    m.truncate(m.len().saturating_sub(1));
+                    m
+                }
+            };
+            let _ = sock.send_to(&junk, addr);
+        }
+    });
+    let config = NetClientConfig {
+        retry: quick_retry(),
+        ..NetClientConfig::default()
+    };
+    let client = NetClient::connect(addr, config).unwrap();
+    let report = client.stream().unwrap();
+    attacker.join().unwrap();
+    server.shutdown();
+    assert_eq!(report.windows_completed, WINDOWS);
+    assert_eq!(report.series.summary().mean_clf, 0.0);
+}

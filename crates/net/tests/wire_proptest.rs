@@ -1,0 +1,189 @@
+//! Property-based tests of the wire codec: every well-formed message
+//! round-trips exactly, and no byte sequence — random, truncated, or
+//! mutated — can make `decode` panic.
+
+use espread_net::wire::{
+    self, Accept, ByeReason, CriticalNackMsg, DataMsg, Hello, Msg, Reject, WindowAckMsg, WindowEnd,
+    HEADER_BYTES,
+};
+use espread_protocol::{Fragment, Ldu, Ordering};
+use proptest::prelude::*;
+
+fn ordering_from(code: u8) -> Ordering {
+    match code % 4 {
+        0 => Ordering::InOrder,
+        1 => Ordering::Spread { adaptive: true },
+        2 => Ordering::Spread { adaptive: false },
+        _ => Ordering::Ibo,
+    }
+}
+
+/// A deterministic exemplar of each message type, varied by the seeds.
+fn exemplars(a: u64, b: u16, text: String, list: Vec<u16>) -> Vec<Msg> {
+    let frags_total = (b % 7) + 1;
+    vec![
+        Msg::Hello(Hello {
+            nonce: a,
+            buffer_bytes: a ^ 0xABCD,
+            max_startup_delay_ms: u64::from(b),
+            ordering: ordering_from(a as u8),
+        }),
+        Msg::Accept(Accept {
+            nonce: a,
+            frames_per_window: b,
+            windows_total: a as u32,
+            packet_bytes: u32::from(b) + 1,
+            fps: 24,
+            layer_sizes: list.clone(),
+            critical_frames: list.clone(),
+        }),
+        Msg::Reject(Reject {
+            nonce: a,
+            reason: text,
+        }),
+        Msg::Begin,
+        Msg::Data(DataMsg {
+            fragment: Fragment {
+                window: a,
+                frame: usize::from(b),
+                frag: b % frags_total,
+                frags_total,
+                layer: a as u8,
+                layer_slot: b,
+                retransmit: a.is_multiple_of(2),
+            },
+            ldu: Ldu::new((a as u32).max(1)),
+            payload_len: b % 2048,
+        }),
+        Msg::WindowEnd(WindowEnd {
+            window: a,
+            sent_at_us: a.wrapping_mul(3),
+            last: b.is_multiple_of(2),
+        }),
+        Msg::WindowAck(WindowAckMsg {
+            ack_seq: a,
+            window: a ^ 1,
+            echo_us: u64::from(b),
+            per_layer_burst: list.clone(),
+        }),
+        Msg::CriticalNack(CriticalNackMsg {
+            window: a,
+            missing: list,
+        }),
+        Msg::Bye(if a.is_multiple_of(2) {
+            ByeReason::Complete
+        } else {
+            ByeReason::Aborted
+        }),
+        Msg::ByeAck,
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity on every message type, for
+    /// arbitrary field values.
+    #[test]
+    fn roundtrip(
+        conn in any::<u32>(),
+        a in any::<u64>(),
+        b in any::<u16>(),
+        text in prop::collection::vec(0u8..128, 0..40),
+        list in prop::collection::vec(any::<u16>(), 0..24),
+    ) {
+        let text = String::from_utf8(text).expect("ascii");
+        for msg in exemplars(a, b, text, list) {
+            let bytes = wire::encode(conn, &msg);
+            let (got_conn, got) = wire::decode(&bytes).expect("well-formed must decode");
+            prop_assert_eq!(got_conn, conn);
+            prop_assert_eq!(got, msg);
+        }
+    }
+
+    /// Arbitrary byte soup never panics the decoder — it errors (or, for
+    /// the vanishingly rare valid datagram, decodes).
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = wire::decode(&bytes);
+    }
+
+    /// Every truncation of a valid datagram is rejected with an error,
+    /// not a panic.
+    #[test]
+    fn truncations_error_cleanly(
+        a in any::<u64>(),
+        b in any::<u16>(),
+        list in prop::collection::vec(any::<u16>(), 0..16),
+        cut_seed in any::<usize>(),
+    ) {
+        for msg in exemplars(a, b, "truncate me".into(), list) {
+            let bytes = wire::encode(9, &msg);
+            let cut = cut_seed % bytes.len();
+            let result = wire::decode(&bytes[..cut]);
+            prop_assert!(result.is_err(), "cut at {cut} of {} decoded", bytes.len());
+        }
+    }
+
+    /// Flipping any single byte of a valid datagram never panics; the
+    /// decoder either rejects it or yields some other valid message.
+    #[test]
+    fn single_byte_mutations_never_panic(
+        a in any::<u64>(),
+        b in any::<u16>(),
+        list in prop::collection::vec(any::<u16>(), 0..16),
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        for msg in exemplars(a, b, "mutate me".into(), list) {
+            let mut bytes = wire::encode(9, &msg);
+            let pos = pos_seed % bytes.len();
+            bytes[pos] ^= xor;
+            let _ = wire::decode(&bytes);
+        }
+    }
+
+    /// Inflating a length/count field beyond the datagram is an error
+    /// (`Truncated`/`Overlength`), never an allocation blow-up or panic.
+    #[test]
+    fn hostile_length_fields_rejected(count in any::<u16>()) {
+        // Hand-build a WindowAck header claiming `count`-many burst
+        // entries with no body behind them.
+        let mut bytes = wire::encode(
+            1,
+            &Msg::WindowAck(WindowAckMsg {
+                ack_seq: 1,
+                window: 0,
+                echo_us: 0,
+                per_layer_burst: vec![],
+            }),
+        );
+        let len = bytes.len();
+        bytes[len - 1] = count.min(255) as u8; // the u8 layer count
+        if count.min(255) > 0 {
+            prop_assert!(wire::decode(&bytes).is_err());
+        }
+        // And a CriticalNack with a u16 count field.
+        let mut bytes = wire::encode(
+            1,
+            &Msg::CriticalNack(CriticalNackMsg { window: 0, missing: vec![] }),
+        );
+        let len = bytes.len();
+        bytes[len - 2] = (count >> 8) as u8;
+        bytes[len - 1] = count as u8;
+        if count > 0 {
+            prop_assert!(wire::decode(&bytes).is_err());
+        }
+    }
+
+    /// The header prefix invariants hold for every message: magic,
+    /// version, and a type byte `peek_type` agrees with.
+    #[test]
+    fn header_layout_stable(a in any::<u64>(), b in any::<u16>()) {
+        for msg in exemplars(a, b, String::new(), vec![]) {
+            let bytes = wire::encode(3, &msg);
+            prop_assert!(bytes.len() >= HEADER_BYTES);
+            prop_assert_eq!(&bytes[..4], &wire::MAGIC.to_be_bytes());
+            prop_assert_eq!(bytes[4], wire::VERSION);
+            prop_assert_eq!(wire::peek_type(&bytes), Some(msg.type_byte()));
+        }
+    }
+}

@@ -64,7 +64,7 @@ pub use mux::{aligned_av_sources, MuxReport, MuxSession, StreamId};
 pub use negotiation::{
     negotiate, AgreedSession, ClientCapabilities, NegotiationError, SessionOffer,
 };
-pub use packetize::{Fragment, Ldu, Reassembly};
+pub use packetize::{Fragment, InvalidLduSize, Ldu, Reassembly};
 pub use server::{AdaptationRecord, Server};
 pub use session::{Session, SessionReport};
 pub use source::StreamSource;

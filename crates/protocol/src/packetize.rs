@@ -17,6 +17,18 @@ pub struct Ldu {
     pub size_bytes: u32,
 }
 
+/// Rejection of a zero-sized LDU (an LDU must carry at least one byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLduSize;
+
+impl fmt::Display for InvalidLduSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("LDU size must be positive")
+    }
+}
+
+impl std::error::Error for InvalidLduSize {}
+
 impl Ldu {
     /// Creates an LDU description.
     ///
@@ -24,8 +36,26 @@ impl Ldu {
     ///
     /// Panics if `size_bytes` is zero.
     pub fn new(size_bytes: u32) -> Self {
-        assert!(size_bytes > 0, "LDU size must be positive");
-        Ldu { size_bytes }
+        match Self::try_new(size_bytes) {
+            Ok(ldu) => ldu,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking constructor: rejects a zero size with an error
+    /// instead of asserting. Decode paths fed by untrusted datagrams
+    /// (the `espread-net` wire codec) use this so a hostile size field
+    /// cannot crash the receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidLduSize`] when `size_bytes` is zero.
+    pub fn try_new(size_bytes: u32) -> Result<Self, InvalidLduSize> {
+        if size_bytes == 0 {
+            Err(InvalidLduSize)
+        } else {
+            Ok(Ldu { size_bytes })
+        }
     }
 
     /// Number of fragments at the given packet payload size.
@@ -189,6 +219,13 @@ mod tests {
     #[should_panic(expected = "LDU size must be positive")]
     fn zero_ldu_rejected() {
         let _ = Ldu::new(0);
+    }
+
+    #[test]
+    fn try_new_reports_zero_size_without_panicking() {
+        assert_eq!(Ldu::try_new(0), Err(InvalidLduSize));
+        assert!(InvalidLduSize.to_string().contains("positive"));
+        assert_eq!(Ldu::try_new(7), Ok(Ldu::new(7)));
     }
 
     #[test]

@@ -148,18 +148,33 @@ macro_rules! instrument_accessor {
     ($fn_name:ident, $map:ident, $ty:ident, $doc:literal) => {
         #[doc = $doc]
         pub fn $fn_name(&self, name: &str) -> $ty {
-            if let Some(existing) = self.inner.$map.read().unwrap().get(name) {
+            if let Some(existing) = read_lock(&self.inner.$map).get(name) {
                 return existing.clone();
             }
-            self.inner
-                .$map
-                .write()
-                .unwrap()
+            write_lock(&self.inner.$map)
                 .entry(name.to_string())
                 .or_default()
                 .clone()
         }
     };
+}
+
+// Lock acquisition with poison recovery: the registry is shared by every
+// instrumented thread (including the net server's per-session workers), so
+// one panicking thread must not cascade-poison telemetry for the rest of
+// the process. All registry state stays consistent under a recovered
+// guard — counters/gauges/histograms are atomics and the maps/event log
+// are only ever mutated by single infallible operations.
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+fn mutex_lock<T>(lock: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl Registry {
@@ -190,7 +205,7 @@ impl Registry {
     /// Appends an event to the log (dropped and counted once the cap is
     /// reached).
     pub fn emit(&self, event: Event) {
-        let mut events = self.inner.events.lock().unwrap();
+        let mut events = mutex_lock(&self.inner.events);
         if events.len() < EVENT_CAP {
             events.push(event);
         } else {
@@ -200,7 +215,7 @@ impl Registry {
 
     /// A copy of the event log.
     pub fn events(&self) -> Vec<Event> {
-        self.inner.events.lock().unwrap().clone()
+        mutex_lock(&self.inner.events).clone()
     }
 
     /// Folds a [`Snapshot`] (typically taken from a worker thread's
@@ -220,7 +235,7 @@ impl Registry {
             self.histogram(name).absorb(h);
         }
         {
-            let mut events = self.inner.events.lock().unwrap();
+            let mut events = mutex_lock(&self.inner.events);
             for event in &snap.events {
                 if events.len() < EVENT_CAP {
                     events.push(event.clone());
@@ -237,27 +252,15 @@ impl Registry {
     /// Reads every instrument and the event log into a [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
-            counters: self
-                .inner
-                .counters
-                .read()
-                .unwrap()
+            counters: read_lock(&self.inner.counters)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            gauges: self
-                .inner
-                .gauges
-                .read()
-                .unwrap()
+            gauges: read_lock(&self.inner.gauges)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
-            histograms: self
-                .inner
-                .histograms
-                .read()
-                .unwrap()
+            histograms: read_lock(&self.inner.histograms)
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
@@ -571,6 +574,53 @@ mod tests {
             .snapshot()
             .counter("telemetry.test.other_thread")
             .is_none());
+    }
+
+    #[test]
+    fn poisoned_event_lock_recovers() {
+        let r = Registry::new();
+        r.emit(Event::WindowMetrics {
+            window: 0,
+            lost: 0,
+            window_len: 1,
+            clf: 0,
+        });
+        // Poison the event mutex: panic while holding it.
+        let r2 = r.clone();
+        let result = std::thread::spawn(move || {
+            let _guard = r2.inner.events.lock().unwrap();
+            panic!("poisoning the event log");
+        })
+        .join();
+        assert!(result.is_err());
+        // The registry keeps working for every other thread.
+        r.emit(Event::WindowMetrics {
+            window: 1,
+            lost: 1,
+            window_len: 2,
+            clf: 1,
+        });
+        assert_eq!(r.events().len(), 2);
+        assert_eq!(r.snapshot().events.len(), 2);
+    }
+
+    #[test]
+    fn poisoned_instrument_locks_recover() {
+        let r = Registry::new();
+        r.counter("pre").inc();
+        let r2 = r.clone();
+        let result = std::thread::spawn(move || {
+            let _guard = r2.inner.counters.write().unwrap();
+            panic!("poisoning the counter map");
+        })
+        .join();
+        assert!(result.is_err());
+        // Lookup, registration, and snapshotting all still work.
+        r.counter("pre").inc();
+        r.counter("post").add(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("pre"), Some(2));
+        assert_eq!(snap.counter("post"), Some(3));
     }
 
     #[test]

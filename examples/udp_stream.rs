@@ -1,0 +1,83 @@
+//! Error-spreading over **real UDP sockets**: a server, a fault-injecting
+//! proxy, and a client, all on loopback.
+//!
+//! The simulator examples model the channel; here the datagrams are real.
+//! A `NetServer` streams a Jurassic-Park-like MPEG trace, a `FaultProxy`
+//! in the middle drops data datagrams through a seeded Gilbert–Elliott
+//! channel (P_good = 0.92, P_bad = 0.6), and a `NetClient` un-permutes,
+//! measures per-layer loss bursts, and feeds them back in ACKs. Both
+//! orderings face the identical loss realisation, because the proxy's
+//! loss chain steps only on data datagrams in arrival order.
+//!
+//! ```sh
+//! cargo run --release --example udp_stream
+//! ```
+
+use error_spreading::prelude::*;
+use error_spreading::protocol::SessionOffer;
+
+fn stream_once(ordering: Ordering, windows: usize) -> error_spreading::net::NetClientReport {
+    let p_bad = 0.6;
+    let trace = MpegTrace::new(Movie::JurassicPark, 1);
+    let offer = SessionOffer {
+        gop_pattern: GopPattern::gop12(),
+        gops_per_window: 2,
+        open_gop: false,
+        fps: 24,
+        packet_bytes: 2048,
+        max_frame_bytes: 62_776 / 8,
+    };
+    let config = NetServerConfig::new(
+        ProtocolConfig::paper(p_bad, 1),
+        offer,
+        StreamSource::mpeg(&trace, 2, windows, false),
+    );
+    let mut server = NetServer::bind("127.0.0.1:0", config).expect("bind server");
+    let mut proxy = FaultProxy::spawn(
+        server.local_addr(),
+        FaultPolicy::transparent().gilbert_data_loss(0.92, p_bad, 42),
+        FaultPolicy::transparent(),
+    )
+    .expect("spawn proxy");
+
+    let client = NetClient::connect(
+        proxy.client_addr(),
+        NetClientConfig {
+            ordering,
+            ..NetClientConfig::default()
+        },
+    )
+    .expect("connect");
+    let report = client.stream().expect("stream");
+    let stats = proxy.stats();
+    proxy.shutdown();
+    server.shutdown();
+    println!(
+        "  {ordering}: {} windows, {} datagrams received, {} data datagrams dropped",
+        report.windows_completed, report.datagrams_rx, stats.dropped_data
+    );
+    report
+}
+
+fn main() {
+    let windows = 12;
+    println!("streaming {windows} windows over loopback UDP through a lossy proxy:");
+    let plain = stream_once(Ordering::InOrder, windows);
+    let spread = stream_once(Ordering::spread(), windows);
+
+    println!("\nwindow  unscrambled-CLF  scrambled-CLF");
+    for (w, (p, s)) in plain
+        .series
+        .clf_values()
+        .zip(spread.series.clf_values())
+        .enumerate()
+    {
+        println!("{w:>6}  {p:>15}  {s:>13}");
+    }
+    let (ps, ss) = (plain.series.summary(), spread.series.summary());
+    println!(
+        "\nmean CLF: {:.2} unscrambled -> {:.2} scrambled, on the same realisation",
+        ps.mean_clf, ss.mean_clf
+    );
+    assert!(ss.mean_clf <= ps.mean_clf);
+}

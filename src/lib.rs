@@ -20,6 +20,7 @@
 //! | [`trace`] | calibrated synthetic MPEG traces, GOP posets, audio streams |
 //! | [`netsim`] | deterministic event simulator, Gilbert loss channel, UDP-like links |
 //! | [`protocol`] | the adaptive transmission protocol, retransmission, FEC, baselines |
+//! | [`net`] | the protocol over real UDP: wire codec, server/client, fault proxy |
 //! | [`cmt`] | a mini Continuous Media Toolkit with the IBO ↔ CPO plug point |
 //!
 //! # Quick start
@@ -51,6 +52,7 @@ pub mod guide;
 
 pub use espread_cmt as cmt;
 pub use espread_core as core;
+pub use espread_net as net;
 pub use espread_netsim as netsim;
 pub use espread_poset as poset;
 pub use espread_protocol as protocol;
@@ -63,6 +65,9 @@ pub mod prelude {
     pub use espread_core::{
         calculate_permutation, clf_lower_bound, k_cpo, max_tolerable_burst, theorem_one,
         worst_case_clf, worst_case_clf_multi, BurstEstimator, LayeredOrder, Permutation,
+    };
+    pub use espread_net::{
+        FaultPolicy, FaultProxy, NetClient, NetClientConfig, NetServer, NetServerConfig,
     };
     pub use espread_netsim::{GilbertModel, Link, SimDuration, SimTime};
     pub use espread_poset::Poset;
