@@ -1,0 +1,69 @@
+//! Deterministic chaos soak over the UDP stack.
+//!
+//! ```sh
+//! cargo run --release -p espread-bench --bin chaos_soak [--jobs N] [--quick]
+//! ```
+//!
+//! Runs [`espread_chaos::DEFAULT_SEEDS`] (or a four-seed subset with
+//! `--quick`) through the full client/server/proxy stack under seeded
+//! fault schedules, checks every invariant, and writes the report to
+//! `results/chaos_soak.json`. The artifact is byte-identical for any
+//! `--jobs` value and any rerun — CI diffs two runs and greps for
+//! `"violations": 0`. On a violation, one minimized
+//! `REPRODUCER seed=… cell=… schedule=…` line per breakage goes to
+//! stdout and the process exits nonzero.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use espread_bench::sweep;
+use espread_chaos::{run_soak, SoakConfig};
+
+/// One seed per invariant regime plus a second compare cell — the same
+/// subset the `espread-chaos` integration test drives.
+const QUICK_SEEDS: [u64; 4] = [3, 4, 8, 9];
+
+fn main() -> ExitCode {
+    let jobs = sweep::jobs_from_args();
+    let mut config = if std::env::args().any(|a| a == "--quick") {
+        SoakConfig::new(QUICK_SEEDS.to_vec())
+    } else {
+        SoakConfig::default_seeds()
+    };
+    config.jobs = jobs;
+
+    println!(
+        "Chaos soak: {} seeded fault schedules through the UDP \
+         client/server/proxy stack\n",
+        config.seeds.len()
+    );
+    let started = Instant::now();
+    let report = run_soak(&config);
+    let elapsed = started.elapsed();
+
+    for cell in &report.cells {
+        let verdict = if cell.violations.is_empty() {
+            "ok  "
+        } else {
+            "FAIL"
+        };
+        println!("  {verdict} seed={:<3} {}", cell.seed, cell.schedule);
+    }
+    for line in report.reproducers() {
+        println!("{line}");
+    }
+    println!(
+        "\n{} cells, {} violations in {:.1}s",
+        report.cells.len(),
+        report.violation_count(),
+        elapsed.as_secs_f64()
+    );
+
+    sweep::write_results("chaos_soak", &report.to_json());
+    espread_bench::write_telemetry_snapshot("chaos_soak");
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,215 @@
+//! Invariant reports and minimized reproducer lines.
+//!
+//! The report is the soak's *only* output surface, and it is part of the
+//! determinism contract: the same seed list must render to a
+//! byte-identical document for any worker count and any rerun. To keep
+//! that promise, cells record only deterministic facts — violation
+//! strings and, for compare-mode cells, the CLF realisation — never
+//! wall-clock-dependent counters such as retry tallies.
+
+use espread_exec::Json;
+
+/// What a compare-mode cell measured on its matched channel realisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareOutcome {
+    /// Per-window CLF under the spread ordering.
+    pub spread_clf: Vec<usize>,
+    /// Per-window CLF under the in-order ordering, same realisation.
+    pub inorder_clf: Vec<usize>,
+    /// Mean CLF under spread.
+    pub spread_mean_clf: f64,
+    /// Mean CLF under in-order.
+    pub inorder_mean_clf: f64,
+    /// Data datagrams the proxy's channel swallowed (identical for both
+    /// orderings by construction — asserted as an invariant).
+    pub dropped_data: u64,
+}
+
+/// One cell's verdict: the schedule it ran, and every invariant it broke.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// The seed the cell's schedule was derived from.
+    pub seed: u64,
+    /// The cell's index in the seed list.
+    pub index: usize,
+    /// [`crate::FaultSchedule::summary`] of the derived schedule.
+    pub schedule: String,
+    /// Every invariant violation observed (empty = clean cell).
+    pub violations: Vec<String>,
+    /// Compare-mode measurements, when the cell ran in that regime.
+    pub compare: Option<CompareOutcome>,
+}
+
+impl CellReport {
+    /// One minimized reproducer line per violation: everything needed to
+    /// re-create the failing cell (`seed` regenerates the schedule;
+    /// `cell` pins the executor index; the summary is for humans).
+    pub fn reproducers(&self) -> impl Iterator<Item = String> + '_ {
+        self.violations.iter().map(move |viol| {
+            format!(
+                "REPRODUCER seed={} cell={} schedule={} :: {}",
+                self.seed, self.index, self.schedule, viol
+            )
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        let mut cell = Json::object();
+        cell.push("seed", self.seed)
+            .push("cell", self.index)
+            .push("schedule", self.schedule.as_str())
+            .push(
+                "violations",
+                Json::Array(
+                    self.violations
+                        .iter()
+                        .map(|v| Json::Str(v.clone()))
+                        .collect(),
+                ),
+            );
+        match &self.compare {
+            None => cell.push("compare", Json::Null),
+            Some(c) => {
+                let mut cmp = Json::object();
+                cmp.push(
+                    "spread_clf",
+                    Json::Array(c.spread_clf.iter().map(|&v| Json::Int(v as i64)).collect()),
+                )
+                .push(
+                    "inorder_clf",
+                    Json::Array(c.inorder_clf.iter().map(|&v| Json::Int(v as i64)).collect()),
+                )
+                .push("spread_mean_clf", c.spread_mean_clf)
+                .push("inorder_mean_clf", c.inorder_mean_clf)
+                .push("dropped_data", c.dropped_data);
+                cell.push("compare", cmp)
+            }
+        };
+        cell
+    }
+}
+
+/// The whole soak's verdict, one entry per seed, in seed-list order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InvariantReport {
+    /// Per-cell reports, in the order the seeds were given.
+    pub cells: Vec<CellReport>,
+}
+
+impl InvariantReport {
+    /// Wraps executor output (already in cell order) into a report.
+    pub fn new(cells: Vec<CellReport>) -> Self {
+        InvariantReport { cells }
+    }
+
+    /// Total violations across all cells.
+    pub fn violation_count(&self) -> usize {
+        self.cells.iter().map(|c| c.violations.len()).sum()
+    }
+
+    /// Whether every invariant held in every cell.
+    pub fn is_clean(&self) -> bool {
+        self.violation_count() == 0
+    }
+
+    /// Every reproducer line, in cell order.
+    pub fn reproducers(&self) -> Vec<String> {
+        self.cells
+            .iter()
+            .flat_map(CellReport::reproducers)
+            .collect()
+    }
+
+    /// Deterministic JSON document. The `"violations"` total sits near
+    /// the top so CI can gate on a plain `grep '"violations": 0,'`.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::object();
+        doc.push("experiment", "chaos_soak")
+            .push("seeds", self.cells.len())
+            .push("violations", self.violation_count() as i64)
+            .push(
+                "cells",
+                Json::Array(self.cells.iter().map(CellReport::to_json).collect()),
+            );
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InvariantReport {
+        InvariantReport::new(vec![
+            CellReport {
+                seed: 11,
+                index: 0,
+                schedule: "mode=compare windows=3 gops=1".into(),
+                violations: vec![],
+                compare: Some(CompareOutcome {
+                    spread_clf: vec![0, 2],
+                    inorder_clf: vec![0, 3],
+                    spread_mean_clf: 1.0,
+                    inorder_mean_clf: 1.5,
+                    dropped_data: 9,
+                }),
+            },
+            CellReport {
+                seed: 13,
+                index: 1,
+                schedule: "mode=full windows=4 gops=2 trunc=3".into(),
+                violations: vec!["conservation law broken".into(), "panicked: boom".into()],
+                compare: None,
+            },
+        ])
+    }
+
+    #[test]
+    fn counts_and_cleanliness() {
+        let report = sample();
+        assert_eq!(report.violation_count(), 2);
+        assert!(!report.is_clean());
+        assert!(InvariantReport::default().is_clean());
+    }
+
+    #[test]
+    fn reproducer_lines_carry_seed_cell_and_schedule() {
+        let lines = sample().reproducers();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "REPRODUCER seed=13 cell=1 schedule=mode=full windows=4 gops=2 trunc=3 \
+             :: conservation law broken"
+        );
+        assert!(lines[1].ends_with(":: panicked: boom"));
+    }
+
+    #[test]
+    fn json_shape_is_grep_gateable() {
+        let text = sample().to_json().render_pretty();
+        assert!(text.starts_with("{\n  \"experiment\": \"chaos_soak\",\n"));
+        assert!(text.contains("\"violations\": 2,"));
+        assert!(text.contains("\"compare\": null"));
+        assert!(text.contains("\"dropped_data\": 9"));
+        // A clean soak renders the exact token the CI gate greps for.
+        let clean = InvariantReport::new(vec![CellReport {
+            seed: 1,
+            index: 0,
+            schedule: "mode=control windows=3 gops=1".into(),
+            violations: vec![],
+            compare: None,
+        }]);
+        assert!(clean
+            .to_json()
+            .render_pretty()
+            .contains("\"violations\": 0,"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(
+            sample().to_json().render_pretty(),
+            sample().to_json().render_pretty()
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! A small real soak: four seeds covering all three regimes, run at two
+//! worker counts, with the reports compared byte-for-byte. The full
+//! [`espread_chaos::DEFAULT_SEEDS`] list runs in the `chaos_soak` bench
+//! binary and its CI job; this test keeps the tier-1 suite fast while
+//! still driving real sockets through every invariant regime.
+
+use espread_chaos::{run_soak, ChaosMode, FaultSchedule, SoakConfig};
+
+/// control (3), compare (4, 8), full (9) — asserted below, so a change
+/// to the schedule derivation that silently shifts the mix fails here.
+const SEEDS: [u64; 4] = [3, 4, 8, 9];
+
+#[test]
+fn small_soak_is_clean_and_byte_identical_across_worker_counts() {
+    let mut narrow = SoakConfig::new(SEEDS.to_vec());
+    narrow.jobs = 1;
+    let mut wide = SoakConfig::new(SEEDS.to_vec());
+    wide.jobs = 2;
+
+    let first = run_soak(&narrow);
+    assert!(
+        first.is_clean(),
+        "soak found violations:\n{}",
+        first.reproducers().join("\n")
+    );
+
+    let second = run_soak(&wide);
+    assert_eq!(
+        first.to_json().render_pretty(),
+        second.to_json().render_pretty(),
+        "report must not depend on the worker count"
+    );
+
+    let modes: Vec<ChaosMode> = SEEDS
+        .iter()
+        .map(|&s| FaultSchedule::derive(s).mode)
+        .collect();
+    assert!(modes.contains(&ChaosMode::Compare));
+    assert!(modes.contains(&ChaosMode::ControlChaos));
+    assert!(modes.contains(&ChaosMode::FullChaos));
+    for cell in &first.cells {
+        let schedule = FaultSchedule::derive(cell.seed);
+        assert_eq!(cell.schedule, schedule.summary());
+        assert_eq!(
+            cell.compare.is_some(),
+            schedule.mode == ChaosMode::Compare,
+            "only compare cells measure CLF"
+        );
+        if let Some(compare) = &cell.compare {
+            assert!(compare.spread_mean_clf <= compare.inorder_mean_clf);
+            assert!(!compare.spread_clf.is_empty());
+        }
+    }
+}

@@ -14,7 +14,32 @@
 //! assumes the average case" — a configurable prior, `n/2` by default in
 //! the protocol crate.
 
+use std::error::Error;
 use std::fmt;
+
+/// A rejected burst observation: negative, NaN, or infinite.
+///
+/// Produced by [`BurstEstimator::try_observe`], the entry point for
+/// observations derived from *untrusted* input (network feedback); the
+/// panicking [`BurstEstimator::observe`] is for values the caller
+/// computed itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservationError {
+    /// The offending value.
+    pub observed: f64,
+}
+
+impl fmt::Display for ObservationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid burst observation {}: must be finite and non-negative",
+            self.observed
+        )
+    }
+}
+
+impl Error for ObservationError {}
 
 /// Exponentially averaged estimator of the per-window bursty-loss bound.
 ///
@@ -71,13 +96,28 @@ impl BurstEstimator {
     ///
     /// # Panics
     ///
-    /// Panics if `observed` is negative or NaN.
+    /// Panics if `observed` is negative or NaN. For observations derived
+    /// from untrusted input, use [`Self::try_observe`] instead.
     pub fn observe(&mut self, observed: f64) {
-        assert!(
-            observed.is_finite() && observed >= 0.0,
-            "observed burst size must be non-negative"
-        );
+        self.try_observe(observed)
+            .expect("observed burst size must be non-negative and finite");
+    }
+
+    /// Folds in an observation, rejecting negative/NaN/infinite values
+    /// with a typed error instead of panicking — the entry point for
+    /// values that crossed a network (a hostile ACK must not crash the
+    /// planner).
+    ///
+    /// # Errors
+    ///
+    /// [`ObservationError`] when `observed` is not a finite non-negative
+    /// number; the estimate is left unchanged.
+    pub fn try_observe(&mut self, observed: f64) -> Result<(), ObservationError> {
+        if !(observed.is_finite() && observed >= 0.0) {
+            return Err(ObservationError { observed });
+        }
         self.value = self.alpha * observed + (1.0 - self.alpha) * self.value;
+        Ok(())
     }
 
     /// The current smoothed estimate.
@@ -188,6 +228,18 @@ mod tests {
     fn negative_observation_rejected() {
         let mut est = BurstEstimator::paper_default(1.0);
         est.observe(-1.0);
+    }
+
+    #[test]
+    fn try_observe_rejects_without_panicking_and_leaves_state() {
+        let mut est = BurstEstimator::paper_default(4.0);
+        for bad in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = est.try_observe(bad).unwrap_err();
+            assert!(err.to_string().contains("invalid burst observation"));
+            assert_eq!(est.value(), 4.0, "estimate untouched after {bad}");
+        }
+        est.try_observe(2.0).unwrap();
+        assert_eq!(est.value(), 3.0);
     }
 
     #[test]

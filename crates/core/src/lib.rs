@@ -70,7 +70,7 @@ pub use cache::{
 pub use cpo::{
     calculate_permutation, k_cpo, max_tolerable_burst, min_window_for, OrderFamily, SpreadChoice,
 };
-pub use estimator::BurstEstimator;
+pub use estimator::{BurstEstimator, ObservationError};
 pub use layered::{LayerPlan, LayeredOrder};
 pub use module::{Descrambler, Scrambled, Scrambler};
 pub use permutation::{Permutation, PermutationError};

@@ -50,9 +50,11 @@
 //! outputs can be diffed byte-for-byte across worker counts.
 
 mod executor;
+pub mod isolate;
 pub mod json;
 mod seed;
 
 pub use executor::Executor;
+pub use isolate::{isolate, CellFailure};
 pub use json::Json;
 pub use seed::{trial_seed, TrialCtx};

@@ -154,6 +154,7 @@ impl NetClient {
                 telem.on_rx();
                 match wire::decode(&buf[..len]) {
                     Ok((conn_id, Msg::Accept(accept))) if accept.nonce == nonce => {
+                        validate_accept(&accept)?;
                         return Ok(NetClient {
                             socket,
                             conn_id,
@@ -394,8 +395,36 @@ impl NetClient {
     }
 }
 
+/// Refuses an `Accept` whose session shape is internally inconsistent —
+/// a hostile (or corrupted) server must produce a typed error, not a
+/// client that NACKs unreachable frames forever.
+fn validate_accept(accept: &Accept) -> Result<(), NetError> {
+    if accept.frames_per_window == 0 {
+        return Err(NetError::Protocol("accept: zero frames per window".into()));
+    }
+    if let Some(&f) = accept
+        .critical_frames
+        .iter()
+        .find(|&&f| f >= accept.frames_per_window)
+    {
+        return Err(NetError::Protocol(format!(
+            "accept: critical frame {f} outside the {}-frame window",
+            accept.frames_per_window
+        )));
+    }
+    Ok(())
+}
+
 fn send_on(socket: &UdpSocket, telem: &ClientTelem, conn_id: u32, msg: &Msg) {
-    let bytes = wire::encode(conn_id, msg);
+    // An oversize message (e.g. a NACK list inflated by hostile labels)
+    // is counted and dropped, never truncated and never a panic.
+    let bytes = match wire::try_encode(conn_id, msg) {
+        Ok(bytes) => bytes,
+        Err(_) => {
+            telem.on_encode_oversize();
+            return;
+        }
+    };
     let _ = socket.send(&bytes);
     telem.on_tx();
 }

@@ -20,7 +20,9 @@ pub struct NetWindow {
     frames: Vec<Option<Vec<bool>>>,
     /// layer → slot → was any fragment of that slot's frame received?
     layer_slots_seen: Vec<Vec<bool>>,
-    critical_frames: Vec<usize>,
+    /// Kept as the wire's `u16` indices so building a `CriticalNack`
+    /// needs no narrowing cast that could silently truncate.
+    critical_frames: Vec<u16>,
 }
 
 /// What the window looked like when it closed.
@@ -51,7 +53,7 @@ impl NetWindow {
                 .iter()
                 .map(|&n| vec![false; usize::from(n)])
                 .collect(),
-            critical_frames: critical_frames.iter().map(|&f| usize::from(f)).collect(),
+            critical_frames: critical_frames.to_vec(),
         }
     }
 
@@ -92,10 +94,13 @@ impl NetWindow {
         true
     }
 
-    /// Whether every fragment of frame `frame` has arrived.
+    /// Whether every fragment of frame `frame` has arrived. Out-of-range
+    /// indices read as incomplete — a hostile Accept can name critical
+    /// frames past `frames_per_window`, and that must not panic here.
     pub fn is_complete(&self, frame: usize) -> bool {
-        self.frames[frame]
-            .as_ref()
+        self.frames
+            .get(frame)
+            .and_then(|f| f.as_ref())
             .is_some_and(|flags| flags.iter().all(|&r| r))
     }
 
@@ -104,8 +109,8 @@ impl NetWindow {
     pub fn missing_critical(&self) -> Vec<u16> {
         self.critical_frames
             .iter()
-            .filter(|&&f| !self.is_complete(f))
-            .map(|&f| f as u16)
+            .filter(|&&f| !self.is_complete(usize::from(f)))
+            .copied()
             .collect()
     }
 
@@ -213,6 +218,15 @@ mod tests {
         let out = window().finalize();
         assert_eq!(out.pattern.lost(), 4);
         assert_eq!(out.per_layer_burst, vec![2, 2]);
+    }
+
+    #[test]
+    fn hostile_critical_indices_never_panic() {
+        // A hostile Accept can name critical frames past the window: they
+        // must read as permanently missing, not index out of bounds.
+        let w = NetWindow::new(0, 4, &[2, 2], &[0, 9000]);
+        assert!(!w.is_complete(9000));
+        assert_eq!(w.missing_critical(), vec![0, 9000]);
     }
 
     #[test]

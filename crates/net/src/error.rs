@@ -21,8 +21,8 @@ pub enum NetError {
     /// The stream stalled past the client's overall deadline.
     StreamTimeout,
     /// The peer spoke the protocol wrongly (a decodable but out-of-place
-    /// message).
-    Protocol(&'static str),
+    /// or internally inconsistent message).
+    Protocol(String),
     /// A datagram failed to decode (only surfaced where a first reply
     /// *must* be well-formed; data-path decode errors are counted and
     /// skipped instead).
@@ -77,7 +77,7 @@ mod tests {
             (NetError::Rejected("no".into()), "rejected"),
             (NetError::HandshakeTimeout, "handshake"),
             (NetError::StreamTimeout, "stream timed out"),
-            (NetError::Protocol("odd"), "protocol violation"),
+            (NetError::Protocol("odd".into()), "protocol violation"),
             (NetError::Wire(WireError::BadMagic(3)), "malformed datagram"),
         ];
         for (err, needle) in cases {

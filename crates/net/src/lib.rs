@@ -63,4 +63,4 @@ pub use error::NetError;
 pub use proxy::{FaultPolicy, FaultProxy, ProxyStats};
 pub use retry::RetryPolicy;
 pub use server::{NetServer, NetServerConfig};
-pub use wire::{decode, encode, Msg, WireError};
+pub use wire::{decode, encode, try_encode, Msg, WireError};

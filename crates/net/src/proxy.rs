@@ -36,6 +36,8 @@ pub struct FaultPolicy {
     drop_first_control: u32,
     duplicate_every: Option<u64>,
     reorder_every: Option<u64>,
+    corrupt_every: Option<u64>,
+    truncate_every: Option<u64>,
 }
 
 impl FaultPolicy {
@@ -46,6 +48,8 @@ impl FaultPolicy {
             drop_first_control: 0,
             duplicate_every: None,
             reorder_every: None,
+            corrupt_every: None,
+            truncate_every: None,
         }
     }
 
@@ -75,11 +79,39 @@ impl FaultPolicy {
         self.reorder_every = Some(n.max(1));
         self
     }
+
+    /// XORs one byte of every `n`th surviving datagram (position and
+    /// pattern derived from the survivor counter — deterministic, no
+    /// RNG). Exercises decode-error and bad-fragment paths.
+    pub fn corrupt_every(mut self, n: u64) -> Self {
+        self.corrupt_every = Some(n.max(1));
+        self
+    }
+
+    /// Cuts every `n`th surviving datagram to half its length before
+    /// forwarding — the decoder must reject it, never panic.
+    pub fn truncate_every(mut self, n: u64) -> Self {
+        self.truncate_every = Some(n.max(1));
+        self
+    }
 }
 
 /// Snapshot of what the proxy did.
+///
+/// At quiescence the counters obey a conservation law — every datagram
+/// the proxy ingested is accounted for exactly once:
+///
+/// ```text
+/// processed = (forwarded − duplicated) + dropped_data
+///           + dropped_control + held
+/// ```
+///
+/// [`ProxyStats::conserved`] checks it; the chaos soak asserts it after
+/// every run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ProxyStats {
+    /// Datagrams ingested (both directions).
+    pub processed: u64,
     /// Datagrams sent on (duplicates included).
     pub forwarded: u64,
     /// Data datagrams the Gilbert channel swallowed.
@@ -90,15 +122,38 @@ pub struct ProxyStats {
     pub duplicated: u64,
     /// Datagrams released out of order.
     pub reordered: u64,
+    /// Datagrams with an injected single-byte corruption.
+    pub corrupted: u64,
+    /// Datagrams cut short before forwarding.
+    pub truncated: u64,
+    /// Datagrams currently held back by the reorder knob (0 or 1 per
+    /// direction; nonzero only when a stream stopped mid-swap).
+    pub held: u64,
+}
+
+impl ProxyStats {
+    /// Whether the conservation law holds: ingested datagrams equal
+    /// originals-forwarded plus drops plus still-held.
+    pub fn conserved(&self) -> bool {
+        self.processed
+            == (self.forwarded - self.duplicated)
+                + self.dropped_data
+                + self.dropped_control
+                + self.held
+    }
 }
 
 #[derive(Debug, Default)]
 struct Counters {
+    processed: AtomicU64,
     forwarded: AtomicU64,
     dropped_data: AtomicU64,
     dropped_control: AtomicU64,
     duplicated: AtomicU64,
     reordered: AtomicU64,
+    corrupted: AtomicU64,
+    truncated: AtomicU64,
+    held: AtomicU64,
 }
 
 /// Per-direction fault state.
@@ -107,6 +162,8 @@ struct DirState {
     to_drop_control: u32,
     duplicate_every: Option<u64>,
     reorder_every: Option<u64>,
+    corrupt_every: Option<u64>,
+    truncate_every: Option<u64>,
     survivors: u64,
     held: Option<Vec<u8>>,
     counters: Arc<Counters>,
@@ -122,6 +179,8 @@ impl DirState {
             to_drop_control: policy.drop_first_control,
             duplicate_every: policy.duplicate_every,
             reorder_every: policy.reorder_every,
+            corrupt_every: policy.corrupt_every,
+            truncate_every: policy.truncate_every,
             survivors: 0,
             held: None,
             counters: counters.clone(),
@@ -132,6 +191,9 @@ impl DirState {
     /// Applies the policy to one datagram; returns what to send now, in
     /// order.
     fn process(&mut self, datagram: &[u8]) -> Vec<Vec<u8>> {
+        self.counters
+            .processed
+            .fetch_add(1, AtomicOrdering::Relaxed);
         match peek_type(datagram) {
             Some(DATA_TYPE) => {
                 if let Some(channel) = &mut self.gilbert {
@@ -156,30 +218,59 @@ impl DirState {
             Some(_) | None => {}
         }
         self.survivors += 1;
+        // Corruption/truncation mangle the surviving bytes before any
+        // duplicate/reorder handling, so every emitted copy carries the
+        // same damage (deterministic — derived from the survivor count).
+        let mut datagram = datagram.to_vec();
+        if self
+            .corrupt_every
+            .is_some_and(|n| self.survivors.is_multiple_of(n))
+            && !datagram.is_empty()
+        {
+            let pos = (self.survivors as usize).wrapping_mul(7) % datagram.len();
+            datagram[pos] ^= 0x55;
+            self.counters
+                .corrupted
+                .fetch_add(1, AtomicOrdering::Relaxed);
+            self.telem.on_corrupted();
+        }
+        if self
+            .truncate_every
+            .is_some_and(|n| self.survivors.is_multiple_of(n))
+            && datagram.len() > 1
+        {
+            datagram.truncate(datagram.len() / 2);
+            self.counters
+                .truncated
+                .fetch_add(1, AtomicOrdering::Relaxed);
+            self.telem.on_truncated();
+        }
         let mut out = Vec::with_capacity(2);
         if self
             .reorder_every
             .is_some_and(|n| self.survivors.is_multiple_of(n) && self.held.is_none())
         {
-            self.held = Some(datagram.to_vec());
+            self.held = Some(datagram);
+            self.counters.held.fetch_add(1, AtomicOrdering::Relaxed);
             self.counters
                 .reordered
                 .fetch_add(1, AtomicOrdering::Relaxed);
             self.telem.on_reordered();
             return out;
         }
-        out.push(datagram.to_vec());
         if self
             .duplicate_every
             .is_some_and(|n| self.survivors.is_multiple_of(n))
         {
-            out.push(datagram.to_vec());
+            out.push(datagram.clone());
             self.counters
                 .duplicated
                 .fetch_add(1, AtomicOrdering::Relaxed);
             self.telem.on_duplicated();
         }
+        out.insert(0, datagram);
         if let Some(held) = self.held.take() {
+            self.counters.held.fetch_sub(1, AtomicOrdering::Relaxed);
             out.push(held);
         }
         self.counters
@@ -290,11 +381,15 @@ impl FaultProxy {
     /// What the proxy has done so far.
     pub fn stats(&self) -> ProxyStats {
         ProxyStats {
+            processed: self.counters.processed.load(AtomicOrdering::Relaxed),
             forwarded: self.counters.forwarded.load(AtomicOrdering::Relaxed),
             dropped_data: self.counters.dropped_data.load(AtomicOrdering::Relaxed),
             dropped_control: self.counters.dropped_control.load(AtomicOrdering::Relaxed),
             duplicated: self.counters.duplicated.load(AtomicOrdering::Relaxed),
             reordered: self.counters.reordered.load(AtomicOrdering::Relaxed),
+            corrupted: self.counters.corrupted.load(AtomicOrdering::Relaxed),
+            truncated: self.counters.truncated.load(AtomicOrdering::Relaxed),
+            held: self.counters.held.load(AtomicOrdering::Relaxed),
         }
     }
 
@@ -399,6 +494,78 @@ mod tests {
         assert_eq!(out.len(), 2, "held one released after the next");
         assert_eq!(out[0], data_bytes(2));
         assert_eq!(out[1], data_bytes(1));
+    }
+
+    #[test]
+    fn corrupt_every_mangles_one_byte_deterministically() {
+        let mut a = state(FaultPolicy::transparent().corrupt_every(2));
+        let mut b = state(FaultPolicy::transparent().corrupt_every(2));
+        for i in 0..6u16 {
+            let out_a = a.process(&data_bytes(i));
+            let out_b = b.process(&data_bytes(i));
+            assert_eq!(out_a, out_b, "corruption must be deterministic");
+            let original = data_bytes(i);
+            let differing = out_a[0]
+                .iter()
+                .zip(&original)
+                .filter(|(x, y)| x != y)
+                .count();
+            assert_eq!(out_a[0].len(), original.len());
+            if u64::from(i + 1).is_multiple_of(2) {
+                assert_eq!(differing, 1, "datagram {i}: exactly one byte flipped");
+            } else {
+                assert_eq!(differing, 0, "datagram {i}: untouched");
+            }
+        }
+        assert_eq!(a.counters.corrupted.load(AtomicOrdering::Relaxed), 3);
+    }
+
+    #[test]
+    fn truncate_every_halves_the_datagram() {
+        let mut s = state(FaultPolicy::transparent().truncate_every(3));
+        assert_eq!(s.process(&data_bytes(0))[0].len(), data_bytes(0).len());
+        assert_eq!(s.process(&data_bytes(1))[0].len(), data_bytes(1).len());
+        let out = s.process(&data_bytes(2));
+        assert_eq!(out[0].len(), data_bytes(2).len() / 2, "every 3rd cut");
+        assert!(crate::wire::decode(&out[0]).is_err(), "cut rejects cleanly");
+        assert_eq!(s.counters.truncated.load(AtomicOrdering::Relaxed), 1);
+    }
+
+    fn stats_of(c: &Counters) -> ProxyStats {
+        ProxyStats {
+            processed: c.processed.load(AtomicOrdering::Relaxed),
+            forwarded: c.forwarded.load(AtomicOrdering::Relaxed),
+            dropped_data: c.dropped_data.load(AtomicOrdering::Relaxed),
+            dropped_control: c.dropped_control.load(AtomicOrdering::Relaxed),
+            duplicated: c.duplicated.load(AtomicOrdering::Relaxed),
+            reordered: c.reordered.load(AtomicOrdering::Relaxed),
+            corrupted: c.corrupted.load(AtomicOrdering::Relaxed),
+            truncated: c.truncated.load(AtomicOrdering::Relaxed),
+            held: c.held.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    #[test]
+    fn conservation_law_holds_under_every_knob() {
+        let mut s = state(
+            FaultPolicy::transparent()
+                .gilbert_data_loss(0.8, 0.5, 11)
+                .drop_first_control(3)
+                .duplicate_every(4)
+                .reorder_every(5)
+                .corrupt_every(6)
+                .truncate_every(7),
+        );
+        for i in 0..300u16 {
+            let _ = s.process(&data_bytes(i));
+            let _ = s.process(&control_bytes());
+            let st = stats_of(&s.counters);
+            assert!(st.conserved(), "after datagram {i}: {st:?}");
+        }
+        let st = stats_of(&s.counters);
+        assert!(st.dropped_data > 0 && st.dropped_control == 3);
+        assert!(st.duplicated > 0 && st.reordered > 0);
+        assert!(st.corrupted > 0 && st.truncated > 0);
     }
 
     #[test]

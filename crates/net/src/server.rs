@@ -78,8 +78,14 @@ impl NetServerConfig {
         if self.offer.fps != self.source.fps {
             return Err(NetError::Config("offer and source disagree on fps".into()));
         }
+        // The Accept's frames/window field and the Data frame index are
+        // both u16 on the wire (see the wire-limits table in `wire`).
         if self.offer.frames_per_window() > usize::from(u16::MAX) {
-            return Err(NetError::Config("window too large for the wire".into()));
+            return Err(NetError::Config(format!(
+                "window of {} frames exceeds the wire's {} maximum",
+                self.offer.frames_per_window(),
+                u16::MAX
+            )));
         }
         if self.offer.packet_bytes > u32::from(u16::MAX) {
             return Err(NetError::Config(
@@ -252,13 +258,28 @@ impl Demux {
                                 ),
                             }
                         }
-                        Err(reason) => wire::encode(
-                            CONN_NONE,
-                            &Msg::Reject(Reject {
+                        Err(reason) => {
+                            let reject = Msg::Reject(Reject {
                                 nonce: hello.nonce,
                                 reason,
-                            }),
-                        ),
+                            });
+                            match wire::try_encode(CONN_NONE, &reject) {
+                                Ok(bytes) => bytes,
+                                Err(_) => {
+                                    // A reason too long for the wire: send
+                                    // a short typed refusal instead of a
+                                    // silently cut one.
+                                    self.telem.on_encode_oversize();
+                                    wire::encode(
+                                        CONN_NONE,
+                                        &Msg::Reject(Reject {
+                                            nonce: hello.nonce,
+                                            reason: "negotiation failed".into(),
+                                        }),
+                                    )
+                                }
+                            }
+                        }
                     };
                     let _ = self.socket.send_to(&reply, from);
                     self.telem.on_tx(reply.len());
@@ -294,8 +315,8 @@ fn accept_msg(nonce: u64, agreed: &AgreedSession, windows: usize) -> Result<Acce
     let narrow = |v: usize| -> Result<u16, String> {
         u16::try_from(v).map_err(|_| "session shape exceeds wire limits".to_string())
     };
-    if agreed.layer_sizes.len() > 255 {
-        return Err("session has more than 255 layers".into());
+    if agreed.layer_sizes.len() > wire::MAX_LAYERS {
+        return Err(format!("session has more than {} layers", wire::MAX_LAYERS));
     }
     Ok(Accept {
         nonce,
@@ -375,7 +396,16 @@ impl Session {
     }
 
     fn send(&self, msg: &Msg) {
-        let bytes = wire::encode(self.conn_id, msg);
+        // Never panic on an oversize message from inside the session
+        // thread: count the refusal and drop the send (the peer's retry
+        // machinery treats it as loss).
+        let bytes = match wire::try_encode(self.conn_id, msg) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                self.telem.on_encode_oversize();
+                return;
+            }
+        };
         let _ = self.socket.send_to(&bytes, self.peer);
         self.telem.on_tx(bytes.len());
     }

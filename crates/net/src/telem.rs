@@ -22,6 +22,7 @@ mod imp {
         ack_timeouts: Counter,
         handshake_timeouts: Counter,
         retransmissions: Counter,
+        encode_oversize: Counter,
         rtt_us: Histogram,
     }
 
@@ -39,6 +40,7 @@ mod imp {
                 ack_timeouts: r.counter("net.server.ack_timeouts"),
                 handshake_timeouts: r.counter("net.server.handshake_timeouts"),
                 retransmissions: r.counter("net.server.retransmissions"),
+                encode_oversize: r.counter("net.wire.encode_oversize"),
                 rtt_us: r.histogram("net.server.rtt_us"),
             }
         }
@@ -90,6 +92,11 @@ mod imp {
         }
 
         #[inline]
+        pub(crate) fn on_encode_oversize(&self) {
+            self.encode_oversize.inc();
+        }
+
+        #[inline]
         pub(crate) fn rtt_us(&self, us: u64) {
             self.rtt_us.record(us);
         }
@@ -105,6 +112,7 @@ mod imp {
         windows: Counter,
         bad_fragments: Counter,
         decode_errors: Counter,
+        encode_oversize: Counter,
     }
 
     impl ClientTelem {
@@ -118,6 +126,7 @@ mod imp {
                 windows: r.counter("net.client.windows"),
                 bad_fragments: r.counter("net.client.bad_fragments"),
                 decode_errors: r.counter("net.client.decode_errors"),
+                encode_oversize: r.counter("net.wire.encode_oversize"),
             }
         }
 
@@ -155,6 +164,11 @@ mod imp {
         pub(crate) fn on_decode_error(&self) {
             self.decode_errors.inc();
         }
+
+        #[inline]
+        pub(crate) fn on_encode_oversize(&self) {
+            self.encode_oversize.inc();
+        }
     }
 
     /// Proxy fault-injection instruments.
@@ -164,6 +178,8 @@ mod imp {
         dropped: Counter,
         duplicated: Counter,
         reordered: Counter,
+        corrupted: Counter,
+        truncated: Counter,
     }
 
     impl ProxyTelem {
@@ -174,6 +190,8 @@ mod imp {
                 dropped: r.counter("net.proxy.dropped"),
                 duplicated: r.counter("net.proxy.duplicated"),
                 reordered: r.counter("net.proxy.reordered"),
+                corrupted: r.counter("net.proxy.corrupted"),
+                truncated: r.counter("net.proxy.truncated"),
             }
         }
 
@@ -195,6 +213,16 @@ mod imp {
         #[inline]
         pub(crate) fn on_reordered(&self) {
             self.reordered.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_corrupted(&self) {
+            self.corrupted.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_truncated(&self) {
+            self.truncated.inc();
         }
     }
 }
@@ -229,6 +257,8 @@ mod imp {
         #[inline(always)]
         pub(crate) fn on_retransmission(&self) {}
         #[inline(always)]
+        pub(crate) fn on_encode_oversize(&self) {}
+        #[inline(always)]
         pub(crate) fn rtt_us(&self, _us: u64) {}
     }
 
@@ -255,6 +285,8 @@ mod imp {
         pub(crate) fn on_bad_fragment(&self) {}
         #[inline(always)]
         pub(crate) fn on_decode_error(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_encode_oversize(&self) {}
     }
 
     /// No-op stand-in; see the `telemetry`-feature variant.
@@ -274,6 +306,10 @@ mod imp {
         pub(crate) fn on_duplicated(&self) {}
         #[inline(always)]
         pub(crate) fn on_reordered(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_corrupted(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_truncated(&self) {}
     }
 }
 

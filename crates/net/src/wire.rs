@@ -18,6 +18,28 @@
 //! | 7 | [`Msg::CriticalNack`] | window u64, missing (u16 count × u16) |
 //! | 8 | [`Msg::Bye`] | reason u8 |
 //! | 9 | [`Msg::ByeAck`] | — |
+//!
+//! # Wire limits
+//!
+//! Every counted field has a hard ceiling fixed by its wire width. The
+//! encoder *refuses* anything larger with [`WireError::Oversize`] — it
+//! never silently truncates a list or narrows an index, because a peer
+//! that decodes a *different* session config than the one offered fails
+//! in ways no checksum catches.
+//!
+//! | field | limit | constant |
+//! |---|---|---|
+//! | `Data` frame index | 65 535 | [`MAX_FRAME_INDEX`] |
+//! | `Accept` layer sizes | 255 entries | [`MAX_LAYERS`] |
+//! | `Accept` critical frames | 65 535 entries | [`MAX_CRITICAL_FRAMES`] |
+//! | `Reject` reason | 65 535 bytes | [`MAX_REASON_BYTES`] |
+//! | `WindowAck` per-layer bursts | 255 entries | [`MAX_BURST_ENTRIES`] |
+//! | `CriticalNack` missing frames | 65 535 entries | [`MAX_NACK_ENTRIES`] |
+//!
+//! Session negotiation enforces the same ceilings up front
+//! (`NetServerConfig::validate` rejects `frames_per_window > 65 535`), so
+//! a well-configured stack never trips them; [`try_encode`] is the
+//! last-line guard for untrusted or computed sizes.
 
 use std::error::Error;
 use std::fmt;
@@ -36,7 +58,29 @@ pub const HEADER_BYTES: usize = 10;
 /// Connection id used before a session exists (handshake datagrams).
 pub const CONN_NONE: u32 = 0;
 
-/// Decode failures; each names the malformed-datagram class it rejects.
+/// Largest frame index a [`Msg::Data`] datagram can carry (u16 on the
+/// wire), and therefore the largest legal `frames_per_window - 1`.
+pub const MAX_FRAME_INDEX: usize = u16::MAX as usize;
+
+/// Largest layer-size list an [`Msg::Accept`] can carry (u8 count).
+pub const MAX_LAYERS: usize = u8::MAX as usize;
+
+/// Largest critical-frame list an [`Msg::Accept`] can carry (u16 count).
+pub const MAX_CRITICAL_FRAMES: usize = u16::MAX as usize;
+
+/// Largest [`Msg::Reject`] reason length in bytes (u16 length prefix).
+pub const MAX_REASON_BYTES: usize = u16::MAX as usize;
+
+/// Largest per-layer burst list a [`Msg::WindowAck`] can carry (u8 count).
+pub const MAX_BURST_ENTRIES: usize = u8::MAX as usize;
+
+/// Largest missing-frame list a [`Msg::CriticalNack`] can carry (u16
+/// count).
+pub const MAX_NACK_ENTRIES: usize = u16::MAX as usize;
+
+/// Codec failures; each names the malformed-datagram class it rejects.
+/// All but [`WireError::Oversize`] are decode-side; `Oversize` is the
+/// encode-side refusal to narrow a field past its wire width.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
     /// The datagram is shorter than the fixed header.
@@ -68,6 +112,17 @@ pub enum WireError {
     TrailingBytes(usize),
     /// A field decoded but holds a semantically invalid value.
     BadValue(&'static str),
+    /// Encode-side refusal: a field or list does not fit its wire width.
+    /// Encoding it anyway would silently truncate — the sender and
+    /// receiver would disagree about what was sent.
+    Oversize {
+        /// Which field overflowed.
+        field: &'static str,
+        /// The field's wire ceiling (see the module-level limits table).
+        max: usize,
+        /// The value or list length actually supplied.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -90,6 +145,9 @@ impl fmt::Display for WireError {
             }
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
             WireError::BadValue(what) => write!(f, "invalid field value: {what}"),
+            WireError::Oversize { field, max, actual } => {
+                write!(f, "oversize {field}: {actual} exceeds wire limit {max}")
+            }
         }
     }
 }
@@ -263,12 +321,45 @@ fn ordering_from_byte(b: u8) -> Result<Ordering, WireError> {
     }
 }
 
-/// Encodes `msg` for connection `conn_id` into a fresh datagram buffer.
+/// Rejects `actual` values past a field's wire ceiling.
+fn fits(field: &'static str, actual: usize, max: usize) -> Result<(), WireError> {
+    if actual > max {
+        return Err(WireError::Oversize { field, max, actual });
+    }
+    Ok(())
+}
+
+/// Encodes `msg` for connection `conn_id`, refusing any field that does
+/// not fit its wire width (see the module-level limits table).
 ///
 /// Data payload bytes are zero-filled: the simulator's traces carry frame
 /// *sizes*, not content, so the wire stays byte-accurate without shipping
 /// fake media.
-pub fn encode(conn_id: u32, msg: &Msg) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Returns [`WireError::Oversize`] naming the offending field — never
+/// silently truncates a list or narrows an index.
+pub fn try_encode(conn_id: u32, msg: &Msg) -> Result<Vec<u8>, WireError> {
+    match msg {
+        Msg::Accept(a) => {
+            fits("accept.layer_sizes", a.layer_sizes.len(), MAX_LAYERS)?;
+            fits(
+                "accept.critical_frames",
+                a.critical_frames.len(),
+                MAX_CRITICAL_FRAMES,
+            )?;
+        }
+        Msg::Reject(r) => fits("reject.reason", r.reason.len(), MAX_REASON_BYTES)?,
+        Msg::Data(d) => fits("data.frame", d.fragment.frame, MAX_FRAME_INDEX)?,
+        Msg::WindowAck(a) => fits(
+            "window_ack.per_layer_burst",
+            a.per_layer_burst.len(),
+            MAX_BURST_ENTRIES,
+        )?,
+        Msg::CriticalNack(n) => fits("critical_nack.missing", n.missing.len(), MAX_NACK_ENTRIES)?,
+        Msg::Hello(_) | Msg::Begin | Msg::WindowEnd(_) | Msg::Bye(_) | Msg::ByeAck => {}
+    }
     let mut out = Vec::with_capacity(64);
     out.extend_from_slice(&MAGIC.to_be_bytes());
     out.push(VERSION);
@@ -287,22 +378,20 @@ pub fn encode(conn_id: u32, msg: &Msg) -> Vec<u8> {
             out.extend_from_slice(&a.windows_total.to_be_bytes());
             out.extend_from_slice(&a.packet_bytes.to_be_bytes());
             out.extend_from_slice(&a.fps.to_be_bytes());
-            out.push(a.layer_sizes.len().min(255) as u8);
-            for &s in a.layer_sizes.iter().take(255) {
+            out.push(a.layer_sizes.len() as u8);
+            for &s in &a.layer_sizes {
                 out.extend_from_slice(&s.to_be_bytes());
             }
-            let n = a.critical_frames.len().min(usize::from(u16::MAX)) as u16;
-            out.extend_from_slice(&n.to_be_bytes());
-            for &f in a.critical_frames.iter().take(usize::from(n)) {
+            out.extend_from_slice(&(a.critical_frames.len() as u16).to_be_bytes());
+            for &f in &a.critical_frames {
                 out.extend_from_slice(&f.to_be_bytes());
             }
         }
         Msg::Reject(r) => {
             out.extend_from_slice(&r.nonce.to_be_bytes());
             let bytes = r.reason.as_bytes();
-            let n = bytes.len().min(usize::from(u16::MAX)) as u16;
-            out.extend_from_slice(&n.to_be_bytes());
-            out.extend_from_slice(&bytes[..usize::from(n)]);
+            out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+            out.extend_from_slice(bytes);
         }
         Msg::Begin | Msg::ByeAck => {}
         Msg::Data(d) => {
@@ -327,16 +416,15 @@ pub fn encode(conn_id: u32, msg: &Msg) -> Vec<u8> {
             out.extend_from_slice(&a.ack_seq.to_be_bytes());
             out.extend_from_slice(&a.window.to_be_bytes());
             out.extend_from_slice(&a.echo_us.to_be_bytes());
-            out.push(a.per_layer_burst.len().min(255) as u8);
-            for &b in a.per_layer_burst.iter().take(255) {
+            out.push(a.per_layer_burst.len() as u8);
+            for &b in &a.per_layer_burst {
                 out.extend_from_slice(&b.to_be_bytes());
             }
         }
         Msg::CriticalNack(n) => {
             out.extend_from_slice(&n.window.to_be_bytes());
-            let count = n.missing.len().min(usize::from(u16::MAX)) as u16;
-            out.extend_from_slice(&count.to_be_bytes());
-            for &f in n.missing.iter().take(usize::from(count)) {
+            out.extend_from_slice(&(n.missing.len() as u16).to_be_bytes());
+            for &f in &n.missing {
                 out.extend_from_slice(&f.to_be_bytes());
             }
         }
@@ -347,7 +435,25 @@ pub fn encode(conn_id: u32, msg: &Msg) -> Vec<u8> {
             });
         }
     }
-    out
+    Ok(out)
+}
+
+/// Encodes `msg` for connection `conn_id` into a fresh datagram buffer.
+///
+/// Infallible convenience for messages whose sizes are known to respect
+/// the wire limits (session negotiation enforces them). Send paths that
+/// handle untrusted or computed sizes use [`try_encode`] and count
+/// refusals instead.
+///
+/// # Panics
+///
+/// Panics if a field exceeds its wire limit — the bug the limits table
+/// exists to catch. Use [`try_encode`] where that is reachable.
+pub fn encode(conn_id: u32, msg: &Msg) -> Vec<u8> {
+    match try_encode(conn_id, msg) {
+        Ok(bytes) => bytes,
+        Err(e) => panic!("wire::encode on oversize message: {e}"),
+    }
 }
 
 /// Bounds-checked big-endian reader over a datagram body.
@@ -766,9 +872,211 @@ mod tests {
             ),
             (WireError::TrailingBytes(4), "trailing"),
             (WireError::BadValue("x"), "invalid field"),
+            (
+                WireError::Oversize {
+                    field: "data.frame",
+                    max: 65535,
+                    actual: 65536,
+                },
+                "oversize data.frame",
+            ),
         ];
         for (err, needle) in cases {
             assert!(err.to_string().contains(needle), "{err}");
         }
+    }
+
+    fn data_with_frame(frame: usize) -> Msg {
+        Msg::Data(DataMsg {
+            fragment: Fragment {
+                window: 0,
+                frame,
+                frag: 0,
+                frags_total: 1,
+                layer: 0,
+                layer_slot: 0,
+                retransmit: false,
+            },
+            ldu: Ldu::new(1),
+            payload_len: 0,
+        })
+    }
+
+    /// The last legal frame index round-trips exactly; one past it is a
+    /// typed refusal, never a silent wrap to frame 0.
+    #[test]
+    fn frame_index_boundary() {
+        let msg = data_with_frame(MAX_FRAME_INDEX);
+        let bytes = try_encode(1, &msg).expect("at the limit encodes");
+        let (_, decoded) = decode(&bytes).expect("decodes");
+        assert_eq!(decoded, msg);
+
+        let err = try_encode(1, &data_with_frame(MAX_FRAME_INDEX + 1)).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Oversize {
+                field: "data.frame",
+                max: MAX_FRAME_INDEX,
+                actual: MAX_FRAME_INDEX + 1,
+            }
+        );
+    }
+
+    /// 255 layers fit; 256 are refused instead of dropping the last one.
+    #[test]
+    fn accept_layer_count_boundary() {
+        let accept = |layers: usize| {
+            Msg::Accept(Accept {
+                nonce: 1,
+                frames_per_window: 4,
+                windows_total: 1,
+                packet_bytes: 1024,
+                fps: 24,
+                layer_sizes: vec![1; layers],
+                critical_frames: vec![0],
+            })
+        };
+        let msg = accept(MAX_LAYERS);
+        let bytes = try_encode(1, &msg).expect("255 layers encode");
+        assert_eq!(decode(&bytes).expect("decodes").1, msg);
+
+        let err = try_encode(1, &accept(MAX_LAYERS + 1)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::Oversize {
+                    field: "accept.layer_sizes",
+                    actual: 256,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    /// Maximal critical-frame and NACK lists round-trip; one entry more
+    /// is refused instead of shrinking the list on the wire.
+    #[test]
+    fn u16_counted_list_boundaries() {
+        let full: Vec<u16> = (0..u16::MAX).collect(); // 65 535 entries
+        let accept_full = Msg::Accept(Accept {
+            nonce: 1,
+            frames_per_window: u16::MAX,
+            windows_total: 1,
+            packet_bytes: 1024,
+            fps: 24,
+            layer_sizes: vec![u16::MAX],
+            critical_frames: full.clone(),
+        });
+        let bytes = try_encode(1, &accept_full).expect("maximal critical list encodes");
+        assert_eq!(decode(&bytes).expect("decodes").1, accept_full);
+
+        let nack_full = Msg::CriticalNack(CriticalNackMsg {
+            window: 0,
+            missing: full.clone(),
+        });
+        let bytes = try_encode(1, &nack_full).expect("maximal NACK encodes");
+        assert_eq!(decode(&bytes).expect("decodes").1, nack_full);
+
+        let mut over = full;
+        over.push(0);
+        let err = try_encode(
+            1,
+            &Msg::CriticalNack(CriticalNackMsg {
+                window: 0,
+                missing: over.clone(),
+            }),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::Oversize {
+                    field: "critical_nack.missing",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let err = try_encode(
+            1,
+            &Msg::Accept(Accept {
+                nonce: 1,
+                frames_per_window: u16::MAX,
+                windows_total: 1,
+                packet_bytes: 1024,
+                fps: 24,
+                layer_sizes: vec![u16::MAX],
+                critical_frames: over,
+            }),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                WireError::Oversize {
+                    field: "accept.critical_frames",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    /// 255 burst entries fit a WindowAck; 256 are refused.
+    #[test]
+    fn window_ack_burst_boundary() {
+        let ack = |n: usize| {
+            Msg::WindowAck(WindowAckMsg {
+                ack_seq: 1,
+                window: 0,
+                echo_us: 0,
+                per_layer_burst: vec![7; n],
+            })
+        };
+        let msg = ack(MAX_BURST_ENTRIES);
+        let bytes = try_encode(1, &msg).expect("255 bursts encode");
+        assert_eq!(decode(&bytes).expect("decodes").1, msg);
+        assert!(matches!(
+            try_encode(1, &ack(MAX_BURST_ENTRIES + 1)).unwrap_err(),
+            WireError::Oversize {
+                field: "window_ack.per_layer_burst",
+                ..
+            }
+        ));
+    }
+
+    /// A reject reason at the u16 limit survives intact; past it the
+    /// encoder refuses rather than cutting the text mid-way.
+    #[test]
+    fn reject_reason_boundary() {
+        let msg = Msg::Reject(Reject {
+            nonce: 1,
+            reason: "x".repeat(MAX_REASON_BYTES),
+        });
+        let bytes = try_encode(1, &msg).expect("maximal reason encodes");
+        assert_eq!(decode(&bytes).expect("decodes").1, msg);
+        assert!(matches!(
+            try_encode(
+                1,
+                &Msg::Reject(Reject {
+                    nonce: 1,
+                    reason: "x".repeat(MAX_REASON_BYTES + 1),
+                })
+            )
+            .unwrap_err(),
+            WireError::Oversize {
+                field: "reject.reason",
+                ..
+            }
+        ));
+    }
+
+    /// The infallible wrapper panics (with the limits error) rather than
+    /// truncating — reachable only from code that skipped validation.
+    #[test]
+    #[should_panic(expected = "oversize data.frame")]
+    fn encode_panics_on_oversize_instead_of_truncating() {
+        let _ = encode(1, &data_with_frame(MAX_FRAME_INDEX + 1));
     }
 }

@@ -174,6 +174,102 @@ proptest! {
         }
     }
 
+    /// The frame index either round-trips exactly or is refused with a
+    /// typed `Oversize` — there is no input for which the decoded frame
+    /// differs from the encoded one (the silent-truncation bug class).
+    #[test]
+    fn frame_index_roundtrips_or_refuses(frame in 0usize..140_000) {
+        let msg = Msg::Data(DataMsg {
+            fragment: Fragment {
+                window: 1,
+                frame,
+                frag: 0,
+                frags_total: 1,
+                layer: 0,
+                layer_slot: 0,
+                retransmit: false,
+            },
+            ldu: Ldu::new(1),
+            payload_len: 0,
+        });
+        match wire::try_encode(7, &msg) {
+            Ok(bytes) => {
+                prop_assert!(frame <= wire::MAX_FRAME_INDEX);
+                let (_, decoded) = wire::decode(&bytes).expect("well-formed");
+                prop_assert_eq!(decoded, msg);
+            }
+            Err(wire::WireError::Oversize { .. }) => {
+                prop_assert!(frame > wire::MAX_FRAME_INDEX);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// u8-counted lists (Accept layers, WindowAck bursts) either carry
+    /// every entry to the decoder or refuse to encode — never a shorter
+    /// list on the wire.
+    #[test]
+    fn u8_counted_lists_roundtrip_or_refuse(layers in 0usize..300, bursts in 0usize..300) {
+        let accept = Msg::Accept(Accept {
+            nonce: 1,
+            frames_per_window: 8,
+            windows_total: 1,
+            packet_bytes: 1024,
+            fps: 24,
+            layer_sizes: vec![3; layers],
+            critical_frames: vec![0],
+        });
+        match wire::try_encode(7, &accept) {
+            Ok(bytes) => {
+                prop_assert!(layers <= wire::MAX_LAYERS);
+                prop_assert_eq!(wire::decode(&bytes).expect("well-formed").1, accept);
+            }
+            Err(wire::WireError::Oversize { field, .. }) => {
+                prop_assert!(layers > wire::MAX_LAYERS, "refused {layers} layers");
+                prop_assert_eq!(field, "accept.layer_sizes");
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+        let ack = Msg::WindowAck(WindowAckMsg {
+            ack_seq: 1,
+            window: 0,
+            echo_us: 0,
+            per_layer_burst: vec![2; bursts],
+        });
+        match wire::try_encode(7, &ack) {
+            Ok(bytes) => {
+                prop_assert!(bursts <= wire::MAX_BURST_ENTRIES);
+                prop_assert_eq!(wire::decode(&bytes).expect("well-formed").1, ack);
+            }
+            Err(wire::WireError::Oversize { field, .. }) => {
+                prop_assert!(bursts > wire::MAX_BURST_ENTRIES, "refused {bursts} bursts");
+                prop_assert_eq!(field, "window_ack.per_layer_burst");
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// u16-counted lists near the 65 535 ceiling: identity below, typed
+    /// refusal above.
+    #[test]
+    fn u16_counted_lists_roundtrip_or_refuse(extra in 0usize..4) {
+        let len = wire::MAX_NACK_ENTRIES - 1 + extra; // straddles the limit
+        let nack = Msg::CriticalNack(CriticalNackMsg {
+            window: 0,
+            missing: vec![1; len],
+        });
+        match wire::try_encode(7, &nack) {
+            Ok(bytes) => {
+                prop_assert!(len <= wire::MAX_NACK_ENTRIES);
+                prop_assert_eq!(wire::decode(&bytes).expect("well-formed").1, nack);
+            }
+            Err(wire::WireError::Oversize { .. }) => {
+                prop_assert!(len > wire::MAX_NACK_ENTRIES);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
     /// The header prefix invariants hold for every message: magic,
     /// version, and a type byte `peek_type` agrees with.
     #[test]

@@ -106,7 +106,12 @@ impl Server {
                 let bursts = fb.per_layer_burst.clone();
                 let old_estimates = self.raw_estimates();
                 for (est, observed) in self.estimators.iter_mut().zip(&bursts) {
-                    est.observe(*observed as f64);
+                    // Feedback arrives off the network: an out-of-range
+                    // observation is skipped, never a panic. (The wire's
+                    // u16 burst field can't produce one today, but this
+                    // path must stay safe under any future feedback
+                    // source.)
+                    let _ = est.try_observe(*observed as f64);
                 }
                 self.last_adaptation = Some(AdaptationRecord {
                     feedback_window,

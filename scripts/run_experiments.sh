@@ -66,7 +66,7 @@ else
     table2_ibo_vs_cpo fig11_bandwidth_sweep fig12_buffer_sweep
     orthogonality_blocks ablation_adaptation ablation_timing
     ablation_loss_models extension_multi_burst extension_concealment
-    extension_stochastic_orders movie_sweep net_loopback
+    extension_stochastic_orders movie_sweep net_loopback chaos_soak
   )
 fi
 for bin in "${bins[@]}"; do
