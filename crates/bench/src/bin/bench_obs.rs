@@ -1,0 +1,113 @@
+//! Microbenchmark of the flight recorder's hot path, with a committed
+//! baseline.
+//!
+//! ```sh
+//! cargo run --release -p espread-bench --bin bench_obs
+//! cargo run --release -p espread-bench --bin bench_obs -- --write-baseline
+//! ```
+//!
+//! Measures `FlightRecorder::record()` (steady-state, ring full, zero
+//! allocation) and a floor operation — one uncontended mutex lock plus
+//! one monotonic clock read plus one store, i.e. exactly the work
+//! `record()` cannot avoid. The committed artifact `BENCH_obs.json` at
+//! the repo root stores the **ratio** of the two, which is what CI
+//! gates on (`scripts/check_bench_obs.sh`, >20% regression fails):
+//! absolute nanoseconds vary with the host, the ratio tracks only how
+//! much bookkeeping `record()` layers on top of its floor.
+//!
+//! `--write-baseline` rewrites `BENCH_obs.json`; the default mode
+//! writes the fresh measurement to `results/bench_obs.json`. Both files
+//! carry timings and sit outside the byte-identical results contract.
+//! The interactive criterion view of the same hot path is
+//! `cargo bench -p espread-obs`.
+
+use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use espread_exec::Json;
+use espread_obs::{data_detail, EventKind, FlightRecorder, Role, DEFAULT_CAPACITY};
+
+const ITERS: u32 = 1_000_000;
+const TRIALS: usize = 7;
+
+/// Best-of-`TRIALS` nanoseconds per call of `op` over `ITERS` calls.
+fn measure(mut op: impl FnMut(u32)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let started = Instant::now();
+        for i in 0..ITERS {
+            op(i);
+        }
+        let ns = started.elapsed().as_nanos() as f64 / f64::from(ITERS);
+        best = best.min(ns);
+    }
+    best
+}
+
+fn main() -> ExitCode {
+    println!("bench_obs: FlightRecorder::record() vs its lock+clock+store floor\n");
+
+    // Warm the ring past capacity so every measured record() is in the
+    // steady (overwriting) regime the recorder runs in for long sessions.
+    let recorder = FlightRecorder::new(Role::Server, DEFAULT_CAPACITY);
+    for i in 0..(DEFAULT_CAPACITY as u32 + 1) {
+        recorder.record(EventKind::Sent, 1, 0, i, 0);
+    }
+    let record_ns = measure(|i| {
+        recorder.record(
+            EventKind::Sent,
+            1,
+            u64::from(i >> 6),
+            i,
+            data_detail(0, false),
+        );
+    });
+
+    let epoch = Instant::now();
+    let floor = Mutex::new(0u64);
+    let baseline_ns = measure(|_| {
+        let mut slot = floor.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = epoch.elapsed().as_micros() as u64;
+    });
+    // Keep the floor's stores observable.
+    let _ = *floor.lock().unwrap_or_else(|e| e.into_inner());
+
+    let ratio = record_ns / baseline_ns;
+    println!("  record():  {record_ns:.1} ns/op");
+    println!("  floor:     {baseline_ns:.1} ns/op (uncontended lock + clock read + store)");
+    println!("  ratio:     {ratio:.3}");
+    assert!(
+        recorder.dropped() > u64::from(ITERS) * TRIALS as u64 / 2,
+        "measurement must have run in the overwriting regime"
+    );
+
+    let mut doc = Json::object();
+    doc.push("experiment", "bench_obs")
+        .push("iters", u64::from(ITERS))
+        .push("trials", TRIALS)
+        .push("record_ns", record_ns)
+        .push("baseline_ns", baseline_ns)
+        .push("ratio", ratio);
+
+    if std::env::args().any(|a| a == "--write-baseline") {
+        match std::fs::write("BENCH_obs.json", doc.render_pretty()) {
+            Ok(()) => println!("baseline written to BENCH_obs.json"),
+            Err(e) => {
+                eprintln!("could not write BENCH_obs.json: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let result = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write("results/bench_obs.json", doc.render_pretty()));
+        match result {
+            Ok(()) => println!("measurement written to results/bench_obs.json"),
+            Err(e) => {
+                eprintln!("could not write results/bench_obs.json: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

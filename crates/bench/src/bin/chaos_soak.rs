@@ -10,8 +10,14 @@
 //! `results/chaos_soak.json`. The artifact is byte-identical for any
 //! `--jobs` value and any rerun — CI diffs two runs and greps for
 //! `"violations": 0`. On a violation, one minimized
-//! `REPRODUCER seed=… cell=… schedule=…` line per breakage goes to
-//! stdout and the process exits nonzero.
+//! `REPRODUCER seed=… cell=… schedule=… trace=…` line per breakage goes
+//! to stdout and the process exits nonzero.
+//!
+//! Every cell also dumps its flight-recorder trio (server, proxy,
+//! client event rings) to `results/timeline_seed<seed>.jsonl`; replay
+//! one with `cargo run --release -p espread-bench --bin timeline -- \
+//! --check results/timeline_seed<seed>.jsonl`. The dumps carry
+//! timestamps and are excluded from the byte-identical diff.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -31,6 +37,7 @@ fn main() -> ExitCode {
         SoakConfig::default_seeds()
     };
     config.jobs = jobs;
+    config.trace_dir = Some("results".into());
 
     println!(
         "Chaos soak: {} seeded fault schedules through the UDP \

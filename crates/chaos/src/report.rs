@@ -38,6 +38,11 @@ pub struct CellReport {
     pub violations: Vec<String>,
     /// Compare-mode measurements, when the cell ran in that regime.
     pub compare: Option<CompareOutcome>,
+    /// Path of the cell's flight-recorder dump, when the soak was
+    /// configured with a trace directory. The path is seed-derived (so
+    /// the report stays deterministic); the dump itself holds wall-clock
+    /// timestamps and is *not* part of the byte-identical contract.
+    pub trace: Option<String>,
 }
 
 impl CellReport {
@@ -46,9 +51,13 @@ impl CellReport {
     /// `cell` pins the executor index; the summary is for humans).
     pub fn reproducers(&self) -> impl Iterator<Item = String> + '_ {
         self.violations.iter().map(move |viol| {
+            let trace = match &self.trace {
+                Some(path) => format!(" trace={path}"),
+                None => String::new(),
+            };
             format!(
-                "REPRODUCER seed={} cell={} schedule={} :: {}",
-                self.seed, self.index, self.schedule, viol
+                "REPRODUCER seed={} cell={} schedule={}{} :: {}",
+                self.seed, self.index, self.schedule, trace, viol
             )
         })
     }
@@ -67,6 +76,10 @@ impl CellReport {
                         .collect(),
                 ),
             );
+        match &self.trace {
+            None => cell.push("trace", Json::Null),
+            Some(path) => cell.push("trace", path.as_str()),
+        };
         match &self.compare {
             None => cell.push("compare", Json::Null),
             Some(c) => {
@@ -153,6 +166,7 @@ mod tests {
                     inorder_mean_clf: 1.5,
                     dropped_data: 9,
                 }),
+                trace: None,
             },
             CellReport {
                 seed: 13,
@@ -160,6 +174,7 @@ mod tests {
                 schedule: "mode=full windows=4 gops=2 trunc=3".into(),
                 violations: vec!["conservation law broken".into(), "panicked: boom".into()],
                 compare: None,
+                trace: Some("results/timeline_seed13.jsonl".into()),
             },
         ])
     }
@@ -179,7 +194,7 @@ mod tests {
         assert_eq!(
             lines[0],
             "REPRODUCER seed=13 cell=1 schedule=mode=full windows=4 gops=2 trunc=3 \
-             :: conservation law broken"
+             trace=results/timeline_seed13.jsonl :: conservation law broken"
         );
         assert!(lines[1].ends_with(":: panicked: boom"));
     }
@@ -191,6 +206,8 @@ mod tests {
         assert!(text.contains("\"violations\": 2,"));
         assert!(text.contains("\"compare\": null"));
         assert!(text.contains("\"dropped_data\": 9"));
+        assert!(text.contains("\"trace\": null"));
+        assert!(text.contains("\"trace\": \"results/timeline_seed13.jsonl\""));
         // A clean soak renders the exact token the CI gate greps for.
         let clean = InvariantReport::new(vec![CellReport {
             seed: 1,
@@ -198,6 +215,7 @@ mod tests {
             schedule: "mode=control windows=3 gops=1".into(),
             violations: vec![],
             compare: None,
+            trace: None,
         }]);
         assert!(clean
             .to_json()

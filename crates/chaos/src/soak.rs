@@ -13,12 +13,13 @@
 //! function of its seed — so the final [`InvariantReport`] renders
 //! byte-identically for any `--jobs` value and any rerun.
 
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use espread_exec::{isolate, Executor};
 use espread_net::{
     FaultProxy, NetClient, NetClientConfig, NetClientReport, NetError, NetServer, NetServerConfig,
-    ProxyStats, RetryPolicy,
+    ProxyStats, RetryPolicy, SessionRecorder,
 };
 use espread_protocol::{Ordering, ProtocolConfig, SessionOffer, StreamSource};
 use espread_trace::{GopPattern, Movie, MpegTrace};
@@ -48,6 +49,13 @@ pub struct SoakConfig {
     /// Watchdog budget per isolated stage; overrunning it is itself an
     /// invariant violation (a stalled session).
     pub cell_budget: Duration,
+    /// Where to dump each cell's flight-recorder trace
+    /// (`timeline_seed<seed>.jsonl`). `None` (the default, and the only
+    /// behaviour without the `telemetry` feature) records no traces.
+    /// The dump path lands in [`CellReport::trace`] and on `REPRODUCER`
+    /// lines; the dumps themselves carry timestamps and sit outside the
+    /// byte-identical report contract.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl SoakConfig {
@@ -57,6 +65,7 @@ impl SoakConfig {
             seeds,
             jobs: 0,
             cell_budget: Duration::from_secs(120),
+            trace_dir: None,
         }
     }
 
@@ -70,15 +79,16 @@ impl SoakConfig {
 /// seed-list order.
 pub fn run_soak(config: &SoakConfig) -> InvariantReport {
     let budget = config.cell_budget;
+    let trace_dir = config.trace_dir.clone();
     let exec = Executor::new("chaos.soak", config.jobs);
     let cells = exec.run(config.seeds.clone(), move |ctx, seed| {
-        run_cell(ctx.index(), seed, budget)
+        run_cell(ctx.index(), seed, budget, trace_dir.as_deref())
     });
     InvariantReport::new(cells)
 }
 
 /// One seed, end to end: codec guards, then the scheduled session(s).
-fn run_cell(index: usize, seed: u64, budget: Duration) -> CellReport {
+fn run_cell(index: usize, seed: u64, budget: Duration, trace_dir: Option<&Path>) -> CellReport {
     let schedule = FaultSchedule::derive(seed);
     let mut violations = Vec::new();
 
@@ -89,10 +99,23 @@ fn run_cell(index: usize, seed: u64, budget: Duration) -> CellReport {
 
     let s = schedule.clone();
     let mut compare = None;
+    let mut trace = None;
     match isolate(budget, move || e2e_stage(&s)) {
-        Ok((v, cmp)) => {
+        Ok((v, cmp, dump)) => {
             violations.extend(v);
             compare = cmp;
+            if let Some(dir) = trace_dir {
+                if !dump.is_empty() {
+                    let path = dir.join(format!("timeline_seed{seed}.jsonl"));
+                    let shown = path.display().to_string();
+                    let written =
+                        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, dump));
+                    match written {
+                        Ok(()) => trace = Some(shown),
+                        Err(e) => violations.push(format!("trace dump {shown}: {e}")),
+                    }
+                }
+            }
         }
         Err(f) => violations.push(format!("e2e stage: {f}")),
     }
@@ -103,29 +126,40 @@ fn run_cell(index: usize, seed: u64, budget: Duration) -> CellReport {
         schedule: schedule.summary(),
         violations,
         compare,
+        trace,
     }
 }
 
-/// Dispatches on the schedule's invariant regime.
-fn e2e_stage(s: &FaultSchedule) -> (Vec<String>, Option<CompareOutcome>) {
+/// Dispatches on the schedule's invariant regime. The final `String` is
+/// the cell's concatenated flight-recorder dump (empty without the
+/// `telemetry` feature).
+fn e2e_stage(s: &FaultSchedule) -> (Vec<String>, Option<CompareOutcome>, String) {
     match s.mode {
         ChaosMode::Compare => compare_cell(s),
-        ChaosMode::ControlChaos => (control_cell(s), None),
-        ChaosMode::FullChaos => (full_cell(s), None),
+        ChaosMode::ControlChaos => {
+            let (v, dump) = control_cell(s);
+            (v, None, dump)
+        }
+        ChaosMode::FullChaos => {
+            let (v, dump) = full_cell(s);
+            (v, None, dump)
+        }
     }
 }
 
 /// Compare regime: both orderings over the identical channel
 /// realisation; completion, conservation, matched drops, and the
 /// paper's headline inequality are all hard invariants.
-fn compare_cell(s: &FaultSchedule) -> (Vec<String>, Option<CompareOutcome>) {
-    let (spread, spread_stats, mut v) = scoped_session(s, Ordering::spread());
-    let (inorder, inorder_stats, v2) = scoped_session(s, Ordering::InOrder);
+fn compare_cell(s: &FaultSchedule) -> (Vec<String>, Option<CompareOutcome>, String) {
+    let (spread, spread_stats, mut v, mut dump) =
+        scoped_session(s, Ordering::spread(), 0, "spread");
+    let (inorder, inorder_stats, v2, dump2) = scoped_session(s, Ordering::InOrder, 1, "inorder");
     v.extend(v2);
+    dump.push_str(&dump2);
     let spread = expect_complete(s, spread, &spread_stats, "spread", &mut v);
     let inorder = expect_complete(s, inorder, &inorder_stats, "inorder", &mut v);
     let (Some(spread), Some(inorder)) = (spread, inorder) else {
-        return (v, None);
+        return (v, None, dump);
     };
 
     if spread_stats.dropped_data != inorder_stats.dropped_data {
@@ -147,14 +181,14 @@ fn compare_cell(s: &FaultSchedule) -> (Vec<String>, Option<CompareOutcome>) {
             outcome.spread_mean_clf, outcome.inorder_mean_clf
         ));
     }
-    (v, Some(outcome))
+    (v, Some(outcome), dump)
 }
 
 /// Control-chaos regime: the data path is lossless, so the retry
 /// machinery must deliver a complete, zero-CLF stream through every
 /// dropped, duplicated, and reordered control datagram.
-fn control_cell(s: &FaultSchedule) -> Vec<String> {
-    let (result, stats, mut v) = scoped_session(s, Ordering::spread());
+fn control_cell(s: &FaultSchedule) -> (Vec<String>, String) {
+    let (result, stats, mut v, dump) = scoped_session(s, Ordering::spread(), 0, "control");
     if let Some(report) = expect_complete(s, result, &stats, "control", &mut v) {
         let mean = report.series.summary().mean_clf;
         if mean != 0.0 {
@@ -167,19 +201,19 @@ fn control_cell(s: &FaultSchedule) -> Vec<String> {
             stats.dropped_data
         ));
     }
-    v
+    (v, dump)
 }
 
 /// Full-chaos regime: the session may fail, but only *well* — a typed
 /// error or completion (the isolate watchdog catches panics and stalls
 /// upstream of here), with the proxy's books balanced.
-fn full_cell(s: &FaultSchedule) -> Vec<String> {
-    let (result, stats, mut v) = scoped_session(s, Ordering::spread());
+fn full_cell(s: &FaultSchedule) -> (Vec<String>, String) {
+    let (result, stats, mut v, dump) = scoped_session(s, Ordering::spread(), 0, "full");
     match result {
         Ok(_) | Err(_) => {} // any typed outcome is acceptable
     }
     check_conservation(&stats, "full", &mut v);
-    v
+    (v, dump)
 }
 
 /// Completion invariant shared by the regimes that demand it; also
@@ -233,7 +267,9 @@ fn quick_retry() -> RetryPolicy {
 fn raw_session(
     s: &FaultSchedule,
     ordering: Ordering,
+    recorders: [SessionRecorder; 3],
 ) -> (Result<NetClientReport, NetError>, ProxyStats) {
+    let [server_rec, proxy_rec, client_rec] = recorders;
     let trace = MpegTrace::new(Movie::JurassicPark, 1);
     let offer = SessionOffer {
         gop_pattern: GopPattern::gop12(),
@@ -243,19 +279,21 @@ fn raw_session(
         packet_bytes: 2048,
         max_frame_bytes: 62_776 / 8,
     };
-    let server_config = NetServerConfig::new(
+    let mut server_config = NetServerConfig::new(
         ProtocolConfig::paper(0.6, 1),
         offer,
         StreamSource::mpeg(&trace, s.gops_per_window, s.windows, false),
     );
+    server_config.recorder = server_rec;
     let mut server = match NetServer::bind("127.0.0.1:0", server_config) {
         Ok(server) => server,
         Err(e) => return (Err(e), ProxyStats::default()),
     };
-    let mut proxy = match FaultProxy::spawn(
+    let mut proxy = match FaultProxy::spawn_with_recorder(
         server.local_addr(),
         s.to_client_policy(),
         s.to_server_policy(),
+        proxy_rec,
     ) {
         Ok(proxy) => proxy,
         Err(e) => {
@@ -268,6 +306,7 @@ fn raw_session(
         recovery: s.recovery,
         retry: quick_retry(),
         deadline: Duration::from_secs(30),
+        recorder: client_rec,
         ..NetClientConfig::default()
     };
     let result =
@@ -278,18 +317,36 @@ fn raw_session(
     (result, stats)
 }
 
-/// [`raw_session`] under a private telemetry registry, cross-checking
-/// the scoped counters against the proxy's own books — the two are
-/// maintained independently, so agreement is a real invariant.
+/// [`raw_session`] under a private telemetry registry and a
+/// flight-recorder trio: the scoped counters are cross-checked against
+/// the proxy's own books, the reconstructed timeline must attribute
+/// every residual loss, and its per-window CLF must reproduce the
+/// client's own `espread-qos` measurement — three independently
+/// maintained accounts of the same realisation, all required to agree.
+/// The returned `String` is the trio's JSONL dump.
 #[cfg(feature = "telemetry")]
 fn scoped_session(
     s: &FaultSchedule,
     ordering: Ordering,
-) -> (Result<NetClientReport, NetError>, ProxyStats, Vec<String>) {
+    session_tag: u32,
+    tag: &str,
+) -> (
+    Result<NetClientReport, NetError>,
+    ProxyStats,
+    Vec<String>,
+    String,
+) {
+    use espread_obs::{all_to_json_lines, reconstruct, trio, DEFAULT_CAPACITY};
     use espread_telemetry::{with_current, Registry};
 
+    let (srec, prec, crec) = trio(DEFAULT_CAPACITY, session_tag);
+    let recorders = [
+        SessionRecorder::attached(srec.clone()),
+        SessionRecorder::attached(prec.clone()),
+        SessionRecorder::attached(crec.clone()),
+    ];
     let registry = Registry::new();
-    let (result, stats) = with_current(&registry, || raw_session(s, ordering));
+    let (result, stats) = with_current(&registry, || raw_session(s, ordering, recorders));
     let snapshot = registry.snapshot();
     let mut v = Vec::new();
     for (name, book) in [
@@ -310,17 +367,51 @@ fn scoped_session(
             ));
         }
     }
-    (result, stats, v)
+
+    let recordings = vec![srec.recording(), prec.recording(), crec.recording()];
+    let timeline = reconstruct(&recordings);
+    for viol in &timeline.violations {
+        v.push(format!("{tag}: timeline: {viol}"));
+    }
+    if let Ok(report) = &result {
+        if report.windows_completed == s.windows {
+            let measured: Vec<usize> = report.series.clf_values().collect();
+            let reconstructed: Vec<usize> = timeline
+                .sessions
+                .iter()
+                .flat_map(espread_obs::SessionTimeline::clf_values)
+                .collect();
+            if reconstructed != measured {
+                v.push(format!(
+                    "{tag}: timeline CLF {reconstructed:?} disagrees with the                      client-measured {measured:?}"
+                ));
+            }
+        }
+    }
+    (result, stats, v, all_to_json_lines(&recordings))
 }
 
-/// Without the telemetry feature there is nothing to cross-check.
+/// Without the telemetry feature there is nothing to cross-check and no
+/// recorder to dump.
 #[cfg(not(feature = "telemetry"))]
 fn scoped_session(
     s: &FaultSchedule,
     ordering: Ordering,
-) -> (Result<NetClientReport, NetError>, ProxyStats, Vec<String>) {
-    let (result, stats) = raw_session(s, ordering);
-    (result, stats, Vec::new())
+    _session_tag: u32,
+    _tag: &str,
+) -> (
+    Result<NetClientReport, NetError>,
+    ProxyStats,
+    Vec<String>,
+    String,
+) {
+    let recorders = [
+        SessionRecorder::disabled(),
+        SessionRecorder::disabled(),
+        SessionRecorder::disabled(),
+    ];
+    let (result, stats) = raw_session(s, ordering, recorders);
+    (result, stats, Vec::new(), String::new())
 }
 
 #[cfg(test)]

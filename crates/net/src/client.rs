@@ -20,6 +20,7 @@ use espread_qos::{ContinuityMetrics, LossPattern, WindowSeries};
 
 use crate::clientwin::NetWindow;
 use crate::error::NetError;
+use crate::obsrec::SessionRecorder;
 use crate::retry::RetryPolicy;
 use crate::telem::ClientTelem;
 use crate::wire::{self, Accept, CriticalNackMsg, Hello, Msg, WindowAckMsg, CONN_NONE};
@@ -47,6 +48,9 @@ pub struct NetClientConfig {
     pub retry: RetryPolicy,
     /// Hard ceiling on the whole stream's wall-clock time.
     pub deadline: Duration,
+    /// Optional flight-recorder hook (see `espread-obs`); disabled by
+    /// default.
+    pub recorder: SessionRecorder,
 }
 
 impl Default for NetClientConfig {
@@ -57,6 +61,7 @@ impl Default for NetClientConfig {
             recovery: false,
             retry: RetryPolicy::lan(),
             deadline: Duration::from_secs(60),
+            recorder: SessionRecorder::disabled(),
         }
     }
 }
@@ -210,7 +215,10 @@ impl NetClient {
                             started = true;
                             break 'begin;
                         }
-                        Err(_) => self.telem.on_decode_error(),
+                        Err(_) => {
+                            self.telem.on_decode_error();
+                            self.config.recorder.decode_error(self.conn_id);
+                        }
                     }
                 }
             }
@@ -236,7 +244,10 @@ impl NetClient {
                 st.datagrams_rx += 1;
                 match wire::decode(&buf[..len]) {
                     Ok((_, msg)) => self.process(&mut st, msg),
-                    Err(_) => self.telem.on_decode_error(),
+                    Err(_) => {
+                        self.telem.on_decode_error();
+                        self.config.recorder.decode_error(self.conn_id);
+                    }
                 }
             }
         }
@@ -282,6 +293,10 @@ impl NetClient {
         match msg {
             Msg::Data(data) => {
                 let w = data.fragment.window;
+                let frame = data.fragment.frame as u32;
+                let frag = data.fragment.frag;
+                let retx = data.fragment.retransmit;
+                let obs = &self.config.recorder;
                 match &st.current {
                     Some(cur) if w == cur.window() => {}
                     Some(cur) if w > cur.window() => {
@@ -292,17 +307,31 @@ impl NetClient {
                         self.finalize(st, cur, 0);
                         st.open(w);
                     }
-                    Some(_) => return, // stale retransmission
+                    Some(_) => {
+                        // Stale retransmission: decodable, but the window
+                        // has moved on.
+                        obs.ignored(self.conn_id, w, frame, frag, retx);
+                        return;
+                    }
                     None => {
                         if st.acked.contains_key(&w) {
-                            return; // duplicate after finalize
+                            // Duplicate after finalize.
+                            obs.ignored(self.conn_id, w, frame, frag, retx);
+                            return;
                         }
                         st.open(w);
                     }
                 }
                 let cur = st.current.as_mut().expect("opened above");
-                if !cur.accept(&data) {
+                let was_complete = cur.is_complete(data.fragment.frame);
+                if cur.accept(&data) {
+                    obs.delivered(self.conn_id, w, frame, frag, retx);
+                    if !was_complete && cur.is_complete(data.fragment.frame) {
+                        obs.reassembled(self.conn_id, w, frame, data.fragment.frags_total);
+                    }
+                } else {
                     self.telem.on_bad_fragment();
+                    obs.bad_fragment(self.conn_id, w, frame, frag);
                 }
             }
             Msg::WindowEnd(end) => {
@@ -335,6 +364,14 @@ impl NetClient {
                     if !missing.is_empty() {
                         st.nacked = Some((end.window, nack_rounds + 1));
                         st.nacks_sent += 1;
+                        for &frame in &missing {
+                            self.config.recorder.nack_sent(
+                                self.conn_id,
+                                end.window,
+                                u32::from(frame),
+                                nack_rounds + 1,
+                            );
+                        }
                         send_on(
                             &self.socket,
                             &self.telem,
@@ -368,6 +405,16 @@ impl NetClient {
 
     fn finalize(&self, st: &mut StreamState, win: NetWindow, echo_us: u64) {
         let outcome = win.finalize();
+        for frame in outcome.pattern.lost_indices() {
+            self.config
+                .recorder
+                .abandoned(self.conn_id, outcome.window, frame as u32);
+        }
+        self.config.recorder.window_closed(
+            self.conn_id,
+            outcome.window,
+            outcome.pattern.len() as u32,
+        );
         st.series.push(ContinuityMetrics::of(&outcome.pattern));
         st.patterns.push(outcome.pattern);
         self.telem.on_window();
@@ -381,6 +428,9 @@ impl NetClient {
     fn ack(&self, st: &mut StreamState, window: u64, echo_us: u64, bursts: Vec<u16>) {
         st.ack_seq += 1;
         st.acks_sent += 1;
+        self.config
+            .recorder
+            .ack_sent(self.conn_id, window, st.ack_seq);
         send_on(
             &self.socket,
             &self.telem,

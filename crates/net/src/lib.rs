@@ -51,6 +51,7 @@
 pub mod client;
 pub mod clientwin;
 pub mod error;
+pub mod obsrec;
 pub mod proxy;
 pub mod retry;
 pub mod server;
@@ -60,6 +61,7 @@ pub mod wire;
 pub use client::{NetClient, NetClientConfig, NetClientReport};
 pub use clientwin::{NetWindow, NetWindowOutcome};
 pub use error::NetError;
+pub use obsrec::SessionRecorder;
 pub use proxy::{FaultPolicy, FaultProxy, ProxyStats};
 pub use retry::RetryPolicy;
 pub use server::{NetServer, NetServerConfig};

@@ -23,8 +23,9 @@ use std::time::Duration;
 
 use espread_netsim::GilbertModel;
 
+use crate::obsrec::SessionRecorder;
 use crate::telem::ProxyTelem;
-use crate::wire::peek_type;
+use crate::wire::{peek_conn, peek_data_labels, peek_type};
 
 /// Wire type byte of `Msg::Data` (the class the loss process applies to).
 const DATA_TYPE: u8 = 4;
@@ -168,10 +169,16 @@ struct DirState {
     held: Option<Vec<u8>>,
     counters: Arc<Counters>,
     telem: ProxyTelem,
+    obs: SessionRecorder,
 }
 
 impl DirState {
-    fn new(policy: &FaultPolicy, counters: Arc<Counters>, telem: ProxyTelem) -> Self {
+    fn new(
+        policy: &FaultPolicy,
+        counters: Arc<Counters>,
+        telem: ProxyTelem,
+        obs: SessionRecorder,
+    ) -> Self {
         DirState {
             gilbert: policy
                 .gilbert
@@ -185,6 +192,7 @@ impl DirState {
             held: None,
             counters: counters.clone(),
             telem,
+            obs,
         }
     }
 
@@ -194,6 +202,11 @@ impl DirState {
         self.counters
             .processed
             .fetch_add(1, AtomicOrdering::Relaxed);
+        // Labels are peeked *before* any mangling, so the recorder's
+        // verdicts name the true (window, frame, fragment) even when the
+        // forwarded bytes end up corrupted.
+        let labels = peek_data_labels(datagram);
+        let conn = peek_conn(datagram).unwrap_or(0);
         match peek_type(datagram) {
             Some(DATA_TYPE) => {
                 if let Some(channel) = &mut self.gilbert {
@@ -202,16 +215,20 @@ impl DirState {
                             .dropped_data
                             .fetch_add(1, AtomicOrdering::Relaxed);
                         self.telem.on_dropped();
+                        if let Some(l) = labels {
+                            self.obs.dropped_data(l);
+                        }
                         return Vec::new();
                     }
                 }
             }
-            Some(_) if self.to_drop_control > 0 => {
+            Some(ty) if self.to_drop_control > 0 => {
                 self.to_drop_control -= 1;
                 self.counters
                     .dropped_control
                     .fetch_add(1, AtomicOrdering::Relaxed);
                 self.telem.on_dropped();
+                self.obs.dropped_control(conn, ty);
                 return Vec::new();
             }
             // Other control datagrams and alien traffic pass untouched.
@@ -233,6 +250,7 @@ impl DirState {
                 .corrupted
                 .fetch_add(1, AtomicOrdering::Relaxed);
             self.telem.on_corrupted();
+            self.obs.corrupted(labels, conn);
         }
         if self
             .truncate_every
@@ -244,6 +262,7 @@ impl DirState {
                 .truncated
                 .fetch_add(1, AtomicOrdering::Relaxed);
             self.telem.on_truncated();
+            self.obs.truncated(labels, conn);
         }
         let mut out = Vec::with_capacity(2);
         if self
@@ -256,6 +275,9 @@ impl DirState {
                 .reordered
                 .fetch_add(1, AtomicOrdering::Relaxed);
             self.telem.on_reordered();
+            if let Some(l) = labels {
+                self.obs.reordered(l);
+            }
             return out;
         }
         if self
@@ -267,10 +289,22 @@ impl DirState {
                 .duplicated
                 .fetch_add(1, AtomicOrdering::Relaxed);
             self.telem.on_duplicated();
+            if let Some(l) = labels {
+                self.obs.duplicated(l);
+            }
         }
         out.insert(0, datagram);
+        if let Some(l) = labels {
+            self.obs.forwarded_data(l);
+        }
         if let Some(held) = self.held.take() {
             self.counters.held.fetch_sub(1, AtomicOrdering::Relaxed);
+            // The held datagram is only now actually forwarded (its hold
+            // was recorded as `reordered`); peek its own labels, which
+            // may legitimately differ from the current datagram's.
+            if let Some(l) = peek_data_labels(&held) {
+                self.obs.forwarded_data(l);
+            }
             out.push(held);
         }
         self.counters
@@ -307,6 +341,23 @@ impl FaultProxy {
         to_client: FaultPolicy,
         to_server: FaultPolicy,
     ) -> io::Result<Self> {
+        FaultProxy::spawn_with_recorder(upstream, to_client, to_server, SessionRecorder::disabled())
+    }
+
+    /// Like [`FaultProxy::spawn`], but every verdict the fault policies
+    /// reach (forwarded, dropped, mangled, held…) is also recorded into
+    /// `recorder` with the datagram's pre-mangle labels — the proxy leg
+    /// of a flight-recorder trio (see `espread-obs`).
+    ///
+    /// # Errors
+    ///
+    /// Socket setup failures.
+    pub fn spawn_with_recorder(
+        upstream: SocketAddr,
+        to_client: FaultPolicy,
+        to_server: FaultPolicy,
+        recorder: SessionRecorder,
+    ) -> io::Result<Self> {
         let client_sock = UdpSocket::bind("127.0.0.1:0")?;
         client_sock.set_read_timeout(Some(Duration::from_millis(1)))?;
         let client_addr = client_sock.local_addr()?;
@@ -316,8 +367,13 @@ impl FaultProxy {
         let shutdown = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(Counters::default());
         let telem = ProxyTelem::default_global();
-        let mut down = DirState::new(&to_client, Arc::clone(&counters), telem.clone());
-        let mut up = DirState::new(&to_server, Arc::clone(&counters), telem);
+        let mut down = DirState::new(
+            &to_client,
+            Arc::clone(&counters),
+            telem.clone(),
+            recorder.clone(),
+        );
+        let mut up = DirState::new(&to_server, Arc::clone(&counters), telem, recorder);
         let stop = Arc::clone(&shutdown);
         let handle = std::thread::Builder::new()
             .name("espread-net-proxy".into())
@@ -442,6 +498,7 @@ mod tests {
             &policy,
             Arc::new(Counters::default()),
             ProxyTelem::default_global(),
+            SessionRecorder::disabled(),
         )
     }
 

@@ -25,6 +25,7 @@ use espread_protocol::{
 };
 
 use crate::error::NetError;
+use crate::obsrec::SessionRecorder;
 use crate::retry::RetryPolicy;
 use crate::telem::ServerTelem;
 use crate::wire::{self, Accept, ByeReason, DataMsg, Msg, Reject, WindowEnd, CONN_NONE};
@@ -48,6 +49,9 @@ pub struct NetServerConfig {
     /// Inter-datagram send pacing (keeps a burst of a whole window from
     /// overrunning loopback socket buffers).
     pub pace: Duration,
+    /// Optional flight-recorder hook (see `espread-obs`); disabled by
+    /// default. Events are recorded for every session this server runs.
+    pub recorder: SessionRecorder,
 }
 
 impl NetServerConfig {
@@ -59,6 +63,7 @@ impl NetServerConfig {
             source,
             retry: RetryPolicy::lan(),
             pace: Duration::from_micros(50),
+            recorder: SessionRecorder::disabled(),
         }
     }
 
@@ -130,6 +135,7 @@ impl NetServer {
             pace: config.pace,
             shutdown: Arc::clone(&shutdown),
             telem: ServerTelem::default_global(),
+            obs: config.recorder,
         };
         let handle = std::thread::Builder::new()
             .name("espread-net-demux".into())
@@ -177,6 +183,7 @@ struct Demux {
     pace: Duration,
     shutdown: Arc<AtomicBool>,
     telem: ServerTelem,
+    obs: SessionRecorder,
 }
 
 impl Demux {
@@ -238,6 +245,7 @@ impl Demux {
                                 retry: self.retry,
                                 pace: self.pace,
                                 telem: self.telem.clone(),
+                                obs: self.obs.clone(),
                             };
                             let handle = std::thread::Builder::new()
                                 .name(format!("espread-net-session-{conn_id}"))
@@ -355,6 +363,7 @@ struct Session {
     retry: RetryPolicy,
     pace: Duration,
     telem: ServerTelem,
+    obs: SessionRecorder,
 }
 
 impl Session {
@@ -374,6 +383,10 @@ impl Session {
                 self.feed(epoch, &routed, &mut proto);
             }
             let plan = proto.plan_window(&self.source.poset);
+            for (slot, sched) in plan.schedule.iter().enumerate() {
+                self.obs
+                    .queued(self.conn_id, w as u64, sched.frame as u32, slot as u32);
+            }
             self.send_window(w as u64, &plan);
             let end = WindowEnd {
                 window: w as u64,
@@ -383,7 +396,11 @@ impl Session {
             self.send(&Msg::WindowEnd(end));
             match self.await_ack(epoch, w as u64, &plan, &mut proto) {
                 AckWait::Acked => {}
-                AckWait::TimedOut => self.telem.on_ack_timeout(),
+                AckWait::TimedOut => {
+                    self.telem.on_ack_timeout();
+                    self.obs
+                        .ack_timeout(self.conn_id, w as u64, self.retry.max_attempts);
+                }
                 AckWait::Shutdown => return,
             }
         }
@@ -403,9 +420,13 @@ impl Session {
             Ok(bytes) => bytes,
             Err(_) => {
                 self.telem.on_encode_oversize();
+                self.obs.refused_msg(self.conn_id, msg);
                 return;
             }
         };
+        // Record before the bytes hit the socket, so a matching delivery
+        // on a shared clock can never timestamp earlier than its send.
+        self.obs.sent_msg(self.conn_id, msg);
         let _ = self.socket.send_to(&bytes, self.peer);
         self.telem.on_tx(bytes.len());
     }
@@ -486,6 +507,7 @@ impl Session {
                 let at_us = routed.at.saturating_duration_since(epoch).as_micros() as u64;
                 self.telem.rtt_us(at_us.saturating_sub(ack.echo_us));
             }
+            self.obs.ack_received(self.conn_id, ack.window, ack.ack_seq);
             proto.offer_ack(
                 ack.ack_seq,
                 WindowFeedback {
@@ -523,6 +545,7 @@ impl Session {
                                 let frame = usize::from(frame);
                                 if frame < ldus.len() {
                                     self.telem.on_retransmission();
+                                    self.obs.nack_received(self.conn_id, w, frame as u32);
                                     self.send_frame(w, plan, frame, true, ldus);
                                 }
                             }

@@ -539,6 +539,56 @@ pub fn peek_type(datagram: &[u8]) -> Option<u8> {
     Some(datagram[5])
 }
 
+/// Peeks at a datagram's connection id without a full decode. Returns
+/// `None` for anything that is not a well-formed header of ours.
+pub fn peek_conn(datagram: &[u8]) -> Option<u32> {
+    peek_type(datagram)?;
+    Some(u32::from_be_bytes([
+        datagram[6],
+        datagram[7],
+        datagram[8],
+        datagram[9],
+    ]))
+}
+
+/// The addressing labels of a data datagram, peeked without decoding the
+/// payload — what the fault proxy stamps on its flight-recorder events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataLabels {
+    /// Connection id from the header.
+    pub conn: u32,
+    /// Window index.
+    pub window: u64,
+    /// Frame index within the window.
+    pub frame: u16,
+    /// Fragment index within the frame.
+    pub frag: u16,
+    /// Whether the retransmit flag is set.
+    pub retransmit: bool,
+}
+
+/// Peeks the labels of a `Msg::Data` datagram (fixed offsets; no payload
+/// parse). Returns `None` for control datagrams, aliens, or anything too
+/// short to carry the full label block.
+pub fn peek_data_labels(datagram: &[u8]) -> Option<DataLabels> {
+    if peek_type(datagram)? != 4 {
+        return None;
+    }
+    // Header (10) + window u64 + frame u16 + frag u16 + frags u16 +
+    // layer u8 + slot u16 + flags u8 = 28 bytes minimum.
+    if datagram.len() < HEADER_BYTES + 18 {
+        return None;
+    }
+    let b = |i: usize| datagram[HEADER_BYTES + i];
+    Some(DataLabels {
+        conn: u32::from_be_bytes([datagram[6], datagram[7], datagram[8], datagram[9]]),
+        window: u64::from_be_bytes([b(0), b(1), b(2), b(3), b(4), b(5), b(6), b(7)]),
+        frame: u16::from_be_bytes([b(8), b(9)]),
+        frag: u16::from_be_bytes([b(10), b(11)]),
+        retransmit: b(17) & 1 != 0,
+    })
+}
+
 /// Decodes one datagram into `(conn_id, message)`.
 ///
 /// # Errors
@@ -853,6 +903,27 @@ mod tests {
         assert_eq!(peek_type(&encode(1, &Msg::Begin)), Some(3));
         assert_eq!(peek_type(&[0u8; 4]), None);
         assert_eq!(peek_type(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn peek_data_labels_matches_the_full_decode() {
+        let msg = sample_data();
+        let bytes = encode(9, &msg);
+        let labels = peek_data_labels(&bytes).unwrap();
+        let Msg::Data(data) = &msg else {
+            unreachable!()
+        };
+        assert_eq!(labels.conn, 9);
+        assert_eq!(labels.window, data.fragment.window);
+        assert_eq!(usize::from(labels.frame), data.fragment.frame);
+        assert_eq!(labels.frag, data.fragment.frag);
+        assert_eq!(labels.retransmit, data.fragment.retransmit);
+        assert_eq!(peek_conn(&bytes), Some(9));
+        // Control datagrams and short/alien inputs peek to None.
+        assert_eq!(peek_data_labels(&encode(9, &Msg::Begin)), None);
+        assert_eq!(peek_data_labels(&bytes[..20]), None);
+        assert_eq!(peek_data_labels(b"alien"), None);
+        assert_eq!(peek_conn(b"alien"), None);
     }
 
     #[test]

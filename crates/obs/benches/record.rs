@@ -1,0 +1,48 @@
+//! Microbenchmark of the recorder hot path (`FlightRecorder::record`).
+//!
+//! `crates/bench/src/bin/bench_obs.rs` runs the same measurement
+//! programmatically and emits the committed `BENCH_obs.json` baseline;
+//! this harness is the interactive `cargo bench -p espread-obs` view.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use espread_obs::{data_detail, EventKind, FlightRecorder, Role, DEFAULT_CAPACITY};
+
+fn bench_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs");
+
+    let recorder = FlightRecorder::new(Role::Server, DEFAULT_CAPACITY);
+    group.bench_function("record", |b| {
+        let mut frame = 0u32;
+        b.iter(|| {
+            frame = frame.wrapping_add(1);
+            recorder.record(
+                EventKind::Sent,
+                1,
+                u64::from(frame >> 6),
+                black_box(frame),
+                data_detail(0, false),
+            );
+        });
+    });
+
+    // The wrap-around (overwriting) regime: same cost class expected.
+    let tiny = FlightRecorder::new(Role::Client, 64);
+    group.bench_function("record_overwriting", |b| {
+        let mut frame = 0u32;
+        b.iter(|| {
+            frame = frame.wrapping_add(1);
+            tiny.record(
+                EventKind::Delivered,
+                1,
+                0,
+                black_box(frame),
+                data_detail(0, false),
+            );
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_record);
+criterion_main!(benches);

@@ -1,0 +1,269 @@
+//! The fixed-size event vocabulary shared by all three roles.
+//!
+//! An [`ObsEvent`] is a plain `Copy` struct — no strings, no heap — so the
+//! recorder's ring buffer can be preallocated once and written in place on
+//! the hot path. Everything variable-width (which role recorded, which
+//! logical session) lives in the recording's metadata instead, stamped
+//! once per dump rather than once per event.
+
+/// Sentinel for "this event carries no window index".
+pub const WINDOW_NONE: u64 = u64::MAX;
+
+/// Sentinel for "this event carries no frame index".
+pub const FRAME_NONE: u32 = u32::MAX;
+
+/// Which node of the UDP stack produced a recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Role {
+    /// The streaming server (planner + sender).
+    Server,
+    /// The fault-injecting proxy between the two.
+    Proxy,
+    /// The receiving client (reassembly + feedback).
+    Client,
+}
+
+impl Role {
+    /// Stable wire name used in dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Server => "server",
+            Role::Proxy => "proxy",
+            Role::Client => "client",
+        }
+    }
+
+    /// Inverse of [`Role::as_str`].
+    pub fn parse(s: &str) -> Option<Role> {
+        match s {
+            "server" => Some(Role::Server),
+            "proxy" => Some(Role::Proxy),
+            "client" => Some(Role::Client),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What happened. The variants cover every observable step in a frame's
+/// life across the three nodes; the reconstructor keys its causal
+/// matching on these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(u8)]
+pub enum EventKind {
+    // ── server ──────────────────────────────────────────────────────
+    /// A frame entered the window's transmission schedule
+    /// (`detail` = transmission-slot index).
+    #[default]
+    Queued = 0,
+    /// A data fragment was handed to the socket
+    /// (`detail` = [`data_detail`]).
+    Sent = 1,
+    /// A data fragment was re-sent in a critical-recovery round
+    /// (`detail` = [`data_detail`]).
+    Retransmitted = 2,
+    /// The window's `WindowEnd` control message was sent.
+    WindowEndSent = 3,
+    /// The wire codec refused an oversize message; nothing was sent.
+    SendRefused = 4,
+    /// A `WindowAck` for this window was folded into the planner
+    /// (`detail` = low bits of the ack sequence number).
+    AckReceived = 5,
+    /// A `CriticalNack` named this frame as missing.
+    NackReceived = 6,
+    /// The window's ACK never arrived inside the retry schedule
+    /// (`detail` = attempts spent).
+    AckTimeout = 7,
+    // ── proxy ───────────────────────────────────────────────────────
+    /// A data datagram survived the fault policy and was forwarded
+    /// (`detail` = [`data_detail`]).
+    ForwardedData = 8,
+    /// The Gilbert–Elliott channel swallowed a data datagram
+    /// (`detail` = [`data_detail`]).
+    DroppedData = 9,
+    /// A control datagram was dropped (`detail` = wire type byte).
+    DroppedControl = 10,
+    /// An extra copy of a surviving datagram was emitted.
+    Duplicated = 11,
+    /// A surviving datagram was held back for an adjacent swap.
+    Reordered = 12,
+    /// One byte of a surviving datagram was flipped before forwarding.
+    Corrupted = 13,
+    /// A surviving datagram was cut short before forwarding.
+    Truncated = 14,
+    // ── client ──────────────────────────────────────────────────────
+    /// A data fragment was accepted into the window tracker
+    /// (`detail` = [`data_detail`]).
+    Delivered = 15,
+    /// A data fragment's labels did not fit the negotiated session.
+    BadFragment = 16,
+    /// A decodable data fragment was discarded as stale or duplicate
+    /// (`detail` = [`data_detail`]).
+    Ignored = 17,
+    /// Every fragment of the frame has arrived (`detail` = fragment
+    /// count).
+    Reassembled = 18,
+    /// The window closed with this frame still incomplete — a residual
+    /// loss.
+    Abandoned = 19,
+    /// The window was finalized (`detail` = frames per window).
+    WindowClosed = 20,
+    /// A `WindowAck` was sent (`detail` = low bits of the ack sequence).
+    AckSent = 21,
+    /// A `CriticalNack` naming this frame was sent (`detail` = recovery
+    /// round).
+    NackSent = 22,
+    /// An arriving datagram failed to decode (no labels available).
+    DecodeError = 23,
+}
+
+impl EventKind {
+    /// Stable wire name used in dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Queued => "queued",
+            EventKind::Sent => "sent",
+            EventKind::Retransmitted => "retransmitted",
+            EventKind::WindowEndSent => "window_end_sent",
+            EventKind::SendRefused => "send_refused",
+            EventKind::AckReceived => "ack_received",
+            EventKind::NackReceived => "nack_received",
+            EventKind::AckTimeout => "ack_timeout",
+            EventKind::ForwardedData => "forwarded_data",
+            EventKind::DroppedData => "dropped_data",
+            EventKind::DroppedControl => "dropped_control",
+            EventKind::Duplicated => "duplicated",
+            EventKind::Reordered => "reordered",
+            EventKind::Corrupted => "corrupted",
+            EventKind::Truncated => "truncated",
+            EventKind::Delivered => "delivered",
+            EventKind::BadFragment => "bad_fragment",
+            EventKind::Ignored => "ignored",
+            EventKind::Reassembled => "reassembled",
+            EventKind::Abandoned => "abandoned",
+            EventKind::WindowClosed => "window_closed",
+            EventKind::AckSent => "ack_sent",
+            EventKind::NackSent => "nack_sent",
+            EventKind::DecodeError => "decode_error",
+        }
+    }
+
+    /// Inverse of [`EventKind::as_str`].
+    pub fn parse(s: &str) -> Option<EventKind> {
+        ALL_KINDS.iter().copied().find(|k| k.as_str() == s)
+    }
+}
+
+/// Every kind, in discriminant order (dump round-trip tests iterate it).
+pub const ALL_KINDS: [EventKind; 24] = [
+    EventKind::Queued,
+    EventKind::Sent,
+    EventKind::Retransmitted,
+    EventKind::WindowEndSent,
+    EventKind::SendRefused,
+    EventKind::AckReceived,
+    EventKind::NackReceived,
+    EventKind::AckTimeout,
+    EventKind::ForwardedData,
+    EventKind::DroppedData,
+    EventKind::DroppedControl,
+    EventKind::Duplicated,
+    EventKind::Reordered,
+    EventKind::Corrupted,
+    EventKind::Truncated,
+    EventKind::Delivered,
+    EventKind::BadFragment,
+    EventKind::Ignored,
+    EventKind::Reassembled,
+    EventKind::Abandoned,
+    EventKind::WindowClosed,
+    EventKind::AckSent,
+    EventKind::NackSent,
+    EventKind::DecodeError,
+];
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Packs a data fragment's labels into an event `detail`: fragment index
+/// in the low 16 bits, the retransmit flag at bit 16.
+pub fn data_detail(frag: u16, retransmit: bool) -> u32 {
+    u32::from(frag) | (u32::from(retransmit) << 16)
+}
+
+/// The fragment index packed by [`data_detail`].
+pub fn detail_frag(detail: u32) -> u16 {
+    (detail & 0xFFFF) as u16
+}
+
+/// The retransmit flag packed by [`data_detail`].
+pub fn detail_retransmit(detail: u32) -> bool {
+    detail & (1 << 16) != 0
+}
+
+/// One recorded occurrence. Fixed-size and `Copy`: writing one into the
+/// ring buffer is a plain store, never an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObsEvent {
+    /// Microseconds since the recorder's epoch (monotonic).
+    pub t_us: u64,
+    /// Connection id the event belongs to (0 when unknown).
+    pub conn: u32,
+    /// Window index, or [`WINDOW_NONE`].
+    pub window: u64,
+    /// Frame index, or [`FRAME_NONE`].
+    pub frame: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// Kind-specific payload (see each [`EventKind`] variant).
+    pub detail: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in ALL_KINDS {
+            assert_eq!(EventKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(EventKind::parse("no_such_kind"), None);
+    }
+
+    #[test]
+    fn role_names_round_trip() {
+        for role in [Role::Server, Role::Proxy, Role::Client] {
+            assert_eq!(Role::parse(role.as_str()), Some(role));
+        }
+        assert_eq!(Role::parse("router"), None);
+    }
+
+    #[test]
+    fn data_detail_packs_and_unpacks() {
+        for frag in [0u16, 1, 7, u16::MAX] {
+            for retx in [false, true] {
+                let d = data_detail(frag, retx);
+                assert_eq!(detail_frag(d), frag);
+                assert_eq!(detail_retransmit(d), retx);
+            }
+        }
+    }
+
+    #[test]
+    fn event_is_small_and_copy() {
+        // The ring preallocates capacity × this size; keep it bounded.
+        assert!(std::mem::size_of::<ObsEvent>() <= 32);
+        let e = ObsEvent::default();
+        let f = e; // Copy
+        assert_eq!(e, f);
+    }
+}

@@ -1,0 +1,945 @@
+//! The causal timeline reconstructor.
+//!
+//! [`reconstruct`] merges the recordings of one or more sessions (each a
+//! server + proxy + client trio) into per-frame verdicts keyed on
+//! `(session, conn, window, frame)`:
+//!
+//! * every residual loss and every recovery round is **attributed** to a
+//!   concrete [`Cause`] — Gilbert–Elliott loss at the proxy, a dropped
+//!   control datagram, an oversize send refusal, retry exhaustion, …;
+//! * **causality is checked** — a fragment delivered with no matching
+//!   send, or timestamped at/before its first send on a shared clock, is
+//!   a violation, as is a frame both reassembled and abandoned;
+//! * per-window **burst/gap statistics and CLF** are recomputed from the
+//!   reconstructed playout pattern with `espread-qos`, so callers can
+//!   cross-check them against what the client itself measured on the very
+//!   same realisation.
+//!
+//! The reconstructor *fails loudly*: anything it cannot attribute or that
+//! breaks causality lands in [`TimelineReport::violations`]. Two
+//! deliberate degradations keep legitimate chaos runs clean: when a ring
+//! overflowed (`dropped > 0`) the early history is gone, so only counting
+//! — not absence-based — checks run; and when the proxy corrupted or
+//! truncated bytes, data labels can be forged in flight, so label-trusting
+//! existence/timing checks are skipped (the mangling itself is attributed
+//! via [`Cause::CorruptedInFlight`]).
+//!
+//! Everything in the report is a pure function of the recordings' *event
+//! content* (never of wall-clock values), so reports over the same
+//! realisation render identically across reruns and worker counts;
+//! `latency_us` fields are the one timing-derived exception and are
+//! excluded from deterministic artifacts by callers.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use espread_qos::{ContinuityMetrics, LossPattern};
+
+use crate::event::{detail_frag, detail_retransmit, EventKind, ObsEvent, Role, WINDOW_NONE};
+use crate::recorder::Recording;
+
+/// Concrete cause of a residual loss (or of the recovery machinery
+/// failing to prevent one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Cause {
+    /// The server's wire codec refused an oversize data message; the
+    /// fragment was never sent.
+    OversizeRefusal,
+    /// The client NACKed the frame and the server retransmitted, but the
+    /// recovery rounds ran dry before a copy survived the channel.
+    RetryExhaustion,
+    /// The client NACKed the frame but the NACK (a control datagram) was
+    /// dropped before the server could act on it.
+    ControlDrop,
+    /// The proxy's Gilbert–Elliott channel swallowed the fragment(s).
+    GeLoss,
+    /// The proxy corrupted or truncated the fragment's bytes in flight
+    /// and the client could not use what arrived.
+    CorruptedInFlight,
+    /// The fragment reached the client but was discarded as stale — the
+    /// window had already moved on.
+    StaleDiscard,
+    /// The client tracked a window the server never sent; only possible
+    /// when the proxy forged labels by corrupting bytes.
+    PhantomWindow,
+    /// Sent (and forwarded, when the proxy saw it) but never delivered —
+    /// lost in the kernel's socket buffers.
+    SocketLoss,
+}
+
+/// Every cause, in attribution-priority order (most specific first).
+pub const ALL_CAUSES: [Cause; 8] = [
+    Cause::OversizeRefusal,
+    Cause::RetryExhaustion,
+    Cause::ControlDrop,
+    Cause::GeLoss,
+    Cause::CorruptedInFlight,
+    Cause::StaleDiscard,
+    Cause::PhantomWindow,
+    Cause::SocketLoss,
+];
+
+impl Cause {
+    /// Stable name used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Cause::OversizeRefusal => "oversize_refusal",
+            Cause::RetryExhaustion => "retry_exhaustion",
+            Cause::ControlDrop => "control_drop",
+            Cause::GeLoss => "ge_loss",
+            Cause::CorruptedInFlight => "corrupted_in_flight",
+            Cause::StaleDiscard => "stale_discard",
+            Cause::PhantomWindow => "phantom_window",
+            Cause::SocketLoss => "socket_loss",
+        }
+    }
+}
+
+impl std::fmt::Display for Cause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How one frame's story ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameOutcome {
+    /// Reassembled from the original transmission alone.
+    Delivered,
+    /// Reassembled, but only after at least one retransmission round.
+    Recovered,
+    /// Residual loss, attributed.
+    Lost(Cause),
+    /// Residual loss the reconstructor could not explain — always paired
+    /// with a violation (unless a ring overflowed).
+    LostUnattributed,
+}
+
+impl FrameOutcome {
+    /// Stable name used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FrameOutcome::Delivered => "delivered",
+            FrameOutcome::Recovered => "recovered",
+            FrameOutcome::Lost(cause) => cause.as_str(),
+            FrameOutcome::LostUnattributed => "unattributed",
+        }
+    }
+
+    /// Whether the frame reached playout.
+    pub fn is_received(self) -> bool {
+        matches!(self, FrameOutcome::Delivered | FrameOutcome::Recovered)
+    }
+}
+
+/// One frame's reconstructed verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameVerdict {
+    /// Frame index inside its window.
+    pub frame: u32,
+    /// The verdict.
+    pub outcome: FrameOutcome,
+    /// Original fragments the server sent.
+    pub sent: u32,
+    /// Retransmitted fragments the server sent.
+    pub retransmit_sent: u32,
+    /// Fragments of this frame the proxy's channel dropped.
+    pub proxy_dropped: u32,
+    /// Fragment deliveries the client accepted (duplicates included).
+    pub delivered: u32,
+    /// Whether the client NACKed this frame.
+    pub nacked: bool,
+    /// First-send → reassembly latency, when the recordings share an
+    /// epoch and the frame was reassembled. Timing-derived: excluded
+    /// from deterministic artifacts.
+    pub latency_us: Option<u64>,
+}
+
+/// One window's reconstructed timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowTimeline {
+    /// The window index.
+    pub window: u64,
+    /// Frames the window held (from the client's `window_closed` event).
+    pub frames_total: usize,
+    /// Frames that never reached playout.
+    pub lost: usize,
+    /// Longest run of consecutive losses in playout order — must equal
+    /// the CLF `espread-qos` measured client-side on this realisation.
+    pub clf: usize,
+    /// Lengths of every loss burst, in playout order.
+    pub burst_lengths: Vec<usize>,
+    /// Lengths of every received gap between bursts, in playout order.
+    pub gap_lengths: Vec<usize>,
+    /// Critical-recovery rounds the client spent on this window.
+    pub recovery_rounds: u32,
+    /// Per-frame verdicts, frame 0 first.
+    pub frames: Vec<FrameVerdict>,
+}
+
+/// Everything reconstructed for one `(session, conn)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionTimeline {
+    /// Caller-chosen session tag (see [`crate::trio`]).
+    pub session: u32,
+    /// The wire connection id.
+    pub conn: u32,
+    /// Closed windows, ascending.
+    pub windows: Vec<WindowTimeline>,
+    /// Windows the recordings mention that never closed (the session
+    /// died mid-window); their frames carry no verdicts.
+    pub unclosed_windows: Vec<u64>,
+    /// Loss count per [`Cause`], in [`ALL_CAUSES`] order (zeros kept, so
+    /// the report shape is stable).
+    pub cause_totals: Vec<(Cause, usize)>,
+    /// Control datagrams the proxy dropped during this session group.
+    pub dropped_control: u64,
+}
+
+impl SessionTimeline {
+    /// Per-window CLF values, window order — the cross-check against
+    /// `espread-qos`'s client-side series.
+    pub fn clf_values(&self) -> Vec<usize> {
+        self.windows.iter().map(|w| w.clf).collect()
+    }
+}
+
+/// The reconstructor's complete output.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TimelineReport {
+    /// Per-`(session, conn)` timelines, ascending.
+    pub sessions: Vec<SessionTimeline>,
+    /// Every causality violation and unattributed loss, deterministic
+    /// order. Empty = the timeline is fully explained.
+    pub violations: Vec<String>,
+    /// Whether any recording's ring overflowed (history incomplete;
+    /// absence-based checks were skipped).
+    pub overflowed: bool,
+}
+
+impl TimelineReport {
+    /// Whether every loss was attributed and causality held everywhere.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total residual losses across all sessions.
+    pub fn total_lost(&self) -> usize {
+        self.sessions
+            .iter()
+            .flat_map(|s| &s.windows)
+            .map(|w| w.lost)
+            .sum()
+    }
+
+    /// Total frames that needed a retransmission round to survive.
+    pub fn total_recovered(&self) -> usize {
+        self.sessions
+            .iter()
+            .flat_map(|s| &s.windows)
+            .flat_map(|w| &w.frames)
+            .filter(|f| f.outcome == FrameOutcome::Recovered)
+            .count()
+    }
+}
+
+/// Per-frame accumulator while scanning a session group's events.
+#[derive(Debug, Default)]
+struct FrameAccum {
+    sent_frags: BTreeSet<u16>,
+    sent: u32,
+    retransmit_sent: u32,
+    first_sent_us: BTreeMap<u16, u64>,
+    refused: u32,
+    nack_received: bool,
+    dropped_frags: BTreeSet<u16>,
+    proxy_dropped: u32,
+    forwarded_frags: BTreeSet<u16>,
+    mangled: bool,
+    delivered_frags: BTreeSet<u16>,
+    delivered: u32,
+    first_delivered_us: BTreeMap<u16, u64>,
+    retransmit_delivered: bool,
+    ignored_frags: BTreeSet<u16>,
+    reassembled: bool,
+    reassembled_us: Option<u64>,
+    abandoned: bool,
+    nack_sent: bool,
+}
+
+#[derive(Debug, Default)]
+struct WindowAccum {
+    frames: BTreeMap<u32, FrameAccum>,
+    closed_with: Option<usize>,
+    recovery_rounds: u32,
+    server_touched: bool,
+}
+
+/// Rebuilds the causal timeline from any number of recordings (typically
+/// one or two server/proxy/client trios). Recordings may arrive in any
+/// order; sessions are separated by their `session` tag and connection
+/// id.
+pub fn reconstruct(recordings: &[Recording]) -> TimelineReport {
+    let overflowed = recordings.iter().any(|r| r.dropped > 0);
+
+    // session tag → its recordings.
+    let mut groups: BTreeMap<u32, Vec<&Recording>> = BTreeMap::new();
+    for rec in recordings {
+        groups.entry(rec.session).or_default().push(rec);
+    }
+
+    let mut sessions = Vec::new();
+    let mut violations = Vec::new();
+    for (&session, group) in &groups {
+        let timing_ok = group.iter().all(|r| r.shared_epoch);
+        let mangled_total: u64 = group
+            .iter()
+            .filter(|r| r.role == Role::Proxy)
+            .flat_map(|r| &r.events)
+            .filter(|e| matches!(e.kind, EventKind::Corrupted | EventKind::Truncated))
+            .count() as u64;
+        let dropped_control: u64 = group
+            .iter()
+            .filter(|r| r.role == Role::Proxy)
+            .flat_map(|r| &r.events)
+            .filter(|e| e.kind == EventKind::DroppedControl)
+            .count() as u64;
+
+        // Connection ids with any labelled traffic.
+        let conns: BTreeSet<u32> = group
+            .iter()
+            .flat_map(|r| &r.events)
+            .filter(|e| e.window != WINDOW_NONE && e.conn != 0)
+            .map(|e| e.conn)
+            .collect();
+
+        for &conn in &conns {
+            let mut windows: BTreeMap<u64, WindowAccum> = BTreeMap::new();
+            for rec in group {
+                for e in &rec.events {
+                    if e.conn != conn || e.window == WINDOW_NONE {
+                        continue;
+                    }
+                    scan_event(rec.role, e, windows.entry(e.window).or_default());
+                }
+            }
+            let label =
+                |w: u64, f: u32| format!("session {session} conn {conn} window {w} frame {f}");
+            let mut out_windows = Vec::new();
+            let mut unclosed = Vec::new();
+            let mut cause_counts: BTreeMap<Cause, usize> = BTreeMap::new();
+            for (&w, acc) in &windows {
+                let Some(frames_total) = acc.closed_with else {
+                    unclosed.push(w);
+                    continue;
+                };
+                let mut verdicts = Vec::with_capacity(frames_total);
+                for f in 0..frames_total as u32 {
+                    let fa = acc.frames.get(&f);
+                    let verdict = frame_verdict(
+                        f,
+                        fa,
+                        acc,
+                        mangled_total,
+                        dropped_control,
+                        timing_ok,
+                        overflowed,
+                        |what| violations_push(&mut violations, &label(w, f), what),
+                    );
+                    if let FrameOutcome::Lost(cause) = verdict.outcome {
+                        *cause_counts.entry(cause).or_default() += 1;
+                    }
+                    verdicts.push(verdict);
+                }
+                let pattern =
+                    LossPattern::from_received(verdicts.iter().map(|v| v.outcome.is_received()));
+                let clf = ContinuityMetrics::of(&pattern).clf();
+                let (bursts, gaps) = burst_gap_lengths(&pattern);
+                out_windows.push(WindowTimeline {
+                    window: w,
+                    frames_total,
+                    lost: pattern.lost(),
+                    clf,
+                    burst_lengths: bursts,
+                    gap_lengths: gaps,
+                    recovery_rounds: acc.recovery_rounds,
+                    frames: verdicts,
+                });
+            }
+            sessions.push(SessionTimeline {
+                session,
+                conn,
+                windows: out_windows,
+                unclosed_windows: unclosed,
+                cause_totals: ALL_CAUSES
+                    .iter()
+                    .map(|&c| (c, cause_counts.get(&c).copied().unwrap_or(0)))
+                    .collect(),
+                dropped_control,
+            });
+        }
+    }
+    TimelineReport {
+        sessions,
+        violations,
+        overflowed,
+    }
+}
+
+fn violations_push(violations: &mut Vec<String>, label: &str, what: String) {
+    violations.push(format!("{label}: {what}"));
+}
+
+fn scan_event(role: Role, e: &ObsEvent, acc: &mut WindowAccum) {
+    use EventKind::*;
+    // Window-level events first (frame may be the sentinel).
+    match (role, e.kind) {
+        (Role::Client, WindowClosed) => {
+            acc.closed_with = Some(e.detail as usize);
+            return;
+        }
+        // Only server-*originated* events mark a window as known to the
+        // server. `AckReceived` is the server echoing a client label, and
+        // a corrupted datagram can forge that label — a phantom window's
+        // ACK must not disguise it as a real one.
+        (Role::Server, Queued | WindowEndSent | AckTimeout) => {
+            acc.server_touched = true;
+            return;
+        }
+        (Role::Server, AckReceived) => return,
+        _ => {}
+    }
+    let frame = e.frame;
+    let fa = acc.frames.entry(frame).or_default();
+    let frag = detail_frag(e.detail);
+    match (role, e.kind) {
+        (Role::Server, Sent) => {
+            acc.server_touched = true;
+            fa.sent += 1;
+            fa.sent_frags.insert(frag);
+            fa.first_sent_us.entry(frag).or_insert(e.t_us);
+        }
+        (Role::Server, Retransmitted) => {
+            acc.server_touched = true;
+            fa.retransmit_sent += 1;
+            fa.sent_frags.insert(frag);
+            fa.first_sent_us.entry(frag).or_insert(e.t_us);
+        }
+        (Role::Server, SendRefused) => {
+            acc.server_touched = true;
+            fa.refused += 1;
+        }
+        (Role::Server, NackReceived) => {
+            fa.nack_received = true;
+        }
+        (Role::Proxy, DroppedData) => {
+            fa.proxy_dropped += 1;
+            fa.dropped_frags.insert(frag);
+        }
+        (Role::Proxy, ForwardedData) => {
+            fa.forwarded_frags.insert(frag);
+        }
+        (Role::Proxy, Corrupted | Truncated) => {
+            fa.mangled = true;
+        }
+        (Role::Client, Delivered) => {
+            fa.delivered += 1;
+            fa.delivered_frags.insert(frag);
+            fa.first_delivered_us.entry(frag).or_insert(e.t_us);
+            if detail_retransmit(e.detail) {
+                fa.retransmit_delivered = true;
+            }
+        }
+        (Role::Client, Ignored) => {
+            fa.ignored_frags.insert(frag);
+        }
+        (Role::Client, Reassembled) => {
+            fa.reassembled = true;
+            fa.reassembled_us.get_or_insert(e.t_us);
+        }
+        (Role::Client, Abandoned) => {
+            fa.abandoned = true;
+        }
+        (Role::Client, NackSent) => {
+            fa.nack_sent = true;
+            acc.recovery_rounds = acc.recovery_rounds.max(e.detail);
+        }
+        _ => {}
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn frame_verdict(
+    frame: u32,
+    fa: Option<&FrameAccum>,
+    win: &WindowAccum,
+    mangled_total: u64,
+    dropped_control: u64,
+    timing_ok: bool,
+    overflowed: bool,
+    mut violate: impl FnMut(String),
+) -> FrameVerdict {
+    let never_seen = FrameAccum::default();
+    let fa = fa.unwrap_or(&never_seen);
+    let labels_trustworthy = mangled_total == 0;
+
+    // ── causality checks ────────────────────────────────────────────
+    if !overflowed {
+        if fa.reassembled && fa.abandoned {
+            violate("both reassembled and abandoned".into());
+        }
+        if labels_trustworthy {
+            for &frag in &fa.delivered_frags {
+                if !fa.sent_frags.contains(&frag) {
+                    violate(format!("fragment {frag} delivered but never sent"));
+                } else if timing_ok {
+                    let sent = fa.first_sent_us.get(&frag);
+                    let delivered = fa.first_delivered_us.get(&frag);
+                    if let (Some(&s), Some(&d)) = (sent, delivered) {
+                        if d < s {
+                            violate(format!("fragment {frag} delivered before it was sent"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ── outcome + attribution ───────────────────────────────────────
+    let outcome = if fa.reassembled {
+        if fa.retransmit_delivered || fa.retransmit_sent > 0 {
+            FrameOutcome::Recovered
+        } else {
+            FrameOutcome::Delivered
+        }
+    } else {
+        match attribute(fa, win, mangled_total, dropped_control) {
+            Some(cause) => FrameOutcome::Lost(cause),
+            None => {
+                if !overflowed {
+                    violate("residual loss unattributed".into());
+                }
+                FrameOutcome::LostUnattributed
+            }
+        }
+    };
+
+    let latency_us = if timing_ok && fa.reassembled {
+        match (fa.first_sent_us.values().min(), fa.reassembled_us) {
+            (Some(&s), Some(r)) => Some(r.saturating_sub(s)),
+            _ => None,
+        }
+    } else {
+        None
+    };
+
+    FrameVerdict {
+        frame,
+        outcome,
+        sent: fa.sent,
+        retransmit_sent: fa.retransmit_sent,
+        proxy_dropped: fa.proxy_dropped,
+        delivered: fa.delivered,
+        nacked: fa.nack_sent,
+        latency_us,
+    }
+}
+
+/// The attribution ladder, most specific cause first.
+fn attribute(
+    fa: &FrameAccum,
+    win: &WindowAccum,
+    mangled_total: u64,
+    dropped_control: u64,
+) -> Option<Cause> {
+    if fa.refused > 0 {
+        return Some(Cause::OversizeRefusal);
+    }
+    if fa.nack_sent {
+        if fa.retransmit_sent > 0 || fa.nack_received {
+            return Some(Cause::RetryExhaustion);
+        }
+        if dropped_control > 0 {
+            return Some(Cause::ControlDrop);
+        }
+    }
+    if fa.proxy_dropped > 0 {
+        return Some(Cause::GeLoss);
+    }
+    if fa.mangled {
+        return Some(Cause::CorruptedInFlight);
+    }
+    if !fa.ignored_frags.is_empty() {
+        return Some(Cause::StaleDiscard);
+    }
+    if !win.server_touched && mangled_total > 0 {
+        return Some(Cause::PhantomWindow);
+    }
+    if !fa.sent_frags.is_empty() {
+        return Some(Cause::SocketLoss);
+    }
+    None
+}
+
+/// Burst (lost-run) and gap (received-run) lengths in playout order.
+fn burst_gap_lengths(pattern: &LossPattern) -> (Vec<usize>, Vec<usize>) {
+    let mut bursts = Vec::new();
+    let mut gaps = Vec::new();
+    let mut run = 0usize;
+    let mut losing = None::<bool>;
+    for i in 0..pattern.len() {
+        let lost = pattern.is_lost(i);
+        match losing {
+            Some(prev) if prev == lost => run += 1,
+            Some(prev) => {
+                if prev {
+                    bursts.push(run);
+                } else {
+                    gaps.push(run);
+                }
+                run = 1;
+            }
+            None => run = 1,
+        }
+        losing = Some(lost);
+    }
+    match losing {
+        Some(true) => bursts.push(run),
+        Some(false) => gaps.push(run),
+        None => {}
+    }
+    (bursts, gaps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::data_detail;
+    use crate::recorder::{trio, FlightRecorder, Recording};
+
+    /// One window, `frames` frames, one fragment each; `lost` frames are
+    /// dropped by the proxy. Returns the trio's recordings.
+    fn ge_session(frames: u32, lost: &[u32]) -> Vec<Recording> {
+        let (server, proxy, client) = trio(256, 0);
+        for f in 0..frames {
+            server.record(EventKind::Queued, 1, 0, f, f);
+        }
+        for f in 0..frames {
+            server.record(EventKind::Sent, 1, 0, f, data_detail(0, false));
+            if lost.contains(&f) {
+                proxy.record(EventKind::DroppedData, 1, 0, f, data_detail(0, false));
+            } else {
+                proxy.record(EventKind::ForwardedData, 1, 0, f, data_detail(0, false));
+                client.record(EventKind::Delivered, 1, 0, f, data_detail(0, false));
+                client.record(EventKind::Reassembled, 1, 0, f, 1);
+            }
+        }
+        server.record(EventKind::WindowEndSent, 1, 0, u32::MAX, 0);
+        for &f in lost {
+            client.record(EventKind::Abandoned, 1, 0, f, 0);
+        }
+        client.record(EventKind::WindowClosed, 1, 0, u32::MAX, frames);
+        client.record(EventKind::AckSent, 1, 0, u32::MAX, 1);
+        vec![server.recording(), proxy.recording(), client.recording()]
+    }
+
+    #[test]
+    fn clean_session_attributes_everything_and_matches_qos() {
+        let report = reconstruct(&ge_session(8, &[2, 3, 6]));
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(!report.overflowed);
+        assert_eq!(report.sessions.len(), 1);
+        let s = &report.sessions[0];
+        assert_eq!((s.session, s.conn), (0, 1));
+        assert_eq!(s.windows.len(), 1);
+        let w = &s.windows[0];
+        assert_eq!(w.frames_total, 8);
+        assert_eq!(w.lost, 3);
+        // Cross-check against espread-qos on the same pattern.
+        let pattern = LossPattern::from_lost_indices(8, [2usize, 3, 6]);
+        assert_eq!(w.clf, ContinuityMetrics::of(&pattern).clf());
+        assert_eq!(w.clf, 2);
+        assert_eq!(w.burst_lengths, vec![2, 1]);
+        assert_eq!(w.gap_lengths, vec![2, 2, 1]);
+        for f in [2u32, 3, 6] {
+            assert_eq!(
+                w.frames[f as usize].outcome,
+                FrameOutcome::Lost(Cause::GeLoss),
+                "frame {f}"
+            );
+        }
+        assert_eq!(w.frames[0].outcome, FrameOutcome::Delivered);
+        let ge_total = s
+            .cause_totals
+            .iter()
+            .find(|(c, _)| *c == Cause::GeLoss)
+            .unwrap()
+            .1;
+        assert_eq!(ge_total, 3);
+        assert_eq!(report.total_lost(), 3);
+    }
+
+    #[test]
+    fn latency_is_reported_on_shared_epochs() {
+        let report = reconstruct(&ge_session(4, &[]));
+        let w = &report.sessions[0].windows[0];
+        assert!(w.frames.iter().all(|f| f.latency_us.is_some()));
+    }
+
+    #[test]
+    fn recovery_is_recognised_and_exhaustion_attributed() {
+        let (server, proxy, client) = trio(256, 0);
+        // Frame 0: lost, NACKed, retransmitted, recovered.
+        server.record(EventKind::Sent, 1, 0, 0, data_detail(0, false));
+        proxy.record(EventKind::DroppedData, 1, 0, 0, data_detail(0, false));
+        client.record(EventKind::NackSent, 1, 0, 0, 1);
+        server.record(EventKind::NackReceived, 1, 0, 0, 0);
+        server.record(EventKind::Retransmitted, 1, 0, 0, data_detail(0, true));
+        proxy.record(EventKind::ForwardedData, 1, 0, 0, data_detail(0, true));
+        client.record(EventKind::Delivered, 1, 0, 0, data_detail(0, true));
+        client.record(EventKind::Reassembled, 1, 0, 0, 1);
+        // Frame 1: lost, NACKed, retransmitted, retransmission lost too.
+        server.record(EventKind::Sent, 1, 0, 1, data_detail(0, false));
+        proxy.record(EventKind::DroppedData, 1, 0, 1, data_detail(0, false));
+        client.record(EventKind::NackSent, 1, 0, 1, 1);
+        server.record(EventKind::NackReceived, 1, 0, 1, 0);
+        server.record(EventKind::Retransmitted, 1, 0, 1, data_detail(0, true));
+        proxy.record(EventKind::DroppedData, 1, 0, 1, data_detail(0, true));
+        client.record(EventKind::Abandoned, 1, 0, 1, 0);
+        client.record(EventKind::WindowClosed, 1, 0, u32::MAX, 2);
+        let report = reconstruct(&[server.recording(), proxy.recording(), client.recording()]);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        let w = &report.sessions[0].windows[0];
+        assert_eq!(w.frames[0].outcome, FrameOutcome::Recovered);
+        assert_eq!(
+            w.frames[1].outcome,
+            FrameOutcome::Lost(Cause::RetryExhaustion)
+        );
+        assert!(w.frames[1].nacked);
+        assert_eq!(report.total_recovered(), 1);
+    }
+
+    #[test]
+    fn lost_nack_is_attributed_to_the_control_drop() {
+        let (server, proxy, client) = trio(256, 0);
+        server.record(EventKind::Sent, 1, 0, 0, data_detail(0, false));
+        proxy.record(EventKind::DroppedData, 1, 0, 0, data_detail(0, false));
+        client.record(EventKind::NackSent, 1, 0, 0, 1);
+        proxy.record(EventKind::DroppedControl, 1, WINDOW_NONE, u32::MAX, 8);
+        client.record(EventKind::Abandoned, 1, 0, 0, 0);
+        client.record(EventKind::WindowClosed, 1, 0, u32::MAX, 1);
+        let report = reconstruct(&[server.recording(), proxy.recording(), client.recording()]);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(
+            report.sessions[0].windows[0].frames[0].outcome,
+            FrameOutcome::Lost(Cause::ControlDrop)
+        );
+        assert_eq!(report.sessions[0].dropped_control, 1);
+    }
+
+    #[test]
+    fn oversize_refusal_wins_the_attribution_ladder() {
+        let (server, _proxy, client) = trio(64, 0);
+        server.record(EventKind::SendRefused, 1, 0, 0, 0);
+        client.record(EventKind::Abandoned, 1, 0, 0, 0);
+        client.record(EventKind::WindowClosed, 1, 0, u32::MAX, 1);
+        let report = reconstruct(&[server.recording(), client.recording()]);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(
+            report.sessions[0].windows[0].frames[0].outcome,
+            FrameOutcome::Lost(Cause::OversizeRefusal)
+        );
+    }
+
+    #[test]
+    fn socket_loss_is_the_forwarded_but_vanished_bucket() {
+        let (server, proxy, client) = trio(64, 0);
+        server.record(EventKind::Sent, 1, 0, 0, data_detail(0, false));
+        proxy.record(EventKind::ForwardedData, 1, 0, 0, data_detail(0, false));
+        client.record(EventKind::Abandoned, 1, 0, 0, 0);
+        client.record(EventKind::WindowClosed, 1, 0, u32::MAX, 1);
+        let report = reconstruct(&[server.recording(), proxy.recording(), client.recording()]);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(
+            report.sessions[0].windows[0].frames[0].outcome,
+            FrameOutcome::Lost(Cause::SocketLoss)
+        );
+    }
+
+    #[test]
+    fn unattributed_loss_fails_loudly() {
+        let (_server, _proxy, client) = trio(64, 0);
+        // The client claims a loss but no other role saw the frame at all.
+        client.record(EventKind::Abandoned, 1, 0, 0, 0);
+        client.record(EventKind::WindowClosed, 1, 0, u32::MAX, 1);
+        let report = reconstruct(&[client.recording()]);
+        assert!(!report.is_clean());
+        assert!(report.violations[0].contains("residual loss unattributed"));
+        assert_eq!(
+            report.sessions[0].windows[0].frames[0].outcome,
+            FrameOutcome::LostUnattributed
+        );
+    }
+
+    #[test]
+    fn delivered_without_a_send_is_a_causality_violation() {
+        let (server, _proxy, client) = trio(64, 0);
+        server.record(EventKind::Queued, 1, 0, 0, 0); // window exists server-side
+        client.record(EventKind::Delivered, 1, 0, 0, data_detail(0, false));
+        client.record(EventKind::Reassembled, 1, 0, 0, 1);
+        client.record(EventKind::WindowClosed, 1, 0, u32::MAX, 1);
+        let report = reconstruct(&[server.recording(), client.recording()]);
+        assert!(!report.is_clean());
+        assert!(report.violations[0].contains("delivered but never sent"));
+    }
+
+    #[test]
+    fn delivered_before_sent_is_a_causality_violation() {
+        // Hand-build recordings so the timestamps can be inverted.
+        let (server, _proxy, client) = trio(64, 0);
+        let mut srv = server.recording();
+        let mut cli = client.recording();
+        srv.events.push(ObsEvent {
+            t_us: 100,
+            conn: 1,
+            window: 0,
+            frame: 0,
+            kind: EventKind::Sent,
+            detail: data_detail(0, false),
+        });
+        cli.events.push(ObsEvent {
+            t_us: 50,
+            conn: 1,
+            window: 0,
+            frame: 0,
+            kind: EventKind::Delivered,
+            detail: data_detail(0, false),
+        });
+        cli.events.push(ObsEvent {
+            t_us: 51,
+            conn: 1,
+            window: 0,
+            frame: 0,
+            kind: EventKind::Reassembled,
+            detail: 1,
+        });
+        cli.events.push(ObsEvent {
+            t_us: 60,
+            conn: 1,
+            window: 0,
+            frame: u32::MAX,
+            kind: EventKind::WindowClosed,
+            detail: 1,
+        });
+        let report = reconstruct(&[srv, cli]);
+        assert!(!report.is_clean());
+        assert!(report.violations[0].contains("delivered before it was sent"));
+    }
+
+    #[test]
+    fn overflow_degrades_instead_of_accusing() {
+        let client = FlightRecorder::new(Role::Client, 2);
+        client.record(EventKind::Delivered, 1, 0, 0, data_detail(0, false));
+        client.record(EventKind::Abandoned, 1, 0, 1, 0);
+        client.record(EventKind::WindowClosed, 1, 0, u32::MAX, 2); // evicts the first
+        let report = reconstruct(&[client.recording()]);
+        assert!(report.overflowed);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(
+            report.sessions[0].windows[0].frames[1].outcome,
+            FrameOutcome::LostUnattributed
+        );
+    }
+
+    #[test]
+    fn corruption_disables_label_trusting_checks_and_is_attributed() {
+        let (server, proxy, client) = trio(128, 0);
+        server.record(EventKind::Sent, 1, 0, 0, data_detail(0, false));
+        proxy.record(EventKind::Corrupted, 1, 0, 0, data_detail(0, false));
+        proxy.record(EventKind::ForwardedData, 1, 0, 0, data_detail(0, false));
+        client.record(EventKind::DecodeError, 1, WINDOW_NONE, u32::MAX, 0);
+        // Forged labels: a delivery the server never sent must NOT be a
+        // violation while the proxy is known to mangle bytes.
+        client.record(EventKind::Delivered, 1, 0, 3, data_detail(0, false));
+        client.record(EventKind::Reassembled, 1, 0, 3, 1);
+        client.record(EventKind::Abandoned, 1, 0, 0, 0);
+        for f in [1u32, 2] {
+            // More forged-label deliveries the server never sent.
+            client.record(EventKind::Delivered, 1, 0, f, data_detail(0, false));
+            client.record(EventKind::Reassembled, 1, 0, f, 1);
+        }
+        client.record(EventKind::WindowClosed, 1, 0, u32::MAX, 4);
+        let report = reconstruct(&[server.recording(), proxy.recording(), client.recording()]);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(
+            report.sessions[0].windows[0].frames[0].outcome,
+            FrameOutcome::Lost(Cause::CorruptedInFlight)
+        );
+    }
+
+    #[test]
+    fn phantom_window_needs_corruption_in_the_session() {
+        let (server, proxy, client) = trio(128, 0);
+        // A real window 0 so the session has server presence elsewhere.
+        server.record(EventKind::Sent, 1, 0, 0, data_detail(0, false));
+        proxy.record(EventKind::Corrupted, 1, 0, 0, data_detail(0, false));
+        proxy.record(EventKind::ForwardedData, 1, 0, 0, data_detail(0, false));
+        client.record(EventKind::Delivered, 1, 0, 0, data_detail(0, false));
+        client.record(EventKind::Reassembled, 1, 0, 0, 1);
+        client.record(EventKind::WindowClosed, 1, 0, u32::MAX, 1);
+        // Window 7 exists only in the client's imagination (forged
+        // WindowEnd): all frames lost, no server events for it.
+        client.record(EventKind::Abandoned, 1, 7, 0, 0);
+        client.record(EventKind::WindowClosed, 1, 7, u32::MAX, 1);
+        let report = reconstruct(&[server.recording(), proxy.recording(), client.recording()]);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        let w7 = report.sessions[0]
+            .windows
+            .iter()
+            .find(|w| w.window == 7)
+            .unwrap();
+        assert_eq!(
+            w7.frames[0].outcome,
+            FrameOutcome::Lost(Cause::PhantomWindow)
+        );
+    }
+
+    #[test]
+    fn unclosed_windows_are_listed_not_judged() {
+        let (server, _proxy, client) = trio(64, 0);
+        server.record(EventKind::Sent, 1, 3, 0, data_detail(0, false));
+        client.record(EventKind::Delivered, 1, 3, 0, data_detail(0, false));
+        let report = reconstruct(&[server.recording(), client.recording()]);
+        assert!(report.is_clean());
+        assert_eq!(report.sessions[0].windows.len(), 0);
+        assert_eq!(report.sessions[0].unclosed_windows, vec![3]);
+    }
+
+    #[test]
+    fn sessions_and_conns_are_separated() {
+        let mut recordings = ge_session(4, &[1]);
+        let (server, proxy, client) = trio(64, 1);
+        server.record(EventKind::Sent, 1, 0, 0, data_detail(0, false));
+        proxy.record(EventKind::ForwardedData, 1, 0, 0, data_detail(0, false));
+        client.record(EventKind::Delivered, 1, 0, 0, data_detail(0, false));
+        client.record(EventKind::Reassembled, 1, 0, 0, 1);
+        client.record(EventKind::WindowClosed, 1, 0, u32::MAX, 1);
+        recordings.extend([server.recording(), proxy.recording(), client.recording()]);
+        let report = reconstruct(&recordings);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.sessions.len(), 2);
+        assert_eq!(report.sessions[0].session, 0);
+        assert_eq!(report.sessions[1].session, 1);
+        assert_eq!(report.sessions[0].clf_values(), vec![1]);
+        assert_eq!(report.sessions[1].clf_values(), vec![0]);
+    }
+
+    #[test]
+    fn burst_gap_lengths_cover_the_edges() {
+        let all_lost = LossPattern::all_lost(3);
+        assert_eq!(burst_gap_lengths(&all_lost), (vec![3], vec![]));
+        let none_lost = LossPattern::all_received(3);
+        assert_eq!(burst_gap_lengths(&none_lost), (vec![], vec![3]));
+        let empty = LossPattern::all_received(0);
+        assert_eq!(burst_gap_lengths(&empty), (vec![], vec![]));
+    }
+}

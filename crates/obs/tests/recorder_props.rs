@@ -1,0 +1,81 @@
+//! Property tests for the ring buffer and for concurrent writers.
+
+use std::thread;
+
+use espread_obs::{EventKind, FlightRecorder, Role};
+use proptest::prelude::*;
+
+proptest! {
+    /// The overflow counter is exact: retained + dropped always equals
+    /// the number of record() calls, retention is capped at capacity, and
+    /// the survivors are precisely the newest events, oldest first.
+    #[test]
+    fn overflow_accounting_is_exact(
+        capacity in 1usize..128,
+        total in 0u32..400,
+    ) {
+        let rec = FlightRecorder::new(Role::Client, capacity);
+        for i in 0..total {
+            rec.record(EventKind::Delivered, 1, 0, i, i);
+        }
+        let recording = rec.recording();
+        prop_assert_eq!(recording.capacity, capacity);
+        prop_assert_eq!(
+            recording.events.len() as u64 + recording.dropped,
+            u64::from(total)
+        );
+        prop_assert_eq!(recording.events.len(), (total as usize).min(capacity));
+        let expect_first = total - recording.events.len() as u32;
+        for (i, e) in recording.events.iter().enumerate() {
+            prop_assert_eq!(e.frame, expect_first + i as u32);
+        }
+    }
+
+    /// Concurrent writers: the merged recording holds every event that
+    /// was not counted as dropped, and each thread's surviving events
+    /// appear in that thread's program order (the ring is a single
+    /// serialisation point, so per-thread order can never invert).
+    #[test]
+    fn merged_order_is_consistent_with_each_writer(
+        counts in prop::collection::vec(0u32..150, 2..4),
+        capacity in 16usize..256,
+    ) {
+        let rec = FlightRecorder::new(Role::Server, capacity);
+        thread::scope(|scope| {
+            for (t, &n) in counts.iter().enumerate() {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    for i in 0..n {
+                        // conn identifies the writer, frame its sequence.
+                        rec.record(EventKind::Sent, t as u32, 0, i, 0);
+                    }
+                });
+            }
+        });
+        let recording = rec.recording();
+        let total: u32 = counts.iter().sum();
+        prop_assert_eq!(
+            recording.events.len() as u64 + recording.dropped,
+            u64::from(total)
+        );
+        for (t, &n) in counts.iter().enumerate() {
+            let frames: Vec<u32> = recording
+                .events
+                .iter()
+                .filter(|e| e.conn == t as u32)
+                .map(|e| e.frame)
+                .collect();
+            // Strictly increasing ⇒ consistent with program order, and
+            // survivors are a suffix of what the thread wrote.
+            prop_assert!(frames.windows(2).all(|w| w[0] < w[1]));
+            if let Some(&last) = frames.last() {
+                prop_assert_eq!(last, n - 1, "newest event of a writer survives");
+            }
+        }
+        // Timestamps are globally monotonic in merged order.
+        prop_assert!(recording
+            .events
+            .windows(2)
+            .all(|w| w[0].t_us <= w[1].t_us));
+    }
+}

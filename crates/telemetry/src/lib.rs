@@ -44,7 +44,10 @@
 //! assert_eq!(snapshot.counter("windows.sent"), Some(3));
 //!
 //! let mut sink = InMemorySink::new();
-//! sink.export(&snapshot).unwrap();
+//! // export() returns a typed ExportError — no sink panics on export.
+//! if let Err(e) = sink.export(&snapshot) {
+//!     eprintln!("telemetry export failed: {e}");
+//! }
 //! assert_eq!(sink.last().unwrap().counter("windows.sent"), Some(3));
 //! ```
 

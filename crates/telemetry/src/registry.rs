@@ -9,8 +9,9 @@ use std::time::Instant;
 use crate::event::Event;
 use crate::hist::{HistogramCore, HistogramSnapshot};
 
-/// Upper bound on retained events; beyond it new events are counted as
-/// dropped rather than growing without bound.
+/// Default upper bound on retained events; beyond it new events are
+/// counted as dropped rather than growing without bound. Override per
+/// registry with [`Registry::with_event_cap`].
 const EVENT_CAP: usize = 65_536;
 
 /// A monotone counter handle (cloning shares the underlying cell).
@@ -108,13 +109,27 @@ impl Drop for SpanGuard {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Inner {
     counters: RwLock<BTreeMap<String, Counter>>,
     gauges: RwLock<BTreeMap<String, Gauge>>,
     histograms: RwLock<BTreeMap<String, Histogram>>,
     events: Mutex<Vec<Event>>,
     events_dropped: AtomicU64,
+    event_cap: usize,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            counters: RwLock::default(),
+            gauges: RwLock::default(),
+            histograms: RwLock::default(),
+            events: Mutex::default(),
+            events_dropped: AtomicU64::new(0),
+            event_cap: EVENT_CAP,
+        }
+    }
 }
 
 impl Default for Counter {
@@ -183,6 +198,23 @@ impl Registry {
         Registry::default()
     }
 
+    /// Creates an empty registry whose event log retains at most `cap`
+    /// events (further [`emit`](Registry::emit)s are counted as dropped,
+    /// exactly once each). The default cap is 65 536.
+    pub fn with_event_cap(cap: usize) -> Self {
+        Registry {
+            inner: Arc::new(Inner {
+                event_cap: cap,
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// The event-log retention cap.
+    pub fn event_cap(&self) -> usize {
+        self.inner.event_cap
+    }
+
     instrument_accessor!(
         counter,
         counters,
@@ -206,7 +238,7 @@ impl Registry {
     /// reached).
     pub fn emit(&self, event: Event) {
         let mut events = mutex_lock(&self.inner.events);
-        if events.len() < EVENT_CAP {
+        if events.len() < self.inner.event_cap {
             events.push(event);
         } else {
             self.inner.events_dropped.fetch_add(1, Ordering::Relaxed);
@@ -237,7 +269,7 @@ impl Registry {
         {
             let mut events = mutex_lock(&self.inner.events);
             for event in &snap.events {
-                if events.len() < EVENT_CAP {
+                if events.len() < self.inner.event_cap {
                     events.push(event.clone());
                 } else {
                     self.inner.events_dropped.fetch_add(1, Ordering::Relaxed);

@@ -1,14 +1,51 @@
 //! Snapshot sinks: JSON-lines, Prometheus text exposition, in-memory.
 
+use std::error::Error;
+use std::fmt;
 use std::io::{self, Write};
 
 use crate::json;
 use crate::registry::Snapshot;
 
+/// Why an export failed. Every failure mode is a typed variant — no
+/// panic is reachable from any [`Sink::export`] path in this module.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExportError {
+    /// The sink's underlying writer failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::Io(e) => write!(f, "snapshot export failed on the sink's writer: {e}"),
+        }
+    }
+}
+
+impl Error for ExportError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExportError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ExportError {
+    fn from(e: io::Error) -> Self {
+        ExportError::Io(e)
+    }
+}
+
 /// Something that can receive a [`Snapshot`].
 pub trait Sink {
     /// Exports one snapshot.
-    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()>;
+    ///
+    /// # Errors
+    ///
+    /// A typed [`ExportError`]; sinks never panic on export.
+    fn export(&mut self, snapshot: &Snapshot) -> Result<(), ExportError>;
 }
 
 /// Renders a snapshot as JSON lines — one self-describing object per line:
@@ -131,9 +168,10 @@ impl<W: Write> JsonLinesSink<W> {
 }
 
 impl<W: Write> Sink for JsonLinesSink<W> {
-    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+    fn export(&mut self, snapshot: &Snapshot) -> Result<(), ExportError> {
         self.writer.write_all(to_json_lines(snapshot).as_bytes())?;
-        self.writer.flush()
+        self.writer.flush()?;
+        Ok(())
     }
 }
 
@@ -157,10 +195,11 @@ impl<W: Write> PrometheusSink<W> {
 }
 
 impl<W: Write> Sink for PrometheusSink<W> {
-    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+    fn export(&mut self, snapshot: &Snapshot) -> Result<(), ExportError> {
         self.writer
             .write_all(to_prometheus_text(snapshot).as_bytes())?;
-        self.writer.flush()
+        self.writer.flush()?;
+        Ok(())
     }
 }
 
@@ -188,7 +227,7 @@ impl InMemorySink {
 }
 
 impl Sink for InMemorySink {
-    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+    fn export(&mut self, snapshot: &Snapshot) -> Result<(), ExportError> {
         self.snapshots.push(snapshot.clone());
         Ok(())
     }
@@ -253,6 +292,24 @@ mod tests {
             String::from_utf8(bytes).unwrap(),
             to_json_lines(&sample_snapshot())
         );
+    }
+
+    #[test]
+    fn export_failure_is_a_typed_io_error() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonLinesSink::new(FailingWriter);
+        let err = sink.export(&sample_snapshot()).unwrap_err();
+        assert!(matches!(err, ExportError::Io(_)));
+        assert!(err.to_string().contains("snapshot export failed"));
+        assert!(Error::source(&err).is_some(), "source chain preserved");
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Concurrent event-log writers: the log is one serialisation point, so
+//! the merged order must stay consistent with every thread's program
+//! order, and the retention cap must account for every overflowing emit
+//! exactly once.
+
+use std::thread;
+
+use espread_telemetry::{Event, Registry};
+use proptest::prelude::*;
+
+/// Encodes (writer, sequence) into a `WindowMetrics` event so the merged
+/// log can be partitioned back per writer.
+fn tagged(writer: usize, seq: usize) -> Event {
+    Event::WindowMetrics {
+        window: seq as u64,
+        lost: writer,
+        window_len: 0,
+        clf: 0,
+    }
+}
+
+fn decode(event: &Event) -> (usize, u64) {
+    match event {
+        Event::WindowMetrics { window, lost, .. } => (*lost, *window),
+        other => panic!("unexpected event in log: {other:?}"),
+    }
+}
+
+proptest! {
+    /// Each writer emits its events in sequence order; whatever survives
+    /// in the merged log must preserve each writer's order, and with the
+    /// cap out of reach nothing is dropped.
+    #[test]
+    fn merged_log_preserves_every_writers_order(
+        counts in prop::collection::vec(0usize..200, 2..5),
+    ) {
+        let registry = Registry::new();
+        thread::scope(|scope| {
+            for (writer, &n) in counts.iter().enumerate() {
+                let registry = registry.clone();
+                scope.spawn(move || {
+                    for seq in 0..n {
+                        registry.emit(tagged(writer, seq));
+                    }
+                });
+            }
+        });
+        let snapshot = registry.snapshot();
+        prop_assert_eq!(snapshot.events_dropped, 0);
+        prop_assert_eq!(snapshot.events.len(), counts.iter().sum::<usize>());
+        for (writer, &n) in counts.iter().enumerate() {
+            let seqs: Vec<u64> = snapshot
+                .events
+                .iter()
+                .map(decode)
+                .filter(|&(w, _)| w == writer)
+                .map(|(_, seq)| seq)
+                .collect();
+            let expect: Vec<u64> = (0..n as u64).collect();
+            prop_assert_eq!(
+                seqs,
+                expect,
+                "writer {}'s events must appear complete and in program order",
+                writer
+            );
+        }
+    }
+
+    /// Overflow accounting is exact even under contention: retained
+    /// events never exceed the cap, and retained + dropped equals the
+    /// number of emits.
+    #[test]
+    fn overflow_increments_the_drop_counter_exactly(
+        cap in 0usize..64,
+        counts in prop::collection::vec(1usize..100, 2..5),
+    ) {
+        let registry = Registry::with_event_cap(cap);
+        prop_assert_eq!(registry.event_cap(), cap);
+        thread::scope(|scope| {
+            for (writer, &n) in counts.iter().enumerate() {
+                let registry = registry.clone();
+                scope.spawn(move || {
+                    for seq in 0..n {
+                        registry.emit(tagged(writer, seq));
+                    }
+                });
+            }
+        });
+        let total: usize = counts.iter().sum();
+        let snapshot = registry.snapshot();
+        prop_assert_eq!(snapshot.events.len(), total.min(cap));
+        prop_assert_eq!(
+            snapshot.events.len() as u64 + snapshot.events_dropped,
+            total as u64
+        );
+    }
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Gates the flight-recorder hot path against its committed baseline.
+#
+# Usage: scripts/check_bench_obs.sh [baseline.json] [fresh.json]
+#
+# Compares the record()/floor *ratio* (see bench_obs's docs — absolute
+# nanoseconds vary with the host, the ratio tracks only the recorder's
+# bookkeeping overhead) and fails when the fresh measurement regresses
+# more than 20% past the committed BENCH_obs.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=${1:-BENCH_obs.json}
+FRESH=${2:-results/bench_obs.json}
+[[ -s $BASELINE ]] || { echo "error: missing baseline $BASELINE" >&2; exit 1; }
+[[ -s $FRESH ]] || { echo "error: missing measurement $FRESH (run bench_obs first)" >&2; exit 1; }
+
+python3 - "$BASELINE" "$FRESH" <<'EOF'
+import json
+import sys
+
+baseline = json.load(open(sys.argv[1]))
+fresh = json.load(open(sys.argv[2]))
+base, new = baseline["ratio"], fresh["ratio"]
+limit = base * 1.20
+verdict = "ok" if new <= limit else "REGRESSION"
+print(
+    f"bench_obs ratio: committed {base:.3f}, fresh {new:.3f}, "
+    f"limit {limit:.3f} -> {verdict}"
+)
+sys.exit(0 if new <= limit else 1)
+EOF

@@ -67,6 +67,7 @@ else
     orthogonality_blocks ablation_adaptation ablation_timing
     ablation_loss_models extension_multi_burst extension_concealment
     extension_stochastic_orders movie_sweep net_loopback chaos_soak
+    timeline
   )
 fi
 for bin in "${bins[@]}"; do
@@ -79,6 +80,16 @@ if [[ $QUICK -eq 0 ]]; then
   echo "=== generate_report ==="
   cargo run --quiet --release -p espread-bench --bin generate_report -- --jobs "$JOBS" > /dev/null \
     || fail "generate_report exited non-zero"
+
+  # Every flight-recorder dump the soak and timeline binaries left in
+  # results/ must reconstruct cleanly: all residual losses attributed,
+  # no causality violations.
+  echo "=== timeline --check ==="
+  dumps=(results/timeline_*.jsonl)
+  [[ -s ${dumps[0]} ]] || fail "no flight-recorder dumps (timeline_*.jsonl) in results/"
+  cargo run --quiet --release -p espread-bench --bin timeline -- --check "${dumps[@]}" \
+    || fail "timeline reconstruction failed on recorded dumps"
+  echo "validated ${#dumps[@]} flight-recorder dump(s)"
 fi
 
 count=$(ls results/telemetry_*.json 2>/dev/null | wc -l)

@@ -22,6 +22,7 @@
 //! | [`protocol`] | the adaptive transmission protocol, retransmission, FEC, baselines |
 //! | [`net`] | the protocol over real UDP: wire codec, server/client, fault proxy |
 //! | [`cmt`] | a mini Continuous Media Toolkit with the IBO ↔ CPO plug point |
+//! | [`obs`] | causal flight recorder, session dumps, per-loss timeline attribution |
 //!
 //! # Quick start
 //!
@@ -54,6 +55,7 @@ pub use espread_cmt as cmt;
 pub use espread_core as core;
 pub use espread_net as net;
 pub use espread_netsim as netsim;
+pub use espread_obs as obs;
 pub use espread_poset as poset;
 pub use espread_protocol as protocol;
 pub use espread_qos as qos;
