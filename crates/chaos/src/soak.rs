@@ -285,6 +285,11 @@ fn raw_session(
         StreamSource::mpeg(&trace, s.gops_per_window, s.windows, false),
     );
     server_config.recorder = server_rec;
+    // One session per cell: a single shard suffices, and with many cells
+    // in flight an auto-sized worker pool per server would multiply
+    // threads for no coverage. (Shard count cannot affect the report —
+    // each session lives wholly on one shard.)
+    server_config.workers = 1;
     let mut server = match NetServer::bind("127.0.0.1:0", server_config) {
         Ok(server) => server,
         Err(e) => return (Err(e), ProxyStats::default()),

@@ -25,8 +25,23 @@ use crate::retry::RetryPolicy;
 use crate::telem::ClientTelem;
 use crate::wire::{self, Accept, CriticalNackMsg, Hello, Msg, WindowAckMsg, CONN_NONE};
 
-/// Socket poll granularity while streaming.
+/// Socket poll granularity. Set as the read timeout **once** at connect
+/// — all later deadlines are computed in userspace, so steady-state
+/// receives issue zero `set_read_timeout` syscalls (a receive may
+/// overshoot its deadline by at most one poll tick).
 const POLL: Duration = Duration::from_millis(10);
+
+/// The one sanctioned way to touch the socket's read timeout: every
+/// update is counted, so [`NetClientReport::timeout_updates`] acts as a
+/// strace-free regression guard against per-receive syscall churn.
+fn set_read_timeout_counted(
+    socket: &UdpSocket,
+    updates: &mut u64,
+    timeout: Duration,
+) -> io::Result<()> {
+    *updates += 1;
+    socket.set_read_timeout(Some(timeout))
+}
 
 /// Per-process handshake-nonce discriminator (the local port provides
 /// cross-process uniqueness).
@@ -89,6 +104,10 @@ pub struct NetClientReport {
     pub hello_retries: u32,
     /// Whether the server's `Bye` arrived (graceful close).
     pub saw_bye: bool,
+    /// `set_read_timeout` syscalls issued over the client's lifetime.
+    /// Exactly one (at connect): the poll timeout is set once and every
+    /// later deadline is computed in userspace.
+    pub timeout_updates: u64,
 }
 
 /// A connected (negotiated) client, ready to stream.
@@ -100,6 +119,7 @@ pub struct NetClient {
     config: NetClientConfig,
     telem: ClientTelem,
     hello_retries: u32,
+    timeout_updates: u64,
 }
 
 impl NetClient {
@@ -122,6 +142,8 @@ impl NetClient {
         };
         let socket = UdpSocket::bind((bind_ip, 0))?;
         socket.connect(server)?;
+        let mut timeout_updates = 0u64;
+        set_read_timeout_counted(&socket, &mut timeout_updates, POLL)?;
         let telem = ClientTelem::default_global();
         let nonce = (u64::from(socket.local_addr()?.port()) << 32)
             | NONCE_COUNTER.fetch_add(1, AtomicOrdering::Relaxed);
@@ -141,11 +163,11 @@ impl NetClient {
             send_on(&socket, &telem, CONN_NONE, &hello);
             let deadline = Instant::now() + config.retry.backoff(attempt);
             loop {
-                let remaining = deadline.saturating_duration_since(Instant::now());
-                if remaining.is_zero() {
+                // Userspace deadline; the fixed poll timeout bounds how
+                // long one recv can overshoot it.
+                if Instant::now() >= deadline {
                     break;
                 }
-                socket.set_read_timeout(Some(remaining.min(POLL)))?;
                 let len = match socket.recv(&mut buf) {
                     Ok(len) => len,
                     Err(e)
@@ -167,6 +189,7 @@ impl NetClient {
                             config,
                             telem,
                             hello_retries,
+                            timeout_updates,
                         });
                     }
                     Ok((_, Msg::Reject(reject))) if reject.nonce == nonce => {
@@ -263,18 +286,19 @@ impl NetClient {
             bytes_rx: st.bytes_rx,
             hello_retries: self.hello_retries,
             saw_bye: st.saw_bye,
+            timeout_updates: self.timeout_updates,
         })
     }
 
-    /// One timed receive; `None` on timeout.
+    /// One timed receive; `None` on timeout. The deadline is enforced in
+    /// userspace against the connect-time poll timeout — no
+    /// `set_read_timeout` syscall per receive (the old behaviour, one
+    /// syscall per datagram, is what [`NetClientReport::timeout_updates`]
+    /// guards against).
     fn recv(&self, buf: &mut [u8], deadline: Instant) -> Result<Option<usize>, NetError> {
-        let remaining = deadline.saturating_duration_since(Instant::now());
-        if remaining.is_zero() {
+        if Instant::now() >= deadline {
             return Ok(None);
         }
-        self.socket
-            .set_read_timeout(Some(remaining.min(POLL)))
-            .map_err(NetError::Io)?;
         match self.socket.recv(buf) {
             Ok(len) => {
                 self.telem.on_rx();

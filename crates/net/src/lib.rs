@@ -2,9 +2,11 @@
 //!
 //! Where `espread-protocol` runs the paper's §4 protocol against a
 //! simulated channel, this crate puts the same planner and observation
-//! machinery on the wire: a versioned binary codec ([`wire`]), a threaded
-//! multi-session server ([`server`]) that demuxes by connection id and
-//! closes every window with a retried `WindowEnd`/`WindowAck` exchange, a
+//! machinery on the wire: a versioned binary codec ([`wire`]), an
+//! event-loop multi-session server ([`server`]) whose fixed worker pool
+//! drives `poll()`-able session state machines over per-shard timer
+//! wheels ([`wheel`]), demuxing by connection id and
+//! closing every window with a retried `WindowEnd`/`WindowAck` exchange, a
 //! client ([`client`]) that un-permutes, measures per-layer loss bursts,
 //! and feeds them back in sequence-numbered ACKs, and a fault-injecting
 //! loopback proxy ([`proxy`]) whose seeded Gilbert–Elliott channel makes
@@ -55,7 +57,10 @@ pub mod obsrec;
 pub mod proxy;
 pub mod retry;
 pub mod server;
+mod session;
+mod shard;
 mod telem;
+pub mod wheel;
 pub mod wire;
 
 pub use client::{NetClient, NetClientConfig, NetClientReport};
@@ -65,4 +70,5 @@ pub use obsrec::SessionRecorder;
 pub use proxy::{FaultPolicy, FaultProxy, ProxyStats};
 pub use retry::RetryPolicy;
 pub use server::{NetServer, NetServerConfig};
-pub use wire::{decode, encode, try_encode, Msg, WireError};
+pub use wheel::{Fired, TimerWheel};
+pub use wire::{decode, encode, try_encode, try_encode_into, Msg, WireError};

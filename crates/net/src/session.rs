@@ -1,0 +1,635 @@
+//! A server session as a `poll()`-able state object.
+//!
+//! [`SessionCore`] is the window-pacing / `WindowAck`-retry /
+//! `CriticalNack` logic that used to live in a blocking per-session
+//! thread, rewritten as an explicit state machine the shard event loop
+//! drives with three entry points:
+//!
+//! * [`SessionCore::on_msg`] — a routed datagram arrived for this
+//!   connection;
+//! * [`SessionCore::on_timer`] — a [`TimerWheel`](crate::wheel) deadline
+//!   fired (ignored when its generation is stale, i.e. cancelled);
+//! * [`SessionCore::on_tick`] — the transmit pump: sends the next paced
+//!   batch of fragments when the session is mid-window.
+//!
+//! All waiting happens in the shard loop; nothing here blocks, sleeps,
+//! or owns a thread. Deadlines come from the same [`RetryPolicy`]
+//! schedules the threaded server used, so the retry/NACK behaviour on
+//! the wire is unchanged.
+
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use espread_protocol::{ProtocolConfig, Server, StreamSource, WindowFeedback, WindowPlan};
+
+use crate::obsrec::SessionRecorder;
+use crate::retry::RetryPolicy;
+use crate::telem::ServerTelem;
+use crate::wheel::TimerWheel;
+use crate::wire::{self, ByeReason, DataMsg, Msg, WindowEnd};
+
+/// Fragments sent per [`SessionCore::on_tick`] when pacing is disabled —
+/// bounds how long one session can monopolise its shard.
+const TICK_BATCH: usize = 64;
+
+/// Everything a session needs from its shard to make progress: the
+/// shared socket, the shard's timer wheel, a reusable encode buffer
+/// (the per-shard "buffer pool" — one allocation serves every send on
+/// the shard), and the loop's current time.
+pub(crate) struct Ctx<'a> {
+    pub now: Instant,
+    pub wheel: &'a mut TimerWheel,
+    pub socket: &'a UdpSocket,
+    pub scratch: &'a mut Vec<u8>,
+}
+
+/// What the shard should do with the session after an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Keep the session in the table.
+    Active,
+    /// The session ended (gracefully or not): remove and reap it.
+    Finished,
+}
+
+/// Where the session is in its lifecycle.
+#[derive(Debug)]
+enum Phase {
+    /// Accept sent; waiting for the client's `Begin` under one full
+    /// retry-schedule's worth of patience.
+    AwaitBegin,
+    /// Mid-window: the transmit pump is draining the plan's schedule.
+    Sending,
+    /// `WindowEnd` sent; waiting for the window's ACK under the retry
+    /// schedule, serving critical-NACK recovery rounds meanwhile.
+    AwaitAck { attempt: u32 },
+    /// `Bye` sent; waiting for `ByeAck` under the retry schedule.
+    Teardown { attempt: u32 },
+    /// Terminal.
+    Done,
+}
+
+/// Cursor into the current window's transmission schedule:
+/// `schedule[slot]`, fragment `frag` of that frame.
+#[derive(Debug, Clone, Copy)]
+struct SendCursor {
+    slot: usize,
+    frag: u16,
+}
+
+/// One connection's complete server-side state.
+pub(crate) struct SessionCore {
+    conn_id: u32,
+    peer: SocketAddr,
+    protocol: ProtocolConfig,
+    source: Arc<StreamSource>,
+    retry: RetryPolicy,
+    pace: Duration,
+    telem: ServerTelem,
+    obs: SessionRecorder,
+    epoch: Instant,
+    proto: Server,
+    phase: Phase,
+    /// Current arm-generation; a wheel entry with an older generation is
+    /// a cancelled timer and must be ignored.
+    timer_gen: u64,
+    window: usize,
+    plan: Option<WindowPlan>,
+    cursor: SendCursor,
+    next_send_at: Instant,
+}
+
+impl SessionCore {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        conn_id: u32,
+        peer: SocketAddr,
+        protocol: ProtocolConfig,
+        source: Arc<StreamSource>,
+        retry: RetryPolicy,
+        pace: Duration,
+        telem: ServerTelem,
+        obs: SessionRecorder,
+        epoch: Instant,
+    ) -> Self {
+        let proto = Server::new(&protocol, &source.poset);
+        SessionCore {
+            conn_id,
+            peer,
+            protocol,
+            source,
+            retry,
+            pace,
+            telem,
+            obs,
+            epoch,
+            proto,
+            phase: Phase::AwaitBegin,
+            timer_gen: 0,
+            window: 0,
+            plan: None,
+            cursor: SendCursor { slot: 0, frag: 0 },
+            next_send_at: epoch,
+        }
+    }
+
+    pub(crate) fn conn_id(&self) -> u32 {
+        self.conn_id
+    }
+
+    /// When the transmit pump next wants a tick; `None` outside the
+    /// sending phase. The shard uses this to size its sleep.
+    pub(crate) fn pending_send_at(&self) -> Option<Instant> {
+        match self.phase {
+            Phase::Sending => Some(self.next_send_at),
+            _ => None,
+        }
+    }
+
+    /// Arms the session's `Begin` deadline; called once, right after the
+    /// shard inserts the session.
+    pub(crate) fn start(&mut self, ctx: &mut Ctx<'_>) {
+        self.arm(ctx, ctx.now + self.retry.total_wait());
+    }
+
+    /// Replaces the live timer: the previous arm-generation goes stale
+    /// (cancelled) and a fresh deadline enters the wheel.
+    fn arm(&mut self, ctx: &mut Ctx<'_>, deadline: Instant) {
+        self.timer_gen += 1;
+        ctx.wheel.schedule(self.conn_id, self.timer_gen, deadline);
+    }
+
+    /// Cancels the live timer without arming a new one.
+    fn disarm(&mut self) {
+        self.timer_gen += 1;
+    }
+
+    fn elapsed_us(&self, now: Instant) -> u64 {
+        // Never 0: an echo of 0 marks "no RTT sample" on the ACK path.
+        (now.saturating_duration_since(self.epoch).as_micros() as u64).max(1)
+    }
+
+    /// Encodes into the shard's scratch buffer and sends. Oversize
+    /// messages are counted and dropped, never a panic — the peer's
+    /// retry machinery treats the gap as loss.
+    fn send(&self, ctx: &mut Ctx<'_>, msg: &Msg) {
+        if wire::try_encode_into(self.conn_id, msg, ctx.scratch).is_err() {
+            self.telem.on_encode_oversize();
+            self.obs.refused_msg(self.conn_id, msg);
+            return;
+        }
+        // Record before the bytes hit the socket, so a matching delivery
+        // on a shared clock can never timestamp earlier than its send.
+        self.obs.sent_msg(self.conn_id, msg);
+        let _ = ctx.socket.send_to(ctx.scratch, self.peer);
+        self.telem.on_tx(ctx.scratch.len());
+    }
+
+    fn window_end(&self, now: Instant, w: u64) -> Msg {
+        Msg::WindowEnd(WindowEnd {
+            window: w,
+            sent_at_us: self.elapsed_us(now),
+            last: w as usize + 1 == self.source.windows.len(),
+        })
+    }
+
+    /// Plans the current window and starts its transmit pump. Feedback
+    /// that arrived since the last plan is already folded into `proto`
+    /// by [`Self::feed`], exactly as the threaded server folded its
+    /// queue before planning.
+    fn begin_window(&mut self, ctx: &mut Ctx<'_>) {
+        self.disarm();
+        let plan = self.proto.plan_window(&self.source.poset);
+        let w = self.window as u64;
+        for (slot, sched) in plan.schedule.iter().enumerate() {
+            self.obs
+                .queued(self.conn_id, w, sched.frame as u32, slot as u32);
+        }
+        self.plan = Some(plan);
+        self.cursor = SendCursor { slot: 0, frag: 0 };
+        self.next_send_at = ctx.now;
+        self.phase = Phase::Sending;
+    }
+
+    /// Sends one fragment of the frame at schedule position `slot`.
+    fn send_fragment(&self, ctx: &mut Ctx<'_>, slot: usize, frag: u16, retransmit: bool) {
+        let Some(plan) = &self.plan else { return };
+        let sched = &plan.schedule[slot];
+        let w = self.window as u64;
+        let ldu = self.source.windows[self.window][sched.frame];
+        let packet = self.protocol.packet_bytes;
+        let frags_total = ldu.fragment_count(packet);
+        let payload_len = ldu.fragment_size(packet, frag) as u16;
+        self.send(
+            ctx,
+            &Msg::Data(DataMsg {
+                fragment: espread_protocol::Fragment {
+                    window: w,
+                    frame: sched.frame,
+                    frag,
+                    frags_total,
+                    layer: sched.layer,
+                    layer_slot: sched.layer_slot,
+                    retransmit,
+                },
+                ldu,
+                payload_len,
+            }),
+        );
+    }
+
+    /// The transmit pump: while in the sending phase and the pacing
+    /// clock allows, emit fragments (at most [`TICK_BATCH`] per call so
+    /// shard peers stay served). Closes the window with a `WindowEnd`
+    /// and arms the first ACK-retry deadline when the schedule runs dry.
+    pub(crate) fn on_tick(&mut self, ctx: &mut Ctx<'_>) -> Status {
+        if !matches!(self.phase, Phase::Sending) {
+            return Status::Active;
+        }
+        let mut budget = TICK_BATCH;
+        while budget > 0 && ctx.now >= self.next_send_at {
+            let Some(plan) = &self.plan else { break };
+            if self.cursor.slot >= plan.schedule.len() {
+                let w = self.window as u64;
+                let end = self.window_end(ctx.now, w);
+                self.send(ctx, &end);
+                self.phase = Phase::AwaitAck { attempt: 0 };
+                let backoff = self.retry.backoff(0);
+                self.arm(ctx, ctx.now + backoff);
+                return Status::Active;
+            }
+            let frame = plan.schedule[self.cursor.slot].frame;
+            let frags_total =
+                self.source.windows[self.window][frame].fragment_count(self.protocol.packet_bytes);
+            self.send_fragment(ctx, self.cursor.slot, self.cursor.frag, false);
+            self.cursor.frag += 1;
+            if self.cursor.frag >= frags_total {
+                self.cursor = SendCursor {
+                    slot: self.cursor.slot + 1,
+                    frag: 0,
+                };
+            }
+            if !self.pace.is_zero() {
+                self.next_send_at += self.pace;
+            }
+            budget -= 1;
+        }
+        Status::Active
+    }
+
+    /// Offers a routed message to the planner; ACKs also feed the RTT
+    /// histogram. Returns the window an ACK described, if any.
+    fn feed(&mut self, msg: &Msg, at: Instant) -> Option<u64> {
+        if let Msg::WindowAck(ack) = msg {
+            if ack.echo_us != 0 {
+                let at_us = at.saturating_duration_since(self.epoch).as_micros() as u64;
+                self.telem.rtt_us(at_us.saturating_sub(ack.echo_us));
+            }
+            self.obs.ack_received(self.conn_id, ack.window, ack.ack_seq);
+            self.proto.offer_ack(
+                ack.ack_seq,
+                WindowFeedback {
+                    window: ack.window,
+                    per_layer_burst: ack
+                        .per_layer_burst
+                        .iter()
+                        .map(|&b| usize::from(b))
+                        .collect(),
+                },
+            );
+            return Some(ack.window);
+        }
+        None
+    }
+
+    /// Moves past the current window: next window's plan, or teardown
+    /// after the last.
+    fn advance_window(&mut self, ctx: &mut Ctx<'_>) {
+        self.plan = None;
+        self.window += 1;
+        if self.window >= self.source.windows.len() {
+            self.start_teardown(ctx);
+        } else {
+            self.begin_window(ctx);
+        }
+    }
+
+    fn start_teardown(&mut self, ctx: &mut Ctx<'_>) {
+        self.phase = Phase::Teardown { attempt: 0 };
+        self.send(ctx, &Msg::Bye(ByeReason::Complete));
+        let backoff = self.retry.backoff(0);
+        self.arm(ctx, ctx.now + backoff);
+    }
+
+    /// Terminal transition shared by graceful teardown and exhausted
+    /// `Bye` retries (the threaded server also counted both as a
+    /// completed session).
+    fn finish_complete(&mut self) -> Status {
+        self.disarm();
+        self.phase = Phase::Done;
+        self.telem.on_session_complete();
+        Status::Finished
+    }
+
+    /// A routed control datagram for this connection.
+    pub(crate) fn on_msg(&mut self, msg: &Msg, at: Instant, ctx: &mut Ctx<'_>) -> Status {
+        match &self.phase {
+            Phase::AwaitBegin => {
+                if matches!(msg, Msg::Begin) {
+                    self.begin_window(ctx);
+                    return self.on_tick(ctx);
+                }
+                // Pre-Begin stragglers: ignore, as the threaded server did.
+                Status::Active
+            }
+            Phase::Sending => {
+                // ACKs for earlier windows fold into the estimators and
+                // are picked up at the next plan; NACKs here can only be
+                // stale (the client NACKs in response to a WindowEnd we
+                // have not sent yet).
+                let _ = self.feed(msg, at);
+                Status::Active
+            }
+            Phase::AwaitAck { .. } => {
+                let w = self.window as u64;
+                match msg {
+                    Msg::CriticalNack(nack) if nack.window == w => {
+                        let frames = self.source.windows[self.window].len();
+                        let missing: Vec<usize> = nack
+                            .missing
+                            .iter()
+                            .map(|&f| usize::from(f))
+                            .filter(|&f| f < frames)
+                            .collect();
+                        for frame in missing {
+                            self.telem.on_retransmission();
+                            self.obs.nack_received(self.conn_id, w, frame as u32);
+                            self.retransmit_frame(ctx, frame);
+                        }
+                        let end = self.window_end(ctx.now, w);
+                        self.send(ctx, &end);
+                        // The running backoff deadline keeps ticking; a
+                        // recovery round does not reset the retry budget.
+                        Status::Active
+                    }
+                    _ => {
+                        if let Some(acked) = self.feed(msg, at) {
+                            if acked >= w {
+                                self.disarm();
+                                self.advance_window(ctx);
+                                return self.on_tick(ctx);
+                            }
+                        }
+                        Status::Active
+                    }
+                }
+            }
+            Phase::Teardown { .. } => {
+                if matches!(msg, Msg::ByeAck) {
+                    return self.finish_complete();
+                }
+                let _ = self.feed(msg, at);
+                Status::Active
+            }
+            Phase::Done => Status::Finished,
+        }
+    }
+
+    /// Retransmits every fragment of `frame` (a critical-NACK round).
+    /// Recovery rounds are small and bounded, so they skip the pacing
+    /// clock rather than stall the shard.
+    fn retransmit_frame(&mut self, ctx: &mut Ctx<'_>, frame: usize) {
+        let Some(plan) = &self.plan else { return };
+        let Some(slot) = plan.schedule.iter().position(|s| s.frame == frame) else {
+            return;
+        };
+        let frags_total =
+            self.source.windows[self.window][frame].fragment_count(self.protocol.packet_bytes);
+        for frag in 0..frags_total {
+            self.send_fragment(ctx, slot, frag, true);
+        }
+    }
+
+    /// A wheel deadline fired. Stale generations are cancelled timers
+    /// (the window was acked, the phase moved on) and must do nothing.
+    pub(crate) fn on_timer(&mut self, gen: u64, ctx: &mut Ctx<'_>) -> Status {
+        if gen != self.timer_gen {
+            return Status::Active;
+        }
+        match self.phase {
+            Phase::AwaitBegin => {
+                self.telem.on_handshake_timeout();
+                self.phase = Phase::Done;
+                Status::Finished
+            }
+            Phase::Sending | Phase::Done => Status::Active,
+            Phase::AwaitAck { attempt } => {
+                let w = self.window as u64;
+                if attempt + 1 < self.retry.max_attempts {
+                    self.telem.on_retry();
+                    let end = self.window_end(ctx.now, w);
+                    self.send(ctx, &end);
+                    self.phase = Phase::AwaitAck {
+                        attempt: attempt + 1,
+                    };
+                    let backoff = self.retry.backoff(attempt + 1);
+                    self.arm(ctx, ctx.now + backoff);
+                    Status::Active
+                } else {
+                    // Retry budget spent: record the timeout and move on —
+                    // streaming must not stall forever on a dead peer.
+                    self.telem.on_ack_timeout();
+                    self.obs
+                        .ack_timeout(self.conn_id, w, self.retry.max_attempts);
+                    self.advance_window(ctx);
+                    self.on_tick(ctx)
+                }
+            }
+            Phase::Teardown { attempt } => {
+                if attempt + 1 < self.retry.max_attempts {
+                    self.telem.on_retry();
+                    self.send(ctx, &Msg::Bye(ByeReason::Complete));
+                    self.phase = Phase::Teardown {
+                        attempt: attempt + 1,
+                    };
+                    let backoff = self.retry.backoff(attempt + 1);
+                    self.arm(ctx, ctx.now + backoff);
+                    Status::Active
+                } else {
+                    self.finish_complete()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use espread_protocol::{ProtocolConfig, StreamSource};
+    use espread_trace::{Movie, MpegTrace};
+
+    fn source(windows: usize) -> Arc<StreamSource> {
+        let trace = MpegTrace::new(Movie::JurassicPark, 1);
+        Arc::new(StreamSource::mpeg(&trace, 1, windows, false))
+    }
+
+    struct Harness {
+        core: SessionCore,
+        wheel: TimerWheel,
+        socket: UdpSocket,
+        peer: UdpSocket,
+        scratch: Vec<u8>,
+    }
+
+    impl Harness {
+        fn new(windows: usize) -> Self {
+            let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+            let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
+            peer.set_read_timeout(Some(Duration::from_millis(200)))
+                .unwrap();
+            let epoch = Instant::now();
+            let core = SessionCore::new(
+                1,
+                peer.local_addr().unwrap(),
+                ProtocolConfig::paper(0.6, 1),
+                source(windows),
+                RetryPolicy::lan(),
+                Duration::ZERO,
+                ServerTelem::default_global(),
+                SessionRecorder::disabled(),
+                epoch,
+            );
+            Harness {
+                core,
+                wheel: TimerWheel::new(epoch, Duration::from_millis(1), 64),
+                socket,
+                peer,
+                scratch: Vec::new(),
+            }
+        }
+
+        fn ctx_call<R>(&mut self, f: impl FnOnce(&mut SessionCore, &mut Ctx<'_>) -> R) -> R {
+            let mut ctx = Ctx {
+                now: Instant::now(),
+                wheel: &mut self.wheel,
+                socket: &self.socket,
+                scratch: &mut self.scratch,
+            };
+            f(&mut self.core, &mut ctx)
+        }
+
+        /// Drains every datagram the core has sent to the peer socket.
+        fn drain(&self) -> Vec<Msg> {
+            let mut buf = vec![0u8; 65_536];
+            let mut out = Vec::new();
+            loop {
+                match self.peer.recv(&mut buf) {
+                    Ok(len) => {
+                        if let Ok((_, msg)) = wire::decode(&buf[..len]) {
+                            out.push(msg);
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn begin_starts_the_window_and_sends_the_whole_schedule() {
+        let mut h = Harness::new(1);
+        h.ctx_call(|c, ctx| c.start(ctx));
+        let status = h.ctx_call(|c, ctx| c.on_msg(&Msg::Begin, ctx.now, ctx));
+        assert_eq!(status, Status::Active);
+        // Pump until the WindowEnd goes out (pace is zero, batch-bounded).
+        for _ in 0..100 {
+            h.ctx_call(|c, ctx| c.on_tick(ctx));
+            if matches!(h.core.phase, Phase::AwaitAck { .. }) {
+                break;
+            }
+        }
+        let msgs = h.drain();
+        let data = msgs.iter().filter(|m| m.is_data()).count();
+        assert!(data > 0, "schedule fragments must flow");
+        assert!(
+            matches!(msgs.last(), Some(Msg::WindowEnd(e)) if e.window == 0 && e.last),
+            "window closes with a WindowEnd: {:?}",
+            msgs.last()
+        );
+    }
+
+    #[test]
+    fn stale_timer_generations_never_fire() {
+        let mut h = Harness::new(1);
+        h.ctx_call(|c, ctx| c.start(ctx));
+        let stale = h.core.timer_gen;
+        h.ctx_call(|c, ctx| c.on_msg(&Msg::Begin, ctx.now, ctx)); // cancels Begin timer
+        assert!(h.core.timer_gen > stale);
+        let status = h.ctx_call(|c, ctx| c.on_timer(stale, ctx));
+        assert_eq!(status, Status::Active);
+        assert!(
+            matches!(h.core.phase, Phase::Sending | Phase::AwaitAck { .. }),
+            "a cancelled Begin deadline must not kill a running session"
+        );
+    }
+
+    #[test]
+    fn begin_deadline_expiry_finishes_the_session() {
+        let mut h = Harness::new(1);
+        h.ctx_call(|c, ctx| c.start(ctx));
+        let gen = h.core.timer_gen;
+        let status = h.ctx_call(|c, ctx| c.on_timer(gen, ctx));
+        assert_eq!(status, Status::Finished);
+    }
+
+    #[test]
+    fn ack_retries_then_timeout_advances_to_teardown() {
+        let mut h = Harness::new(1);
+        h.ctx_call(|c, ctx| c.start(ctx));
+        h.ctx_call(|c, ctx| c.on_msg(&Msg::Begin, ctx.now, ctx));
+        for _ in 0..100 {
+            h.ctx_call(|c, ctx| c.on_tick(ctx));
+            if matches!(h.core.phase, Phase::AwaitAck { .. }) {
+                break;
+            }
+        }
+        let _ = h.drain();
+        // Exhaust the ACK retry schedule by firing each armed deadline.
+        let max = h.core.retry.max_attempts;
+        for _ in 0..max {
+            let gen = h.core.timer_gen;
+            h.ctx_call(|c, ctx| c.on_timer(gen, ctx));
+        }
+        assert!(
+            matches!(h.core.phase, Phase::Teardown { .. }),
+            "after the retry budget the single window times out into teardown"
+        );
+        let msgs = h.drain();
+        let ends = msgs
+            .iter()
+            .filter(|m| matches!(m, Msg::WindowEnd(_)))
+            .count();
+        assert_eq!(
+            ends,
+            (max - 1) as usize,
+            "one WindowEnd resend per retry attempt"
+        );
+        assert!(
+            msgs.iter().any(|m| matches!(m, Msg::Bye(_))),
+            "teardown opens with a Bye"
+        );
+    }
+
+    #[test]
+    fn bye_ack_completes_the_session() {
+        let mut h = Harness::new(1);
+        h.ctx_call(|c, ctx| c.start(ctx));
+        h.core.window = 1; // pretend the stream is done
+        h.ctx_call(|c, ctx| c.start_teardown(ctx));
+        let status = h.ctx_call(|c, ctx| c.on_msg(&Msg::ByeAck, ctx.now, ctx));
+        assert_eq!(status, Status::Finished);
+    }
+}

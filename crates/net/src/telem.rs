@@ -14,6 +14,8 @@ mod imp {
     pub(crate) struct ServerTelem {
         sessions: Counter,
         sessions_completed: Counter,
+        sessions_reaped: Counter,
+        handshake_evictions: Counter,
         datagrams_tx: Counter,
         datagrams_rx: Counter,
         bytes_tx: Counter,
@@ -32,6 +34,8 @@ mod imp {
             ServerTelem {
                 sessions: r.counter("net.server.sessions"),
                 sessions_completed: r.counter("net.server.sessions_completed"),
+                sessions_reaped: r.counter("net.server.sessions_reaped"),
+                handshake_evictions: r.counter("net.server.handshake_evictions"),
                 datagrams_tx: r.counter("net.server.datagrams_tx"),
                 datagrams_rx: r.counter("net.server.datagrams_rx"),
                 bytes_tx: r.counter("net.server.bytes_tx"),
@@ -53,6 +57,16 @@ mod imp {
         #[inline]
         pub(crate) fn on_session_complete(&self) {
             self.sessions_completed.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_session_reaped(&self) {
+            self.sessions_reaped.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_handshake_eviction(&self) {
+            self.handshake_evictions.inc();
         }
 
         #[inline]
@@ -242,6 +256,10 @@ mod imp {
         pub(crate) fn on_session(&self) {}
         #[inline(always)]
         pub(crate) fn on_session_complete(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_session_reaped(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_handshake_eviction(&self) {}
         #[inline(always)]
         pub(crate) fn on_tx(&self, _bytes: usize) {}
         #[inline(always)]

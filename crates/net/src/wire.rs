@@ -341,6 +341,22 @@ fn fits(field: &'static str, actual: usize, max: usize) -> Result<(), WireError>
 /// Returns [`WireError::Oversize`] naming the offending field — never
 /// silently truncates a list or narrows an index.
 pub fn try_encode(conn_id: u32, msg: &Msg) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(64);
+    try_encode_into(conn_id, msg, &mut out)?;
+    Ok(out)
+}
+
+/// Encodes `msg` into `out`, clearing it first — the reusable-buffer
+/// variant of [`try_encode`] for hot send paths (one scratch buffer per
+/// event loop instead of an allocation per datagram). `out` keeps its
+/// capacity across calls; on error it is left cleared.
+///
+/// # Errors
+///
+/// Returns [`WireError::Oversize`] naming the offending field — never
+/// silently truncates a list or narrows an index.
+pub fn try_encode_into(conn_id: u32, msg: &Msg, out: &mut Vec<u8>) -> Result<(), WireError> {
+    out.clear();
     match msg {
         Msg::Accept(a) => {
             fits("accept.layer_sizes", a.layer_sizes.len(), MAX_LAYERS)?;
@@ -360,7 +376,6 @@ pub fn try_encode(conn_id: u32, msg: &Msg) -> Result<Vec<u8>, WireError> {
         Msg::CriticalNack(n) => fits("critical_nack.missing", n.missing.len(), MAX_NACK_ENTRIES)?,
         Msg::Hello(_) | Msg::Begin | Msg::WindowEnd(_) | Msg::Bye(_) | Msg::ByeAck => {}
     }
-    let mut out = Vec::with_capacity(64);
     out.extend_from_slice(&MAGIC.to_be_bytes());
     out.push(VERSION);
     out.push(msg.type_byte());
@@ -435,7 +450,7 @@ pub fn try_encode(conn_id: u32, msg: &Msg) -> Result<Vec<u8>, WireError> {
             });
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Encodes `msg` for connection `conn_id` into a fresh datagram buffer.
@@ -1149,5 +1164,23 @@ mod tests {
     #[should_panic(expected = "oversize data.frame")]
     fn encode_panics_on_oversize_instead_of_truncating() {
         let _ = encode(1, &data_with_frame(MAX_FRAME_INDEX + 1));
+    }
+
+    /// One scratch buffer encodes every message type back-to-back,
+    /// byte-identical to the allocating path, and comes back cleared
+    /// (never half-written) after an oversize refusal.
+    #[test]
+    fn encode_into_reuses_one_buffer_across_messages() {
+        let mut buf = Vec::new();
+        for msg in all_messages() {
+            try_encode_into(3, &msg, &mut buf).expect("encode into");
+            assert_eq!(buf, try_encode(3, &msg).unwrap());
+            let (conn, decoded) = decode(&buf).expect("decode");
+            assert_eq!(conn, 3);
+            assert_eq!(decoded, msg);
+        }
+        let err = try_encode_into(1, &data_with_frame(MAX_FRAME_INDEX + 1), &mut buf);
+        assert!(err.is_err());
+        assert!(buf.is_empty());
     }
 }

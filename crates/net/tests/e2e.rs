@@ -293,6 +293,145 @@ fn telemetry_counts_the_session_and_exports_prometheus() {
     }
 }
 
+/// Regression (finished-session leak): the old thread-per-session server
+/// kept every completed session's worker handle and routing entry until
+/// shutdown. Churn a sequence of sessions through one server and assert
+/// the connection table returns to empty after each cohort — the new
+/// core must reap on session end, not at shutdown.
+#[test]
+fn finished_sessions_are_reaped_from_the_connection_table() {
+    const WINDOWS: usize = 2;
+    const CHURN: usize = 8;
+    let mut server = NetServer::bind("127.0.0.1:0", server_config(WINDOWS)).unwrap();
+    let addr = server.local_addr();
+    for round in 0..CHURN {
+        let config = NetClientConfig {
+            retry: quick_retry(),
+            ..NetClientConfig::default()
+        };
+        let client = NetClient::connect(addr, config).unwrap();
+        let report = client.stream().unwrap();
+        assert_eq!(report.windows_completed, WINDOWS, "round {round}");
+        assert!(report.saw_bye, "round {round}");
+        // The ByeAck has been sent, so the session is finished; give the
+        // shard a few poll ticks to reap it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while server.live_sessions() != 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            server.live_sessions(),
+            0,
+            "round {round}: completed session still in the connection table"
+        );
+    }
+    server.shutdown();
+}
+
+/// Regression (handshake-cache flood): the old demux cached every Hello
+/// nonce's reply forever. Flood the server with distinct never-completing
+/// handshakes (hostile capabilities, so no session spawns) and assert the
+/// TTL/LRU cache evicts — then prove the server still serves a real
+/// client afterwards.
+#[cfg(feature = "telemetry")]
+#[test]
+fn handshake_nonce_flood_is_bounded_by_the_cache_cap() {
+    use espread_net::wire::{self, Hello};
+    use espread_telemetry::{with_current, Registry};
+
+    const WINDOWS: usize = 2;
+    const FLOOD: u64 = 100;
+    const CAP: usize = 8;
+    let registry = Registry::new();
+    let snapshot = with_current(&registry, || {
+        let mut config = server_config(WINDOWS);
+        config.handshake_cap = CAP;
+        let mut server = NetServer::bind("127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr();
+        let flooder = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for nonce in 1..=FLOOD {
+            // A buffer of 1 byte fails negotiation: the server answers
+            // with a cached Reject and spawns nothing.
+            let hello = wire::encode(
+                wire::CONN_NONE,
+                &espread_net::Msg::Hello(Hello {
+                    nonce,
+                    buffer_bytes: 1,
+                    max_startup_delay_ms: 1,
+                    ordering: Ordering::spread(),
+                }),
+            );
+            flooder.send_to(&hello, addr).unwrap();
+        }
+        // Let the demux chew through the flood, then stream for real.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while registry
+            .snapshot()
+            .counter("net.server.handshake_evictions")
+            .unwrap_or(0)
+            < FLOOD - CAP as u64
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let client_config = NetClientConfig {
+            retry: quick_retry(),
+            ..NetClientConfig::default()
+        };
+        let client = NetClient::connect(addr, client_config).unwrap();
+        let report = client.stream().unwrap();
+        assert_eq!(report.windows_completed, WINDOWS);
+        server.shutdown();
+        registry.snapshot()
+    });
+    let evictions = snapshot
+        .counter("net.server.handshake_evictions")
+        .unwrap_or(0);
+    assert!(
+        evictions >= FLOOD - CAP as u64,
+        "a {FLOOD}-nonce flood against a {CAP}-slot cache must evict \
+         (saw {evictions} evictions) — unbounded handshake cache is back"
+    );
+    assert_eq!(
+        snapshot.counter("net.server.sessions"),
+        Some(1),
+        "the hostile flood must not have spawned sessions"
+    );
+}
+
+/// Regression (`set_read_timeout` churn): the old client issued one
+/// timeout syscall per receive. The whole session — handshake plus a
+/// lossy stream full of receives — must issue exactly one, at connect.
+#[test]
+fn steady_state_receives_issue_zero_timeout_updates() {
+    const WINDOWS: usize = 4;
+    let mut server = NetServer::bind("127.0.0.1:0", server_config(WINDOWS)).unwrap();
+    let mut proxy = FaultProxy::spawn(
+        server.local_addr(),
+        FaultPolicy::transparent().gilbert_data_loss(0.92, 0.6, 3),
+        FaultPolicy::transparent(),
+    )
+    .unwrap();
+    let config = NetClientConfig {
+        retry: quick_retry(),
+        ..NetClientConfig::default()
+    };
+    let client = NetClient::connect(proxy.client_addr(), config).unwrap();
+    let report = client.stream().unwrap();
+    proxy.shutdown();
+    server.shutdown();
+    assert_eq!(report.windows_completed, WINDOWS);
+    assert!(
+        report.datagrams_rx > 50,
+        "the stream exercised many receives (got {})",
+        report.datagrams_rx
+    );
+    assert_eq!(
+        report.timeout_updates, 1,
+        "every receive after connect must reuse the one poll timeout"
+    );
+}
+
 /// A stray datagram blizzard (wrong magic, truncated, hostile lengths)
 /// aimed at a live server does not disturb a concurrent session.
 #[test]

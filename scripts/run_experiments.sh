@@ -74,6 +74,14 @@ for bin in "${bins[@]}"; do
   run_bench "$bin" "$bin" "$bin"
 done
 if [[ $QUICK -eq 0 ]]; then
+  # Timing-derived artifact (sessions/sec, RTT percentiles) — excluded
+  # from the --quick determinism subset on purpose. The reduced wave
+  # matches the CI net-c10k job; the committed BENCH_net.json floor gates
+  # it.
+  run_bench net_c10k net_c10k net_c10k --sessions 200
+  scripts/check_bench_net.sh || fail "net_c10k regressed past BENCH_net.json"
+fi
+if [[ $QUICK -eq 0 ]]; then
   for pbad in 0.6 0.7; do
     run_bench fig8_network_loss "fig8_pbad_$pbad" "fig8_pbad_$pbad" --pbad "$pbad"
   done
