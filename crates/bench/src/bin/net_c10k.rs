@@ -30,7 +30,7 @@ use espread_exec::Json;
 use espread_net::{
     FaultPolicy, FaultProxy, NetClient, NetClientConfig, NetServer, NetServerConfig,
 };
-use espread_protocol::{ProtocolConfig, SessionOffer, StreamSource};
+use espread_protocol::{FecPolicy, ProtocolConfig, SessionOffer, StreamSource};
 use espread_trace::{GopPattern, Movie, MpegTrace};
 
 /// Short streams keep the bench about *session count*, not bytes.
@@ -153,6 +153,7 @@ fn main() {
         fps: 24,
         packet_bytes: 2048,
         max_frame_bytes: 62_776 / 8,
+        fec: FecPolicy::off(),
     };
     let mut config = NetServerConfig::new(
         ProtocolConfig::paper(P_BAD, 1),

@@ -19,7 +19,7 @@ use espread_exec::Json;
 use espread_net::{
     FaultPolicy, FaultProxy, NetClient, NetClientConfig, NetServer, NetServerConfig,
 };
-use espread_protocol::{Ordering, ProtocolConfig, SessionOffer, StreamSource};
+use espread_protocol::{FecPolicy, Ordering, ProtocolConfig, SessionOffer, StreamSource};
 use espread_trace::{GopPattern, Movie, MpegTrace};
 
 const WINDOWS: usize = 12;
@@ -46,6 +46,7 @@ fn run_once(name: &'static str, ordering: Ordering) -> Run {
         fps: 24,
         packet_bytes: 2048,
         max_frame_bytes: 62_776 / 8,
+        fec: FecPolicy::off(),
     };
     let config = NetServerConfig::new(
         ProtocolConfig::paper(P_BAD, 1),

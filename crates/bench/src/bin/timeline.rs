@@ -240,7 +240,7 @@ mod session {
         RetryPolicy, SessionRecorder,
     };
     use espread_obs::{all_to_json_lines, trio, DEFAULT_CAPACITY};
-    use espread_protocol::{ProtocolConfig, SessionOffer, StreamSource};
+    use espread_protocol::{FecPolicy, ProtocolConfig, SessionOffer, StreamSource};
     use espread_trace::{GopPattern, Movie, MpegTrace};
 
     /// Runs the recorded session; returns the client-measured per-window
@@ -255,6 +255,7 @@ mod session {
             fps: 24,
             packet_bytes: 2048,
             max_frame_bytes: 62_776 / 8,
+            fec: FecPolicy::off(),
         };
         let mut server_config = NetServerConfig::new(
             ProtocolConfig::paper(0.6, 1),

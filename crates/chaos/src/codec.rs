@@ -16,15 +16,15 @@
 
 use espread_core::BurstEstimator;
 use espread_net::wire::{
-    Accept, ByeReason, CriticalNackMsg, DataMsg, Hello, Reject, WindowAckMsg, WindowEnd,
-    MAX_BURST_ENTRIES, MAX_CRITICAL_FRAMES, MAX_FRAME_INDEX, MAX_LAYERS, MAX_NACK_ENTRIES,
-    MAX_REASON_BYTES,
+    Accept, ByeReason, CriticalNackMsg, DataMsg, Hello, ParityMember, ParityMsg, Reject,
+    WindowAckMsg, WindowEnd, MAX_BURST_ENTRIES, MAX_CRITICAL_FRAMES, MAX_FRAME_INDEX, MAX_LAYERS,
+    MAX_NACK_ENTRIES, MAX_PARITY_MEMBERS, MAX_REASON_BYTES,
 };
 use espread_net::{decode, try_encode, Msg, NetWindow, WireError};
 use espread_netsim::rng::DetRng;
 use espread_protocol::{
-    negotiate, ClientCapabilities, Fragment, Ldu, NegotiationError, Ordering, ProtocolConfig,
-    Server, SessionOffer, WindowFeedback,
+    negotiate, ClientCapabilities, FecPolicy, Fragment, Ldu, NegotiationError, Ordering,
+    ProtocolConfig, Server, SessionOffer, WindowFeedback,
 };
 use espread_trace::GopPattern;
 
@@ -89,6 +89,23 @@ fn data_with_frame(frame: usize) -> Msg {
         },
         ldu: Ldu::new(64),
         payload_len: 0,
+    })
+}
+
+fn parity_with(members: usize) -> Msg {
+    Msg::Parity(ParityMsg {
+        window: 1,
+        group: 2,
+        m: 2,
+        parity_index: 0,
+        shard_bytes: 64,
+        members: (0..members)
+            .map(|i| ParityMember {
+                frame: i as u16,
+                frag: 0,
+                frags_total: 1,
+            })
+            .collect(),
     })
 }
 
@@ -168,6 +185,14 @@ fn boundary_guard(v: &mut Vec<String>) {
         "critical_nack.missing",
     );
 
+    expect_roundtrip(v, "parity at 255 members", &parity_with(MAX_PARITY_MEMBERS));
+    expect_oversize(
+        v,
+        "parity at 256 members",
+        &parity_with(MAX_PARITY_MEMBERS + 1),
+        "parity.members",
+    );
+
     let reject = |n: usize| {
         Msg::Reject(Reject {
             nonce: 3,
@@ -194,7 +219,7 @@ fn random_ordering(rng: &mut DetRng) -> Ordering {
 
 /// A random message with every field inside its wire limit.
 fn random_msg(rng: &mut DetRng) -> Msg {
-    match rng.below(10) {
+    match rng.below(11) {
         0 => Msg::Hello(Hello {
             nonce: rng.next_u64(),
             buffer_bytes: rng.next_u64(),
@@ -251,6 +276,26 @@ fn random_msg(rng: &mut DetRng) -> Msg {
         } else {
             ByeReason::Aborted
         }),
+        9 => {
+            let m = 1 + rng.below(4) as u8;
+            Msg::Parity(ParityMsg {
+                window: rng.next_u64(),
+                group: rng.next_u64() as u32,
+                m,
+                parity_index: rng.below(u64::from(m)) as u8,
+                shard_bytes: rng.below(2048) as u16,
+                members: (0..1 + rng.below(8))
+                    .map(|_| {
+                        let frags_total = 1 + rng.below(4) as u16;
+                        ParityMember {
+                            frame: rng.next_u64() as u16,
+                            frag: rng.below(u64::from(frags_total)) as u16,
+                            frags_total,
+                        }
+                    })
+                    .collect(),
+            })
+        }
         _ => Msg::ByeAck,
     }
 }
@@ -270,7 +315,7 @@ fn random_roundtrip_guard(rng: &mut DetRng, v: &mut Vec<String>) {
 fn random_oversize_guard(rng: &mut DetRng, v: &mut Vec<String>) {
     for _ in 0..4 {
         let over = 1 + rng.below(64) as usize;
-        let (msg, field) = match rng.below(6) {
+        let (msg, field) = match rng.below(7) {
             0 => (data_with_frame(MAX_FRAME_INDEX + over), "data.frame"),
             1 => (accept_with(MAX_LAYERS + over, 1), "accept.layer_sizes"),
             2 => (
@@ -293,6 +338,7 @@ fn random_oversize_guard(rng: &mut DetRng, v: &mut Vec<String>) {
                 }),
                 "critical_nack.missing",
             ),
+            5 => (parity_with(MAX_PARITY_MEMBERS + over), "parity.members"),
             _ => (
                 Msg::Reject(Reject {
                     nonce: 0,
@@ -435,6 +481,7 @@ fn negotiation_guard(rng: &mut DetRng, v: &mut Vec<String>) {
         fps: 24,
         packet_bytes: 2048,
         max_frame_bytes: 62_776 / 8,
+        fec: FecPolicy::off(),
     };
     match negotiate(valid.clone(), ClientCapabilities::desktop()) {
         Ok(agreed) => {

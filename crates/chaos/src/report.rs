@@ -16,13 +16,23 @@ pub struct CompareOutcome {
     pub spread_clf: Vec<usize>,
     /// Per-window CLF under the in-order ordering, same realisation.
     pub inorder_clf: Vec<usize>,
+    /// Per-window CLF under spread + critical-layer FEC, same channel
+    /// seed (parity datagrams step the chain, so the realisation is
+    /// seed-matched rather than drop-for-drop identical).
+    pub fec_clf: Vec<usize>,
     /// Mean CLF under spread.
     pub spread_mean_clf: f64,
     /// Mean CLF under in-order.
     pub inorder_mean_clf: f64,
+    /// Mean CLF under spread + FEC; must not exceed `spread_mean_clf`.
+    pub fec_mean_clf: f64,
     /// Data datagrams the proxy's channel swallowed (identical for both
     /// orderings by construction — asserted as an invariant).
     pub dropped_data: u64,
+    /// Parity datagrams the channel swallowed on the FEC arm.
+    pub dropped_parity: u64,
+    /// Fragments the FEC arm's client repaired from parity.
+    pub fec_recovered: u64,
 }
 
 /// One cell's verdict: the schedule it ran, and every invariant it broke.
@@ -92,9 +102,16 @@ impl CellReport {
                     "inorder_clf",
                     Json::Array(c.inorder_clf.iter().map(|&v| Json::Int(v as i64)).collect()),
                 )
+                .push(
+                    "fec_clf",
+                    Json::Array(c.fec_clf.iter().map(|&v| Json::Int(v as i64)).collect()),
+                )
                 .push("spread_mean_clf", c.spread_mean_clf)
                 .push("inorder_mean_clf", c.inorder_mean_clf)
-                .push("dropped_data", c.dropped_data);
+                .push("fec_mean_clf", c.fec_mean_clf)
+                .push("dropped_data", c.dropped_data)
+                .push("dropped_parity", c.dropped_parity)
+                .push("fec_recovered", c.fec_recovered);
                 cell.push("compare", cmp)
             }
         };
@@ -162,9 +179,13 @@ mod tests {
                 compare: Some(CompareOutcome {
                     spread_clf: vec![0, 2],
                     inorder_clf: vec![0, 3],
+                    fec_clf: vec![0, 1],
                     spread_mean_clf: 1.0,
                     inorder_mean_clf: 1.5,
+                    fec_mean_clf: 0.5,
                     dropped_data: 9,
+                    dropped_parity: 2,
+                    fec_recovered: 3,
                 }),
                 trace: None,
             },
@@ -206,6 +227,8 @@ mod tests {
         assert!(text.contains("\"violations\": 2,"));
         assert!(text.contains("\"compare\": null"));
         assert!(text.contains("\"dropped_data\": 9"));
+        assert!(text.contains("\"fec_mean_clf\": 0.5"));
+        assert!(text.contains("\"fec_recovered\": 3"));
         assert!(text.contains("\"trace\": null"));
         assert!(text.contains("\"trace\": \"results/timeline_seed13.jsonl\""));
         // A clean soak renders the exact token the CI gate greps for.

@@ -21,7 +21,7 @@ use espread_net::{
     FaultProxy, NetClient, NetClientConfig, NetClientReport, NetError, NetServer, NetServerConfig,
     ProxyStats, RetryPolicy, SessionRecorder,
 };
-use espread_protocol::{Ordering, ProtocolConfig, SessionOffer, StreamSource};
+use espread_protocol::{FecPolicy, FecScope, Ordering, ProtocolConfig, SessionOffer, StreamSource};
 use espread_trace::{GopPattern, Movie, MpegTrace};
 
 use crate::codec;
@@ -147,18 +147,35 @@ fn e2e_stage(s: &FaultSchedule) -> (Vec<String>, Option<CompareOutcome>, String)
     }
 }
 
+/// The FEC geometry compare cells run their third arm under: every
+/// fourth critical-path datagram earns a Cauchy parity pair, so bursts
+/// of up to two inside a group are repaired without a retransmission.
+fn compare_fec() -> FecPolicy {
+    FecPolicy::rs(FecScope::Critical, 4, 2)
+}
+
 /// Compare regime: both orderings over the identical channel
 /// realisation; completion, conservation, matched drops, and the
-/// paper's headline inequality are all hard invariants.
+/// paper's headline inequality are all hard invariants. A third arm
+/// streams spread+FEC from the same channel seed and must do no worse
+/// than pure spreading: parity datagrams step the Gilbert chain too, so
+/// its realisation is seed-matched rather than drop-for-drop identical,
+/// and the inequality is validated per seed in [`DEFAULT_SEEDS`].
 fn compare_cell(s: &FaultSchedule) -> (Vec<String>, Option<CompareOutcome>, String) {
     let (spread, spread_stats, mut v, mut dump) =
-        scoped_session(s, Ordering::spread(), 0, "spread");
-    let (inorder, inorder_stats, v2, dump2) = scoped_session(s, Ordering::InOrder, 1, "inorder");
+        scoped_session(s, Ordering::spread(), FecPolicy::off(), 0, "spread");
+    let (inorder, inorder_stats, v2, dump2) =
+        scoped_session(s, Ordering::InOrder, FecPolicy::off(), 1, "inorder");
     v.extend(v2);
     dump.push_str(&dump2);
+    let (fec, fec_stats, v3, dump3) =
+        scoped_session(s, Ordering::spread(), compare_fec(), 2, "spread+fec");
+    v.extend(v3);
+    dump.push_str(&dump3);
     let spread = expect_complete(s, spread, &spread_stats, "spread", &mut v);
     let inorder = expect_complete(s, inorder, &inorder_stats, "inorder", &mut v);
-    let (Some(spread), Some(inorder)) = (spread, inorder) else {
+    let fec = expect_complete(s, fec, &fec_stats, "spread+fec", &mut v);
+    let (Some(spread), Some(inorder), Some(fec)) = (spread, inorder, fec) else {
         return (v, None, dump);
     };
 
@@ -171,14 +188,24 @@ fn compare_cell(s: &FaultSchedule) -> (Vec<String>, Option<CompareOutcome>, Stri
     let outcome = CompareOutcome {
         spread_clf: spread.series.clf_values().collect(),
         inorder_clf: inorder.series.clf_values().collect(),
+        fec_clf: fec.series.clf_values().collect(),
         spread_mean_clf: spread.series.summary().mean_clf,
         inorder_mean_clf: inorder.series.summary().mean_clf,
+        fec_mean_clf: fec.series.summary().mean_clf,
         dropped_data: spread_stats.dropped_data,
+        dropped_parity: fec_stats.dropped_parity,
+        fec_recovered: fec.fec_recovered,
     };
     if outcome.spread_mean_clf > outcome.inorder_mean_clf {
         v.push(format!(
             "spread mean CLF {} exceeds in-order {} on the identical realisation",
             outcome.spread_mean_clf, outcome.inorder_mean_clf
+        ));
+    }
+    if outcome.fec_mean_clf > outcome.spread_mean_clf {
+        v.push(format!(
+            "spread+FEC mean CLF {} exceeds pure spreading {} on the matched channel seed",
+            outcome.fec_mean_clf, outcome.spread_mean_clf
         ));
     }
     (v, Some(outcome), dump)
@@ -188,7 +215,8 @@ fn compare_cell(s: &FaultSchedule) -> (Vec<String>, Option<CompareOutcome>, Stri
 /// machinery must deliver a complete, zero-CLF stream through every
 /// dropped, duplicated, and reordered control datagram.
 fn control_cell(s: &FaultSchedule) -> (Vec<String>, String) {
-    let (result, stats, mut v, dump) = scoped_session(s, Ordering::spread(), 0, "control");
+    let (result, stats, mut v, dump) =
+        scoped_session(s, Ordering::spread(), FecPolicy::off(), 0, "control");
     if let Some(report) = expect_complete(s, result, &stats, "control", &mut v) {
         let mean = report.series.summary().mean_clf;
         if mean != 0.0 {
@@ -208,7 +236,8 @@ fn control_cell(s: &FaultSchedule) -> (Vec<String>, String) {
 /// error or completion (the isolate watchdog catches panics and stalls
 /// upstream of here), with the proxy's books balanced.
 fn full_cell(s: &FaultSchedule) -> (Vec<String>, String) {
-    let (result, stats, mut v, dump) = scoped_session(s, Ordering::spread(), 0, "full");
+    let (result, stats, mut v, dump) =
+        scoped_session(s, Ordering::spread(), FecPolicy::off(), 0, "full");
     match result {
         Ok(_) | Err(_) => {} // any typed outcome is acceptable
     }
@@ -267,6 +296,7 @@ fn quick_retry() -> RetryPolicy {
 fn raw_session(
     s: &FaultSchedule,
     ordering: Ordering,
+    fec: FecPolicy,
     recorders: [SessionRecorder; 3],
 ) -> (Result<NetClientReport, NetError>, ProxyStats) {
     let [server_rec, proxy_rec, client_rec] = recorders;
@@ -278,6 +308,7 @@ fn raw_session(
         fps: 24,
         packet_bytes: 2048,
         max_frame_bytes: 62_776 / 8,
+        fec,
     };
     let mut server_config = NetServerConfig::new(
         ProtocolConfig::paper(0.6, 1),
@@ -333,6 +364,7 @@ fn raw_session(
 fn scoped_session(
     s: &FaultSchedule,
     ordering: Ordering,
+    fec: FecPolicy,
     session_tag: u32,
     tag: &str,
 ) -> (
@@ -351,7 +383,7 @@ fn scoped_session(
         SessionRecorder::attached(crec.clone()),
     ];
     let registry = Registry::new();
-    let (result, stats) = with_current(&registry, || raw_session(s, ordering, recorders));
+    let (result, stats) = with_current(&registry, || raw_session(s, ordering, fec, recorders));
     let snapshot = registry.snapshot();
     let mut v = Vec::new();
     for (name, book) in [
@@ -362,7 +394,7 @@ fn scoped_session(
         ("net.proxy.truncated", stats.truncated),
         (
             "net.proxy.dropped",
-            stats.dropped_data + stats.dropped_control,
+            stats.dropped_data + stats.dropped_control + stats.dropped_parity,
         ),
     ] {
         let counted = snapshot.counter(name).unwrap_or(0);
@@ -372,24 +404,40 @@ fn scoped_session(
             ));
         }
     }
+    if let Ok(report) = &result {
+        // The registry's FEC counters and the client's report are two
+        // accounts of the same recoveries (both 0 on FEC-off arms).
+        let counted = snapshot.counter("net.fec.recovered").unwrap_or(0);
+        if counted != report.fec_recovered {
+            v.push(format!(
+                "telemetry net.fec.recovered={counted} disagrees with the client report {}",
+                report.fec_recovered
+            ));
+        }
+    }
 
     let recordings = vec![srec.recording(), prec.recording(), crec.recording()];
-    let timeline = reconstruct(&recordings);
-    for viol in &timeline.violations {
-        v.push(format!("{tag}: timeline: {viol}"));
-    }
-    if let Ok(report) = &result {
-        if report.windows_completed == s.windows {
-            let measured: Vec<usize> = report.series.clf_values().collect();
-            let reconstructed: Vec<usize> = timeline
-                .sessions
-                .iter()
-                .flat_map(espread_obs::SessionTimeline::clf_values)
-                .collect();
-            if reconstructed != measured {
-                v.push(format!(
-                    "{tag}: timeline CLF {reconstructed:?} disagrees with the                      client-measured {measured:?}"
-                ));
+    // Parity repairs are invisible to the flight recorder's wire events
+    // (a recovered fragment was never *received*), so the reconstructed
+    // timeline only has to agree with the client on FEC-off arms.
+    if !fec.enabled() {
+        let timeline = reconstruct(&recordings);
+        for viol in &timeline.violations {
+            v.push(format!("{tag}: timeline: {viol}"));
+        }
+        if let Ok(report) = &result {
+            if report.windows_completed == s.windows {
+                let measured: Vec<usize> = report.series.clf_values().collect();
+                let reconstructed: Vec<usize> = timeline
+                    .sessions
+                    .iter()
+                    .flat_map(espread_obs::SessionTimeline::clf_values)
+                    .collect();
+                if reconstructed != measured {
+                    v.push(format!(
+                        "{tag}: timeline CLF {reconstructed:?} disagrees with the                      client-measured {measured:?}"
+                    ));
+                }
             }
         }
     }
@@ -402,6 +450,7 @@ fn scoped_session(
 fn scoped_session(
     s: &FaultSchedule,
     ordering: Ordering,
+    fec: FecPolicy,
     _session_tag: u32,
     _tag: &str,
 ) -> (
@@ -415,7 +464,7 @@ fn scoped_session(
         SessionRecorder::disabled(),
         SessionRecorder::disabled(),
     ];
-    let (result, stats) = raw_session(s, ordering, recorders);
+    let (result, stats) = raw_session(s, ordering, fec, recorders);
     (result, stats, Vec::new(), String::new())
 }
 

@@ -1,0 +1,174 @@
+//! GF(256) arithmetic on precomputed log/exp tables.
+//!
+//! The field is GF(2^8) with the AES-adjacent primitive polynomial
+//! `x^8 + x^4 + x^3 + x^2 + 1` (0x11d) and generator 2. Both tables are
+//! built by a `const fn` at compile time, so the module needs neither
+//! heap nor startup work — it is `core`-only and no_std-friendly.
+//!
+//! Addition and subtraction are both XOR (characteristic 2);
+//! multiplication is a double table lookup with the exp table extended
+//! to 510 entries so the summed logs never need a modulo.
+
+/// Primitive polynomial for the field, reduced modulo x^8.
+const POLY: u16 = 0x11d;
+
+const fn build_tables() -> ([u8; 256], [u8; 512]) {
+    let mut exp = [0u8; 512];
+    let mut log = [0u8; 256];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    // Mirror the cycle so `exp[log a + log b]` (max 508) never wraps.
+    let mut j = 255;
+    while j < 510 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (log, exp)
+}
+
+const TABLES: ([u8; 256], [u8; 512]) = build_tables();
+
+/// `log` table: `LOG[a]` is the discrete log of `a` base 2 (`LOG[0]` is
+/// unused — zero has no logarithm).
+pub const LOG: [u8; 256] = TABLES.0;
+
+/// Doubled `exp` table: `EXP[i] = 2^(i mod 255)` for `i < 510`.
+pub const EXP: [u8; 512] = TABLES.1;
+
+/// Field addition (== subtraction): XOR.
+#[inline]
+#[must_use]
+pub const fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication via the log/exp tables.
+#[inline]
+#[must_use]
+pub const fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics on `inv(0)` — zero is not invertible; callers guarantee
+/// nonzero arguments (Cauchy entries are nonzero by construction).
+#[inline]
+#[must_use]
+pub const fn inv(a: u8) -> u8 {
+    assert!(a != 0, "gf256: inverse of zero");
+    EXP[255 - LOG[a as usize] as usize]
+}
+
+/// Field division `a / b`.
+///
+/// # Panics
+///
+/// Panics when `b == 0`.
+#[inline]
+#[must_use]
+pub const fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// `dst[i] ^= c * src[i]` for every byte — the erasure coder's one hot
+/// loop. `c == 0` is a no-op and `c == 1` degenerates to pure XOR (the
+/// path every `m = 1` group takes), so neither touches the tables.
+#[inline]
+pub fn addmul(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    match c {
+        0 => {}
+        1 => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= *s;
+            }
+        }
+        _ => {
+            let log_c = LOG[c as usize] as usize;
+            for (d, s) in dst.iter_mut().zip(src) {
+                if *s != 0 {
+                    *d ^= EXP[log_c + LOG[*s as usize] as usize];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_consistent() {
+        for a in 1..=255u8 {
+            assert_eq!(EXP[LOG[a as usize] as usize], a);
+        }
+        // 255 distinct nonzero powers: the generator really is primitive.
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            assert!(!seen[EXP[i] as usize], "2^{i} repeats");
+            seen[EXP[i] as usize] = true;
+        }
+    }
+
+    #[test]
+    fn field_axioms_hold_exhaustively() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            if a != 0 {
+                assert_eq!(mul(a, inv(a)), 1);
+                assert_eq!(div(a, a), 1);
+            }
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul(b, a));
+                // Distributivity over a fixed third operand.
+                assert_eq!(mul(add(a, b), 7), add(mul(a, 7), mul(b, 7)));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_is_associative_on_a_grid() {
+        for &a in &[0u8, 1, 2, 3, 29, 76, 143, 254, 255] {
+            for &b in &[0u8, 1, 5, 83, 200, 255] {
+                for &c in &[1u8, 2, 91, 255] {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn addmul_matches_scalar_loop() {
+        let src: Vec<u8> = (0..64).map(|i| (i * 37 + 11) as u8).collect();
+        for &c in &[0u8, 1, 2, 87, 255] {
+            let mut dst: Vec<u8> = (0..64).map(|i| (i * 5 + 3) as u8).collect();
+            let expect: Vec<u8> = dst.iter().zip(&src).map(|(&d, &s)| d ^ mul(c, s)).collect();
+            addmul(&mut dst, &src, c);
+            assert_eq!(dst, expect, "c = {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn zero_has_no_inverse() {
+        let _ = inv(0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Cross-validation against the structural simulator.
+//!
+//! `espread-protocol`'s `fec` module models XOR parity by member lists
+//! and never moves a payload byte; this crate moves the bytes. The
+//! netsim taxonomy experiments lean on the structural model, so the two
+//! must agree wherever their semantics overlap (`m = 1`): identical
+//! fragment streams from a lossless run must produce the same parity
+//! groups, the same parity count, and — under every erasure pattern a
+//! single XOR parity can face — the same recoverability verdicts.
+
+use espread_fec::{Codec, FecError, Scratch};
+use espread_protocol::fec::{apply_fec_recovery, FecEncoder, FragmentKey, ParityPacket};
+use espread_protocol::packetize::{Fragment, Ldu, Reassembly};
+
+const K: usize = 4;
+const FRAMES: usize = 14; // three full groups of K plus a partial tail
+
+/// The transmission-order fragment stream both sides consume: one
+/// fragment per frame, deterministic payload sizes.
+fn stream() -> Vec<(Fragment, u32)> {
+    (0..FRAMES)
+        .map(|frame| {
+            let fragment = Fragment {
+                window: 0,
+                frame,
+                frag: 0,
+                frags_total: 1,
+                layer: 0,
+                layer_slot: 0,
+                retransmit: false,
+            };
+            (fragment, 100 + (frame as u32 * 37) % 200)
+        })
+        .collect()
+}
+
+/// Deterministic payload bytes for one frame, zero-padded to `width`
+/// (the group's XOR width, exactly the server's `shard_bytes` rule).
+fn payload(frame: usize, len: u32, width: usize) -> Vec<u8> {
+    let mut bytes: Vec<u8> = (0..len)
+        .map(|i| (frame as u8).wrapping_mul(31) ^ i as u8)
+        .collect();
+    bytes.resize(width, 0);
+    bytes
+}
+
+/// Feeds the stream to the structural encoder; returns its parities.
+fn structural_parities() -> Vec<ParityPacket> {
+    let mut enc = FecEncoder::new(0, K as u16);
+    let mut parities = Vec::new();
+    for (fragment, size) in stream() {
+        parities.extend(enc.push(&fragment, size));
+    }
+    parities.extend(enc.flush());
+    parities
+}
+
+/// The byte side's grouping of the same stream: chunks of `K` in push
+/// order, a partial tail group last.
+fn byte_groups() -> Vec<Vec<(Fragment, u32)>> {
+    stream().chunks(K).map(<[_]>::to_vec).collect()
+}
+
+#[test]
+fn group_membership_and_parity_count_agree() {
+    let parities = structural_parities();
+    let groups = byte_groups();
+    assert_eq!(parities.len(), groups.len(), "parity count diverged");
+    for (parity, group) in parities.iter().zip(&groups) {
+        let structural: Vec<FragmentKey> = parity.members.clone();
+        let byte_side: Vec<FragmentKey> = group.iter().map(|(f, _)| f.into()).collect();
+        assert_eq!(structural, byte_side, "group {} membership", parity.group);
+        let width = group.iter().map(|&(_, size)| size).max().unwrap();
+        assert_eq!(parity.size_bytes, width, "group {} XOR width", parity.group);
+    }
+}
+
+/// Byte-level verdict for one group under an erasure set: recovered
+/// fragment count, with recovered bytes checked against the originals.
+fn byte_verdict(group: &[(Fragment, u32)], erased: &[usize]) -> usize {
+    let k = group.len();
+    let width = group.iter().map(|&(_, size)| size).max().unwrap() as usize;
+    let codec = Codec::new(k, 1).unwrap();
+    let originals: Vec<Vec<u8>> = group
+        .iter()
+        .map(|&(f, size)| payload(f.frame, size, width))
+        .collect();
+    let mut parity = vec![Vec::new()];
+    codec.encode_into(&originals, &mut parity).unwrap();
+
+    let mut data = originals.clone();
+    let mut present = vec![true; k];
+    for &j in erased {
+        data[j].clear();
+        present[j] = false;
+    }
+    let mut scratch = Scratch::new();
+    match codec.recover_into(width, &mut data, &present, &parity, &[true], &mut scratch) {
+        Ok(n) => {
+            assert_eq!(
+                data, originals,
+                "recovered bytes differ from the lossless run"
+            );
+            n
+        }
+        Err(FecError::TooManyErasures { .. }) => 0,
+        Err(e) => panic!("unexpected codec error: {e:?}"),
+    }
+}
+
+/// Structural verdict for the whole window under an erasure set: feeds
+/// the surviving fragments to a real `Reassembly` and lets the
+/// simulator repair what XOR semantics allow.
+fn structural_verdict(erased: &[FragmentKey]) -> usize {
+    let ldus: Vec<Ldu> = stream().iter().map(|&(_, size)| Ldu::new(size)).collect();
+    let mut reassembly = Reassembly::new(&ldus, 2048);
+    let mut received = Vec::new();
+    for (fragment, _) in stream() {
+        let key = FragmentKey::from(&fragment);
+        if !erased.contains(&key) {
+            reassembly.accept(&fragment);
+            received.push(key);
+        }
+    }
+    let recovered = apply_fec_recovery(&mut reassembly, &mut received, &structural_parities());
+    for frame in 0..FRAMES {
+        assert!(
+            reassembly.is_complete(frame) || erased.iter().any(|k| k.frame == frame),
+            "frame {frame} incomplete though never erased"
+        );
+    }
+    recovered
+}
+
+#[test]
+fn single_erasure_verdicts_agree() {
+    let groups = byte_groups();
+    for group in &groups {
+        for j in 0..group.len() {
+            let key = FragmentKey::from(&group[j].0);
+            let structural = structural_verdict(&[key]);
+            let byte_level = byte_verdict(group, &[j]);
+            assert_eq!(structural, 1, "XOR repairs any single loss");
+            assert_eq!(structural, byte_level, "verdicts diverged for {key:?}");
+        }
+    }
+}
+
+#[test]
+fn double_erasure_within_a_group_is_unrecoverable_on_both_sides() {
+    let groups = byte_groups();
+    for group in &groups {
+        for a in 0..group.len() {
+            for b in a + 1..group.len() {
+                let keys = [
+                    FragmentKey::from(&group[a].0),
+                    FragmentKey::from(&group[b].0),
+                ];
+                let structural = structural_verdict(&keys);
+                let byte_level = byte_verdict(group, &[a, b]);
+                assert_eq!(structural, 0, "one XOR parity cannot repair two losses");
+                assert_eq!(structural, byte_level, "verdicts diverged for {keys:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn double_erasure_across_groups_recovers_on_both_sides() {
+    let groups = byte_groups();
+    // One loss in each of the first two groups: independent parities, so
+    // both sides must repair both.
+    let keys = [
+        FragmentKey::from(&groups[0][1].0),
+        FragmentKey::from(&groups[1][2].0),
+    ];
+    assert_eq!(structural_verdict(&keys), 2);
+    assert_eq!(byte_verdict(&groups[0], &[1]), 1);
+    assert_eq!(byte_verdict(&groups[1], &[2]), 1);
+}

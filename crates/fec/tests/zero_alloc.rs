@@ -1,0 +1,109 @@
+//! Proves the codec's steady-state encode/recover path never touches
+//! the heap.
+//!
+//! Same pattern as `crates/obs/tests/zero_alloc.rs`: a counting
+//! `#[global_allocator]` wraps the system allocator; after one warm-up
+//! group has sized the scratch buffers, a thousand further groups —
+//! encode, erase, recover — must perform **zero** allocations, because
+//! every buffer (parity outputs, syndromes, the elimination matrix, the
+//! recovered shards) is resized within retained capacity.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use espread_fec::{Codec, Scratch};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Only the test thread's allocations count — libtest's own threads
+    /// (output capture, timing) may allocate during the measured window.
+    static MEASURED: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count() {
+    // `try_with`: the allocator can be called during TLS teardown.
+    let _ = MEASURED.try_with(|m| {
+        if m.get() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const K: usize = 6;
+const M: usize = 3;
+const SHARD: usize = 512;
+
+fn run_group(
+    codec: &Codec,
+    round: u64,
+    data: &mut [Vec<u8>],
+    parity: &mut [Vec<u8>],
+    scratch: &mut Scratch,
+) {
+    for (j, shard) in data.iter_mut().enumerate() {
+        shard.clear();
+        shard.extend((0..SHARD).map(|i| (i as u8) ^ (j as u8) ^ (round as u8)));
+    }
+    codec.encode_into(data, parity).unwrap();
+    // Erase a round-dependent set of up to M shards and recover them.
+    let mut present = [true; K];
+    for i in 0..M {
+        present[(round as usize + i * 2) % K] = false;
+    }
+    let recovered = codec
+        .recover_into(SHARD, data, &present, parity, &[true; M], scratch)
+        .unwrap();
+    assert_eq!(recovered, M);
+}
+
+#[test]
+fn steady_state_encode_and_recover_allocate_nothing() {
+    let codec = Codec::new(K, M).unwrap();
+    let mut scratch = Scratch::new();
+    let mut data: Vec<Vec<u8>> = (0..K).map(|_| Vec::with_capacity(SHARD)).collect();
+    let mut parity: Vec<Vec<u8>> = (0..M).map(|_| Vec::with_capacity(SHARD)).collect();
+
+    // Warm up: the first group grows the parity outputs and the
+    // syndrome/matrix scratch exactly once.
+    run_group(&codec, 0, &mut data, &mut parity, &mut scratch);
+
+    MEASURED.with(|m| m.set(true));
+    for round in 1..1001 {
+        run_group(&codec, round, &mut data, &mut parity, &mut scratch);
+    }
+    MEASURED.with(|m| m.set(false));
+
+    assert_eq!(
+        ALLOCATIONS.load(Ordering::SeqCst),
+        0,
+        "encode/recover allocated on the steady-state path"
+    );
+}

@@ -98,6 +98,13 @@ pub struct NetClientReport {
     pub nacks_sent: u64,
     /// Datagrams received (including undecodable ones).
     pub datagrams_rx: u64,
+    /// `Data` datagrams received. With recovery off this is a pure
+    /// function of the channel realisation (each fragment is sent
+    /// exactly once), unlike `datagrams_rx`, whose control-plane share
+    /// depends on wall-clock retry cadence.
+    pub data_rx: u64,
+    /// `Parity` datagrams received (same determinism property).
+    pub parity_rx: u64,
     /// Bytes received.
     pub bytes_rx: u64,
     /// Extra `Hello` sends beyond the first.
@@ -108,6 +115,11 @@ pub struct NetClientReport {
     /// Exactly one (at connect): the poll timeout is set once and every
     /// later deadline is computed in userspace.
     pub timeout_updates: u64,
+    /// Fragments recovered by erasure decoding (zero when the server
+    /// sent no parity).
+    pub fec_recovered: u64,
+    /// FEC groups whose erasures exceeded their surviving parity.
+    pub fec_unrecoverable: u64,
 }
 
 /// A connected (negotiated) client, ready to stream.
@@ -283,10 +295,14 @@ impl NetClient {
             acks_sent: st.acks_sent,
             nacks_sent: st.nacks_sent,
             datagrams_rx: st.datagrams_rx,
+            data_rx: st.data_rx,
+            parity_rx: st.parity_rx,
             bytes_rx: st.bytes_rx,
             hello_retries: self.hello_retries,
             saw_bye: st.saw_bye,
             timeout_updates: self.timeout_updates,
+            fec_recovered: st.fec_recovered,
+            fec_unrecoverable: st.fec_unrecoverable,
         })
     }
 
@@ -316,6 +332,7 @@ impl NetClient {
     fn process(&self, st: &mut StreamState, msg: Msg) {
         match msg {
             Msg::Data(data) => {
+                st.data_rx += 1;
                 let w = data.fragment.window;
                 let frame = data.fragment.frame as u32;
                 let frag = data.fragment.frag;
@@ -358,6 +375,32 @@ impl NetClient {
                     obs.bad_fragment(self.conn_id, w, frame, frag);
                 }
             }
+            Msg::Parity(parity) => {
+                st.parity_rx += 1;
+                // Parity rides the same window-advance logic as data: a
+                // group for a newer window implicitly closes the current
+                // one.
+                let w = parity.window;
+                match &st.current {
+                    Some(cur) if w == cur.window() => {}
+                    Some(cur) if w > cur.window() => {
+                        let cur = st.current.take().expect("matched Some");
+                        self.finalize(st, cur, 0);
+                        st.open(w);
+                    }
+                    Some(_) => return, // stale
+                    None => {
+                        if st.acked.contains_key(&w) {
+                            return; // duplicate after finalize
+                        }
+                        st.open(w);
+                    }
+                }
+                let cur = st.current.as_mut().expect("opened above");
+                if !cur.accept_parity(&parity) {
+                    self.telem.on_bad_fragment();
+                }
+            }
             Msg::WindowEnd(end) => {
                 if let Some(bursts) = st.acked.get(&end.window).cloned() {
                     // Our ack was lost and the server retried: re-ack
@@ -374,6 +417,13 @@ impl NetClient {
                     }
                     Some(_) => {}
                     None => st.open(end.window),
+                }
+                // Erasure recovery repairs what parity can cover BEFORE
+                // the NACK decision, so covered losses cost zero
+                // retransmission rounds.
+                if let Some(mut cur) = st.current.take() {
+                    self.run_recovery(st, &mut cur);
+                    st.current = Some(cur);
                 }
                 let nack_rounds = match st.nacked {
                     Some((w, rounds)) if w == end.window => rounds,
@@ -427,7 +477,25 @@ impl NetClient {
         }
     }
 
-    fn finalize(&self, st: &mut StreamState, win: NetWindow, echo_us: u64) {
+    /// Runs one erasure-recovery pass over `win`, folding the result
+    /// into telemetry and the report counters.
+    fn run_recovery(&self, st: &mut StreamState, win: &mut NetWindow) {
+        let r = win.recover();
+        if r.recovered > 0 {
+            self.telem.on_fec_recovered(r.recovered as u64);
+            st.fec_recovered += r.recovered as u64;
+        }
+        if r.unrecoverable > 0 {
+            self.telem.on_fec_unrecoverable(r.unrecoverable as u64);
+            st.fec_unrecoverable += r.unrecoverable as u64;
+        }
+    }
+
+    fn finalize(&self, st: &mut StreamState, mut win: NetWindow, echo_us: u64) {
+        // Windows closed implicitly (lost WindowEnd, data for a newer
+        // window) still get their recovery pass; for explicitly closed
+        // ones this pass finds nothing new.
+        self.run_recovery(st, &mut win);
         let outcome = win.finalize();
         for frame in outcome.pattern.lost_indices() {
             self.config
@@ -518,7 +586,11 @@ struct StreamState {
     acks_sent: u64,
     nacks_sent: u64,
     datagrams_rx: u64,
+    data_rx: u64,
+    parity_rx: u64,
     bytes_rx: u64,
+    fec_recovered: u64,
+    fec_unrecoverable: u64,
     series: WindowSeries,
     patterns: Vec<LossPattern>,
     completed_at: Option<Instant>,
@@ -540,7 +612,11 @@ impl StreamState {
             acks_sent: 0,
             nacks_sent: 0,
             datagrams_rx: 0,
+            data_rx: 0,
+            parity_rx: 0,
             bytes_rx: 0,
+            fec_recovered: 0,
+            fec_unrecoverable: 0,
             series: WindowSeries::new(),
             patterns: Vec::new(),
             completed_at: None,

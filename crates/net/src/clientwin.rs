@@ -8,9 +8,10 @@
 //! rejected (counted upstream as bad fragments), and a frame no fragment
 //! of ever arrives for is simply lost.
 
+use espread_fec::{Codec, Scratch};
 use espread_qos::LossPattern;
 
-use crate::wire::DataMsg;
+use crate::wire::{DataMsg, ParityMember, ParityMsg};
 
 /// Reassembly and per-layer slot observation for one window.
 #[derive(Debug, Clone)]
@@ -23,6 +24,33 @@ pub struct NetWindow {
     /// Kept as the wire's `u16` indices so building a `CriticalNack`
     /// needs no narrowing cast that could silently truncate.
     critical_frames: Vec<u16>,
+    /// FEC groups observed on this window, in first-sighting order (so
+    /// recovery is deterministic under any arrival interleaving).
+    parity_groups: Vec<ParityGroup>,
+}
+
+/// One erasure-coding group as learned from its `Parity` datagrams.
+#[derive(Debug, Clone)]
+struct ParityGroup {
+    group: u32,
+    m: u8,
+    shard_bytes: u16,
+    members: Vec<ParityMember>,
+    /// parity_index → did that parity datagram arrive?
+    parity_seen: Vec<bool>,
+    /// Recovery passes repeat (each `WindowEnd` round, then finalize);
+    /// a group is reported unrecoverable at most once, though later
+    /// retransmissions may still shrink its erasures into budget.
+    counted_unrecoverable: bool,
+}
+
+/// What one recovery pass over a window's parity groups achieved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FecRecovery {
+    /// Fragments newly marked received by erasure decoding.
+    pub recovered: usize,
+    /// Groups whose erasures exceeded their surviving parity.
+    pub unrecoverable: usize,
 }
 
 /// What the window looked like when it closed.
@@ -54,6 +82,7 @@ impl NetWindow {
                 .map(|&n| vec![false; usize::from(n)])
                 .collect(),
             critical_frames: critical_frames.to_vec(),
+            parity_groups: Vec::new(),
         }
     }
 
@@ -102,6 +131,144 @@ impl NetWindow {
             .get(frame)
             .and_then(|f| f.as_ref())
             .is_some_and(|flags| flags.iter().all(|&r| r))
+    }
+
+    /// Accepts one parity message. Returns `false` (and changes nothing)
+    /// when its labels don't fit this window — wrong window, out-of-range
+    /// frame or parity index — or contradict an earlier datagram of the
+    /// same group (hostile or corrupted geometry).
+    pub fn accept_parity(&mut self, msg: &ParityMsg) -> bool {
+        if msg.window != self.window || msg.m == 0 || msg.parity_index >= msg.m {
+            return false;
+        }
+        if msg.members.is_empty() {
+            return false;
+        }
+        for member in &msg.members {
+            if usize::from(member.frame) >= self.frames.len()
+                || member.frags_total == 0
+                || member.frag >= member.frags_total
+            {
+                return false;
+            }
+        }
+        let group = match self.parity_groups.iter_mut().find(|g| g.group == msg.group) {
+            Some(g) => {
+                if g.m != msg.m || g.shard_bytes != msg.shard_bytes || g.members != msg.members {
+                    return false;
+                }
+                g
+            }
+            None => {
+                self.parity_groups.push(ParityGroup {
+                    group: msg.group,
+                    m: msg.m,
+                    shard_bytes: msg.shard_bytes,
+                    members: msg.members.clone(),
+                    parity_seen: vec![false; usize::from(msg.m)],
+                    counted_unrecoverable: false,
+                });
+                self.parity_groups.last_mut().expect("just pushed")
+            }
+        };
+        group.parity_seen[usize::from(msg.parity_index)] = true;
+        true
+    }
+
+    /// One erasure-recovery pass: every group whose missing members are
+    /// covered by its surviving parity is decoded with the real codec
+    /// and the missing fragments marked received. Idempotent — a second
+    /// pass finds nothing left to recover.
+    ///
+    /// Recovered fragments deliberately do **not** mark
+    /// `layer_slots_seen`: the ACK's burst feedback keeps describing the
+    /// raw channel, so the server's burst estimator is not blinded by
+    /// its own parity.
+    pub fn recover(&mut self) -> FecRecovery {
+        let mut out = FecRecovery::default();
+        let mut scratch = Scratch::new();
+        let mut data: Vec<Vec<u8>> = Vec::new();
+        let mut parity: Vec<Vec<u8>> = Vec::new();
+        for gi in 0..self.parity_groups.len() {
+            let g = &self.parity_groups[gi];
+            let k = g.members.len();
+            let present: Vec<bool> = g
+                .members
+                .iter()
+                .map(|mem| {
+                    self.frames[usize::from(mem.frame)]
+                        .as_ref()
+                        .is_some_and(|flags| {
+                            flags.len() == usize::from(mem.frags_total)
+                                && flags[usize::from(mem.frag)]
+                        })
+                })
+                .collect();
+            let erased = present.iter().filter(|&&p| !p).count();
+            if erased == 0 {
+                continue;
+            }
+            let surviving = g.parity_seen.iter().filter(|&&p| p).count();
+            if erased > surviving {
+                let g = &mut self.parity_groups[gi];
+                if !g.counted_unrecoverable {
+                    g.counted_unrecoverable = true;
+                    out.unrecoverable += 1;
+                }
+                continue;
+            }
+            let Ok(codec) = Codec::new(k, usize::from(g.m)) else {
+                continue; // geometry the wire's limits let through
+            };
+            let bytes = usize::from(g.shard_bytes);
+            // The wire zero-fills payloads (traces carry sizes, not
+            // content), so every received shard reads as zeros; the
+            // decode must reproduce the erased members byte-identically.
+            data.resize_with(k, Vec::new);
+            for shard in data.iter_mut() {
+                shard.clear();
+                shard.resize(bytes, 0);
+            }
+            parity.resize_with(usize::from(g.m), Vec::new);
+            for shard in parity.iter_mut() {
+                shard.clear();
+                shard.resize(bytes, 0);
+            }
+            if codec
+                .recover_into(
+                    bytes,
+                    &mut data,
+                    &present,
+                    &parity,
+                    &g.parity_seen,
+                    &mut scratch,
+                )
+                .is_err()
+            {
+                let g = &mut self.parity_groups[gi];
+                if !g.counted_unrecoverable {
+                    g.counted_unrecoverable = true;
+                    out.unrecoverable += 1;
+                }
+                continue;
+            }
+            debug_assert!(
+                data.iter().all(|s| s.iter().all(|&b| b == 0)),
+                "recovered shards must match the wire's zero fill"
+            );
+            for (mem, was_present) in g.members.iter().zip(&present) {
+                if *was_present {
+                    continue;
+                }
+                let frame = &mut self.frames[usize::from(mem.frame)];
+                let flags = frame.get_or_insert_with(|| vec![false; usize::from(mem.frags_total)]);
+                if flags.len() == usize::from(mem.frags_total) {
+                    flags[usize::from(mem.frag)] = true;
+                    out.recovered += 1;
+                }
+            }
+        }
+        out
     }
 
     /// Critical frames still missing at least one fragment, as wire
@@ -175,6 +342,129 @@ mod tests {
     fn window() -> NetWindow {
         // 4 frames: 0,1 in layer 0 (critical), 2,3 in layer 1.
         NetWindow::new(0, 4, &[2, 2], &[0, 1])
+    }
+
+    fn parity(window: u64, group: u32, m: u8, idx: u8, members: &[(u16, u16, u16)]) -> ParityMsg {
+        ParityMsg {
+            window,
+            group,
+            m,
+            parity_index: idx,
+            shard_bytes: 64,
+            members: members
+                .iter()
+                .map(|&(frame, frag, frags_total)| ParityMember {
+                    frame,
+                    frag,
+                    frags_total,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parity_recovers_missing_fragment_without_touching_bursts() {
+        let mut w = window();
+        w.accept(&data(0, 0, 0, 1, 0, 0));
+        w.accept(&data(0, 1, 0, 1, 0, 1));
+        w.accept(&data(0, 3, 0, 1, 1, 1));
+        // XOR group over all four frames; frame 2 was lost on the wire.
+        let members = [(0, 0, 1), (1, 0, 1), (2, 0, 1), (3, 0, 1)];
+        assert!(w.accept_parity(&parity(0, 0, 1, 0, &members)));
+        let r = w.recover();
+        assert_eq!(
+            r,
+            FecRecovery {
+                recovered: 1,
+                unrecoverable: 0
+            }
+        );
+        assert!(w.is_complete(2));
+        assert_eq!(w.recover(), FecRecovery::default(), "idempotent");
+        assert!(w.missing_critical().is_empty());
+        let out = w.finalize();
+        assert_eq!(out.pattern.lost(), 0, "recovery repairs playout");
+        // The burst feedback still reflects the raw channel: frame 2's
+        // transmission slot (layer 1, slot 0) was never *received*.
+        assert_eq!(out.per_layer_burst, vec![0, 1]);
+    }
+
+    #[test]
+    fn double_erasure_needs_the_cauchy_pair() {
+        let mut w = window();
+        w.accept(&data(0, 0, 0, 1, 0, 0));
+        w.accept(&data(0, 1, 0, 1, 0, 1));
+        // Frames 2 and 3 lost; a (k=4, m=2) group with both parities in.
+        let members = [(0, 0, 1), (1, 0, 1), (2, 0, 1), (3, 0, 1)];
+        assert!(w.accept_parity(&parity(0, 0, 2, 0, &members)));
+        assert!(w.accept_parity(&parity(0, 0, 2, 1, &members)));
+        assert_eq!(
+            w.recover(),
+            FecRecovery {
+                recovered: 2,
+                unrecoverable: 0
+            }
+        );
+        assert_eq!(w.finalize().pattern.lost(), 0);
+    }
+
+    #[test]
+    fn beyond_budget_counts_unrecoverable_once_then_retries() {
+        let mut w = window();
+        w.accept(&data(0, 0, 0, 1, 0, 0));
+        w.accept(&data(0, 1, 0, 1, 0, 1));
+        // Both members of an XOR group lost: one parity cannot cover two.
+        assert!(w.accept_parity(&parity(0, 0, 1, 0, &[(2, 0, 1), (3, 0, 1)])));
+        assert_eq!(
+            w.recover(),
+            FecRecovery {
+                recovered: 0,
+                unrecoverable: 1
+            }
+        );
+        assert_eq!(w.recover(), FecRecovery::default(), "counted once");
+        // A retransmission fills frame 2: the group shrinks into budget
+        // and a later pass recovers frame 3 after all.
+        w.accept(&data(0, 2, 0, 1, 1, 0));
+        assert_eq!(
+            w.recover(),
+            FecRecovery {
+                recovered: 1,
+                unrecoverable: 0
+            }
+        );
+        assert!(w.is_complete(3));
+    }
+
+    #[test]
+    fn hostile_parity_rejected() {
+        let mut w = window();
+        w.accept(&data(0, 0, 0, 1, 0, 0));
+        w.accept(&data(0, 1, 0, 1, 0, 1));
+        let ok = [(0, 0, 1), (1, 0, 1)];
+        assert!(!w.accept_parity(&parity(1, 0, 1, 0, &ok)), "wrong window");
+        assert!(!w.accept_parity(&parity(0, 0, 1, 1, &ok)), "index >= m");
+        assert!(!w.accept_parity(&parity(0, 0, 1, 0, &[])), "empty group");
+        assert!(
+            !w.accept_parity(&parity(0, 0, 1, 0, &[(9, 0, 1)])),
+            "frame out of range"
+        );
+        assert!(
+            !w.accept_parity(&parity(0, 0, 1, 0, &[(0, 2, 2)])),
+            "frag out of range"
+        );
+        assert!(
+            !w.accept_parity(&parity(0, 0, 1, 0, &[(0, 0, 0)])),
+            "zero fragment count"
+        );
+        // Contradicting an established group's geometry.
+        assert!(w.accept_parity(&parity(0, 5, 2, 0, &ok)));
+        assert!(
+            !w.accept_parity(&parity(0, 5, 2, 1, &[(0, 0, 1), (2, 0, 1)])),
+            "members changed"
+        );
+        assert!(!w.accept_parity(&parity(0, 5, 3, 1, &ok)), "m changed");
+        assert_eq!(w.recover(), FecRecovery::default(), "nothing to repair");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!
 //! ```
 //! use espread_net::{NetClient, NetClientConfig, NetServer, NetServerConfig};
-//! use espread_protocol::{ProtocolConfig, SessionOffer, StreamSource};
+//! use espread_protocol::{FecPolicy, ProtocolConfig, SessionOffer, StreamSource};
 //! use espread_trace::{GopPattern, Movie, MpegTrace};
 //!
 //! let trace = MpegTrace::new(Movie::JurassicPark, 1);
@@ -31,6 +31,7 @@
 //!     fps: 24,
 //!     packet_bytes: 2048,
 //!     max_frame_bytes: 62_776 / 8,
+//!     fec: FecPolicy::off(),
 //! };
 //! let config = NetServerConfig::new(
 //!     ProtocolConfig::paper(0.6, 42),

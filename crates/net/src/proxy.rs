@@ -30,6 +30,12 @@ use crate::wire::{peek_conn, peek_data_labels, peek_type};
 /// Wire type byte of `Msg::Data` (the class the loss process applies to).
 const DATA_TYPE: u8 = 4;
 
+/// Wire type byte of `Msg::Parity`. Parity datagrams ride the same
+/// channel as data: they step the Gilbert chain **in arrival order**
+/// exactly like data datagrams, so enabling FEC shifts the loss
+/// realisation the way extra real traffic would — no free parity.
+const PARITY_TYPE: u8 = 10;
+
 /// Fault injection for one direction of traffic.
 #[derive(Debug, Clone)]
 pub struct FaultPolicy {
@@ -104,7 +110,7 @@ impl FaultPolicy {
 ///
 /// ```text
 /// processed = (forwarded − duplicated) + dropped_data
-///           + dropped_control + held
+///           + dropped_parity + dropped_control + held
 /// ```
 ///
 /// [`ProxyStats::conserved`] checks it; the chaos soak asserts it after
@@ -117,6 +123,8 @@ pub struct ProxyStats {
     pub forwarded: u64,
     /// Data datagrams the Gilbert channel swallowed.
     pub dropped_data: u64,
+    /// Parity datagrams the Gilbert channel swallowed.
+    pub dropped_parity: u64,
     /// Control datagrams dropped by `drop_first_control`.
     pub dropped_control: u64,
     /// Extra copies emitted.
@@ -139,6 +147,7 @@ impl ProxyStats {
         self.processed
             == (self.forwarded - self.duplicated)
                 + self.dropped_data
+                + self.dropped_parity
                 + self.dropped_control
                 + self.held
     }
@@ -149,6 +158,7 @@ struct Counters {
     processed: AtomicU64,
     forwarded: AtomicU64,
     dropped_data: AtomicU64,
+    dropped_parity: AtomicU64,
     dropped_control: AtomicU64,
     duplicated: AtomicU64,
     reordered: AtomicU64,
@@ -208,12 +218,15 @@ impl DirState {
         let labels = peek_data_labels(datagram);
         let conn = peek_conn(datagram).unwrap_or(0);
         match peek_type(datagram) {
-            Some(DATA_TYPE) => {
+            Some(ty @ (DATA_TYPE | PARITY_TYPE)) => {
                 if let Some(channel) = &mut self.gilbert {
                     if !channel.step_delivers() {
-                        self.counters
-                            .dropped_data
-                            .fetch_add(1, AtomicOrdering::Relaxed);
+                        let counter = if ty == DATA_TYPE {
+                            &self.counters.dropped_data
+                        } else {
+                            &self.counters.dropped_parity
+                        };
+                        counter.fetch_add(1, AtomicOrdering::Relaxed);
                         self.telem.on_dropped();
                         if let Some(l) = labels {
                             self.obs.dropped_data(l);
@@ -440,6 +453,7 @@ impl FaultProxy {
             processed: self.counters.processed.load(AtomicOrdering::Relaxed),
             forwarded: self.counters.forwarded.load(AtomicOrdering::Relaxed),
             dropped_data: self.counters.dropped_data.load(AtomicOrdering::Relaxed),
+            dropped_parity: self.counters.dropped_parity.load(AtomicOrdering::Relaxed),
             dropped_control: self.counters.dropped_control.load(AtomicOrdering::Relaxed),
             duplicated: self.counters.duplicated.load(AtomicOrdering::Relaxed),
             reordered: self.counters.reordered.load(AtomicOrdering::Relaxed),
@@ -493,6 +507,24 @@ mod tests {
         wire::encode(1, &Msg::Bye(ByeReason::Complete))
     }
 
+    fn parity_bytes(group: u32) -> Vec<u8> {
+        wire::encode(
+            1,
+            &Msg::Parity(crate::wire::ParityMsg {
+                window: 0,
+                group,
+                m: 1,
+                parity_index: 0,
+                shard_bytes: 64,
+                members: vec![crate::wire::ParityMember {
+                    frame: 0,
+                    frag: 0,
+                    frags_total: 1,
+                }],
+            }),
+        )
+    }
+
     fn state(policy: FaultPolicy) -> DirState {
         DirState::new(
             &policy,
@@ -525,6 +557,33 @@ mod tests {
         }
         assert!(s.counters.dropped_data.load(AtomicOrdering::Relaxed) > 0);
         assert_eq!(s.counters.dropped_control.load(AtomicOrdering::Relaxed), 0);
+    }
+
+    /// Parity datagrams are channel traffic: they step the Gilbert chain
+    /// in arrival order exactly as data does (so FEC arms pay for their
+    /// redundancy in realisation shift), and their drops land in their
+    /// own counter without breaking conservation.
+    #[test]
+    fn parity_steps_the_gilbert_chain_like_data() {
+        let mut s = state(FaultPolicy::transparent().gilbert_data_loss(0.8, 0.5, 11));
+        let mut reference = GilbertModel::new(0.8, 0.5, 11);
+        for i in 0..200u16 {
+            // Interleave data and parity: both must follow the one chain.
+            let bytes = if i % 3 == 2 {
+                parity_bytes(u32::from(i))
+            } else {
+                data_bytes(i)
+            };
+            let forwarded = !s.process(&bytes).is_empty();
+            assert_eq!(forwarded, reference.step_delivers(), "datagram {i}");
+            // Control still never steps the chain.
+            assert_eq!(s.process(&control_bytes()).len(), 1);
+            assert!(stats_of(&s.counters).conserved());
+        }
+        let st = stats_of(&s.counters);
+        assert!(st.dropped_data > 0, "data drops observed");
+        assert!(st.dropped_parity > 0, "parity drops observed");
+        assert_eq!(st.dropped_control, 0);
     }
 
     #[test]
@@ -593,6 +652,7 @@ mod tests {
             processed: c.processed.load(AtomicOrdering::Relaxed),
             forwarded: c.forwarded.load(AtomicOrdering::Relaxed),
             dropped_data: c.dropped_data.load(AtomicOrdering::Relaxed),
+            dropped_parity: c.dropped_parity.load(AtomicOrdering::Relaxed),
             dropped_control: c.dropped_control.load(AtomicOrdering::Relaxed),
             duplicated: c.duplicated.load(AtomicOrdering::Relaxed),
             reordered: c.reordered.load(AtomicOrdering::Relaxed),

@@ -33,9 +33,19 @@ use crate::telem::ServerTelem;
 use crate::wire::{self, Accept, Msg, Reject, CONN_NONE};
 
 /// How long a blocking socket wait may run before re-checking the
-/// shutdown flag. Set once at bind — the receive loop never issues
-/// another `set_read_timeout` syscall.
+/// shutdown flag.
 const POLL: Duration = Duration::from_millis(5);
+
+/// Effectively-zero read timeout used while draining a burst: the demux
+/// takes one datagram under [`POLL`], then flips to this and keeps
+/// reading until the queue is empty. A read *timeout* (not
+/// `set_nonblocking`) so the shards' blocking sends on the shared socket
+/// are never affected.
+const DRAIN: Duration = Duration::from_micros(1);
+
+/// Most datagrams handled per readiness wake, so a sustained flood
+/// cannot starve the shutdown check or the reaped-id drain.
+const DRAIN_BATCH: usize = 256;
 
 /// Most worker shards `workers = 0` (auto) will pick.
 const MAX_AUTO_WORKERS: usize = 8;
@@ -68,6 +78,10 @@ pub struct NetServerConfig {
     /// Most handshake verdicts cached at once; the oldest is evicted
     /// past this (LRU), so a nonce flood cannot grow memory unboundedly.
     pub handshake_cap: usize,
+    /// Size of the demux's receive buffer — the largest datagram one
+    /// read can take in (UDP truncates longer ones, which then count as
+    /// decode errors). Defaults to 64 KiB, the wire's ceiling.
+    pub recv_buffer_bytes: usize,
 }
 
 impl NetServerConfig {
@@ -84,6 +98,7 @@ impl NetServerConfig {
             workers: 0,
             handshake_ttl: Duration::from_secs(30),
             handshake_cap: 1024,
+            recv_buffer_bytes: 65_536,
         }
     }
 
@@ -128,6 +143,11 @@ impl NetServerConfig {
         if self.handshake_ttl.is_zero() {
             return Err(NetError::Config(
                 "handshake cache TTL must be positive".into(),
+            ));
+        }
+        if self.recv_buffer_bytes < 1500 {
+            return Err(NetError::Config(
+                "receive buffer below one MTU would truncate every datagram".into(),
             ));
         }
         Ok(())
@@ -201,6 +221,7 @@ impl NetServer {
             pace: config.pace,
             handshake_ttl: config.handshake_ttl,
             handshake_cap: config.handshake_cap,
+            recv_buffer_bytes: config.recv_buffer_bytes,
             shutdown: Arc::clone(&shutdown),
             live_gauge: Arc::clone(&live),
             telem,
@@ -342,6 +363,7 @@ struct Demux {
     pace: Duration,
     handshake_ttl: Duration,
     handshake_cap: usize,
+    recv_buffer_bytes: usize,
     shutdown: Arc<AtomicBool>,
     live_gauge: Arc<AtomicUsize>,
     telem: ServerTelem,
@@ -360,7 +382,7 @@ impl Demux {
         let mut handshakes = HandshakeCache::new(self.handshake_ttl, self.handshake_cap);
         let mut live: HashSet<u32> = HashSet::new();
         let mut next_conn: u32 = 1;
-        let mut buf = vec![0u8; 65_536];
+        let mut buf = vec![0u8; self.recv_buffer_bytes];
         while !self.shutdown.load(AtomicOrdering::SeqCst) {
             // Fold in reaped conn-ids so the live set tracks the shards'
             // tables and freed ids become reusable.
@@ -377,89 +399,128 @@ impl Demux {
                 }
                 Err(_) => continue,
             };
-            self.telem.on_rx();
-            let (conn_id, msg) = match wire::decode(&buf[..len]) {
-                Ok(ok) => ok,
-                Err(_) => {
-                    self.telem.on_decode_error();
-                    continue;
-                }
-            };
-            match msg {
-                Msg::Hello(hello) => {
-                    let now = Instant::now();
-                    if let Some((addr, reply)) = handshakes.get(hello.nonce, now) {
-                        // Duplicate Hello (our reply was lost): resend the
-                        // cached verdict, idempotently.
-                        let len = reply.len();
-                        let _ = self.socket.send_to(reply, addr);
-                        self.telem.on_tx(len);
-                        continue;
-                    }
-                    let caps = ClientCapabilities {
-                        buffer_bytes: hello.buffer_bytes,
-                        max_startup_delay_ms: hello.max_startup_delay_ms,
-                    };
-                    let reply = match negotiate(self.offer.clone(), caps)
-                        .map_err(|e| e.to_string())
-                        .and_then(|agreed| {
-                            accept_msg(hello.nonce, &agreed, self.source.window_count())
-                        }) {
-                        Ok(accept) => {
-                            match self.open_session(&mut next_conn, &mut live, from, &hello) {
-                                Some(conn_id) => wire::encode(conn_id, &Msg::Accept(accept)),
-                                None => wire::encode(
-                                    CONN_NONE,
-                                    &Msg::Reject(Reject {
-                                        nonce: hello.nonce,
-                                        reason: "server cannot spawn a session".into(),
-                                    }),
-                                ),
-                            }
+            self.handle_datagram(
+                &buf[..len],
+                from,
+                &mut handshakes,
+                &mut live,
+                &mut next_conn,
+            );
+            // A connection wave queues datagrams faster than one read per
+            // wake can retire them: drop the timeout to effectively zero
+            // and drain whatever is already queued before blocking again.
+            // A read timeout (not `set_nonblocking`) leaves the shards'
+            // sends on the shared socket untouched; the batch cap keeps a
+            // sustained flood from starving the shutdown check above.
+            if self.socket.set_read_timeout(Some(DRAIN)).is_ok() {
+                for _ in 1..DRAIN_BATCH {
+                    match self.socket.recv_from(&mut buf) {
+                        Ok((len, from)) => {
+                            self.handle_datagram(
+                                &buf[..len],
+                                from,
+                                &mut handshakes,
+                                &mut live,
+                                &mut next_conn,
+                            );
                         }
-                        Err(reason) => {
-                            let reject = Msg::Reject(Reject {
-                                nonce: hello.nonce,
-                                reason,
-                            });
-                            match wire::try_encode(CONN_NONE, &reject) {
-                                Ok(bytes) => bytes,
-                                Err(_) => {
-                                    // A reason too long for the wire: send
-                                    // a short typed refusal instead of a
-                                    // silently cut one.
-                                    self.telem.on_encode_oversize();
-                                    wire::encode(
-                                        CONN_NONE,
-                                        &Msg::Reject(Reject {
-                                            nonce: hello.nonce,
-                                            reason: "negotiation failed".into(),
-                                        }),
-                                    )
-                                }
-                            }
-                        }
-                    };
-                    let _ = self.socket.send_to(&reply, from);
-                    self.telem.on_tx(reply.len());
-                    for _ in 0..handshakes.insert(hello.nonce, from, reply, now) {
-                        self.telem.on_handshake_eviction();
+                        Err(_) => break,
                     }
                 }
-                other if conn_id != CONN_NONE && live.contains(&conn_id) => {
-                    let _ = self.shard_of(conn_id).send(ShardEvent::Msg {
-                        conn: conn_id,
-                        msg: other,
-                        at: Instant::now(),
-                    });
-                }
-                _ => {} // sessionless non-Hello: ignore
+                let _ = self.socket.set_read_timeout(Some(POLL));
             }
         }
         // Disconnect the shard channels, then join the workers.
         drop(self.shards);
         for handle in self.shard_handles {
             let _ = handle.join();
+        }
+    }
+
+    /// Decodes and routes one datagram: Hello handshakes are answered
+    /// inline, session traffic is forwarded to the owning shard.
+    fn handle_datagram(
+        &self,
+        datagram: &[u8],
+        from: SocketAddr,
+        handshakes: &mut HandshakeCache,
+        live: &mut HashSet<u32>,
+        next_conn: &mut u32,
+    ) {
+        self.telem.on_rx();
+        let (conn_id, msg) = match wire::decode(datagram) {
+            Ok(ok) => ok,
+            Err(_) => {
+                self.telem.on_decode_error();
+                return;
+            }
+        };
+        match msg {
+            Msg::Hello(hello) => {
+                let now = Instant::now();
+                if let Some((addr, reply)) = handshakes.get(hello.nonce, now) {
+                    // Duplicate Hello (our reply was lost): resend the
+                    // cached verdict, idempotently.
+                    let len = reply.len();
+                    let _ = self.socket.send_to(reply, addr);
+                    self.telem.on_tx(len);
+                    return;
+                }
+                let caps = ClientCapabilities {
+                    buffer_bytes: hello.buffer_bytes,
+                    max_startup_delay_ms: hello.max_startup_delay_ms,
+                };
+                let reply = match negotiate(self.offer.clone(), caps)
+                    .map_err(|e| e.to_string())
+                    .and_then(|agreed| accept_msg(hello.nonce, &agreed, self.source.window_count()))
+                {
+                    Ok(accept) => match self.open_session(next_conn, live, from, &hello) {
+                        Some(conn_id) => wire::encode(conn_id, &Msg::Accept(accept)),
+                        None => wire::encode(
+                            CONN_NONE,
+                            &Msg::Reject(Reject {
+                                nonce: hello.nonce,
+                                reason: "server cannot spawn a session".into(),
+                            }),
+                        ),
+                    },
+                    Err(reason) => {
+                        let reject = Msg::Reject(Reject {
+                            nonce: hello.nonce,
+                            reason,
+                        });
+                        match wire::try_encode(CONN_NONE, &reject) {
+                            Ok(bytes) => bytes,
+                            Err(_) => {
+                                // A reason too long for the wire: send
+                                // a short typed refusal instead of a
+                                // silently cut one.
+                                self.telem.on_encode_oversize();
+                                wire::encode(
+                                    CONN_NONE,
+                                    &Msg::Reject(Reject {
+                                        nonce: hello.nonce,
+                                        reason: "negotiation failed".into(),
+                                    }),
+                                )
+                            }
+                        }
+                    }
+                };
+                let _ = self.socket.send_to(&reply, from);
+                self.telem.on_tx(reply.len());
+                for _ in 0..handshakes.insert(hello.nonce, from, reply, now) {
+                    self.telem.on_handshake_eviction();
+                }
+            }
+            other if conn_id != CONN_NONE && live.contains(&conn_id) => {
+                let _ = self.shard_of(conn_id).send(ShardEvent::Msg {
+                    conn: conn_id,
+                    msg: other,
+                    at: Instant::now(),
+                });
+            }
+            _ => {} // sessionless non-Hello: ignore
         }
     }
 
@@ -481,6 +542,7 @@ impl Demux {
             Arc::clone(&self.source),
             self.retry,
             self.pace,
+            self.offer.fec,
             self.telem.clone(),
             self.obs.clone(),
             Instant::now(),
@@ -531,6 +593,7 @@ fn accept_msg(nonce: u64, agreed: &AgreedSession, windows: usize) -> Result<Acce
 mod tests {
     use super::*;
     use crate::wire::WindowEnd;
+    use espread_protocol::FecPolicy;
     use espread_trace::{GopPattern, Movie, MpegTrace};
 
     fn paper_offer() -> SessionOffer {
@@ -541,6 +604,7 @@ mod tests {
             fps: 24,
             packet_bytes: 2048,
             max_frame_bytes: 62_776 / 8,
+            fec: FecPolicy::off(),
         }
     }
 

@@ -21,13 +21,16 @@ use std::net::{SocketAddr, UdpSocket};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use espread_protocol::{ProtocolConfig, Server, StreamSource, WindowFeedback, WindowPlan};
+use espread_fec::Codec;
+use espread_protocol::{
+    FecPolicy, FecScope, ProtocolConfig, Server, StreamSource, WindowFeedback, WindowPlan,
+};
 
 use crate::obsrec::SessionRecorder;
 use crate::retry::RetryPolicy;
 use crate::telem::ServerTelem;
 use crate::wheel::TimerWheel;
-use crate::wire::{self, ByeReason, DataMsg, Msg, WindowEnd};
+use crate::wire::{self, ByeReason, DataMsg, Msg, ParityMember, ParityMsg, WindowEnd};
 
 /// Fragments sent per [`SessionCore::on_tick`] when pacing is disabled —
 /// bounds how long one session can monopolise its shard.
@@ -78,6 +81,29 @@ struct SendCursor {
     frag: u16,
 }
 
+/// Server-side erasure-coding state, present only when the negotiated
+/// policy enables FEC. Groups form over **transmission order**: the
+/// fragments a loss burst hits are exactly the ones that share a group,
+/// so one burst consumes parity from many groups instead of exhausting
+/// one.
+struct FecState {
+    policy: FecPolicy,
+    /// The full `(k, m)` codec; an under-filled tail group builds a
+    /// smaller one on the fly.
+    codec: Codec,
+    /// Next group id within the current window.
+    group: u32,
+    /// Members of the open (unfilled) group, in transmission order.
+    members: Vec<ParityMember>,
+    /// Largest member payload so far — the group's shard size.
+    shard_bytes: u16,
+    /// Per-frame flags: does the policy's scope cover this frame?
+    in_scope: Vec<bool>,
+    /// Reusable zero-filled data shards and parity outputs.
+    data: Vec<Vec<u8>>,
+    parity: Vec<Vec<u8>>,
+}
+
 /// One connection's complete server-side state.
 pub(crate) struct SessionCore {
     conn_id: u32,
@@ -98,6 +124,7 @@ pub(crate) struct SessionCore {
     plan: Option<WindowPlan>,
     cursor: SendCursor,
     next_send_at: Instant,
+    fec: Option<FecState>,
 }
 
 impl SessionCore {
@@ -109,11 +136,30 @@ impl SessionCore {
         source: Arc<StreamSource>,
         retry: RetryPolicy,
         pace: Duration,
+        fec: FecPolicy,
         telem: ServerTelem,
         obs: SessionRecorder,
         epoch: Instant,
     ) -> Self {
         let proto = Server::new(&protocol, &source.poset);
+        // The offer validated the geometry; a bad one here (hand-built
+        // config) silently disables FEC rather than panicking a shard.
+        let fec = if fec.enabled() {
+            Codec::new(usize::from(fec.group_k), usize::from(fec.parity_m))
+                .ok()
+                .map(|codec| FecState {
+                    policy: fec,
+                    codec,
+                    group: 0,
+                    members: Vec::new(),
+                    shard_bytes: 0,
+                    in_scope: Vec::new(),
+                    data: Vec::new(),
+                    parity: Vec::new(),
+                })
+        } else {
+            None
+        };
         SessionCore {
             conn_id,
             peer,
@@ -131,6 +177,7 @@ impl SessionCore {
             plan: None,
             cursor: SendCursor { slot: 0, frag: 0 },
             next_send_at: epoch,
+            fec,
         }
     }
 
@@ -206,6 +253,22 @@ impl SessionCore {
             self.obs
                 .queued(self.conn_id, w, sched.frame as u32, slot as u32);
         }
+        if let Some(fec) = &mut self.fec {
+            fec.group = 0;
+            fec.members.clear();
+            fec.shard_bytes = 0;
+            let frames = self.source.windows[self.window].len();
+            fec.in_scope.clear();
+            fec.in_scope
+                .resize(frames, matches!(fec.policy.scope, FecScope::All));
+            if matches!(fec.policy.scope, FecScope::Critical) {
+                for f in plan.critical_frames() {
+                    if let Some(slot) = fec.in_scope.get_mut(f) {
+                        *slot = true;
+                    }
+                }
+            }
+        }
         self.plan = Some(plan);
         self.cursor = SendCursor { slot: 0, frag: 0 };
         self.next_send_at = ctx.now;
@@ -213,11 +276,15 @@ impl SessionCore {
     }
 
     /// Sends one fragment of the frame at schedule position `slot`.
-    fn send_fragment(&self, ctx: &mut Ctx<'_>, slot: usize, frag: u16, retransmit: bool) {
+    /// First transmissions of in-scope frames also join the open FEC
+    /// group; retransmissions never do (the client already counted the
+    /// loss, and parity over a recovery round would shift the groups).
+    fn send_fragment(&mut self, ctx: &mut Ctx<'_>, slot: usize, frag: u16, retransmit: bool) {
         let Some(plan) = &self.plan else { return };
         let sched = &plan.schedule[slot];
+        let (frame, layer, layer_slot) = (sched.frame, sched.layer, sched.layer_slot);
         let w = self.window as u64;
-        let ldu = self.source.windows[self.window][sched.frame];
+        let ldu = self.source.windows[self.window][frame];
         let packet = self.protocol.packet_bytes;
         let frags_total = ldu.fragment_count(packet);
         let payload_len = ldu.fragment_size(packet, frag) as u16;
@@ -226,17 +293,112 @@ impl SessionCore {
             &Msg::Data(DataMsg {
                 fragment: espread_protocol::Fragment {
                     window: w,
-                    frame: sched.frame,
+                    frame,
                     frag,
                     frags_total,
-                    layer: sched.layer,
-                    layer_slot: sched.layer_slot,
+                    layer,
+                    layer_slot,
                     retransmit,
                 },
                 ldu,
                 payload_len,
             }),
         );
+        if !retransmit {
+            self.fec_accumulate(ctx, frame, frag, frags_total, payload_len);
+        }
+    }
+
+    /// Folds a freshly sent fragment into the open FEC group and emits
+    /// the group's parity datagrams once it fills to `k` members.
+    fn fec_accumulate(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        frame: usize,
+        frag: u16,
+        frags_total: u16,
+        payload_len: u16,
+    ) {
+        let Some(fec) = &mut self.fec else { return };
+        if !fec.in_scope.get(frame).copied().unwrap_or(false) {
+            return;
+        }
+        let Ok(frame) = u16::try_from(frame) else {
+            return;
+        };
+        fec.members.push(ParityMember {
+            frame,
+            frag,
+            frags_total,
+        });
+        fec.shard_bytes = fec.shard_bytes.max(payload_len);
+        if fec.members.len() == fec.codec.k() {
+            self.fec_emit_group(ctx, false);
+        }
+    }
+
+    /// Encodes and sends the open group's parity datagrams, then resets
+    /// the group. `partial` closes an under-filled tail group (flushed
+    /// before `WindowEnd`) with a codec of its actual size.
+    fn fec_emit_group(&mut self, ctx: &mut Ctx<'_>, partial: bool) {
+        let msgs = {
+            let Some(fec) = &mut self.fec else { return };
+            if fec.members.is_empty() {
+                return;
+            }
+            let k = fec.members.len();
+            let tail; // owns a tail-sized codec when the group is partial
+            let codec = if partial && k != fec.codec.k() {
+                match Codec::new(k, fec.codec.m()) {
+                    Ok(c) => {
+                        tail = c;
+                        &tail
+                    }
+                    Err(_) => {
+                        fec.members.clear();
+                        fec.shard_bytes = 0;
+                        return;
+                    }
+                }
+            } else {
+                &fec.codec
+            };
+            let bytes = usize::from(fec.shard_bytes);
+            // Traces carry sizes, not content, so the data shards here
+            // are the wire's zero fill — but the parity still runs
+            // through the real generator, so the send path pays the
+            // true byte cost the frontier bench measures.
+            fec.data.resize_with(k, Vec::new);
+            for shard in fec.data.iter_mut() {
+                shard.clear();
+                shard.resize(bytes, 0);
+            }
+            fec.parity.resize_with(codec.m(), Vec::new);
+            codec
+                .encode_into(&fec.data[..k], &mut fec.parity)
+                .expect("group geometry matches its codec");
+            let window = self.window as u64;
+            let msgs: Vec<Msg> = (0..codec.m())
+                .map(|i| {
+                    Msg::Parity(ParityMsg {
+                        window,
+                        group: fec.group,
+                        m: codec.m() as u8,
+                        parity_index: i as u8,
+                        shard_bytes: fec.shard_bytes,
+                        members: fec.members.clone(),
+                    })
+                })
+                .collect();
+            fec.group += 1;
+            fec.members.clear();
+            fec.shard_bytes = 0;
+            msgs
+        };
+        for msg in &msgs {
+            self.send(ctx, msg);
+        }
+        self.telem.on_fec_group(msgs.len() as u64);
     }
 
     /// The transmit pump: while in the sending phase and the pacing
@@ -251,6 +413,8 @@ impl SessionCore {
         while budget > 0 && ctx.now >= self.next_send_at {
             let Some(plan) = &self.plan else { break };
             if self.cursor.slot >= plan.schedule.len() {
+                // Close the tail FEC group before the window does.
+                self.fec_emit_group(ctx, true);
                 let w = self.window as u64;
                 let end = self.window_end(ctx.now, w);
                 self.send(ctx, &end);
@@ -485,6 +649,10 @@ mod tests {
 
     impl Harness {
         fn new(windows: usize) -> Self {
+            Self::with_fec(windows, FecPolicy::off())
+        }
+
+        fn with_fec(windows: usize, fec: FecPolicy) -> Self {
             let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
             let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
             peer.set_read_timeout(Some(Duration::from_millis(200)))
@@ -497,6 +665,7 @@ mod tests {
                 source(windows),
                 RetryPolicy::lan(),
                 Duration::ZERO,
+                fec,
                 ServerTelem::default_global(),
                 SessionRecorder::disabled(),
                 epoch,
@@ -620,6 +789,95 @@ mod tests {
         assert!(
             msgs.iter().any(|m| matches!(m, Msg::Bye(_))),
             "teardown opens with a Bye"
+        );
+    }
+
+    /// Pumps the harness until the window closes, returning everything
+    /// that hit the wire.
+    fn pump_one_window(h: &mut Harness) -> Vec<Msg> {
+        h.ctx_call(|c, ctx| c.start(ctx));
+        h.ctx_call(|c, ctx| c.on_msg(&Msg::Begin, ctx.now, ctx));
+        for _ in 0..100 {
+            h.ctx_call(|c, ctx| c.on_tick(ctx));
+            if matches!(h.core.phase, Phase::AwaitAck { .. }) {
+                break;
+            }
+        }
+        h.drain()
+    }
+
+    #[test]
+    fn fec_groups_cover_critical_fragments_in_transmission_order() {
+        let mut h = Harness::with_fec(1, FecPolicy::rs(FecScope::Critical, 4, 2));
+        let msgs = pump_one_window(&mut h);
+        let critical: std::collections::HashSet<usize> = h
+            .core
+            .plan
+            .as_ref()
+            .expect("window planned")
+            .critical_frames()
+            .into_iter()
+            .collect();
+        assert!(!critical.is_empty());
+        let parities: Vec<&ParityMsg> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                Msg::Parity(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        assert!(!parities.is_empty(), "FEC sessions must emit parity");
+        for p in &parities {
+            assert_eq!(p.window, 0);
+            assert_eq!(p.m, 2, "policy parity count rides every datagram");
+            for mem in &p.members {
+                assert!(
+                    critical.contains(&usize::from(mem.frame)),
+                    "Critical scope must not cover frame {}",
+                    mem.frame
+                );
+            }
+        }
+        // Each group goes out as m parity datagrams with identical members.
+        let last_group = parities.iter().map(|p| p.group).max().unwrap();
+        for g in 0..=last_group {
+            let of_group: Vec<_> = parities.iter().filter(|p| p.group == g).collect();
+            assert_eq!(of_group.len(), 2, "group {g} must send m = 2 parities");
+            assert_eq!(of_group[0].members, of_group[1].members);
+            if g < last_group {
+                assert_eq!(of_group[0].members.len(), 4, "full groups carry k members");
+            }
+        }
+        // Concatenated group members equal the in-scope data sends, in
+        // transmission order: parity protects transmission-order runs.
+        let covered: Vec<(usize, u16)> = parities
+            .iter()
+            .filter(|p| p.parity_index == 0)
+            .flat_map(|p| {
+                p.members
+                    .iter()
+                    .map(|mem| (usize::from(mem.frame), mem.frag))
+            })
+            .collect();
+        let sent: Vec<(usize, u16)> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                Msg::Data(d) if critical.contains(&d.fragment.frame) && !d.fragment.retransmit => {
+                    Some((d.fragment.frame, d.fragment.frag))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(covered, sent);
+    }
+
+    #[test]
+    fn fec_off_sends_no_parity() {
+        let mut h = Harness::new(1);
+        let msgs = pump_one_window(&mut h);
+        assert!(
+            !msgs.iter().any(|m| matches!(m, Msg::Parity(_))),
+            "FEC off must leave the wire untouched"
         );
     }
 

@@ -25,6 +25,8 @@ mod imp {
         handshake_timeouts: Counter,
         retransmissions: Counter,
         encode_oversize: Counter,
+        fec_groups: Counter,
+        fec_parity_sent: Counter,
         rtt_us: Histogram,
     }
 
@@ -45,6 +47,8 @@ mod imp {
                 handshake_timeouts: r.counter("net.server.handshake_timeouts"),
                 retransmissions: r.counter("net.server.retransmissions"),
                 encode_oversize: r.counter("net.wire.encode_oversize"),
+                fec_groups: r.counter("net.fec.groups"),
+                fec_parity_sent: r.counter("net.fec.parity_sent"),
                 rtt_us: r.histogram("net.server.rtt_us"),
             }
         }
@@ -111,6 +115,12 @@ mod imp {
         }
 
         #[inline]
+        pub(crate) fn on_fec_group(&self, parity_sent: u64) {
+            self.fec_groups.inc();
+            self.fec_parity_sent.add(parity_sent);
+        }
+
+        #[inline]
         pub(crate) fn rtt_us(&self, us: u64) {
             self.rtt_us.record(us);
         }
@@ -127,6 +137,8 @@ mod imp {
         bad_fragments: Counter,
         decode_errors: Counter,
         encode_oversize: Counter,
+        fec_recovered: Counter,
+        fec_unrecoverable: Counter,
     }
 
     impl ClientTelem {
@@ -141,6 +153,8 @@ mod imp {
                 bad_fragments: r.counter("net.client.bad_fragments"),
                 decode_errors: r.counter("net.client.decode_errors"),
                 encode_oversize: r.counter("net.wire.encode_oversize"),
+                fec_recovered: r.counter("net.fec.recovered"),
+                fec_unrecoverable: r.counter("net.fec.unrecoverable"),
             }
         }
 
@@ -182,6 +196,16 @@ mod imp {
         #[inline]
         pub(crate) fn on_encode_oversize(&self) {
             self.encode_oversize.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_fec_recovered(&self, fragments: u64) {
+            self.fec_recovered.add(fragments);
+        }
+
+        #[inline]
+        pub(crate) fn on_fec_unrecoverable(&self, groups: u64) {
+            self.fec_unrecoverable.add(groups);
         }
     }
 
@@ -277,6 +301,8 @@ mod imp {
         #[inline(always)]
         pub(crate) fn on_encode_oversize(&self) {}
         #[inline(always)]
+        pub(crate) fn on_fec_group(&self, _parity_sent: u64) {}
+        #[inline(always)]
         pub(crate) fn rtt_us(&self, _us: u64) {}
     }
 
@@ -305,6 +331,10 @@ mod imp {
         pub(crate) fn on_decode_error(&self) {}
         #[inline(always)]
         pub(crate) fn on_encode_oversize(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_fec_recovered(&self, _fragments: u64) {}
+        #[inline(always)]
+        pub(crate) fn on_fec_unrecoverable(&self, _groups: u64) {}
     }
 
     /// No-op stand-in; see the `telemetry`-feature variant.

@@ -18,6 +18,7 @@
 //! | 7 | [`Msg::CriticalNack`] | window u64, missing (u16 count × u16) |
 //! | 8 | [`Msg::Bye`] | reason u8 |
 //! | 9 | [`Msg::ByeAck`] | — |
+//! | 10 | [`Msg::Parity`] | window u64, group u32, m u8, parity index u8, shard bytes u16, members (u8 count × (frame u16, frag u16, frags u16)), payload (shard bytes) |
 //!
 //! # Wire limits
 //!
@@ -35,6 +36,7 @@
 //! | `Reject` reason | 65 535 bytes | [`MAX_REASON_BYTES`] |
 //! | `WindowAck` per-layer bursts | 255 entries | [`MAX_BURST_ENTRIES`] |
 //! | `CriticalNack` missing frames | 65 535 entries | [`MAX_NACK_ENTRIES`] |
+//! | `Parity` group members | 255 entries | [`MAX_PARITY_MEMBERS`] |
 //!
 //! Session negotiation enforces the same ceilings up front
 //! (`NetServerConfig::validate` rejects `frames_per_window > 65 535`), so
@@ -77,6 +79,10 @@ pub const MAX_BURST_ENTRIES: usize = u8::MAX as usize;
 /// Largest missing-frame list a [`Msg::CriticalNack`] can carry (u16
 /// count).
 pub const MAX_NACK_ENTRIES: usize = u16::MAX as usize;
+
+/// Largest member list a [`Msg::Parity`] can carry (u8 count) — also the
+/// erasure code's `k` ceiling, matching GF(256)'s symbol budget.
+pub const MAX_PARITY_MEMBERS: usize = u8::MAX as usize;
 
 /// Codec failures; each names the malformed-datagram class it rejects.
 /// All but [`WireError::Oversize`] are decode-side; `Oversize` is the
@@ -244,6 +250,46 @@ pub struct CriticalNackMsg {
     pub missing: Vec<u16>,
 }
 
+/// One member fragment of a parity group — enough labelling for the
+/// client to identify (and, after recovery, reconstruct) the shard even
+/// when the member's data datagram never arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParityMember {
+    /// Frame index within the window.
+    pub frame: u16,
+    /// Fragment index within the frame.
+    pub frag: u16,
+    /// The frame's total fragment count (lets the client size the
+    /// frame's reassembly bitmap for wholly lost frames).
+    pub frags_total: u16,
+}
+
+/// A parity shard over a transmission-order group of data fragments.
+///
+/// The server emits `m` of these after every `group_k` in-scope
+/// fragments; the member list names exactly which fragments the shard
+/// protects, in transmission order. Like [`DataMsg`], the parity payload
+/// is zero-filled on encode and discarded on decode — the traces carry
+/// sizes, not content, so the wire stays byte-accurate (the bandwidth
+/// overhead the frontier bench charts is real) without shipping bytes
+/// the simulator never had.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParityMsg {
+    /// Window the group belongs to.
+    pub window: u64,
+    /// Group sequence number within the window (transmission order).
+    pub group: u32,
+    /// Parity shards in this group (`m` of the `(k, m)` code).
+    pub m: u8,
+    /// Which of the `m` shards this datagram carries (`0..m`).
+    pub parity_index: u8,
+    /// Shard length in bytes — every member fragment is padded to this
+    /// for the GF(256) arithmetic, and the payload is exactly this long.
+    pub shard_bytes: u16,
+    /// The protected fragments, in transmission order (`k` entries).
+    pub members: Vec<ParityMember>,
+}
+
 /// Why a [`Msg::Bye`] was sent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ByeReason {
@@ -276,6 +322,8 @@ pub enum Msg {
     Bye(ByeReason),
     /// Teardown acknowledgement.
     ByeAck,
+    /// Server → client erasure-code parity shard.
+    Parity(ParityMsg),
 }
 
 impl Msg {
@@ -292,6 +340,7 @@ impl Msg {
             Msg::CriticalNack(_) => 7,
             Msg::Bye(_) => 8,
             Msg::ByeAck => 9,
+            Msg::Parity(_) => 10,
         }
     }
 
@@ -374,6 +423,7 @@ pub fn try_encode_into(conn_id: u32, msg: &Msg, out: &mut Vec<u8>) -> Result<(),
             MAX_BURST_ENTRIES,
         )?,
         Msg::CriticalNack(n) => fits("critical_nack.missing", n.missing.len(), MAX_NACK_ENTRIES)?,
+        Msg::Parity(p) => fits("parity.members", p.members.len(), MAX_PARITY_MEMBERS)?,
         Msg::Hello(_) | Msg::Begin | Msg::WindowEnd(_) | Msg::Bye(_) | Msg::ByeAck => {}
     }
     out.extend_from_slice(&MAGIC.to_be_bytes());
@@ -448,6 +498,20 @@ pub fn try_encode_into(conn_id: u32, msg: &Msg, out: &mut Vec<u8>) -> Result<(),
                 ByeReason::Complete => 0,
                 ByeReason::Aborted => 1,
             });
+        }
+        Msg::Parity(p) => {
+            out.extend_from_slice(&p.window.to_be_bytes());
+            out.extend_from_slice(&p.group.to_be_bytes());
+            out.push(p.m);
+            out.push(p.parity_index);
+            out.extend_from_slice(&p.shard_bytes.to_be_bytes());
+            out.push(p.members.len() as u8);
+            for member in &p.members {
+                out.extend_from_slice(&member.frame.to_be_bytes());
+                out.extend_from_slice(&member.frag.to_be_bytes());
+                out.extend_from_slice(&member.frags_total.to_be_bytes());
+            }
+            out.resize(out.len() + usize::from(p.shard_bytes), 0);
         }
     }
     Ok(())
@@ -747,6 +811,63 @@ pub fn decode(datagram: &[u8]) -> Result<(u32, Msg), WireError> {
             _ => return Err(WireError::BadValue("unknown bye reason")),
         }),
         9 => Msg::ByeAck,
+        10 => {
+            let window = c.u64()?;
+            let group = c.u32()?;
+            let m = c.u8()?;
+            let parity_index = c.u8()?;
+            let shard_bytes = c.u16()?;
+            let count = usize::from(c.u8()?);
+            if m == 0 {
+                return Err(WireError::BadValue("zero parity count"));
+            }
+            if parity_index >= m {
+                return Err(WireError::BadValue("parity index out of range"));
+            }
+            if count == 0 {
+                return Err(WireError::BadValue("empty parity group"));
+            }
+            // Length-check the whole member block before reading it so a
+            // hostile count cannot balloon the allocation.
+            if c.remaining() < count * 6 {
+                return Err(WireError::Truncated {
+                    need: count * 6,
+                    have: c.remaining(),
+                });
+            }
+            let mut members = Vec::with_capacity(count);
+            for _ in 0..count {
+                let frame = c.u16()?;
+                let frag = c.u16()?;
+                let frags_total = c.u16()?;
+                if frags_total == 0 {
+                    return Err(WireError::BadValue("zero fragment count"));
+                }
+                if frag >= frags_total {
+                    return Err(WireError::BadValue("fragment index out of range"));
+                }
+                members.push(ParityMember {
+                    frame,
+                    frag,
+                    frags_total,
+                });
+            }
+            if c.remaining() < usize::from(shard_bytes) {
+                return Err(WireError::Overlength {
+                    declared: usize::from(shard_bytes),
+                    have: c.remaining(),
+                });
+            }
+            let _payload = c.take(usize::from(shard_bytes))?;
+            Msg::Parity(ParityMsg {
+                window,
+                group,
+                m,
+                parity_index,
+                shard_bytes,
+                members,
+            })
+        }
         other => return Err(WireError::UnknownType(other)),
     };
     c.finish()?;
@@ -813,7 +934,35 @@ mod tests {
             }),
             Msg::Bye(ByeReason::Complete),
             Msg::ByeAck,
+            sample_parity(),
         ]
+    }
+
+    fn sample_parity() -> Msg {
+        Msg::Parity(ParityMsg {
+            window: 7,
+            group: 3,
+            m: 2,
+            parity_index: 1,
+            shard_bytes: 904,
+            members: vec![
+                ParityMember {
+                    frame: 0,
+                    frag: 0,
+                    frags_total: 2,
+                },
+                ParityMember {
+                    frame: 0,
+                    frag: 1,
+                    frags_total: 2,
+                },
+                ParityMember {
+                    frame: 3,
+                    frag: 0,
+                    frags_total: 1,
+                },
+            ],
+        })
     }
 
     #[test]
@@ -1107,6 +1256,110 @@ mod tests {
             ),
             "{err}"
         );
+    }
+
+    /// 255 parity members fit; 256 are refused instead of dropping one —
+    /// a parity whose member list shrank silently would "recover" the
+    /// wrong fragment.
+    #[test]
+    fn parity_member_boundary() {
+        let parity = |n: usize| {
+            Msg::Parity(ParityMsg {
+                window: 1,
+                group: 0,
+                m: 1,
+                parity_index: 0,
+                shard_bytes: 8,
+                members: vec![
+                    ParityMember {
+                        frame: 2,
+                        frag: 0,
+                        frags_total: 1,
+                    };
+                    n
+                ],
+            })
+        };
+        let msg = parity(MAX_PARITY_MEMBERS);
+        let bytes = try_encode(1, &msg).expect("255 members encode");
+        assert_eq!(decode(&bytes).expect("decodes").1, msg);
+        assert_eq!(
+            try_encode(1, &parity(MAX_PARITY_MEMBERS + 1)).unwrap_err(),
+            WireError::Oversize {
+                field: "parity.members",
+                max: MAX_PARITY_MEMBERS,
+                actual: MAX_PARITY_MEMBERS + 1,
+            }
+        );
+    }
+
+    /// Hostile parity datagrams are rejected with typed errors, never a
+    /// panic or a bogus recovery: zero m, out-of-range parity index,
+    /// empty groups, invalid member geometry, and payloads shorter than
+    /// the declared shard size.
+    #[test]
+    fn hostile_parity_rejected() {
+        let valid = match sample_parity() {
+            Msg::Parity(p) => p,
+            _ => unreachable!(),
+        };
+        let encode_raw = |p: &ParityMsg| encode(1, &Msg::Parity(p.clone()));
+
+        let mut zero_m = valid.clone();
+        zero_m.m = 0;
+        zero_m.parity_index = 0;
+        assert_eq!(
+            decode(&encode_raw(&zero_m)),
+            Err(WireError::BadValue("zero parity count"))
+        );
+
+        let mut bad_index = valid.clone();
+        bad_index.parity_index = bad_index.m;
+        assert_eq!(
+            decode(&encode_raw(&bad_index)),
+            Err(WireError::BadValue("parity index out of range"))
+        );
+
+        let mut empty = valid.clone();
+        empty.members.clear();
+        assert_eq!(
+            decode(&encode_raw(&empty)),
+            Err(WireError::BadValue("empty parity group"))
+        );
+
+        let mut zero_frags = valid.clone();
+        zero_frags.members[1].frags_total = 0;
+        assert_eq!(
+            decode(&encode_raw(&zero_frags)),
+            Err(WireError::BadValue("zero fragment count"))
+        );
+
+        let mut frag_oob = valid.clone();
+        frag_oob.members[1].frag = frag_oob.members[1].frags_total;
+        assert_eq!(
+            decode(&encode_raw(&frag_oob)),
+            Err(WireError::BadValue("fragment index out of range"))
+        );
+
+        // Declared shard size larger than the bytes behind it.
+        let mut bytes = encode_raw(&valid);
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(
+            decode(&bytes),
+            Err(WireError::Overlength { .. } | WireError::Truncated { .. })
+        ));
+
+        // A hostile member count with no member block behind it must be
+        // length-checked before any allocation.
+        let lean = ParityMsg {
+            members: vec![valid.members[0]],
+            shard_bytes: 0,
+            ..valid
+        };
+        let mut bytes = encode(1, &Msg::Parity(lean));
+        let count_at = bytes.len() - 6 - 1; // one 6-byte member behind the count
+        bytes[count_at] = 255;
+        assert!(matches!(decode(&bytes), Err(WireError::Truncated { .. })));
     }
 
     /// 255 burst entries fit a WindowAck; 256 are refused.

@@ -14,7 +14,7 @@ use std::time::Duration;
 use espread_net::{
     FaultPolicy, FaultProxy, NetClient, NetClientConfig, NetServer, NetServerConfig, RetryPolicy,
 };
-use espread_protocol::{Ordering, ProtocolConfig, SessionOffer, StreamSource};
+use espread_protocol::{FecPolicy, FecScope, Ordering, ProtocolConfig, SessionOffer, StreamSource};
 use espread_trace::{GopPattern, Movie, MpegTrace};
 
 fn paper_offer(gops_per_window: usize) -> SessionOffer {
@@ -25,6 +25,7 @@ fn paper_offer(gops_per_window: usize) -> SessionOffer {
         fps: 24,
         packet_bytes: 2048,
         max_frame_bytes: 62_776 / 8,
+        fec: FecPolicy::off(),
     }
 }
 
@@ -231,6 +232,71 @@ fn critical_nack_round_recovers_anchor_frames() {
             );
         }
     }
+}
+
+/// One session with critical-layer FEC negotiated, through a seeded
+/// bursty channel; returns what the client repaired and what it NACKed.
+fn run_with_fec(fec: FecPolicy, seed: u64, windows: usize) -> espread_net::NetClientReport {
+    let trace = MpegTrace::new(Movie::JurassicPark, 1);
+    let offer = SessionOffer {
+        fec,
+        ..paper_offer(2)
+    };
+    let config = NetServerConfig::new(
+        ProtocolConfig::paper(0.6, 1),
+        offer,
+        StreamSource::mpeg(&trace, 2, windows, false),
+    );
+    let mut server = NetServer::bind("127.0.0.1:0", config).unwrap();
+    let mut proxy = FaultProxy::spawn(
+        server.local_addr(),
+        FaultPolicy::transparent().gilbert_data_loss(0.92, 0.5, seed),
+        FaultPolicy::transparent(),
+    )
+    .unwrap();
+    let client_config = NetClientConfig {
+        recovery: true,
+        retry: quick_retry(),
+        ..NetClientConfig::default()
+    };
+    let client = NetClient::connect(proxy.client_addr(), client_config).unwrap();
+    let report = client.stream().unwrap();
+    proxy.shutdown();
+    server.shutdown();
+    assert_eq!(report.windows_completed, windows);
+    report
+}
+
+/// The FEC acceptance test on the real UDP stack: the proxy's seeded
+/// channel produces bursts the `(4, 2)` Cauchy code covers, the client
+/// repairs every critical loss from parity *before* the NACK branch
+/// runs — so recovery costs **zero** CriticalNack rounds — and the same
+/// seed with FEC off proves the repairs were load-bearing: without
+/// parity the client has to fall back to retransmission rounds.
+#[test]
+fn parity_repairs_coverable_bursts_with_zero_nack_rounds() {
+    const WINDOWS: usize = 6;
+    const SEED: u64 = 1;
+    let fec = run_with_fec(FecPolicy::rs(FecScope::Critical, 4, 2), SEED, WINDOWS);
+    assert!(
+        fec.fec_recovered > 0,
+        "the channel must have produced at least one coverable erasure"
+    );
+    assert_eq!(
+        fec.fec_unrecoverable, 0,
+        "every burst on this seed fits the parity budget"
+    );
+    assert_eq!(
+        fec.nacks_sent, 0,
+        "parity recovery must preempt every CriticalNack round"
+    );
+
+    let off = run_with_fec(FecPolicy::off(), SEED, WINDOWS);
+    assert_eq!(off.fec_recovered, 0);
+    assert!(
+        off.nacks_sent > 0,
+        "without parity the same channel seed forces retransmission rounds"
+    );
 }
 
 /// Telemetry end to end: a scoped registry captures socket, retry, and

@@ -14,7 +14,7 @@ use espread_net::{
 use espread_obs::{
     all_to_json_lines, parse_json_lines, reconstruct, trio, FrameOutcome, DEFAULT_CAPACITY,
 };
-use espread_protocol::{ProtocolConfig, SessionOffer, StreamSource};
+use espread_protocol::{FecPolicy, ProtocolConfig, SessionOffer, StreamSource};
 use espread_trace::{GopPattern, Movie, MpegTrace};
 
 fn server_config(windows: usize) -> NetServerConfig {
@@ -28,6 +28,7 @@ fn server_config(windows: usize) -> NetServerConfig {
             fps: 24,
             packet_bytes: 2048,
             max_frame_bytes: 62_776 / 8,
+            fec: FecPolicy::off(),
         },
         StreamSource::mpeg(&trace, 2, windows, false),
     )

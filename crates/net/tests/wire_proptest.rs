@@ -3,8 +3,8 @@
 //! mutated — can make `decode` panic.
 
 use espread_net::wire::{
-    self, Accept, ByeReason, CriticalNackMsg, DataMsg, Hello, Msg, Reject, WindowAckMsg, WindowEnd,
-    HEADER_BYTES,
+    self, Accept, ByeReason, CriticalNackMsg, DataMsg, Hello, Msg, ParityMember, ParityMsg, Reject,
+    WindowAckMsg, WindowEnd, HEADER_BYTES,
 };
 use espread_protocol::{Fragment, Ldu, Ordering};
 use proptest::prelude::*;
@@ -76,6 +76,20 @@ fn exemplars(a: u64, b: u16, text: String, list: Vec<u16>) -> Vec<Msg> {
             ByeReason::Aborted
         }),
         Msg::ByeAck,
+        Msg::Parity(ParityMsg {
+            window: a,
+            group: a as u32 ^ 5,
+            m: (a as u8 % 4) + 1,
+            parity_index: a as u8 % ((a as u8 % 4) + 1),
+            shard_bytes: b % 2048,
+            members: (0..(b % 6) + 1)
+                .map(|i| ParityMember {
+                    frame: b.wrapping_add(i),
+                    frag: i % frags_total,
+                    frags_total,
+                })
+                .collect(),
+        }),
     ]
 }
 

@@ -62,7 +62,8 @@ pub use feedback::{AckTracker, FeedbackMsg, WindowFeedback};
 pub use layers::{LayerInfo, ScheduledFrame, WindowPlan};
 pub use mux::{aligned_av_sources, MuxReport, MuxSession, StreamId};
 pub use negotiation::{
-    negotiate, AgreedSession, ClientCapabilities, NegotiationError, SessionOffer,
+    negotiate, AgreedSession, ClientCapabilities, FecPolicy, FecScope, NegotiationError,
+    SessionOffer,
 };
 pub use packetize::{Fragment, InvalidLduSize, Ldu, Reassembly};
 pub use server::{AdaptationRecord, Server};

@@ -14,6 +14,91 @@ use std::fmt;
 
 use espread_trace::GopPattern;
 
+/// Which fragments the erasure coder protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FecScope {
+    /// No parity is generated — pure spreading (the seed behaviour).
+    #[default]
+    Off,
+    /// Only critical-layer frames (the paper's anchor frames — the
+    /// layers whose loss propagates through the GOP) get parity;
+    /// non-critical layers rely on spreading alone.
+    Critical,
+    /// Every data fragment is grouped for parity.
+    All,
+}
+
+/// Per-session erasure-coding policy, proposed with the rest of the
+/// offer and applied identically on both sides.
+///
+/// Parity is computed over **transmission-order groups**: the server
+/// collects `group_k` consecutive in-scope fragments as it sends them
+/// and emits `parity_m` parity datagrams per group, so parity protects
+/// exactly the bursts the spread order produces on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FecPolicy {
+    /// Which fragments are grouped.
+    pub scope: FecScope,
+    /// Data fragments per parity group (`k` of the `(k, m)` code).
+    pub group_k: u8,
+    /// Parity shards per group (`m`); any `≤ m` losses inside a group
+    /// are recoverable.
+    pub parity_m: u8,
+}
+
+impl FecPolicy {
+    /// No erasure coding (the default).
+    pub fn off() -> Self {
+        FecPolicy::default()
+    }
+
+    /// XOR parity (`m = 1`) over groups of `k` critical-layer fragments.
+    pub fn xor_critical(k: u8) -> Self {
+        FecPolicy {
+            scope: FecScope::Critical,
+            group_k: k,
+            parity_m: 1,
+        }
+    }
+
+    /// A Reed–Solomon-style `(k, m)` code over the given scope.
+    pub fn rs(scope: FecScope, k: u8, m: u8) -> Self {
+        FecPolicy {
+            scope,
+            group_k: k,
+            parity_m: m,
+        }
+    }
+
+    /// Whether any parity will be generated.
+    pub fn enabled(&self) -> bool {
+        self.scope != FecScope::Off
+    }
+
+    /// Validates the geometry against the GF(256) code's limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NegotiationError::Invalid`] when the scope is on but
+    /// `k` or `m` is zero, or `k + m` exceeds the field's 255 symbols.
+    pub fn validate(&self) -> Result<(), NegotiationError> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        if self.group_k == 0 || self.parity_m == 0 {
+            return Err(NegotiationError::Invalid(
+                "FEC group and parity counts must be positive".into(),
+            ));
+        }
+        if usize::from(self.group_k) + usize::from(self.parity_m) > 255 {
+            return Err(NegotiationError::Invalid(
+                "FEC k + m exceeds the GF(256) symbol budget".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The server's proposed session parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionOffer {
@@ -30,6 +115,9 @@ pub struct SessionOffer {
     /// Upper bound on any frame's encoded size in bytes (for §4.1 buffer
     /// sizing).
     pub max_frame_bytes: u32,
+    /// Erasure-coding policy ([`FecPolicy::off`] reproduces the paper's
+    /// pure-spreading protocol bit for bit).
+    pub fec: FecPolicy,
 }
 
 impl SessionOffer {
@@ -71,7 +159,7 @@ impl SessionOffer {
                 "max frame size must be positive".into(),
             ));
         }
-        Ok(())
+        self.fec.validate()
     }
 }
 
@@ -216,6 +304,7 @@ mod tests {
             fps: 24,
             packet_bytes: 2048,
             max_frame_bytes: 62_776 / 8, // Jurassic Park's worst GOP bounds any frame
+            fec: FecPolicy::off(),
         }
     }
 
@@ -281,6 +370,29 @@ mod tests {
         let mut offer = paper_offer();
         offer.max_frame_bytes = 0;
         assert!(negotiate(offer, ClientCapabilities::desktop()).is_err());
+    }
+
+    #[test]
+    fn fec_geometry_is_validated() {
+        assert!(FecPolicy::off().validate().is_ok());
+        assert!(FecPolicy::xor_critical(8).validate().is_ok());
+        assert!(FecPolicy::rs(FecScope::All, 200, 55).validate().is_ok());
+        assert!(FecPolicy::rs(FecScope::All, 200, 56).validate().is_err());
+        assert!(FecPolicy::rs(FecScope::Critical, 0, 1).validate().is_err());
+        assert!(FecPolicy::rs(FecScope::Critical, 4, 0).validate().is_err());
+        // Zero geometry is fine as long as the scope is off.
+        assert!(FecPolicy::rs(FecScope::Off, 0, 0).validate().is_ok());
+
+        let mut offer = paper_offer();
+        offer.fec = FecPolicy::xor_critical(0);
+        assert!(matches!(
+            negotiate(offer, ClientCapabilities::desktop()),
+            Err(NegotiationError::Invalid(_))
+        ));
+        let mut offer = paper_offer();
+        offer.fec = FecPolicy::rs(FecScope::All, 6, 2);
+        let agreed = negotiate(offer, ClientCapabilities::desktop()).unwrap();
+        assert!(agreed.offer.fec.enabled());
     }
 
     #[test]

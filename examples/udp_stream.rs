@@ -14,7 +14,7 @@
 //! ```
 
 use error_spreading::prelude::*;
-use error_spreading::protocol::SessionOffer;
+use error_spreading::protocol::{FecPolicy, SessionOffer};
 
 fn stream_once(ordering: Ordering, windows: usize) -> error_spreading::net::NetClientReport {
     let p_bad = 0.6;
@@ -26,6 +26,7 @@ fn stream_once(ordering: Ordering, windows: usize) -> error_spreading::net::NetC
         fps: 24,
         packet_bytes: 2048,
         max_frame_bytes: 62_776 / 8,
+        fec: FecPolicy::off(),
     };
     let config = NetServerConfig::new(
         ProtocolConfig::paper(p_bad, 1),

@@ -73,6 +73,14 @@ fi
 for bin in "${bins[@]}"; do
   run_bench "$bin" "$bin" "$bin"
 done
+# The spreading x FEC frontier streams real UDP sessions but writes a
+# deterministic artifact, so it joins the determinism surface in both
+# grids (the quick subset sweeps its reduced seed set).
+if [[ $QUICK -eq 1 ]]; then
+  run_bench fec_frontier fec_frontier fec_frontier --quick
+else
+  run_bench fec_frontier fec_frontier fec_frontier
+fi
 if [[ $QUICK -eq 0 ]]; then
   # Timing-derived artifact (sessions/sec, RTT percentiles) — excluded
   # from the --quick determinism subset on purpose. The reduced wave

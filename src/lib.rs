@@ -53,6 +53,7 @@ pub mod guide;
 
 pub use espread_cmt as cmt;
 pub use espread_core as core;
+pub use espread_fec as fec;
 pub use espread_net as net;
 pub use espread_netsim as netsim;
 pub use espread_obs as obs;
@@ -68,13 +69,15 @@ pub mod prelude {
         calculate_permutation, clf_lower_bound, k_cpo, max_tolerable_burst, theorem_one,
         worst_case_clf, worst_case_clf_multi, BurstEstimator, LayeredOrder, Permutation,
     };
+    pub use espread_fec::{Codec, Scratch};
     pub use espread_net::{
         FaultPolicy, FaultProxy, NetClient, NetClientConfig, NetServer, NetServerConfig,
     };
     pub use espread_netsim::{GilbertModel, Link, SimDuration, SimTime};
     pub use espread_poset::Poset;
     pub use espread_protocol::{
-        Ordering, ProtocolConfig, Recovery, Session, SessionReport, StreamSource,
+        FecPolicy, FecScope, Ordering, ProtocolConfig, Recovery, Session, SessionReport,
+        StreamSource,
     };
     pub use espread_qos::{
         Acceptability, ContinuityMetrics, LossPattern, MediaKind, PerceptionProfile, WindowSeries,

@@ -5,7 +5,9 @@ use error_spreading::core::{
     monte_carlo_series, Descrambler, Scrambler,
 };
 use error_spreading::prelude::*;
-use error_spreading::protocol::{negotiate, ClientCapabilities, SessionOffer, WindowPlan};
+use error_spreading::protocol::{
+    negotiate, ClientCapabilities, FecPolicy, SessionOffer, WindowPlan,
+};
 use error_spreading::qos::{Acceptability, LduClock, LduId, PlayoutTimeline, StreamSpec};
 
 #[test]
@@ -126,6 +128,7 @@ fn negotiation_drives_a_real_session() {
         fps: 24,
         packet_bytes: 2048,
         max_frame_bytes: 62_776 / 8,
+        fec: FecPolicy::off(),
     };
     let agreed = negotiate(offer, ClientCapabilities::interactive()).expect("fits");
     let trace = MpegTrace::new(Movie::JurassicPark, 1);
