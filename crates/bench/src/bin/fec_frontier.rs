@@ -5,16 +5,22 @@
 //! cargo run -p espread-bench --bin fec_frontier [-- --quick] [--jobs N]
 //! ```
 //!
-//! Four arms stream identical Jurassic Park windows with recovery
+//! Five arms stream identical Jurassic Park windows with recovery
 //! (NACK/retransmission) disabled, so every loss the channel inflicts
 //! either stays lost or is repaired by parity:
 //!
-//! | arm          | ordering | FEC                  |
-//! |--------------|----------|----------------------|
-//! | `nothing`    | in-order | off                  |
-//! | `spread`     | spread   | off                  |
-//! | `fec`        | in-order | RS(4,2) on critical  |
-//! | `spread+fec` | spread   | RS(4,2) on critical  |
+//! | arm              | ordering | FEC                  |
+//! |------------------|----------|----------------------|
+//! | `nothing`        | in-order | off                  |
+//! | `spread`         | spread   | off                  |
+//! | `fec`            | in-order | RS(4,2) on critical  |
+//! | `spread+fec`     | spread   | RS(4,2) on critical  |
+//! | `spread+fec_all` | spread   | RS(4,2) on all       |
+//!
+//! The all-scope arm measures the headroom of protecting every layer:
+//! its bandwidth-overhead column must exceed the critical-scope arms'
+//! (parity now covers enhancement fragments too), which is exactly the
+//! cost the perceptual prioritisation avoids.
 //!
 //! All arms share each channel seed (matched Gilbert–Elliott
 //! realisations; the two FEC-off arms face drop-for-drop identical
@@ -58,34 +64,39 @@ const QUICK_SEEDS: [u64; 2] = [1, 9];
 struct Arm {
     name: &'static str,
     spread: bool,
-    fec: bool,
+    scope: FecScope,
 }
 
-const ARMS: [Arm; 4] = [
+const ARMS: [Arm; 5] = [
     Arm {
         name: "nothing",
         spread: false,
-        fec: false,
+        scope: FecScope::Off,
     },
     Arm {
         name: "spread",
         spread: true,
-        fec: false,
+        scope: FecScope::Off,
     },
     Arm {
         name: "fec",
         spread: false,
-        fec: true,
+        scope: FecScope::Critical,
     },
     Arm {
         name: "spread+fec",
         spread: true,
-        fec: true,
+        scope: FecScope::Critical,
+    },
+    Arm {
+        name: "spread+fec_all",
+        spread: true,
+        scope: FecScope::All,
     },
 ];
 
-fn frontier_fec() -> FecPolicy {
-    FecPolicy::rs(FecScope::Critical, 4, 2)
+fn frontier_fec(scope: FecScope) -> FecPolicy {
+    FecPolicy::rs(scope, 4, 2)
 }
 
 /// One (arm, seed) stream's deterministic outcome.
@@ -114,10 +125,9 @@ fn run_trial(arm: Arm, seed: u64) -> Trial {
         fps: 24,
         packet_bytes: 2048,
         max_frame_bytes: 62_776 / 8,
-        fec: if arm.fec {
-            frontier_fec()
-        } else {
-            FecPolicy::off()
+        fec: match arm.scope {
+            FecScope::Off => FecPolicy::off(),
+            scope => frontier_fec(scope),
         },
     };
     let config = NetServerConfig::new(
@@ -285,6 +295,16 @@ fn assert_frontier(arms: &[ArmResult]) {
         both.fec_recovered > 0,
         "no parity recovery happened; the frontier says nothing"
     );
+    // All-scope parity covers enhancement fragments too, so its
+    // bandwidth overhead must strictly exceed the critical-scope arm's —
+    // the cost the perceptual prioritisation avoids.
+    let all = by_name("spread+fec_all");
+    assert!(
+        all.overhead > both.overhead,
+        "all-scope FEC overhead {} does not exceed critical-scope {}",
+        all.overhead,
+        both.overhead
+    );
 }
 
 fn rows(arms: &[ArmResult], seeds: &[u64]) -> Vec<Json> {
@@ -320,7 +340,7 @@ fn main() {
     println!(
         "FEC frontier: {} arms x {} seeds, {WINDOWS} windows each \
          (Gilbert-Elliott P_stay_good={P_STAY_GOOD}, P_bad={P_BAD}; \
-         FEC = RS(4,2) on critical layers; recovery off)\n",
+         FEC = RS(4,2) on critical or all layers; recovery off)\n",
         ARMS.len(),
         seeds.len()
     );
@@ -328,7 +348,7 @@ fn main() {
     let arms = run_frontier(seeds);
 
     println!(
-        "{:<11} {:>9} {:>9} {:>7} {:>7} {:>9} {:>7} {:>9} {:>10}",
+        "{:<15} {:>9} {:>9} {:>7} {:>7} {:>9} {:>7} {:>9} {:>10}",
         "arm",
         "mean CLF",
         "mean ALF",
@@ -341,7 +361,7 @@ fn main() {
     );
     for a in &arms {
         println!(
-            "{:<11} {:>9.3} {:>9.3} {:>7} {:>7} {:>9.2} {:>7} {:>8.1}% {:>10}",
+            "{:<15} {:>9.3} {:>9.3} {:>7} {:>7} {:>9.2} {:>7} {:>8.1}% {:>10}",
             a.name,
             a.mean_clf,
             a.mean_alf,

@@ -219,7 +219,7 @@ fn random_ordering(rng: &mut DetRng) -> Ordering {
 
 /// A random message with every field inside its wire limit.
 fn random_msg(rng: &mut DetRng) -> Msg {
-    match rng.below(11) {
+    match rng.below(12) {
         0 => Msg::Hello(Hello {
             nonce: rng.next_u64(),
             buffer_bytes: rng.next_u64(),
@@ -296,6 +296,9 @@ fn random_msg(rng: &mut DetRng) -> Msg {
                     .collect(),
             })
         }
+        10 => Msg::Busy {
+            retry_after_ms: rng.next_u64() as u32,
+        },
         _ => Msg::ByeAck,
     }
 }

@@ -36,8 +36,21 @@
 //! `REPRODUCER seed=… cell=… schedule=…` line that re-creates the
 //! failing cell anywhere.
 //!
+//! A fourth regime, **overload** ([`ChaosMode::Overload`]), swaps the
+//! faulty channel for a demand storm: a capacity-capped server under a
+//! handshake flood, ghost sessions that never `Begin`, a wedged reader,
+//! and a real-client swarm above the cap. Its invariants are the
+//! admission-control contract — live sessions never exceed the cap,
+//! refusals are typed `Busy` replies, no critical frame is ever shed,
+//! and every admitted session ends in a typed outcome and is reaped.
+//! Overload seeds live in their own namespace
+//! ([`FaultSchedule::derive_overload`], [`run_overload_soak`]) and
+//! render a separate `"chaos_overload"` report, so the fault soak's
+//! artifact keeps its bytes.
+//!
 //! The `chaos_soak` bench binary (in `espread-bench`) wires this into
-//! `results/chaos_soak.json` and the CI gate.
+//! `results/chaos_soak.json`, `results/chaos_overload.json`, and the CI
+//! gate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,4 +62,4 @@ pub mod soak;
 
 pub use report::{CellReport, CompareOutcome, InvariantReport};
 pub use schedule::{ChaosMode, FaultSchedule};
-pub use soak::{run_soak, SoakConfig, DEFAULT_SEEDS};
+pub use soak::{run_overload_soak, run_soak, SoakConfig, DEFAULT_OVERLOAD_SEEDS, DEFAULT_SEEDS};

@@ -120,16 +120,33 @@ impl CellReport {
 }
 
 /// The whole soak's verdict, one entry per seed, in seed-list order.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InvariantReport {
+    /// Experiment tag rendered at the top of the JSON document —
+    /// `"chaos_soak"` for the fault soak, `"chaos_overload"` for the
+    /// overload regime. Keeping the two in separate documents is what
+    /// lets the overload regime exist without touching a byte of the
+    /// existing soak artifact.
+    pub experiment: &'static str,
     /// Per-cell reports, in the order the seeds were given.
     pub cells: Vec<CellReport>,
+}
+
+impl Default for InvariantReport {
+    fn default() -> Self {
+        InvariantReport::new(Vec::new())
+    }
 }
 
 impl InvariantReport {
     /// Wraps executor output (already in cell order) into a report.
     pub fn new(cells: Vec<CellReport>) -> Self {
-        InvariantReport { cells }
+        InvariantReport::with_experiment("chaos_soak", cells)
+    }
+
+    /// Like [`InvariantReport::new`] with an explicit experiment tag.
+    pub fn with_experiment(experiment: &'static str, cells: Vec<CellReport>) -> Self {
+        InvariantReport { experiment, cells }
     }
 
     /// Total violations across all cells.
@@ -154,7 +171,7 @@ impl InvariantReport {
     /// the top so CI can gate on a plain `grep '"violations": 0,'`.
     pub fn to_json(&self) -> Json {
         let mut doc = Json::object();
-        doc.push("experiment", "chaos_soak")
+        doc.push("experiment", self.experiment)
             .push("seeds", self.cells.len())
             .push("violations", self.violation_count() as i64)
             .push(
@@ -244,6 +261,14 @@ mod tests {
             .to_json()
             .render_pretty()
             .contains("\"violations\": 0,"));
+    }
+
+    #[test]
+    fn overload_reports_carry_their_own_experiment_tag() {
+        let report = InvariantReport::with_experiment("chaos_overload", vec![]);
+        let text = report.to_json().render_pretty();
+        assert!(text.starts_with("{\n  \"experiment\": \"chaos_overload\",\n"));
+        assert!(text.contains("\"violations\": 0,"));
     }
 
     #[test]

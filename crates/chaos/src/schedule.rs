@@ -34,6 +34,16 @@ pub enum ChaosMode {
     /// must fail *well*: a typed error or completion, never a panic or a
     /// stall, with the proxy conservation law intact.
     FullChaos,
+    /// Overload: a capacity-capped server under a handshake flood, a
+    /// session swarm above `max_sessions`, and deliberately slow readers.
+    /// The channel itself is clean — the "fault" is demand. Invariants:
+    /// live sessions never exceed the cap, refusals are typed `Busy`
+    /// replies, no critical frame is ever shed, and every admitted
+    /// session ends in a typed outcome and is reaped. This regime is
+    /// never drawn by [`FaultSchedule::derive`] (which would re-shuffle
+    /// every existing seed's schedule); it has its own constructor and
+    /// seed namespace via [`FaultSchedule::derive_overload`].
+    Overload,
 }
 
 impl fmt::Display for ChaosMode {
@@ -42,6 +52,7 @@ impl fmt::Display for ChaosMode {
             ChaosMode::Compare => "compare",
             ChaosMode::ControlChaos => "control",
             ChaosMode::FullChaos => "full",
+            ChaosMode::Overload => "overload",
         })
     }
 }
@@ -82,6 +93,15 @@ pub struct FaultSchedule {
     pub truncate_every: u64,
     /// Whether the client NACKs missing critical frames.
     pub recovery: bool,
+    /// Server admission cap for the overload regime (0 = no cap).
+    pub max_sessions: usize,
+    /// Concurrent real clients launched above the cap (0 = none).
+    pub swarm: usize,
+    /// Raw distinct-nonce Hello datagrams flooded at the server (0 = none).
+    pub flood_hellos: u32,
+    /// Admitted sessions whose reader deliberately wedges after Begin
+    /// (0 = none).
+    pub slow_readers: usize,
 }
 
 impl FaultSchedule {
@@ -110,6 +130,10 @@ impl FaultSchedule {
             corrupt_every: 0,
             truncate_every: 0,
             recovery: false,
+            max_sessions: 0,
+            swarm: 0,
+            flood_hellos: 0,
+            slow_readers: 0,
         };
         match mode {
             // Anything beyond pure data loss would perturb the matched
@@ -142,8 +166,44 @@ impl FaultSchedule {
                 }
                 s.recovery = rng.chance(0.5);
             }
+            // The mode draw above is `below(3)`; widening it would
+            // re-derive every existing seed's schedule, so overload
+            // lives in its own constructor instead.
+            ChaosMode::Overload => unreachable!("derive never draws the overload regime"),
         }
         s
+    }
+
+    /// Expands `seed` into an overload-regime plan. Deliberately a
+    /// separate constructor with a salted stream: existing seeds passed
+    /// to [`FaultSchedule::derive`] keep their byte-identical schedules,
+    /// and overload seeds form their own namespace.
+    pub fn derive_overload(seed: u64) -> Self {
+        // "OVERLOAD" in ASCII — any fixed salt works; it only has to
+        // decorrelate this stream from the plain derive() stream.
+        let mut rng = DetRng::seed_from(seed ^ 0x4F56_4552_4C4F_4144);
+        let max_sessions = 3 + rng.below(2) as usize;
+        FaultSchedule {
+            seed,
+            mode: ChaosMode::Overload,
+            windows: 2 + rng.below(2) as usize,
+            gops_per_window: 1,
+            gilbert: false,
+            p_good: 1.0,
+            p_bad: 0.0,
+            channel_seed: 0,
+            drop_control_down: 0,
+            drop_control_up: 0,
+            duplicate_every: 0,
+            reorder_every: 0,
+            corrupt_every: 0,
+            truncate_every: 0,
+            recovery: false,
+            max_sessions,
+            swarm: 2 * max_sessions,
+            flood_hellos: 32 + rng.below(17) as u32,
+            slow_readers: 1,
+        }
     }
 
     /// The proxy policy for server→client traffic (the data path): the
@@ -215,6 +275,12 @@ impl FaultSchedule {
         if self.recovery {
             out.push_str(" rec");
         }
+        if self.max_sessions > 0 {
+            out.push_str(&format!(
+                " cap={} swarm={} flood={} slow={}",
+                self.max_sessions, self.swarm, self.flood_hellos, self.slow_readers
+            ));
+        }
         out
     }
 }
@@ -276,6 +342,51 @@ mod tests {
             assert!((0.90..=0.96).contains(&s.p_good));
             assert!((0.50..=0.70).contains(&s.p_bad));
         }
+    }
+
+    #[test]
+    fn plain_derivation_never_draws_overload_and_keeps_its_knobs_off() {
+        for seed in 0..512 {
+            let s = FaultSchedule::derive(seed);
+            assert_ne!(s.mode, ChaosMode::Overload, "seed {seed}");
+            assert_eq!(
+                s.max_sessions + s.swarm + s.slow_readers + s.flood_hellos as usize,
+                0,
+                "seed {seed}: overload knobs must stay off outside the regime"
+            );
+        }
+    }
+
+    #[test]
+    fn overload_derivation_is_deterministic_and_in_bounds() {
+        for seed in 0..64 {
+            let s = FaultSchedule::derive_overload(seed);
+            assert_eq!(s, FaultSchedule::derive_overload(seed));
+            assert_eq!(s.mode, ChaosMode::Overload);
+            assert!((3..=4).contains(&s.max_sessions), "seed {seed}");
+            assert_eq!(s.swarm, 2 * s.max_sessions);
+            assert!((32..=48).contains(&s.flood_hellos), "seed {seed}");
+            assert_eq!(s.slow_readers, 1);
+            assert!((2..=3).contains(&s.windows));
+            // The channel stays clean: demand is the only fault.
+            assert!(!s.gilbert);
+            assert_eq!(s.drop_control_down + s.drop_control_up, 0);
+            assert_eq!(
+                s.duplicate_every + s.reorder_every + s.corrupt_every + s.truncate_every,
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn overload_summary_names_the_demand_knobs() {
+        let s = FaultSchedule::derive_overload(2);
+        let line = s.summary();
+        assert!(line.starts_with("mode=overload"));
+        assert!(line.contains(&format!("cap={}", s.max_sessions)));
+        assert!(line.contains(&format!("swarm={}", s.swarm)));
+        assert!(line.contains(&format!("flood={}", s.flood_hellos)));
+        assert!(line.contains("slow=1"));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! binary and its CI job; this test keeps the tier-1 suite fast while
 //! still driving real sockets through every invariant regime.
 
-use espread_chaos::{run_soak, ChaosMode, FaultSchedule, SoakConfig};
+use espread_chaos::{run_overload_soak, run_soak, ChaosMode, FaultSchedule, SoakConfig};
 
 /// control (3), compare (4, 8), full (9) — asserted below, so a change
 /// to the schedule derivation that silently shifts the mix fails here.
@@ -51,4 +51,36 @@ fn small_soak_is_clean_and_byte_identical_across_worker_counts() {
             assert!(!compare.spread_clf.is_empty());
         }
     }
+}
+
+/// One real overload cell: a capacity-capped server under a handshake
+/// flood, a wedged reader, and a swarm above the cap — clean, and
+/// byte-identical across worker counts. Both CI overload seeds run in
+/// the `chaos_soak` bench binary; one seed keeps tier-1 fast.
+#[test]
+fn overload_cell_is_clean_and_byte_identical_across_worker_counts() {
+    let mut narrow = SoakConfig::new(vec![2]);
+    narrow.jobs = 1;
+    let mut wide = SoakConfig::new(vec![2]);
+    wide.jobs = 2;
+
+    let first = run_overload_soak(&narrow);
+    assert!(
+        first.is_clean(),
+        "overload soak found violations:\n{}",
+        first.reproducers().join("\n")
+    );
+
+    let second = run_overload_soak(&wide);
+    assert_eq!(
+        first.to_json().render_pretty(),
+        second.to_json().render_pretty(),
+        "overload report must not depend on the worker count"
+    );
+
+    let cell = &first.cells[0];
+    let schedule = FaultSchedule::derive_overload(cell.seed);
+    assert_eq!(schedule.mode, ChaosMode::Overload);
+    assert_eq!(cell.schedule, schedule.summary());
+    assert!(cell.compare.is_none(), "overload cells measure no CLF");
 }

@@ -47,6 +47,20 @@ fn set_read_timeout_counted(
 /// cross-process uniqueness).
 static NONCE_COUNTER: AtomicU64 = AtomicU64::new(1);
 
+/// A handshake nonce no prior `Hello` from this process+port has used.
+fn fresh_nonce(socket: &UdpSocket) -> io::Result<u64> {
+    Ok((u64::from(socket.local_addr()?.port()) << 32)
+        | NONCE_COUNTER.fetch_add(1, AtomicOrdering::Relaxed))
+}
+
+/// Cheap deterministic jitter in `[0, retry_after/4]` ms, derived from
+/// the nonce: decorrelates a thundering herd of `Busy`-refused clients
+/// without an RNG dependency.
+fn busy_jitter_ms(nonce: u64, retry_after_ms: u32) -> u64 {
+    let span = u64::from(retry_after_ms) / 4 + 1;
+    nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15) % span
+}
+
 /// Client-side session parameters.
 #[derive(Debug, Clone)]
 pub struct NetClientConfig {
@@ -157,17 +171,20 @@ impl NetClient {
         let mut timeout_updates = 0u64;
         set_read_timeout_counted(&socket, &mut timeout_updates, POLL)?;
         let telem = ClientTelem::default_global();
-        let nonce = (u64::from(socket.local_addr()?.port()) << 32)
-            | NONCE_COUNTER.fetch_add(1, AtomicOrdering::Relaxed);
-        let hello = Msg::Hello(Hello {
-            nonce,
-            buffer_bytes: config.capabilities.buffer_bytes,
-            max_startup_delay_ms: config.capabilities.max_startup_delay_ms,
-            ordering: config.ordering,
-        });
+        let make_hello = |nonce: u64| {
+            Msg::Hello(Hello {
+                nonce,
+                buffer_bytes: config.capabilities.buffer_bytes,
+                max_startup_delay_ms: config.capabilities.max_startup_delay_ms,
+                ordering: config.ordering,
+            })
+        };
+        let mut nonce = fresh_nonce(&socket)?;
+        let mut hello = make_hello(nonce);
         let mut buf = vec![0u8; 65_536];
         let mut hello_retries = 0u32;
-        for attempt in 0..config.retry.max_attempts {
+        let mut last_busy: Option<u32> = None;
+        'attempts: for attempt in 0..config.retry.max_attempts {
             if attempt > 0 {
                 hello_retries += 1;
                 telem.on_hello_retry();
@@ -207,12 +224,29 @@ impl NetClient {
                     Ok((_, Msg::Reject(reject))) if reject.nonce == nonce => {
                         return Err(NetError::Rejected(reject.reason));
                     }
+                    Ok((_, Msg::Busy { retry_after_ms })) => {
+                        // Admission refusal: honor the server's
+                        // retry-after (plus our own jitter), then spend
+                        // the next attempt on a *fresh* nonce — the old
+                        // nonce's verdict is cached server-side and
+                        // duplicated Hellos get the same Busy back.
+                        last_busy = Some(retry_after_ms);
+                        std::thread::sleep(Duration::from_millis(
+                            u64::from(retry_after_ms) + busy_jitter_ms(nonce, retry_after_ms),
+                        ));
+                        nonce = fresh_nonce(&socket)?;
+                        hello = make_hello(nonce);
+                        continue 'attempts;
+                    }
                     Ok(_) => {} // stale or foreign: keep waiting
                     Err(_) => telem.on_decode_error(),
                 }
             }
         }
-        Err(NetError::HandshakeTimeout)
+        Err(match last_busy {
+            Some(retry_after_ms) => NetError::ServerBusy { retry_after_ms },
+            None => NetError::HandshakeTimeout,
+        })
     }
 
     /// The negotiated session shape.
@@ -662,6 +696,59 @@ mod tests {
         };
         let err = NetClient::connect(silent.local_addr().unwrap(), config).unwrap_err();
         assert!(matches!(err, NetError::HandshakeTimeout), "{err}");
+    }
+
+    #[test]
+    fn busy_server_yields_typed_error_and_fresh_nonce_per_retry() {
+        // A fake server that answers every Hello with Busy.
+        let server = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            server
+                .set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            let mut buf = [0u8; 2048];
+            let mut nonces = Vec::new();
+            while let Ok((len, from)) = server.recv_from(&mut buf) {
+                if let Ok((_, Msg::Hello(h))) = wire::decode(&buf[..len]) {
+                    nonces.push(h.nonce);
+                    let reply = wire::encode(CONN_NONE, &Msg::Busy { retry_after_ms: 5 });
+                    server.send_to(&reply, from).unwrap();
+                }
+            }
+            nonces
+        });
+        let config = NetClientConfig {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base: Duration::from_millis(20),
+                max: Duration::from_millis(40),
+            },
+            ..NetClientConfig::default()
+        };
+        let err = NetClient::connect(addr, config).unwrap_err();
+        assert!(
+            matches!(err, NetError::ServerBusy { retry_after_ms: 5 }),
+            "{err}"
+        );
+        let nonces = handle.join().unwrap();
+        assert!(nonces.len() >= 2, "the client retried after Busy");
+        let distinct: std::collections::HashSet<u64> = nonces.iter().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            nonces.len(),
+            "every retry after Busy used a fresh nonce"
+        );
+    }
+
+    #[test]
+    fn busy_jitter_stays_inside_a_quarter_of_the_retry_after() {
+        for nonce in [0u64, 1, 42, u64::MAX] {
+            for retry_after in [0u32, 1, 5, 250, 10_000] {
+                let j = busy_jitter_ms(nonce, retry_after);
+                assert!(j <= u64::from(retry_after) / 4, "{nonce} {retry_after} {j}");
+            }
+        }
     }
 
     #[test]

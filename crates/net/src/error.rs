@@ -16,6 +16,14 @@ pub enum NetError {
     Config(String),
     /// The server rejected the handshake, with its stated reason.
     Rejected(String),
+    /// The server is at its admission cap (`Msg::Busy`); retrying after
+    /// the stated wait (with the client's own jitter) may succeed. This
+    /// is surfaced only once the handshake's retry budget — which honors
+    /// the server's retry-after between attempts — is exhausted.
+    ServerBusy {
+        /// The server's last suggested wait, in milliseconds.
+        retry_after_ms: u32,
+    },
     /// The handshake exhausted its retries without an answer.
     HandshakeTimeout,
     /// The stream stalled past the client's overall deadline.
@@ -35,6 +43,9 @@ impl fmt::Display for NetError {
             NetError::Io(e) => write!(f, "socket error: {e}"),
             NetError::Config(why) => write!(f, "invalid configuration: {why}"),
             NetError::Rejected(why) => write!(f, "server rejected session: {why}"),
+            NetError::ServerBusy { retry_after_ms } => {
+                write!(f, "server busy: retry after {retry_after_ms} ms")
+            }
             NetError::HandshakeTimeout => f.write_str("handshake timed out"),
             NetError::StreamTimeout => f.write_str("stream timed out"),
             NetError::Protocol(why) => write!(f, "protocol violation: {why}"),
@@ -75,6 +86,12 @@ mod tests {
             (NetError::Io(io::Error::other("x")), "socket error"),
             (NetError::Config("bad".into()), "invalid configuration"),
             (NetError::Rejected("no".into()), "rejected"),
+            (
+                NetError::ServerBusy {
+                    retry_after_ms: 250,
+                },
+                "server busy",
+            ),
             (NetError::HandshakeTimeout, "handshake"),
             (NetError::StreamTimeout, "stream timed out"),
             (NetError::Protocol("odd".into()), "protocol violation"),

@@ -16,36 +16,42 @@
 //!
 //! # Example
 //!
-//! Stream two buffer windows of Jurassic Park over loopback, losslessly:
+//! Stream two buffer windows of Jurassic Park over loopback, losslessly.
+//! Every fallible step returns a typed [`NetError`] — the documented
+//! entry path propagates with `?` instead of unwrapping:
 //!
 //! ```
-//! use espread_net::{NetClient, NetClientConfig, NetServer, NetServerConfig};
+//! use espread_net::{NetClient, NetClientConfig, NetError, NetServer, NetServerConfig};
 //! use espread_protocol::{FecPolicy, ProtocolConfig, SessionOffer, StreamSource};
 //! use espread_trace::{GopPattern, Movie, MpegTrace};
 //!
-//! let trace = MpegTrace::new(Movie::JurassicPark, 1);
-//! let offer = SessionOffer {
-//!     gop_pattern: GopPattern::gop12(),
-//!     gops_per_window: 1,
-//!     open_gop: false,
-//!     fps: 24,
-//!     packet_bytes: 2048,
-//!     max_frame_bytes: 62_776 / 8,
-//!     fec: FecPolicy::off(),
-//! };
-//! let config = NetServerConfig::new(
-//!     ProtocolConfig::paper(0.6, 42),
-//!     offer,
-//!     StreamSource::mpeg(&trace, 1, 2, false),
-//! );
-//! let mut server = NetServer::bind("127.0.0.1:0", config).unwrap();
+//! fn stream() -> Result<(), NetError> {
+//!     let trace = MpegTrace::new(Movie::JurassicPark, 1);
+//!     let offer = SessionOffer {
+//!         gop_pattern: GopPattern::gop12(),
+//!         gops_per_window: 1,
+//!         open_gop: false,
+//!         fps: 24,
+//!         packet_bytes: 2048,
+//!         max_frame_bytes: 62_776 / 8,
+//!         fec: FecPolicy::off(),
+//!     };
+//!     let config = NetServerConfig::new(
+//!         ProtocolConfig::paper(0.6, 42),
+//!         offer,
+//!         StreamSource::mpeg(&trace, 1, 2, false),
+//!     );
+//!     let mut server = NetServer::bind("127.0.0.1:0", config)?;
 //!
-//! let client = NetClient::connect(server.local_addr(), NetClientConfig::default()).unwrap();
-//! let report = client.stream().unwrap();
-//! server.shutdown();
+//!     let client = NetClient::connect(server.local_addr(), NetClientConfig::default())?;
+//!     let report = client.stream()?;
+//!     server.shutdown();
 //!
-//! assert_eq!(report.windows_completed, 2);
-//! assert_eq!(report.series.summary().mean_clf, 0.0); // nothing lost
+//!     assert_eq!(report.windows_completed, 2);
+//!     assert_eq!(report.series.summary().mean_clf, 0.0); // nothing lost
+//!     Ok(())
+//! }
+//! stream().expect("loopback stream");
 //! ```
 
 #![forbid(unsafe_code)]

@@ -110,6 +110,12 @@ mod imp {
             self.record(EventKind::AckTimeout, conn, window, FRAME_NONE, attempts);
         }
 
+        /// Records an intentional overload shed of `frame` — nothing was
+        /// (or will be) sent for it this round.
+        pub(crate) fn shed(&self, conn: u32, window: u64, frame: u32) {
+            self.record(EventKind::Shed, conn, window, frame, 0);
+        }
+
         // ── client hooks ────────────────────────────────────────────
 
         pub(crate) fn delivered(
@@ -282,6 +288,8 @@ mod imp {
         pub(crate) fn nack_received(&self, _conn: u32, _window: u64, _frame: u32) {}
         #[inline(always)]
         pub(crate) fn ack_timeout(&self, _conn: u32, _window: u64, _attempts: u32) {}
+        #[inline(always)]
+        pub(crate) fn shed(&self, _conn: u32, _window: u64, _frame: u32) {}
         #[inline(always)]
         pub(crate) fn delivered(&self, _c: u32, _w: u64, _f: u32, _frag: u16, _retx: bool) {}
         #[inline(always)]

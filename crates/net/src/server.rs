@@ -27,7 +27,7 @@ use espread_protocol::{
 use crate::error::NetError;
 use crate::obsrec::SessionRecorder;
 use crate::retry::RetryPolicy;
-use crate::session::SessionCore;
+use crate::session::{SessionCore, SessionLimits};
 use crate::shard::{Shard, ShardEvent};
 use crate::telem::ServerTelem;
 use crate::wire::{self, Accept, Msg, Reject, CONN_NONE};
@@ -82,6 +82,25 @@ pub struct NetServerConfig {
     /// read can take in (UDP truncates longer ones, which then count as
     /// decode errors). Defaults to 64 KiB, the wire's ceiling.
     pub recv_buffer_bytes: usize,
+    /// Admission cap: most sessions live at once. A `Hello` arriving at
+    /// capacity is answered with a typed [`Msg::Busy`] instead of a
+    /// session. `0` (the default) disables admission control.
+    pub max_sessions: usize,
+    /// The retry-after hint carried in `Busy` refusals.
+    pub busy_retry_after: Duration,
+    /// Perception-ordered shedding: once a session's pacing debt reaches
+    /// this lag, enhancement-layer frames are shed (never critical ones)
+    /// until the session catches up. Zero (the default) disables it.
+    pub shed_lag: Duration,
+    /// Stale-retransmission cutoff: recovery rounds arriving this long
+    /// after their window closed are counted and skipped instead of
+    /// resent — the frames have already missed playout. Zero (the
+    /// default) disables it.
+    pub stale_retx_after: Duration,
+    /// Stuck-session watchdog: a session making no progress (no datagram
+    /// sent or received) for this long is terminated into a typed
+    /// outcome and reaped. Zero (the default) disables it.
+    pub watchdog: Duration,
 }
 
 impl NetServerConfig {
@@ -99,6 +118,11 @@ impl NetServerConfig {
             handshake_ttl: Duration::from_secs(30),
             handshake_cap: 1024,
             recv_buffer_bytes: 65_536,
+            max_sessions: 0,
+            busy_retry_after: Duration::from_millis(250),
+            shed_lag: Duration::ZERO,
+            stale_retx_after: Duration::ZERO,
+            watchdog: Duration::ZERO,
         }
     }
 
@@ -149,6 +173,18 @@ impl NetServerConfig {
             return Err(NetError::Config(
                 "receive buffer below one MTU would truncate every datagram".into(),
             ));
+        }
+        if self.max_sessions != 0 {
+            if self.busy_retry_after.is_zero() {
+                return Err(NetError::Config(
+                    "busy retry-after must be positive when admission control is on".into(),
+                ));
+            }
+            if u32::try_from(self.busy_retry_after.as_millis()).is_err() {
+                return Err(NetError::Config(
+                    "busy retry-after exceeds the wire's u32 millisecond field".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -222,6 +258,13 @@ impl NetServer {
             handshake_ttl: config.handshake_ttl,
             handshake_cap: config.handshake_cap,
             recv_buffer_bytes: config.recv_buffer_bytes,
+            max_sessions: config.max_sessions,
+            busy_retry_after_ms: config.busy_retry_after.as_millis() as u32,
+            limits: SessionLimits {
+                shed_lag: config.shed_lag,
+                stale_retx_after: config.stale_retx_after,
+                watchdog: config.watchdog,
+            },
             shutdown: Arc::clone(&shutdown),
             live_gauge: Arc::clone(&live),
             telem,
@@ -364,6 +407,9 @@ struct Demux {
     handshake_ttl: Duration,
     handshake_cap: usize,
     recv_buffer_bytes: usize,
+    max_sessions: usize,
+    busy_retry_after_ms: u32,
+    limits: SessionLimits,
     shutdown: Arc<AtomicBool>,
     live_gauge: Arc<AtomicUsize>,
     telem: ServerTelem,
@@ -474,6 +520,19 @@ impl Demux {
                     .map_err(|e| e.to_string())
                     .and_then(|agreed| accept_msg(hello.nonce, &agreed, self.source.window_count()))
                 {
+                    // Admission control outranks session spawning: at the
+                    // cap the refusal is a typed, retryable `Busy`, and
+                    // the cache insert below makes duplicated Hellos get
+                    // the identical Busy back.
+                    Ok(_) if self.max_sessions != 0 && live.len() >= self.max_sessions => {
+                        self.telem.on_busy_rejection();
+                        wire::encode(
+                            CONN_NONE,
+                            &Msg::Busy {
+                                retry_after_ms: self.busy_retry_after_ms,
+                            },
+                        )
+                    }
                     Ok(accept) => match self.open_session(next_conn, live, from, &hello) {
                         Some(conn_id) => wire::encode(conn_id, &Msg::Accept(accept)),
                         None => wire::encode(
@@ -543,6 +602,7 @@ impl Demux {
             self.retry,
             self.pace,
             self.offer.fec,
+            self.limits,
             self.telem.clone(),
             self.obs.clone(),
             Instant::now(),
@@ -694,6 +754,78 @@ mod tests {
 
     fn addr(port: u16) -> SocketAddr {
         SocketAddr::from(([127, 0, 0, 1], port))
+    }
+
+    fn hello_bytes(nonce: u64) -> Vec<u8> {
+        let caps = ClientCapabilities::desktop();
+        wire::encode(
+            CONN_NONE,
+            &Msg::Hello(wire::Hello {
+                nonce,
+                buffer_bytes: caps.buffer_bytes,
+                max_startup_delay_ms: caps.max_startup_delay_ms,
+                ordering: espread_protocol::Ordering::spread(),
+            }),
+        )
+    }
+
+    /// Admission control: at the session cap a fresh Hello is refused
+    /// with a typed Busy carrying the configured retry-after, and a
+    /// duplicated Hello gets the byte-identical cached refusal.
+    #[test]
+    fn at_capacity_hellos_get_idempotent_busy_refusals() {
+        let mut cfg = config();
+        cfg.max_sessions = 1;
+        cfg.busy_retry_after = Duration::from_millis(123);
+        let mut server = NetServer::bind("127.0.0.1:0", cfg).unwrap();
+        let mut buf = [0u8; 65_536];
+
+        // Occupy the only slot with a real handshake.
+        let first = UdpSocket::bind("127.0.0.1:0").unwrap();
+        first
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        first.send_to(&hello_bytes(1), server.local_addr()).unwrap();
+        let (len, _) = first.recv_from(&mut buf).unwrap();
+        let (_, msg) = wire::decode(&buf[..len]).unwrap();
+        assert!(matches!(msg, Msg::Accept(_)), "{msg:?}");
+        assert_eq!(server.live_sessions(), 1);
+
+        // A second client is refused, typed and retryable.
+        let second = UdpSocket::bind("127.0.0.1:0").unwrap();
+        second
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        second
+            .send_to(&hello_bytes(2), server.local_addr())
+            .unwrap();
+        let (len, _) = second.recv_from(&mut buf).unwrap();
+        let busy1 = buf[..len].to_vec();
+        let (_, msg) = wire::decode(&busy1).unwrap();
+        assert!(
+            matches!(
+                msg,
+                Msg::Busy {
+                    retry_after_ms: 123
+                }
+            ),
+            "{msg:?}"
+        );
+        assert_eq!(
+            server.live_sessions(),
+            1,
+            "the refused Hello opened nothing"
+        );
+
+        // The same Hello again (our reply "was lost"): the cached Busy
+        // comes back byte-identical.
+        second
+            .send_to(&hello_bytes(2), server.local_addr())
+            .unwrap();
+        let (len, _) = second.recv_from(&mut buf).unwrap();
+        assert_eq!(buf[..len], busy1[..], "duplicate Hello is idempotent");
+
+        server.shutdown();
     }
 
     /// Regression (nonce flood): the handshake cache holds at most `cap`

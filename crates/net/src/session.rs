@@ -36,6 +36,37 @@ use crate::wire::{self, ByeReason, DataMsg, Msg, ParityMember, ParityMsg, Window
 /// bounds how long one session can monopolise its shard.
 const TICK_BATCH: usize = 64;
 
+/// Overload-protection knobs a session inherits from the server config.
+/// A zero duration disables the corresponding mechanism, so a
+/// default-configured server behaves exactly as it did before the
+/// graceful-degradation layer existed.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SessionLimits {
+    /// Pacing debt past which whole enhancement-layer frames are shed
+    /// (critical frames are never shed, whatever the debt).
+    pub shed_lag: Duration,
+    /// Age of a closed window past which NACKed retransmissions are
+    /// skipped as stale — the frames' playout deadline has passed, so
+    /// resending them wastes capacity the overloaded server needs.
+    pub stale_retx_after: Duration,
+    /// No-forward-progress deadline: a session that neither sends nor
+    /// receives a datagram for this long is terminated (typed outcome)
+    /// and reaped. A backstop against wedged state, not a retry knob.
+    pub watchdog: Duration,
+}
+
+impl SessionLimits {
+    /// Every mechanism disabled — the pre-overload-protection behaviour.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn unlimited() -> Self {
+        SessionLimits {
+            shed_lag: Duration::ZERO,
+            stale_retx_after: Duration::ZERO,
+            watchdog: Duration::ZERO,
+        }
+    }
+}
+
 /// Everything a session needs from its shard to make progress: the
 /// shared socket, the shard's timer wheel, a reusable encode buffer
 /// (the per-shard "buffer pool" — one allocation serves every send on
@@ -117,14 +148,32 @@ pub(crate) struct SessionCore {
     epoch: Instant,
     proto: Server,
     phase: Phase,
-    /// Current arm-generation; a wheel entry with an older generation is
-    /// a cancelled timer and must be ignored.
+    /// Current retry-timer arm-generation; a wheel entry with any other
+    /// generation is a cancelled timer and must be ignored.
     timer_gen: u64,
+    /// Arm-generation of the live watchdog timer (0 = none armed).
+    watchdog_gen: u64,
+    /// Allocator for both generations — shared so a retry gen and a
+    /// watchdog gen can never collide on the wheel.
+    gen_seq: u64,
     window: usize,
     plan: Option<WindowPlan>,
     cursor: SendCursor,
     next_send_at: Instant,
     fec: Option<FecState>,
+    limits: SessionLimits,
+    /// Per-frame criticality of the current window (the shed boundary:
+    /// `true` frames are never shed).
+    critical: Vec<bool>,
+    /// When the current window's first `WindowEnd` went out — the stale
+    /// clock retransmission requests are judged against.
+    closed_at: Instant,
+    /// Datagram activity counter (sends + routed receives); the watchdog
+    /// compares it against [`Self::progress_mark`] to detect a session
+    /// making no forward progress at all.
+    progress: u64,
+    /// Value of `progress` when the watchdog was last armed.
+    progress_mark: u64,
 }
 
 impl SessionCore {
@@ -137,6 +186,7 @@ impl SessionCore {
         retry: RetryPolicy,
         pace: Duration,
         fec: FecPolicy,
+        limits: SessionLimits,
         telem: ServerTelem,
         obs: SessionRecorder,
         epoch: Instant,
@@ -173,11 +223,18 @@ impl SessionCore {
             proto,
             phase: Phase::AwaitBegin,
             timer_gen: 0,
+            watchdog_gen: 0,
+            gen_seq: 0,
             window: 0,
             plan: None,
             cursor: SendCursor { slot: 0, frag: 0 },
             next_send_at: epoch,
             fec,
+            limits,
+            critical: Vec::new(),
+            closed_at: epoch,
+            progress: 0,
+            progress_mark: 0,
         }
     }
 
@@ -194,22 +251,66 @@ impl SessionCore {
         }
     }
 
-    /// Arms the session's `Begin` deadline; called once, right after the
-    /// shard inserts the session.
+    /// Arms the session's `Begin` deadline (and the progress watchdog,
+    /// when configured); called once, right after the shard inserts the
+    /// session.
     pub(crate) fn start(&mut self, ctx: &mut Ctx<'_>) {
         self.arm(ctx, ctx.now + self.retry.total_wait());
+        self.arm_watchdog(ctx);
     }
 
-    /// Replaces the live timer: the previous arm-generation goes stale
-    /// (cancelled) and a fresh deadline enters the wheel.
+    fn next_gen(&mut self) -> u64 {
+        self.gen_seq += 1;
+        self.gen_seq
+    }
+
+    /// Replaces the live retry timer: the previous arm-generation goes
+    /// stale (cancelled) and a fresh deadline enters the wheel.
     fn arm(&mut self, ctx: &mut Ctx<'_>, deadline: Instant) {
-        self.timer_gen += 1;
+        self.timer_gen = self.next_gen();
         ctx.wheel.schedule(self.conn_id, self.timer_gen, deadline);
     }
 
-    /// Cancels the live timer without arming a new one.
+    /// Cancels the live retry timer without arming a new one.
     fn disarm(&mut self) {
-        self.timer_gen += 1;
+        self.timer_gen = self.next_gen();
+    }
+
+    /// Arms (or re-arms) the no-progress watchdog, snapshotting the
+    /// progress counter the eventual fire will be judged against.
+    /// Deadlines are typically many wheel laps out; entries carry their
+    /// absolute tick, so that is safe (see [`TimerWheel`]).
+    fn arm_watchdog(&mut self, ctx: &mut Ctx<'_>) {
+        if self.limits.watchdog.is_zero() {
+            return;
+        }
+        self.progress_mark = self.progress;
+        self.watchdog_gen = self.next_gen();
+        ctx.wheel.schedule(
+            self.conn_id,
+            self.watchdog_gen,
+            ctx.now + self.limits.watchdog,
+        );
+    }
+
+    /// The watchdog fired: terminate if nothing moved since it was
+    /// armed, otherwise re-arm for another period.
+    fn on_watchdog(&mut self, ctx: &mut Ctx<'_>) -> Status {
+        if matches!(self.phase, Phase::Done) {
+            return Status::Active;
+        }
+        if self.progress != self.progress_mark {
+            self.arm_watchdog(ctx);
+            return Status::Active;
+        }
+        // A whole watchdog period with no datagram in either direction:
+        // tell the peer the stream is gone (best-effort, unacked) and
+        // end in a typed outcome so the shard reaps the session.
+        self.telem.on_watchdog_termination();
+        self.send(ctx, &Msg::Bye(ByeReason::Aborted));
+        self.disarm();
+        self.phase = Phase::Done;
+        Status::Finished
     }
 
     fn elapsed_us(&self, now: Instant) -> u64 {
@@ -220,7 +321,8 @@ impl SessionCore {
     /// Encodes into the shard's scratch buffer and sends. Oversize
     /// messages are counted and dropped, never a panic — the peer's
     /// retry machinery treats the gap as loss.
-    fn send(&self, ctx: &mut Ctx<'_>, msg: &Msg) {
+    fn send(&mut self, ctx: &mut Ctx<'_>, msg: &Msg) {
+        self.progress += 1;
         if wire::try_encode_into(self.conn_id, msg, ctx.scratch).is_err() {
             self.telem.on_encode_oversize();
             self.obs.refused_msg(self.conn_id, msg);
@@ -253,11 +355,18 @@ impl SessionCore {
             self.obs
                 .queued(self.conn_id, w, sched.frame as u32, slot as u32);
         }
+        let frames = self.source.windows[self.window].len();
+        self.critical.clear();
+        self.critical.resize(frames, false);
+        for f in plan.critical_frames() {
+            if let Some(c) = self.critical.get_mut(f) {
+                *c = true;
+            }
+        }
         if let Some(fec) = &mut self.fec {
             fec.group = 0;
             fec.members.clear();
             fec.shard_bytes = 0;
-            let frames = self.source.windows[self.window].len();
             fec.in_scope.clear();
             fec.in_scope
                 .resize(frames, matches!(fec.policy.scope, FecScope::All));
@@ -418,12 +527,27 @@ impl SessionCore {
                 let w = self.window as u64;
                 let end = self.window_end(ctx.now, w);
                 self.send(ctx, &end);
+                self.closed_at = ctx.now;
                 self.phase = Phase::AwaitAck { attempt: 0 };
                 let backoff = self.retry.backoff(0);
                 self.arm(ctx, ctx.now + backoff);
                 return Status::Active;
             }
             let frame = plan.schedule[self.cursor.slot].frame;
+            // Perception-ordered shedding: a session behind its pacing
+            // schedule by more than the configured lag drops whole
+            // enhancement-layer frames instead of pushing ever-staler
+            // media — never a critical frame, never mid-frame. Nothing
+            // hits the wire, so every shed is a step back toward the
+            // schedule.
+            if self.cursor.frag == 0 && self.should_shed(ctx.now, frame) {
+                self.telem.on_shed_enhancement();
+                self.obs
+                    .shed(self.conn_id, self.window as u64, frame as u32);
+                self.cursor.slot += 1;
+                budget -= 1;
+                continue;
+            }
             let frags_total =
                 self.source.windows[self.window][frame].fragment_count(self.protocol.packet_bytes);
             self.send_fragment(ctx, self.cursor.slot, self.cursor.frag, false);
@@ -440,6 +564,22 @@ impl SessionCore {
             budget -= 1;
         }
         Status::Active
+    }
+
+    /// Whether the frame at the cursor should be shed: shedding is
+    /// enabled, the frame is enhancement-layer, and the pacing debt
+    /// (how far behind `next_send_at` the loop is running) has crossed
+    /// the configured lag.
+    fn should_shed(&self, now: Instant, frame: usize) -> bool {
+        if self.limits.shed_lag.is_zero() {
+            return false;
+        }
+        // An out-of-range frame index defaults to critical: never shed
+        // what cannot be classified.
+        if self.critical.get(frame).copied().unwrap_or(true) {
+            return false;
+        }
+        now.saturating_duration_since(self.next_send_at) >= self.limits.shed_lag
     }
 
     /// Offers a routed message to the planner; ACKs also feed the RTT
@@ -498,6 +638,8 @@ impl SessionCore {
 
     /// A routed control datagram for this connection.
     pub(crate) fn on_msg(&mut self, msg: &Msg, at: Instant, ctx: &mut Ctx<'_>) -> Status {
+        // Any routed datagram is evidence of a live peer.
+        self.progress += 1;
         match &self.phase {
             Phase::AwaitBegin => {
                 if matches!(msg, Msg::Begin) {
@@ -526,9 +668,20 @@ impl SessionCore {
                             .map(|&f| usize::from(f))
                             .filter(|&f| f < frames)
                             .collect();
+                        // A recovery round arriving after the window's
+                        // playout deadline would resend frames the
+                        // client can no longer show; skip it as stale.
+                        let stale = !self.limits.stale_retx_after.is_zero()
+                            && ctx.now.saturating_duration_since(self.closed_at)
+                                >= self.limits.stale_retx_after;
                         for frame in missing {
-                            self.telem.on_retransmission();
                             self.obs.nack_received(self.conn_id, w, frame as u32);
+                            if stale {
+                                self.telem.on_shed_stale_retx();
+                                self.obs.shed(self.conn_id, w, frame as u32);
+                                continue;
+                            }
+                            self.telem.on_retransmission();
                             self.retransmit_frame(ctx, frame);
                         }
                         let end = self.window_end(ctx.now, w);
@@ -578,6 +731,9 @@ impl SessionCore {
     /// A wheel deadline fired. Stale generations are cancelled timers
     /// (the window was acked, the phase moved on) and must do nothing.
     pub(crate) fn on_timer(&mut self, gen: u64, ctx: &mut Ctx<'_>) -> Status {
+        if gen == self.watchdog_gen && self.watchdog_gen != 0 {
+            return self.on_watchdog(ctx);
+        }
         if gen != self.timer_gen {
             return Status::Active;
         }
@@ -649,10 +805,18 @@ mod tests {
 
     impl Harness {
         fn new(windows: usize) -> Self {
-            Self::with_fec(windows, FecPolicy::off())
+            Self::build(windows, FecPolicy::off(), SessionLimits::unlimited())
         }
 
         fn with_fec(windows: usize, fec: FecPolicy) -> Self {
+            Self::build(windows, fec, SessionLimits::unlimited())
+        }
+
+        fn with_limits(windows: usize, limits: SessionLimits) -> Self {
+            Self::build(windows, FecPolicy::off(), limits)
+        }
+
+        fn build(windows: usize, fec: FecPolicy, limits: SessionLimits) -> Self {
             let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
             let peer = UdpSocket::bind("127.0.0.1:0").unwrap();
             peer.set_read_timeout(Some(Duration::from_millis(200)))
@@ -666,6 +830,7 @@ mod tests {
                 RetryPolicy::lan(),
                 Duration::ZERO,
                 fec,
+                limits,
                 ServerTelem::default_global(),
                 SessionRecorder::disabled(),
                 epoch,
@@ -879,6 +1044,138 @@ mod tests {
             !msgs.iter().any(|m| matches!(m, Msg::Parity(_))),
             "FEC off must leave the wire untouched"
         );
+    }
+
+    #[test]
+    fn overload_sheds_enhancement_frames_never_critical() {
+        let mut h = Harness::with_limits(
+            1,
+            SessionLimits {
+                shed_lag: Duration::from_millis(1),
+                ..SessionLimits::unlimited()
+            },
+        );
+        h.core.pace = Duration::from_millis(1);
+        h.ctx_call(|c, ctx| c.start(ctx));
+        h.ctx_call(|c, ctx| c.on_msg(&Msg::Begin, ctx.now, ctx));
+        // Put the session a full second behind its pacing schedule.
+        h.core.next_send_at = Instant::now() - Duration::from_secs(1);
+        for _ in 0..500 {
+            h.ctx_call(|c, ctx| c.on_tick(ctx));
+            if matches!(h.core.phase, Phase::AwaitAck { .. }) {
+                break;
+            }
+        }
+        assert!(
+            matches!(h.core.phase, Phase::AwaitAck { .. }),
+            "a shedding session still closes its window"
+        );
+        let msgs = h.drain();
+        let critical: std::collections::HashSet<usize> = h
+            .core
+            .plan
+            .as_ref()
+            .unwrap()
+            .critical_frames()
+            .into_iter()
+            .collect();
+        let sent: std::collections::HashSet<usize> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                Msg::Data(d) => Some(d.fragment.frame),
+                _ => None,
+            })
+            .collect();
+        for f in &critical {
+            assert!(sent.contains(f), "critical frame {f} must never be shed");
+        }
+        let frames = h.core.source.windows[0].len();
+        assert!(
+            sent.len() < frames,
+            "a second of pacing debt must shed some enhancement frames"
+        );
+        assert!(
+            msgs.iter().any(|m| matches!(m, Msg::WindowEnd(_))),
+            "the window still ends with a WindowEnd"
+        );
+    }
+
+    #[test]
+    fn stale_nack_rounds_skip_retransmission_fresh_ones_do_not() {
+        let mut h = Harness::with_limits(
+            1,
+            SessionLimits {
+                stale_retx_after: Duration::from_millis(50),
+                ..SessionLimits::unlimited()
+            },
+        );
+        let _ = pump_one_window(&mut h);
+        let nack = Msg::CriticalNack(crate::wire::CriticalNackMsg {
+            window: 0,
+            missing: vec![0],
+        });
+        // Past the playout deadline: the round is answered (WindowEnd)
+        // but nothing is retransmitted.
+        h.core.closed_at = Instant::now() - Duration::from_millis(100);
+        h.ctx_call(|c, ctx| c.on_msg(&nack, ctx.now, ctx));
+        let msgs = h.drain();
+        assert!(
+            !msgs.iter().any(Msg::is_data),
+            "stale recovery rounds must not retransmit: {msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| matches!(m, Msg::WindowEnd(_))),
+            "a stale round still re-answers with a WindowEnd"
+        );
+        // A fresh round (window just closed) retransmits as before.
+        h.core.closed_at = Instant::now();
+        h.ctx_call(|c, ctx| c.on_msg(&nack, ctx.now, ctx));
+        let msgs = h.drain();
+        assert!(
+            msgs.iter()
+                .any(|m| matches!(m, Msg::Data(d) if d.fragment.retransmit)),
+            "fresh recovery rounds keep retransmitting"
+        );
+    }
+
+    #[test]
+    fn watchdog_rearms_on_progress_then_terminates_a_stalled_session() {
+        let mut h = Harness::with_limits(
+            1,
+            SessionLimits {
+                watchdog: Duration::from_millis(200),
+                ..SessionLimits::unlimited()
+            },
+        );
+        h.ctx_call(|c, ctx| c.start(ctx));
+        let wd = h.core.watchdog_gen;
+        assert_ne!(wd, 0, "start arms the watchdog when configured");
+        // Progress since arming: the fire re-arms instead of killing.
+        h.ctx_call(|c, ctx| c.on_msg(&Msg::Begin, ctx.now, ctx));
+        let status = h.ctx_call(|c, ctx| c.on_timer(wd, ctx));
+        assert_eq!(status, Status::Active);
+        let wd2 = h.core.watchdog_gen;
+        assert_ne!(wd2, wd, "progress re-arms a fresh watchdog generation");
+        let _ = h.drain();
+        // A whole period with no datagram either way: typed termination.
+        let status = h.ctx_call(|c, ctx| c.on_timer(wd2, ctx));
+        assert_eq!(status, Status::Finished);
+        assert!(
+            h.drain()
+                .iter()
+                .any(|m| matches!(m, Msg::Bye(ByeReason::Aborted))),
+            "the peer is told the stream was aborted"
+        );
+    }
+
+    #[test]
+    fn watchdog_disabled_by_default_and_stale_watchdog_gens_inert() {
+        let mut h = Harness::new(1);
+        h.ctx_call(|c, ctx| c.start(ctx));
+        assert_eq!(h.core.watchdog_gen, 0, "no watchdog unless configured");
+        // Gen 0 must never be treated as a live watchdog.
+        let status = h.ctx_call(|c, ctx| c.on_timer(0, ctx));
+        assert_eq!(status, Status::Active);
     }
 
     #[test]

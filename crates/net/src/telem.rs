@@ -16,6 +16,10 @@ mod imp {
         sessions_completed: Counter,
         sessions_reaped: Counter,
         handshake_evictions: Counter,
+        busy_rejections: Counter,
+        shed_enhancement: Counter,
+        shed_stale_retx: Counter,
+        watchdog_terminations: Counter,
         datagrams_tx: Counter,
         datagrams_rx: Counter,
         bytes_tx: Counter,
@@ -38,6 +42,10 @@ mod imp {
                 sessions_completed: r.counter("net.server.sessions_completed"),
                 sessions_reaped: r.counter("net.server.sessions_reaped"),
                 handshake_evictions: r.counter("net.server.handshake_evictions"),
+                busy_rejections: r.counter("net.server.busy_rejections"),
+                shed_enhancement: r.counter("net.server.shed_enhancement"),
+                shed_stale_retx: r.counter("net.server.shed_stale_retx"),
+                watchdog_terminations: r.counter("net.server.watchdog_terminations"),
                 datagrams_tx: r.counter("net.server.datagrams_tx"),
                 datagrams_rx: r.counter("net.server.datagrams_rx"),
                 bytes_tx: r.counter("net.server.bytes_tx"),
@@ -71,6 +79,26 @@ mod imp {
         #[inline]
         pub(crate) fn on_handshake_eviction(&self) {
             self.handshake_evictions.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_busy_rejection(&self) {
+            self.busy_rejections.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_shed_enhancement(&self) {
+            self.shed_enhancement.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_shed_stale_retx(&self) {
+            self.shed_stale_retx.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_watchdog_termination(&self) {
+            self.watchdog_terminations.inc();
         }
 
         #[inline]
@@ -284,6 +312,14 @@ mod imp {
         pub(crate) fn on_session_reaped(&self) {}
         #[inline(always)]
         pub(crate) fn on_handshake_eviction(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_busy_rejection(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_shed_enhancement(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_shed_stale_retx(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_watchdog_termination(&self) {}
         #[inline(always)]
         pub(crate) fn on_tx(&self, _bytes: usize) {}
         #[inline(always)]

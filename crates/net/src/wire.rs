@@ -19,6 +19,7 @@
 //! | 8 | [`Msg::Bye`] | reason u8 |
 //! | 9 | [`Msg::ByeAck`] | — |
 //! | 10 | [`Msg::Parity`] | window u64, group u32, m u8, parity index u8, shard bytes u16, members (u8 count × (frame u16, frag u16, frags u16)), payload (shard bytes) |
+//! | 11 | [`Msg::Busy`] | retry-after ms u32 |
 //!
 //! # Wire limits
 //!
@@ -324,6 +325,14 @@ pub enum Msg {
     ByeAck,
     /// Server → client erasure-code parity shard.
     Parity(ParityMsg),
+    /// Server → client admission refusal: the server is at its session
+    /// cap. Unlike [`Msg::Reject`] (a negotiation failure the client
+    /// should not retry), `Busy` is transient — the client may retry
+    /// after `retry_after_ms` milliseconds (plus jitter of its own).
+    Busy {
+        /// Server's suggested wait before the next Hello, in ms.
+        retry_after_ms: u32,
+    },
 }
 
 impl Msg {
@@ -341,6 +350,7 @@ impl Msg {
             Msg::Bye(_) => 8,
             Msg::ByeAck => 9,
             Msg::Parity(_) => 10,
+            Msg::Busy { .. } => 11,
         }
     }
 
@@ -424,7 +434,12 @@ pub fn try_encode_into(conn_id: u32, msg: &Msg, out: &mut Vec<u8>) -> Result<(),
         )?,
         Msg::CriticalNack(n) => fits("critical_nack.missing", n.missing.len(), MAX_NACK_ENTRIES)?,
         Msg::Parity(p) => fits("parity.members", p.members.len(), MAX_PARITY_MEMBERS)?,
-        Msg::Hello(_) | Msg::Begin | Msg::WindowEnd(_) | Msg::Bye(_) | Msg::ByeAck => {}
+        Msg::Hello(_)
+        | Msg::Begin
+        | Msg::WindowEnd(_)
+        | Msg::Bye(_)
+        | Msg::ByeAck
+        | Msg::Busy { .. } => {}
     }
     out.extend_from_slice(&MAGIC.to_be_bytes());
     out.push(VERSION);
@@ -512,6 +527,9 @@ pub fn try_encode_into(conn_id: u32, msg: &Msg, out: &mut Vec<u8>) -> Result<(),
                 out.extend_from_slice(&member.frags_total.to_be_bytes());
             }
             out.resize(out.len() + usize::from(p.shard_bytes), 0);
+        }
+        Msg::Busy { retry_after_ms } => {
+            out.extend_from_slice(&retry_after_ms.to_be_bytes());
         }
     }
     Ok(())
@@ -868,6 +886,9 @@ pub fn decode(datagram: &[u8]) -> Result<(u32, Msg), WireError> {
                 members,
             })
         }
+        11 => Msg::Busy {
+            retry_after_ms: c.u32()?,
+        },
         other => return Err(WireError::UnknownType(other)),
     };
     c.finish()?;
@@ -935,6 +956,9 @@ mod tests {
             Msg::Bye(ByeReason::Complete),
             Msg::ByeAck,
             sample_parity(),
+            Msg::Busy {
+                retry_after_ms: 250,
+            },
         ]
     }
 

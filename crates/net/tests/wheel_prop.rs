@@ -166,4 +166,87 @@ proptest! {
         }
         prop_assert!(wheel.is_empty());
     }
+
+    /// Deadlines many laps past one wheel horizon (slots × tick) still
+    /// fire exactly once and never early: the wheel must carry lap
+    /// counts, not just slot positions. An 8-slot, 1 ms wheel has an
+    /// 8 ms horizon; offsets up to 400 ms are dozens of laps out — the
+    /// watchdog's regime, whose deadlines dwarf the wheel period.
+    #[test]
+    fn multi_lap_deadlines_fire_exactly_once_and_never_early(
+        offsets in proptest::collection::vec(0u64..400, 1..40),
+        sweep_step in 1u64..64,
+    ) {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0, ms(1), 8);
+        for (i, &offset) in offsets.iter().enumerate() {
+            wheel.schedule(i as u32, 1, t0 + ms(offset));
+        }
+        let mut fired: HashMap<u32, u32> = HashMap::new();
+        let mut now = t0;
+        while now <= t0 + ms(500) {
+            now += ms(sweep_step);
+            for f in wheel.advance(now) {
+                let deadline = t0 + ms(offsets[f.conn as usize]);
+                prop_assert!(
+                    deadline <= now,
+                    "conn {} fired a lap early ({}ms before its deadline)",
+                    f.conn,
+                    deadline.saturating_duration_since(now).as_millis()
+                );
+                *fired.entry(f.conn).or_insert(0) += 1;
+            }
+        }
+        for i in 0..offsets.len() {
+            let count = fired.get(&(i as u32)).copied().unwrap_or(0);
+            prop_assert_eq!(count, 1, "conn {} fired {} times", i, count);
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// The watchdog cycle: a conn's timer fires, the session re-arms the
+    /// same conn with a bumped generation and a fresh deadline, round
+    /// after round. Every round's live generation must fire exactly once
+    /// at (or after) its own deadline, stale generations from earlier
+    /// rounds must always be filtered, and the chain must never stall.
+    #[test]
+    fn rearming_after_a_watchdog_fire_keeps_one_live_timer(
+        rounds in 1usize..8,
+        period in 1u64..30,
+        sweep_step in 1u64..20,
+    ) {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(t0, ms(1), 8);
+        let conn = 7u32;
+        let mut gen = 1u64;
+        let mut deadline = t0 + ms(period);
+        wheel.schedule(conn, gen, deadline);
+        let mut completed = 0usize;
+        let mut now = t0;
+        while completed < rounds && now < t0 + ms(2_000) {
+            now += ms(sweep_step);
+            for f in wheel.advance(now) {
+                prop_assert_eq!(f.conn, conn, "an unknown conn fired");
+                if f.gen != gen {
+                    // A superseded generation from an earlier round; the
+                    // driver filter drops it.
+                    continue;
+                }
+                prop_assert!(
+                    deadline <= now,
+                    "round {} fired before its deadline",
+                    completed
+                );
+                completed += 1;
+                if completed < rounds {
+                    // The session saw progress: re-arm, bumped generation.
+                    gen += 1;
+                    deadline = now + ms(period);
+                    wheel.schedule(conn, gen, deadline);
+                }
+            }
+        }
+        prop_assert_eq!(completed, rounds, "the watchdog re-arm chain stalled");
+        prop_assert!(wheel.is_empty(), "drained wheel still holds entries");
+    }
 }

@@ -120,6 +120,12 @@ pub enum EventKind {
     NackSent = 22,
     /// An arriving datagram failed to decode (no labels available).
     DecodeError = 23,
+    // ── server (overload) ───────────────────────────────────────────
+    /// The server shed this frame under overload — an enhancement-layer
+    /// frame dropped to pay down pacing debt, or a stale recovery-round
+    /// retransmission skipped past its playout deadline. Nothing was
+    /// sent; the loss is intentional and perception-ordered.
+    Shed = 24,
 }
 
 impl EventKind {
@@ -150,6 +156,7 @@ impl EventKind {
             EventKind::AckSent => "ack_sent",
             EventKind::NackSent => "nack_sent",
             EventKind::DecodeError => "decode_error",
+            EventKind::Shed => "shed",
         }
     }
 
@@ -160,7 +167,7 @@ impl EventKind {
 }
 
 /// Every kind, in discriminant order (dump round-trip tests iterate it).
-pub const ALL_KINDS: [EventKind; 24] = [
+pub const ALL_KINDS: [EventKind; 25] = [
     EventKind::Queued,
     EventKind::Sent,
     EventKind::Retransmitted,
@@ -185,6 +192,7 @@ pub const ALL_KINDS: [EventKind; 24] = [
     EventKind::AckSent,
     EventKind::NackSent,
     EventKind::DecodeError,
+    EventKind::Shed,
 ];
 
 impl std::fmt::Display for EventKind {

@@ -44,6 +44,10 @@ pub enum Cause {
     /// The server's wire codec refused an oversize data message; the
     /// fragment was never sent.
     OversizeRefusal,
+    /// The server shed the frame on purpose under overload — an
+    /// enhancement-layer frame dropped to pay down pacing debt, or a
+    /// stale retransmission skipped past its playout deadline.
+    Shed,
     /// The client NACKed the frame and the server retransmitted, but the
     /// recovery rounds ran dry before a copy survived the channel.
     RetryExhaustion,
@@ -67,8 +71,9 @@ pub enum Cause {
 }
 
 /// Every cause, in attribution-priority order (most specific first).
-pub const ALL_CAUSES: [Cause; 8] = [
+pub const ALL_CAUSES: [Cause; 9] = [
     Cause::OversizeRefusal,
+    Cause::Shed,
     Cause::RetryExhaustion,
     Cause::ControlDrop,
     Cause::GeLoss,
@@ -83,6 +88,7 @@ impl Cause {
     pub fn as_str(self) -> &'static str {
         match self {
             Cause::OversizeRefusal => "oversize_refusal",
+            Cause::Shed => "shed",
             Cause::RetryExhaustion => "retry_exhaustion",
             Cause::ControlDrop => "control_drop",
             Cause::GeLoss => "ge_loss",
@@ -250,6 +256,7 @@ struct FrameAccum {
     retransmit_sent: u32,
     first_sent_us: BTreeMap<u16, u64>,
     refused: u32,
+    shed: u32,
     nack_received: bool,
     dropped_frags: BTreeSet<u16>,
     proxy_dropped: u32,
@@ -428,6 +435,10 @@ fn scan_event(role: Role, e: &ObsEvent, acc: &mut WindowAccum) {
             acc.server_touched = true;
             fa.refused += 1;
         }
+        (Role::Server, Shed) => {
+            acc.server_touched = true;
+            fa.shed += 1;
+        }
         (Role::Server, NackReceived) => {
             fa.nack_received = true;
         }
@@ -553,6 +564,12 @@ fn attribute(
 ) -> Option<Cause> {
     if fa.refused > 0 {
         return Some(Cause::OversizeRefusal);
+    }
+    // A shed frame was queued but deliberately never sent (or its only
+    // recovery round was skipped as stale) — the loss is the server's own
+    // overload decision, not the channel's.
+    if fa.shed > 0 {
+        return Some(Cause::Shed);
     }
     if fa.nack_sent {
         if fa.retransmit_sent > 0 || fa.nack_received {
@@ -748,6 +765,35 @@ mod tests {
             report.sessions[0].windows[0].frames[0].outcome,
             FrameOutcome::Lost(Cause::OversizeRefusal)
         );
+    }
+
+    #[test]
+    fn shed_frames_are_attributed_to_the_server_s_own_decision() {
+        let (server, _proxy, client) = trio(64, 0);
+        // Frame 0: queued, then shed under overload — never sent at all.
+        server.record(EventKind::Queued, 1, 0, 0, 0);
+        server.record(EventKind::Shed, 1, 0, 0, 0);
+        client.record(EventKind::Abandoned, 1, 0, 0, 0);
+        // Frame 1: sent, lost, NACKed — but the recovery round was skipped
+        // as stale. Shed must outrank RetryExhaustion in the ladder.
+        server.record(EventKind::Sent, 1, 0, 1, data_detail(0, false));
+        client.record(EventKind::NackSent, 1, 0, 1, 1);
+        server.record(EventKind::NackReceived, 1, 0, 1, 0);
+        server.record(EventKind::Shed, 1, 0, 1, 0);
+        client.record(EventKind::Abandoned, 1, 0, 1, 0);
+        client.record(EventKind::WindowClosed, 1, 0, u32::MAX, 2);
+        let report = reconstruct(&[server.recording(), client.recording()]);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        let w = &report.sessions[0].windows[0];
+        assert_eq!(w.frames[0].outcome, FrameOutcome::Lost(Cause::Shed));
+        assert_eq!(w.frames[1].outcome, FrameOutcome::Lost(Cause::Shed));
+        let shed_total = report.sessions[0]
+            .cause_totals
+            .iter()
+            .find(|(c, _)| *c == Cause::Shed)
+            .unwrap()
+            .1;
+        assert_eq!(shed_total, 2);
     }
 
     #[test]

@@ -13,10 +13,11 @@
 //! cargo run --release --example udp_stream
 //! ```
 
+use error_spreading::net::{NetClientReport, NetError};
 use error_spreading::prelude::*;
 use error_spreading::protocol::{FecPolicy, SessionOffer};
 
-fn stream_once(ordering: Ordering, windows: usize) -> error_spreading::net::NetClientReport {
+fn stream_once(ordering: Ordering, windows: usize) -> Result<NetClientReport, NetError> {
     let p_bad = 0.6;
     let trace = MpegTrace::new(Movie::JurassicPark, 1);
     let offer = SessionOffer {
@@ -33,13 +34,12 @@ fn stream_once(ordering: Ordering, windows: usize) -> error_spreading::net::NetC
         offer,
         StreamSource::mpeg(&trace, 2, windows, false),
     );
-    let mut server = NetServer::bind("127.0.0.1:0", config).expect("bind server");
+    let mut server = NetServer::bind("127.0.0.1:0", config)?;
     let mut proxy = FaultProxy::spawn(
         server.local_addr(),
         FaultPolicy::transparent().gilbert_data_loss(0.92, p_bad, 42),
         FaultPolicy::transparent(),
-    )
-    .expect("spawn proxy");
+    )?;
 
     let client = NetClient::connect(
         proxy.client_addr(),
@@ -47,9 +47,8 @@ fn stream_once(ordering: Ordering, windows: usize) -> error_spreading::net::NetC
             ordering,
             ..NetClientConfig::default()
         },
-    )
-    .expect("connect");
-    let report = client.stream().expect("stream");
+    )?;
+    let report = client.stream()?;
     let stats = proxy.stats();
     proxy.shutdown();
     server.shutdown();
@@ -57,14 +56,14 @@ fn stream_once(ordering: Ordering, windows: usize) -> error_spreading::net::NetC
         "  {ordering}: {} windows, {} datagrams received, {} data datagrams dropped",
         report.windows_completed, report.datagrams_rx, stats.dropped_data
     );
-    report
+    Ok(report)
 }
 
-fn main() {
+fn main() -> Result<(), NetError> {
     let windows = 12;
     println!("streaming {windows} windows over loopback UDP through a lossy proxy:");
-    let plain = stream_once(Ordering::InOrder, windows);
-    let spread = stream_once(Ordering::spread(), windows);
+    let plain = stream_once(Ordering::InOrder, windows)?;
+    let spread = stream_once(Ordering::spread(), windows)?;
 
     println!("\nwindow  unscrambled-CLF  scrambled-CLF");
     for (w, (p, s)) in plain
@@ -81,4 +80,5 @@ fn main() {
         ps.mean_clf, ss.mean_clf
     );
     assert!(ss.mean_clf <= ps.mean_clf);
+    Ok(())
 }

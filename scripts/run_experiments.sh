@@ -88,6 +88,15 @@ if [[ $QUICK -eq 0 ]]; then
   # it.
   run_bench net_c10k net_c10k net_c10k --sessions 200
   scripts/check_bench_net.sh || fail "net_c10k regressed past BENCH_net.json"
+  # Overload wave: 2x the admission cap. Also timing-derived; its hard
+  # invariants (cap respected, zero critical shed, all reaped) and the
+  # committed BENCH_overload.json floor are both enforced by the gate.
+  run_bench net_overload net_overload net_overload
+  scripts/check_bench_overload.sh || fail "net_overload regressed past BENCH_overload.json"
+  # The chaos_soak binary also writes the overload regime's separate
+  # deterministic report.
+  [[ -s results/chaos_overload.json ]] \
+    || fail "chaos_soak did not write results/chaos_overload.json"
 fi
 if [[ $QUICK -eq 0 ]]; then
   for pbad in 0.6 0.7; do
