@@ -1,0 +1,156 @@
+//! Criterion micro-benchmarks for the zero-alloc steady-state hot path.
+//!
+//! Four families, mirroring `bench_hotpath`'s gated measurement:
+//!
+//! * `kcpo` — cached k-CPO order lookup plus table-driven apply/invert
+//!   (`apply_into` / `unapply_into`) into caller-owned buffers;
+//! * `layered` — layered order construction, both the uncached build
+//!   (the cache-miss cost) and the fingerprint-keyed cached lookup;
+//! * `wire` — datagram encode/decode through the pooled
+//!   `DecodeScratch`;
+//! * `netwin` — one complete steady-state `NetWindow` lap: accept every
+//!   fragment, accept parity, recover (nothing erased), close, reset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use espread_core::{calculate_permutation_cached, layered_uniform_cached, LayeredOrder};
+use espread_net::clientwin::{NetWindow, NetWindowOutcome, RecoverScratch};
+use espread_net::wire::{self, DataMsg, DecodeScratch, Msg, ParityMember, ParityMsg};
+use espread_protocol::{Fragment, Ldu};
+use espread_trace::GopPattern;
+use std::hint::black_box;
+
+fn bench_kcpo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kcpo");
+    let (n, b) = (17usize, 5usize);
+    let items: Vec<u32> = (0..n as u32).collect();
+    let mut sent: Vec<u32> = Vec::with_capacity(n);
+    let mut playout: Vec<Option<u32>> = Vec::with_capacity(n);
+    let choice = calculate_permutation_cached(n, b);
+    choice.permutation.apply_into(&items, &mut sent);
+    let received: Vec<Option<u32>> = sent.iter().map(|&x| Some(x)).collect();
+
+    group.bench_function("cached_lookup", |bch| {
+        bch.iter(|| calculate_permutation_cached(black_box(n), black_box(b)))
+    });
+    group.bench_function("apply_into", |bch| {
+        bch.iter(|| choice.permutation.apply_into(black_box(&items), &mut sent))
+    });
+    group.bench_function("unapply_into", |bch| {
+        bch.iter(|| {
+            choice
+                .permutation
+                .unapply_into(black_box(&received), &mut playout)
+        })
+    });
+    group.finish();
+}
+
+fn bench_layered(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layered");
+    let poset = GopPattern::gop12().dependency_poset(2, true);
+    group.bench_function("with_uniform_bound", |bch| {
+        bch.iter(|| LayeredOrder::with_uniform_bound(black_box(&poset), black_box(4)))
+    });
+    group.bench_function("cached_lookup", |bch| {
+        bch.iter(|| layered_uniform_cached(black_box(&poset), black_box(4)))
+    });
+    group.finish();
+}
+
+fn data_msg() -> Msg {
+    Msg::Data(DataMsg {
+        fragment: Fragment {
+            window: 3,
+            frame: 5,
+            frag: 1,
+            frags_total: 2,
+            layer: 1,
+            layer_slot: 4,
+            retransmit: false,
+        },
+        ldu: Ldu::new(2400),
+        payload_len: 1200,
+    })
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let msg = data_msg();
+    let mut buf: Vec<u8> = Vec::with_capacity(2048);
+    wire::try_encode_into(42, &msg, &mut buf).expect("fits");
+    let datagram = buf.clone();
+    let mut scratch = DecodeScratch::default();
+
+    group.bench_function("encode_data", |bch| {
+        bch.iter(|| wire::try_encode_into(42, black_box(&msg), &mut buf))
+    });
+    group.bench_function("decode_data", |bch| {
+        bch.iter(|| {
+            let (_, decoded) = wire::decode_with(black_box(&datagram), &mut scratch).expect("ok");
+            scratch.recycle(decoded);
+        })
+    });
+    group.finish();
+}
+
+fn frag(window: u64, frame: usize, frag: u16) -> DataMsg {
+    DataMsg {
+        fragment: Fragment {
+            window,
+            frame,
+            frag,
+            frags_total: 2,
+            layer: if frame < 2 { 0 } else { 1 },
+            layer_slot: (frame % 2) as u16,
+            retransmit: false,
+        },
+        ldu: Ldu::new(200),
+        payload_len: 100,
+    }
+}
+
+fn bench_netwin(c: &mut Criterion) {
+    let mut parity = ParityMsg {
+        window: 0,
+        group: 0,
+        m: 1,
+        parity_index: 0,
+        shard_bytes: 100,
+        members: vec![
+            ParityMember {
+                frame: 2,
+                frag: 0,
+                frags_total: 2,
+            },
+            ParityMember {
+                frame: 2,
+                frag: 1,
+                frags_total: 2,
+            },
+        ],
+    };
+    let mut win = NetWindow::new(0, 4, &[2, 2], &[0, 1]);
+    let mut rs = RecoverScratch::default();
+    let mut nack: Vec<u16> = Vec::with_capacity(4);
+    let mut outcome = NetWindowOutcome::default();
+    let mut window = 0u64;
+    c.bench_function("netwin/steady_window", |bch| {
+        bch.iter(|| {
+            for frame in 0..4 {
+                for f in 0..2 {
+                    win.accept(black_box(&frag(window, frame, f)));
+                }
+            }
+            parity.window = window;
+            win.accept_parity(&parity);
+            win.recover_with(&mut rs);
+            win.missing_critical_into(&mut nack);
+            win.close_into(&mut outcome);
+            window += 1;
+            win.reset(window, 4, &[2, 2], &[0, 1]);
+        })
+    });
+}
+
+criterion_group!(benches, bench_kcpo, bench_layered, bench_wire, bench_netwin);
+criterion_main!(benches);

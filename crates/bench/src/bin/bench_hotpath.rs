@@ -1,0 +1,197 @@
+//! Microbenchmark of the steady-state hot path, with a committed
+//! baseline.
+//!
+//! ```sh
+//! cargo run --release -p espread-bench --bin bench_hotpath
+//! cargo run --release -p espread-bench --bin bench_hotpath -- --write-baseline
+//! ```
+//!
+//! Measures the four families this repo's zero-alloc work keeps fast —
+//! k-CPO apply/invert through the order cache, layered order
+//! construction, wire encode/decode through the pooled scratch, and a
+//! complete steady-state `NetWindow` reassembly lap — against a floor
+//! operation: one 1200-byte `memcpy`, i.e. pure memory traffic with no
+//! bookkeeping at all. The committed artifact `BENCH_hotpath.json` at
+//! the repo root stores each family's **ratio** to that floor, which is
+//! what CI gates on (`scripts/check_bench_hotpath.sh`, >20% regression
+//! on any family fails): absolute nanoseconds vary with the host, the
+//! ratios track only how much work each path layers on top of moving
+//! its bytes.
+//!
+//! `--write-baseline` rewrites `BENCH_hotpath.json`; the default mode
+//! writes the fresh measurement to `results/bench_hotpath.json`. Both
+//! files carry timings and sit outside the byte-identical results
+//! contract. The interactive criterion view of the same families is
+//! `cargo bench -p espread-bench --bench hotpath`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use espread_core::{calculate_permutation_cached, LayeredOrder};
+use espread_exec::Json;
+use espread_net::clientwin::{NetWindow, NetWindowOutcome, RecoverScratch};
+use espread_net::wire::{self, DataMsg, DecodeScratch, Msg, ParityMember, ParityMsg};
+use espread_protocol::{Fragment, Ldu};
+use espread_trace::GopPattern;
+
+const ITERS: u32 = 100_000;
+const TRIALS: usize = 7;
+
+/// Best-of-`TRIALS` nanoseconds per call of `op` over `ITERS` calls.
+fn measure(mut op: impl FnMut(u32)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let started = Instant::now();
+        for i in 0..ITERS {
+            op(i);
+        }
+        let ns = started.elapsed().as_nanos() as f64 / f64::from(ITERS);
+        best = best.min(ns);
+    }
+    best
+}
+
+fn data_fragment(window: u64, frame: usize, frag: u16) -> DataMsg {
+    DataMsg {
+        fragment: Fragment {
+            window,
+            frame,
+            frag,
+            frags_total: 2,
+            layer: if frame < 2 { 0 } else { 1 },
+            layer_slot: (frame % 2) as u16,
+            retransmit: false,
+        },
+        ldu: Ldu::new(200),
+        payload_len: 100,
+    }
+}
+
+fn main() -> ExitCode {
+    println!("bench_hotpath: steady-state families vs a 1200-byte memcpy floor\n");
+
+    // Floor: pure memory traffic, the work no hot-path op can avoid.
+    let src = vec![0xA5u8; 1200];
+    let mut dst = vec![0u8; 1200];
+    let floor_ns = measure(|i| {
+        dst.copy_from_slice(std::hint::black_box(&src));
+        dst[0] = i as u8;
+    });
+    std::hint::black_box(&dst);
+
+    // Family 1: cached k-CPO lookup + table-driven scramble/descramble.
+    let (n, b) = (17usize, 5usize);
+    let items: Vec<u32> = (0..n as u32).collect();
+    let mut sent: Vec<u32> = Vec::with_capacity(n);
+    let mut playout: Vec<Option<u32>> = Vec::with_capacity(n);
+    let mut received: Vec<Option<u32>> = Vec::with_capacity(n);
+    let kcpo_ns = measure(|_| {
+        let choice = calculate_permutation_cached(n, b);
+        choice.permutation.apply_into(&items, &mut sent);
+        received.clear();
+        received.extend(sent.iter().map(|&x| Some(x)));
+        choice.permutation.unapply_into(&received, &mut playout);
+    });
+
+    // Family 2: layered order construction (the cache-miss cost).
+    let poset = GopPattern::gop12().dependency_poset(2, true);
+    let layered_ns = measure(|_| {
+        std::hint::black_box(LayeredOrder::with_uniform_bound(&poset, 4));
+    });
+
+    // Family 3: wire encode + decode of a Data datagram through the
+    // pooled scratch.
+    let msg = Msg::Data(data_fragment(3, 1, 0));
+    let mut buf: Vec<u8> = Vec::with_capacity(2048);
+    let mut scratch = DecodeScratch::default();
+    let wire_ns = measure(|_| {
+        wire::try_encode_into(42, &msg, &mut buf).expect("fits");
+        let (_, decoded) = wire::decode_with(&buf, &mut scratch).expect("roundtrip");
+        scratch.recycle(decoded);
+    });
+
+    // Family 4: one complete steady-state reassembly window.
+    let mut parity = ParityMsg {
+        window: 0,
+        group: 0,
+        m: 1,
+        parity_index: 0,
+        shard_bytes: 100,
+        members: vec![
+            ParityMember {
+                frame: 2,
+                frag: 0,
+                frags_total: 2,
+            },
+            ParityMember {
+                frame: 2,
+                frag: 1,
+                frags_total: 2,
+            },
+        ],
+    };
+    let mut win = NetWindow::new(0, 4, &[2, 2], &[0, 1]);
+    let mut rs = RecoverScratch::default();
+    let mut nack: Vec<u16> = Vec::with_capacity(4);
+    let mut outcome = NetWindowOutcome::default();
+    let mut window = 0u64;
+    let netwin_ns = measure(|_| {
+        for frame in 0..4 {
+            for f in 0..2 {
+                win.accept(&data_fragment(window, frame, f));
+            }
+        }
+        parity.window = window;
+        win.accept_parity(&parity);
+        win.recover_with(&mut rs);
+        win.missing_critical_into(&mut nack);
+        win.close_into(&mut outcome);
+        window += 1;
+        win.reset(window, 4, &[2, 2], &[0, 1]);
+    });
+
+    let families = [
+        ("kcpo_apply", kcpo_ns),
+        ("layered_build", layered_ns),
+        ("wire_codec", wire_ns),
+        ("reassembly", netwin_ns),
+    ];
+    println!("  floor:          {floor_ns:.1} ns/op (1200-byte memcpy)");
+    for (name, ns) in families {
+        println!("  {name:<14} {ns:.1} ns/op  ratio {:.3}", ns / floor_ns);
+    }
+
+    let mut doc = Json::object();
+    doc.push("experiment", "bench_hotpath")
+        .push("iters", u64::from(ITERS))
+        .push("trials", TRIALS)
+        .push("floor_ns", floor_ns);
+    let mut fam = Json::object();
+    for (name, ns) in families {
+        let mut entry = Json::object();
+        entry.push("ns", ns).push("ratio", ns / floor_ns);
+        fam.push(name, entry);
+    }
+    doc.push("families", fam);
+
+    if std::env::args().any(|a| a == "--write-baseline") {
+        match std::fs::write("BENCH_hotpath.json", doc.render_pretty()) {
+            Ok(()) => println!("baseline written to BENCH_hotpath.json"),
+            Err(e) => {
+                eprintln!("could not write BENCH_hotpath.json: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let result = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write("results/bench_hotpath.json", doc.render_pretty()));
+        match result {
+            Ok(()) => println!("measurement written to results/bench_hotpath.json"),
+            Err(e) => {
+                eprintln!("could not write results/bench_hotpath.json: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

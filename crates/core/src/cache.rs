@@ -17,10 +17,16 @@
 //! idempotent) and the first insert wins, so every caller sees the same
 //! [`Arc`].
 //!
-//! Hit/miss counts are exported through `espread-telemetry` as
-//! `core.order_cache.{hits,misses}` and `core.layered_cache.{hits,misses}`,
-//! and are also available lock-free via [`spread_cache_stats`] /
-//! [`layered_cache_stats`].
+//! Both caches are **bounded** ([`DEFAULT_CACHE_CAPACITY`] entries): a
+//! long-lived server accumulating distinct `(n, b)` / fingerprint keys
+//! evicts the least-recently-used entry instead of growing without limit.
+//! Evicted orders are simply recomputed on the next miss — correctness is
+//! unaffected, only warmth.
+//!
+//! Hit/miss/eviction counts are exported through `espread-telemetry` as
+//! `core.order_cache.{hits,misses,evictions}` and
+//! `core.layered_cache.{hits,misses,evictions}`, and are also available
+//! lock-free via [`spread_cache_stats`] / [`layered_cache_stats`].
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -32,14 +38,41 @@ use espread_poset::Poset;
 use crate::cpo::{calculate_permutation, SpreadChoice};
 use crate::layered::LayeredOrder;
 
-/// A thread-safe memoization map with hit/miss accounting.
+/// Default capacity for the process-global order caches. A long-lived
+/// server revisits a small set of `(n, b)` pairs (eq. 1 smooths the burst
+/// estimate), so a few thousand entries is generous; the bound exists to
+/// stop adversarial or pathological key churn from growing the map without
+/// limit (the same bug class as the unbounded handshake cache fixed in the
+/// event-loop server).
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// One resident cache entry: the memoized value plus a recency stamp used
+/// for LRU eviction. The stamp is atomic so hits (read lock only) can
+/// refresh it without write contention.
+#[derive(Debug)]
+struct Entry<V> {
+    value: Arc<V>,
+    last_used: AtomicU64,
+}
+
+/// A thread-safe bounded memoization map with hit/miss/eviction accounting.
+///
+/// Capacity is enforced at insert time: when a miss would grow the map past
+/// its bound, the least-recently-used entry is evicted first. Recency is a
+/// per-entry atomic stamp from a cache-global tick, refreshed on every hit
+/// under the read lock — so the hot steady-state path never takes the write
+/// lock.
 #[derive(Debug)]
 pub struct OrderCache<K, V> {
-    map: RwLock<HashMap<K, Arc<V>>>,
+    map: RwLock<HashMap<K, Entry<V>>>,
+    capacity: usize,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     hit_counter: &'static str,
     miss_counter: &'static str,
+    evict_counter: &'static str,
 }
 
 /// Point-in-time cache counters (see [`spread_cache_stats`]).
@@ -51,6 +84,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Entries displaced to respect the capacity bound.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -65,32 +100,88 @@ impl CacheStats {
     }
 }
 
-impl<K: Eq + Hash, V> OrderCache<K, V> {
-    /// An empty cache reporting through the given telemetry counters.
-    pub fn new(hit_counter: &'static str, miss_counter: &'static str) -> Self {
-        OrderCache {
-            map: RwLock::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+impl<K: Eq + Hash + Clone, V> OrderCache<K, V> {
+    /// An empty cache with the [default capacity](DEFAULT_CACHE_CAPACITY),
+    /// reporting through the given telemetry counters.
+    pub fn new(
+        hit_counter: &'static str,
+        miss_counter: &'static str,
+        evict_counter: &'static str,
+    ) -> Self {
+        OrderCache::with_capacity(
+            DEFAULT_CACHE_CAPACITY,
             hit_counter,
             miss_counter,
+            evict_counter,
+        )
+    }
+
+    /// An empty cache holding at most `capacity` entries (clamped to ≥ 1).
+    pub fn with_capacity(
+        capacity: usize,
+        hit_counter: &'static str,
+        miss_counter: &'static str,
+        evict_counter: &'static str,
+    ) -> Self {
+        OrderCache {
+            map: RwLock::new(HashMap::new()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            hit_counter,
+            miss_counter,
+            evict_counter,
         }
+    }
+
+    /// The capacity bound entries never exceed.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn stamp(&self, entry: &Entry<V>) {
+        entry
+            .last_used
+            .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Returns the cached value for `key`, computing and inserting it on a
     /// miss. `compute` runs **without** holding the lock; on a racing miss
-    /// the first insert wins and every caller gets the same `Arc`.
+    /// the first insert wins and every caller gets the same `Arc`. When the
+    /// insert would exceed the capacity bound, the least-recently-used
+    /// entry is evicted first.
     pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
         if let Some(hit) = self.map.read().expect("cache lock").get(&key) {
+            self.stamp(hit);
             self.hits.fetch_add(1, Ordering::Relaxed);
             crate::telem::count(self.hit_counter);
-            return Arc::clone(hit);
+            return Arc::clone(&hit.value);
         }
         let computed = Arc::new(compute());
         self.misses.fetch_add(1, Ordering::Relaxed);
         crate::telem::count(self.miss_counter);
         let mut map = self.map.write().expect("cache lock");
-        Arc::clone(map.entry(key).or_insert(computed))
+        if !map.contains_key(&key) && map.len() >= self.capacity {
+            // O(n) min-scan is fine here: eviction only runs on a miss that
+            // inserts at capacity, never on the steady-state hit path.
+            let victim = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                crate::telem::count(self.evict_counter);
+            }
+        }
+        let entry = map.entry(key).or_insert(Entry {
+            value: computed,
+            last_used: AtomicU64::new(0),
+        });
+        self.stamp(entry);
+        Arc::clone(&entry.value)
     }
 
     /// Current counters and size.
@@ -99,18 +190,31 @@ impl<K: Eq + Hash, V> OrderCache<K, V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.map.read().expect("cache lock").len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
 
 fn spread_cache() -> &'static OrderCache<(usize, usize), SpreadChoice> {
     static CACHE: OnceLock<OrderCache<(usize, usize), SpreadChoice>> = OnceLock::new();
-    CACHE.get_or_init(|| OrderCache::new("core.order_cache.hits", "core.order_cache.misses"))
+    CACHE.get_or_init(|| {
+        OrderCache::new(
+            "core.order_cache.hits",
+            "core.order_cache.misses",
+            "core.order_cache.evictions",
+        )
+    })
 }
 
 fn layered_cache() -> &'static OrderCache<(u64, usize), LayeredOrder> {
     static CACHE: OnceLock<OrderCache<(u64, usize), LayeredOrder>> = OnceLock::new();
-    CACHE.get_or_init(|| OrderCache::new("core.layered_cache.hits", "core.layered_cache.misses"))
+    CACHE.get_or_init(|| {
+        OrderCache::new(
+            "core.layered_cache.hits",
+            "core.layered_cache.misses",
+            "core.layered_cache.evictions",
+        )
+    })
 }
 
 /// [`calculate_permutation`](crate::calculate_permutation) through the
@@ -144,7 +248,8 @@ mod tests {
 
     #[test]
     fn miss_then_hit() {
-        let cache: OrderCache<(usize, usize), SpreadChoice> = OrderCache::new("t.hit", "t.miss");
+        let cache: OrderCache<(usize, usize), SpreadChoice> =
+            OrderCache::new("t.hit", "t.miss", "t.evict");
         let first = cache.get_or_compute((17, 5), || calculate_permutation(17, 5));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
@@ -158,11 +263,54 @@ mod tests {
 
     #[test]
     fn distinct_keys_do_not_collide() {
-        let cache: OrderCache<(usize, usize), usize> = OrderCache::new("t.hit", "t.miss");
+        let cache: OrderCache<(usize, usize), usize> =
+            OrderCache::new("t.hit", "t.miss", "t.evict");
         let a = cache.get_or_compute((8, 2), || 1);
         let b = cache.get_or_compute((8, 3), || 2);
         assert_eq!((*a, *b), (1, 2));
         assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn key_flood_respects_capacity_bound() {
+        let cache: OrderCache<(usize, usize), usize> =
+            OrderCache::with_capacity(8, "t.hit", "t.miss", "t.evict");
+        for n in 0..100 {
+            let got = cache.get_or_compute((n, 0), || n);
+            assert_eq!(*got, n);
+            assert!(
+                cache.stats().entries <= cache.capacity(),
+                "flooded past capacity at key {n}"
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 8);
+        assert_eq!(stats.evictions, 100 - 8);
+        assert_eq!(stats.misses, 100);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let cache: OrderCache<(usize, usize), usize> =
+            OrderCache::with_capacity(2, "t.hit", "t.miss", "t.evict");
+        cache.get_or_compute((1, 0), || 1);
+        cache.get_or_compute((2, 0), || 2);
+        // Touch key 1 so key 2 is now the LRU victim.
+        cache.get_or_compute((1, 0), || panic!("warm"));
+        cache.get_or_compute((3, 0), || 3);
+        // Key 1 survived; key 2 was evicted and must recompute.
+        cache.get_or_compute((1, 0), || panic!("survived eviction"));
+        let recomputed = std::sync::atomic::AtomicU64::new(0);
+        cache.get_or_compute((2, 0), || {
+            recomputed.fetch_add(1, Ordering::Relaxed);
+            2
+        });
+        assert_eq!(
+            recomputed.load(Ordering::Relaxed),
+            1,
+            "LRU victim was key 2"
+        );
+        assert_eq!(cache.stats().evictions, 2);
     }
 
     #[test]
@@ -190,7 +338,7 @@ mod tests {
     #[test]
     fn cross_thread_reuse() {
         let cache: Arc<OrderCache<(usize, usize), SpreadChoice>> =
-            Arc::new(OrderCache::new("t.hit", "t.miss"));
+            Arc::new(OrderCache::new("t.hit", "t.miss", "t.evict"));
         // Warm one entry, then hammer it from several threads.
         let warm = cache.get_or_compute((17, 5), || calculate_permutation(17, 5));
         let handles: Vec<_> = (0..4)
@@ -217,7 +365,7 @@ mod tests {
     #[test]
     fn racing_misses_converge_to_one_entry() {
         let cache: Arc<OrderCache<(usize, usize), SpreadChoice>> =
-            Arc::new(OrderCache::new("t.hit", "t.miss"));
+            Arc::new(OrderCache::new("t.hit", "t.miss", "t.evict"));
         let barrier = Arc::new(std::sync::Barrier::new(4));
         let handles: Vec<_> = (0..4)
             .map(|_| {

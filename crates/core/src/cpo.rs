@@ -336,9 +336,19 @@ pub fn min_window_for(k: usize, b: usize, limit: usize) -> Option<usize> {
 /// largest *spreadable* burst, `n − 1`, so the returned permutation is
 /// still a useful interleaving rather than the degenerate identity.
 pub fn k_cpo(n: usize, k: usize) -> SpreadChoice {
+    (*k_cpo_cached(n, k)).clone()
+}
+
+/// [`k_cpo`] without the defensive clone: the shared cache entry itself.
+///
+/// This is the steady-state form — the returned [`SpreadChoice`] (and the
+/// permutation tables inside it) are owned by the process-global order
+/// cache, so a window pipeline holding the `Arc` does table lookups with
+/// zero per-window allocation.
+pub fn k_cpo_cached(n: usize, k: usize) -> std::sync::Arc<SpreadChoice> {
     let _span = crate::telem::span("core.k_cpo.ns");
     let b = max_tolerable_burst(n, k).clamp(1, n.saturating_sub(1).max(1));
-    (*crate::cache::calculate_permutation_cached(n, b)).clone()
+    crate::cache::calculate_permutation_cached(n, b)
 }
 
 #[cfg(test)]

@@ -65,10 +65,11 @@ pub use burst::{
 };
 pub use cache::{
     calculate_permutation_cached, layered_cache_stats, layered_uniform_cached, spread_cache_stats,
-    CacheStats, OrderCache,
+    CacheStats, OrderCache, DEFAULT_CACHE_CAPACITY,
 };
 pub use cpo::{
-    calculate_permutation, k_cpo, max_tolerable_burst, min_window_for, OrderFamily, SpreadChoice,
+    calculate_permutation, k_cpo, k_cpo_cached, max_tolerable_burst, min_window_for, OrderFamily,
+    SpreadChoice,
 };
 pub use estimator::{BurstEstimator, ObservationError};
 pub use layered::{LayerPlan, LayeredOrder};

@@ -145,6 +145,13 @@ impl Permutation {
         }
     }
 
+    /// The precomputed inverse table as a slice: `inverse_slice()[i]` is the
+    /// slot carrying playout index `i`. Zero-cost view of the table built at
+    /// construction — no scan, no allocation.
+    pub fn inverse_slice(&self) -> &[usize] {
+        &self.inverse
+    }
+
     /// Applies the transmission order to a window of items: returns the
     /// items in the order they would be sent.
     ///
@@ -169,6 +176,35 @@ impl Permutation {
             out[self.forward[slot]] = item.clone();
         }
         out
+    }
+
+    /// Like [`Permutation::apply`], but writes the sent-order items into a
+    /// caller-owned buffer (cleared first) so a steady-state window reuses
+    /// one allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items.len() != self.len()`.
+    pub fn apply_into<T: Clone>(&self, items: &[T], out: &mut Vec<T>) {
+        assert_eq!(items.len(), self.len(), "window length mismatch");
+        out.clear();
+        out.extend(self.forward.iter().map(|&i| items[i].clone()));
+    }
+
+    /// Like [`Permutation::unapply`], but restores playout order into a
+    /// caller-owned buffer (cleared first). `out[i]` is the item for playout
+    /// index `i`, `None` for lost slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `received.len() != self.len()`.
+    pub fn unapply_into<T: Clone>(&self, received: &[Option<T>], out: &mut Vec<Option<T>>) {
+        assert_eq!(received.len(), self.len(), "window length mismatch");
+        out.clear();
+        out.resize(self.len(), None);
+        for (slot, item) in received.iter().enumerate() {
+            out[self.forward[slot]] = item.clone();
+        }
     }
 
     /// Whether this is the identity order.
@@ -271,6 +307,34 @@ mod tests {
         let received = vec![Some("c"), None, Some("b")];
         let playout = p.unapply(&received);
         assert_eq!(playout, vec![None, Some("b"), Some("c")]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        let items = ["a", "b", "c"];
+        let mut sent = Vec::new();
+        p.apply_into(&items, &mut sent);
+        assert_eq!(sent, p.apply(&items));
+
+        let received = vec![Some("c"), None, Some("b")];
+        let mut playout = Vec::new();
+        p.unapply_into(&received, &mut playout);
+        assert_eq!(playout, p.unapply(&received));
+
+        // Reuse keeps capacity and stays correct with stale contents.
+        let stale = vec![Some("x"), Some("y"), Some("z")];
+        p.unapply_into(&stale, &mut playout);
+        assert_eq!(playout, p.unapply(&stale));
+    }
+
+    #[test]
+    fn inverse_slice_matches_inverse() {
+        let p = Permutation::from_vec(vec![2, 0, 3, 1]).unwrap();
+        assert_eq!(p.inverse_slice(), p.inverse().as_slice());
+        for i in 0..4 {
+            assert_eq!(p.inverse_slice()[i], p.slot_of_playout(i));
+        }
     }
 
     #[test]

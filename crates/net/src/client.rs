@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 use espread_protocol::{ClientCapabilities, Ordering};
 use espread_qos::{ContinuityMetrics, LossPattern, WindowSeries};
 
-use crate::clientwin::NetWindow;
+use crate::clientwin::{NetWindow, RecoverScratch};
 use crate::error::NetError;
 use crate::obsrec::SessionRecorder;
 use crate::retry::RetryPolicy;
@@ -134,6 +134,10 @@ pub struct NetClientReport {
     pub fec_recovered: u64,
     /// FEC groups whose erasures exceeded their surviving parity.
     pub fec_unrecoverable: u64,
+    /// Control sends the local socket refused (also counted in
+    /// `net.client.send_errors`). Nonzero means some ACKs/NACKs never
+    /// left the host — the server saw them as loss.
+    pub send_errors: u64,
 }
 
 /// A connected (negotiated) client, ready to stream.
@@ -182,6 +186,7 @@ impl NetClient {
         let mut nonce = fresh_nonce(&socket)?;
         let mut hello = make_hello(nonce);
         let mut buf = vec![0u8; 65_536];
+        let mut send_buf = Vec::new();
         let mut hello_retries = 0u32;
         let mut last_busy: Option<u32> = None;
         'attempts: for attempt in 0..config.retry.max_attempts {
@@ -189,7 +194,7 @@ impl NetClient {
                 hello_retries += 1;
                 telem.on_hello_retry();
             }
-            send_on(&socket, &telem, CONN_NONE, &hello);
+            send_on(&socket, &telem, CONN_NONE, &hello, &mut send_buf);
             let deadline = Instant::now() + config.retry.backoff(attempt);
             loop {
                 // Userspace deadline; the fixed poll timeout bounds how
@@ -271,16 +276,26 @@ impl NetClient {
             if attempt > 0 {
                 self.telem.on_begin_retry();
             }
-            send_on(&self.socket, &self.telem, self.conn_id, &Msg::Begin);
+            if !send_on(
+                &self.socket,
+                &self.telem,
+                self.conn_id,
+                &Msg::Begin,
+                &mut st.send_buf,
+            ) {
+                st.send_errors += 1;
+            }
             let deadline = Instant::now() + self.config.retry.backoff(attempt);
             while Instant::now() < deadline {
                 if let Some(len) = self.recv(&mut buf, deadline)? {
                     st.bytes_rx += len as u64;
                     st.datagrams_rx += 1;
-                    match wire::decode(&buf[..len]) {
-                        Ok((_, Msg::Accept(_))) => {} // duplicate handshake reply
+                    match wire::decode_with(&buf[..len], &mut st.decode_scratch) {
+                        // Duplicate handshake reply: nothing to do.
+                        Ok((_, msg @ Msg::Accept(_))) => st.decode_scratch.recycle(msg),
                         Ok((_, msg)) => {
-                            self.process(&mut st, msg);
+                            self.process(&mut st, &msg);
+                            st.decode_scratch.recycle(msg);
                             started = true;
                             break 'begin;
                         }
@@ -311,8 +326,11 @@ impl NetClient {
             if let Some(len) = self.recv(&mut buf, wait_until.min(hard_deadline))? {
                 st.bytes_rx += len as u64;
                 st.datagrams_rx += 1;
-                match wire::decode(&buf[..len]) {
-                    Ok((_, msg)) => self.process(&mut st, msg),
+                match wire::decode_with(&buf[..len], &mut st.decode_scratch) {
+                    Ok((_, msg)) => {
+                        self.process(&mut st, &msg);
+                        st.decode_scratch.recycle(msg);
+                    }
                     Err(_) => {
                         self.telem.on_decode_error();
                         self.config.recorder.decode_error(self.conn_id);
@@ -337,6 +355,7 @@ impl NetClient {
             timeout_updates: self.timeout_updates,
             fec_recovered: st.fec_recovered,
             fec_unrecoverable: st.fec_unrecoverable,
+            send_errors: st.send_errors,
         })
     }
 
@@ -363,7 +382,7 @@ impl NetClient {
         }
     }
 
-    fn process(&self, st: &mut StreamState, msg: Msg) {
+    fn process(&self, st: &mut StreamState, msg: &Msg) {
         match msg {
             Msg::Data(data) => {
                 st.data_rx += 1;
@@ -399,7 +418,7 @@ impl NetClient {
                 }
                 let cur = st.current.as_mut().expect("opened above");
                 let was_complete = cur.is_complete(data.fragment.frame);
-                if cur.accept(&data) {
+                if cur.accept(data) {
                     obs.delivered(self.conn_id, w, frame, frag, retx);
                     if !was_complete && cur.is_complete(data.fragment.frame) {
                         obs.reassembled(self.conn_id, w, frame, data.fragment.frags_total);
@@ -431,7 +450,7 @@ impl NetClient {
                     }
                 }
                 let cur = st.current.as_mut().expect("opened above");
-                if !cur.accept_parity(&parity) {
+                if !cur.accept_parity(parity) {
                     self.telem.on_bad_fragment();
                 }
             }
@@ -464,11 +483,11 @@ impl NetClient {
                     _ => 0,
                 };
                 if self.config.recovery && nack_rounds < self.config.retry.max_attempts {
-                    let missing = st
-                        .current
+                    let mut missing = std::mem::take(&mut st.nack_buf);
+                    st.current
                         .as_ref()
                         .expect("opened above")
-                        .missing_critical();
+                        .missing_critical_into(&mut missing);
                     if !missing.is_empty() {
                         st.nacked = Some((end.window, nack_rounds + 1));
                         st.nacks_sent += 1;
@@ -480,19 +499,27 @@ impl NetClient {
                                 nack_rounds + 1,
                             );
                         }
-                        send_on(
+                        let nack = Msg::CriticalNack(CriticalNackMsg {
+                            window: end.window,
+                            missing,
+                        });
+                        if !send_on(
                             &self.socket,
                             &self.telem,
                             self.conn_id,
-                            &Msg::CriticalNack(CriticalNackMsg {
-                                window: end.window,
-                                missing,
-                            }),
-                        );
+                            &nack,
+                            &mut st.send_buf,
+                        ) {
+                            st.send_errors += 1;
+                        }
+                        if let Msg::CriticalNack(n) = nack {
+                            st.nack_buf = n.missing;
+                        }
                         // Wait for the recovery round; the server re-sends
                         // WindowEnd after retransmitting.
                         return;
                     }
+                    st.nack_buf = missing;
                 }
                 let cur = st.current.take().expect("checked above");
                 self.finalize(st, cur, end.sent_at_us);
@@ -501,7 +528,15 @@ impl NetClient {
                 if let Some(cur) = st.current.take() {
                     self.finalize(st, cur, 0);
                 }
-                send_on(&self.socket, &self.telem, self.conn_id, &Msg::ByeAck);
+                if !send_on(
+                    &self.socket,
+                    &self.telem,
+                    self.conn_id,
+                    &Msg::ByeAck,
+                    &mut st.send_buf,
+                ) {
+                    st.send_errors += 1;
+                }
                 st.saw_bye = true;
                 st.done = true;
             }
@@ -514,7 +549,7 @@ impl NetClient {
     /// Runs one erasure-recovery pass over `win`, folding the result
     /// into telemetry and the report counters.
     fn run_recovery(&self, st: &mut StreamState, win: &mut NetWindow) {
-        let r = win.recover();
+        let r = win.recover_with(&mut st.recover_scratch);
         if r.recovered > 0 {
             self.telem.on_fec_recovered(r.recovered as u64);
             st.fec_recovered += r.recovered as u64;
@@ -530,7 +565,8 @@ impl NetClient {
         // window) still get their recovery pass; for explicitly closed
         // ones this pass finds nothing new.
         self.run_recovery(st, &mut win);
-        let outcome = win.finalize();
+        let outcome = win.close();
+        st.spare = Some(win);
         for frame in outcome.pattern.lost_indices() {
             self.config
                 .recorder
@@ -557,17 +593,21 @@ impl NetClient {
         self.config
             .recorder
             .ack_sent(self.conn_id, window, st.ack_seq);
-        send_on(
+        let msg = Msg::WindowAck(WindowAckMsg {
+            ack_seq: st.ack_seq,
+            window,
+            echo_us,
+            per_layer_burst: bursts,
+        });
+        if !send_on(
             &self.socket,
             &self.telem,
             self.conn_id,
-            &Msg::WindowAck(WindowAckMsg {
-                ack_seq: st.ack_seq,
-                window,
-                echo_us,
-                per_layer_burst: bursts,
-            }),
-        );
+            &msg,
+            &mut st.send_buf,
+        ) {
+            st.send_errors += 1;
+        }
     }
 }
 
@@ -591,18 +631,28 @@ fn validate_accept(accept: &Accept) -> Result<(), NetError> {
     Ok(())
 }
 
-fn send_on(socket: &UdpSocket, telem: &ClientTelem, conn_id: u32, msg: &Msg) {
+/// Encodes and sends one control message; `false` when the socket
+/// refused it (counted in `net.client.send_errors` — the server's retry
+/// machinery sees the gap as loss either way).
+fn send_on(
+    socket: &UdpSocket,
+    telem: &ClientTelem,
+    conn_id: u32,
+    msg: &Msg,
+    buf: &mut Vec<u8>,
+) -> bool {
     // An oversize message (e.g. a NACK list inflated by hostile labels)
     // is counted and dropped, never truncated and never a panic.
-    let bytes = match wire::try_encode(conn_id, msg) {
-        Ok(bytes) => bytes,
-        Err(_) => {
-            telem.on_encode_oversize();
-            return;
-        }
-    };
-    let _ = socket.send(&bytes);
+    if wire::try_encode_into(conn_id, msg, buf).is_err() {
+        telem.on_encode_oversize();
+        return false;
+    }
+    if socket.send(buf).is_err() {
+        telem.on_send_error();
+        return false;
+    }
     telem.on_tx();
+    true
 }
 
 /// Mutable receive-loop state.
@@ -616,6 +666,18 @@ struct StreamState {
     acked: HashMap<u64, Vec<u16>>,
     /// `(window, rounds)`: critical-NACK rounds already spent on `window`.
     nacked: Option<(u64, u32)>,
+    /// The previous window's tracker, retired for reuse — `open` resets
+    /// it instead of allocating a fresh one, so the steady state recycles
+    /// one tracker for the whole stream.
+    spare: Option<NetWindow>,
+    /// Pooled buffers for datagram decode (see [`wire::DecodeScratch`]).
+    decode_scratch: wire::DecodeScratch,
+    /// Staging buffers for erasure recovery, shared across windows.
+    recover_scratch: RecoverScratch,
+    /// Reusable datagram encode buffer for every send on this stream.
+    send_buf: Vec<u8>,
+    /// Reusable body buffer for `CriticalNack` construction.
+    nack_buf: Vec<u16>,
     ack_seq: u64,
     acks_sent: u64,
     nacks_sent: u64,
@@ -625,6 +687,7 @@ struct StreamState {
     bytes_rx: u64,
     fec_recovered: u64,
     fec_unrecoverable: u64,
+    send_errors: u64,
     series: WindowSeries,
     patterns: Vec<LossPattern>,
     completed_at: Option<Instant>,
@@ -642,6 +705,11 @@ impl StreamState {
             current: None,
             acked: HashMap::new(),
             nacked: None,
+            spare: None,
+            decode_scratch: wire::DecodeScratch::default(),
+            recover_scratch: RecoverScratch::default(),
+            send_buf: Vec::new(),
+            nack_buf: Vec::new(),
             ack_seq: 0,
             acks_sent: 0,
             nacks_sent: 0,
@@ -651,6 +719,7 @@ impl StreamState {
             bytes_rx: 0,
             fec_recovered: 0,
             fec_unrecoverable: 0,
+            send_errors: 0,
             series: WindowSeries::new(),
             patterns: Vec::new(),
             completed_at: None,
@@ -660,12 +729,24 @@ impl StreamState {
     }
 
     fn open(&mut self, window: u64) {
-        self.current = Some(NetWindow::new(
-            window,
-            self.frames_per_window,
-            &self.layer_sizes,
-            &self.critical_frames,
-        ));
+        let win = match self.spare.take() {
+            Some(mut w) => {
+                w.reset(
+                    window,
+                    self.frames_per_window,
+                    &self.layer_sizes,
+                    &self.critical_frames,
+                );
+                w
+            }
+            None => NetWindow::new(
+                window,
+                self.frames_per_window,
+                &self.layer_sizes,
+                &self.critical_frames,
+            ),
+        };
+        self.current = Some(win);
     }
 }
 

@@ -14,6 +14,11 @@ use espread_qos::LossPattern;
 use crate::wire::{DataMsg, ParityMember, ParityMsg};
 
 /// Reassembly and per-layer slot observation for one window.
+///
+/// A `NetWindow` is built to be **reused**: [`NetWindow::reset`] re-arms
+/// it for the next window while keeping every interior buffer — frame
+/// flag bitmaps, layer slot rows, parity groups — pooled for reuse, so a
+/// steady-state stream allocates only on its first window.
 #[derive(Debug, Clone)]
 pub struct NetWindow {
     window: u64,
@@ -27,10 +32,15 @@ pub struct NetWindow {
     /// FEC groups observed on this window, in first-sighting order (so
     /// recovery is deterministic under any arrival interleaving).
     parity_groups: Vec<ParityGroup>,
+    /// Retired frame-flag bitmaps awaiting reuse (filled by `reset`,
+    /// drained by `accept`/`recover`). Never observable in behavior.
+    spare_flags: Vec<Vec<bool>>,
+    /// Retired parity groups awaiting reuse.
+    spare_groups: Vec<ParityGroup>,
 }
 
 /// One erasure-coding group as learned from its `Parity` datagrams.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct ParityGroup {
     group: u32,
     m: u8,
@@ -44,6 +54,19 @@ struct ParityGroup {
     counted_unrecoverable: bool,
 }
 
+/// Caller-owned staging buffers for [`NetWindow::recover_with`] — the
+/// codec scratch plus the zero-filled data/parity shard tables a recovery
+/// pass stages into. One of these per stream keeps erasure decoding
+/// allocation-free after the first pass. (It lives outside [`NetWindow`]
+/// because [`espread_fec::Scratch`] is not `Clone` while `NetWindow` is.)
+#[derive(Debug, Default)]
+pub struct RecoverScratch {
+    scratch: Scratch,
+    data: Vec<Vec<u8>>,
+    parity: Vec<Vec<u8>>,
+    present: Vec<bool>,
+}
+
 /// What one recovery pass over a window's parity groups achieved.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FecRecovery {
@@ -54,7 +77,7 @@ pub struct FecRecovery {
 }
 
 /// What the window looked like when it closed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetWindowOutcome {
     /// The window number.
     pub window: u64,
@@ -83,6 +106,40 @@ impl NetWindow {
                 .collect(),
             critical_frames: critical_frames.to_vec(),
             parity_groups: Vec::new(),
+            spare_flags: Vec::new(),
+            spare_groups: Vec::new(),
+        }
+    }
+
+    /// Re-arms this tracker for a new window with the same or a new
+    /// session shape, recycling every interior buffer. Equivalent to
+    /// replacing `self` with [`NetWindow::new`] — observable state is
+    /// identical — but a steady-state stream allocates nothing here.
+    pub fn reset(
+        &mut self,
+        window: u64,
+        frames_per_window: usize,
+        layer_sizes: &[u16],
+        critical_frames: &[u16],
+    ) {
+        self.window = window;
+        for frame in self.frames.iter_mut() {
+            if let Some(flags) = frame.take() {
+                self.spare_flags.push(flags);
+            }
+        }
+        self.frames.clear();
+        self.frames.resize(frames_per_window, None);
+        self.layer_slots_seen
+            .resize_with(layer_sizes.len(), Vec::new);
+        for (row, &n) in self.layer_slots_seen.iter_mut().zip(layer_sizes) {
+            row.clear();
+            row.resize(usize::from(n), false);
+        }
+        self.critical_frames.clear();
+        self.critical_frames.extend_from_slice(critical_frames);
+        for group in self.parity_groups.drain(..) {
+            self.spare_groups.push(group);
         }
     }
 
@@ -109,7 +166,8 @@ impl NetWindow {
         let Some(frame) = self.frames.get_mut(f.frame) else {
             return false;
         };
-        let flags = frame.get_or_insert_with(|| vec![false; usize::from(f.frags_total)]);
+        let flags = frame
+            .get_or_insert_with(|| take_flags(&mut self.spare_flags, usize::from(f.frags_total)));
         if flags.len() != usize::from(f.frags_total) {
             return false;
         }
@@ -152,26 +210,27 @@ impl NetWindow {
                 return false;
             }
         }
-        let group = match self.parity_groups.iter_mut().find(|g| g.group == msg.group) {
-            Some(g) => {
-                if g.m != msg.m || g.shard_bytes != msg.shard_bytes || g.members != msg.members {
-                    return false;
-                }
-                g
+        if let Some(g) = self.parity_groups.iter_mut().find(|g| g.group == msg.group) {
+            if g.m != msg.m || g.shard_bytes != msg.shard_bytes || g.members != msg.members {
+                return false;
             }
-            None => {
-                self.parity_groups.push(ParityGroup {
-                    group: msg.group,
-                    m: msg.m,
-                    shard_bytes: msg.shard_bytes,
-                    members: msg.members.clone(),
-                    parity_seen: vec![false; usize::from(msg.m)],
-                    counted_unrecoverable: false,
-                });
-                self.parity_groups.last_mut().expect("just pushed")
-            }
-        };
-        group.parity_seen[usize::from(msg.parity_index)] = true;
+            g.parity_seen[usize::from(msg.parity_index)] = true;
+            return true;
+        }
+        // First sighting: the group value itself is the handle — it is
+        // fully built (parity bit included) before the push, so there is
+        // no post-push lookup to go wrong on the datagram path.
+        let mut g = self.spare_groups.pop().unwrap_or_default();
+        g.group = msg.group;
+        g.m = msg.m;
+        g.shard_bytes = msg.shard_bytes;
+        g.members.clear();
+        g.members.extend_from_slice(&msg.members);
+        g.parity_seen.clear();
+        g.parity_seen.resize(usize::from(msg.m), false);
+        g.parity_seen[usize::from(msg.parity_index)] = true;
+        g.counted_unrecoverable = false;
+        self.parity_groups.push(g);
         true
     }
 
@@ -185,26 +244,26 @@ impl NetWindow {
     /// raw channel, so the server's burst estimator is not blinded by
     /// its own parity.
     pub fn recover(&mut self) -> FecRecovery {
+        self.recover_with(&mut RecoverScratch::default())
+    }
+
+    /// [`NetWindow::recover`] staging through caller-owned buffers — the
+    /// zero-steady-state-allocation form. Behavior is identical; only
+    /// where the shard tables and codec scratch live differs.
+    pub fn recover_with(&mut self, rs: &mut RecoverScratch) -> FecRecovery {
         let mut out = FecRecovery::default();
-        let mut scratch = Scratch::new();
-        let mut data: Vec<Vec<u8>> = Vec::new();
-        let mut parity: Vec<Vec<u8>> = Vec::new();
         for gi in 0..self.parity_groups.len() {
             let g = &self.parity_groups[gi];
             let k = g.members.len();
-            let present: Vec<bool> = g
-                .members
-                .iter()
-                .map(|mem| {
-                    self.frames[usize::from(mem.frame)]
-                        .as_ref()
-                        .is_some_and(|flags| {
-                            flags.len() == usize::from(mem.frags_total)
-                                && flags[usize::from(mem.frag)]
-                        })
-                })
-                .collect();
-            let erased = present.iter().filter(|&&p| !p).count();
+            rs.present.clear();
+            rs.present.extend(g.members.iter().map(|mem| {
+                self.frames[usize::from(mem.frame)]
+                    .as_ref()
+                    .is_some_and(|flags| {
+                        flags.len() == usize::from(mem.frags_total) && flags[usize::from(mem.frag)]
+                    })
+            }));
+            let erased = rs.present.iter().filter(|&&p| !p).count();
             if erased == 0 {
                 continue;
             }
@@ -224,24 +283,24 @@ impl NetWindow {
             // The wire zero-fills payloads (traces carry sizes, not
             // content), so every received shard reads as zeros; the
             // decode must reproduce the erased members byte-identically.
-            data.resize_with(k, Vec::new);
-            for shard in data.iter_mut() {
+            rs.data.resize_with(k, Vec::new);
+            for shard in rs.data.iter_mut() {
                 shard.clear();
                 shard.resize(bytes, 0);
             }
-            parity.resize_with(usize::from(g.m), Vec::new);
-            for shard in parity.iter_mut() {
+            rs.parity.resize_with(usize::from(g.m), Vec::new);
+            for shard in rs.parity.iter_mut() {
                 shard.clear();
                 shard.resize(bytes, 0);
             }
             if codec
                 .recover_into(
                     bytes,
-                    &mut data,
-                    &present,
-                    &parity,
+                    &mut rs.data,
+                    &rs.present,
+                    &rs.parity,
                     &g.parity_seen,
-                    &mut scratch,
+                    &mut rs.scratch,
                 )
                 .is_err()
             {
@@ -253,15 +312,18 @@ impl NetWindow {
                 continue;
             }
             debug_assert!(
-                data.iter().all(|s| s.iter().all(|&b| b == 0)),
+                rs.data.iter().all(|s| s.iter().all(|&b| b == 0)),
                 "recovered shards must match the wire's zero fill"
             );
-            for (mem, was_present) in g.members.iter().zip(&present) {
-                if *was_present {
+            let g = &self.parity_groups[gi];
+            for (mi, mem) in g.members.iter().enumerate() {
+                if rs.present[mi] {
                     continue;
                 }
                 let frame = &mut self.frames[usize::from(mem.frame)];
-                let flags = frame.get_or_insert_with(|| vec![false; usize::from(mem.frags_total)]);
+                let flags = frame.get_or_insert_with(|| {
+                    take_flags(&mut self.spare_flags, usize::from(mem.frags_total))
+                });
                 if flags.len() == usize::from(mem.frags_total) {
                     flags[usize::from(mem.frag)] = true;
                     out.recovered += 1;
@@ -274,22 +336,48 @@ impl NetWindow {
     /// Critical frames still missing at least one fragment, as wire
     /// indices — the body of a `CriticalNack`.
     pub fn missing_critical(&self) -> Vec<u16> {
-        self.critical_frames
-            .iter()
-            .filter(|&&f| !self.is_complete(usize::from(f)))
-            .copied()
-            .collect()
+        let mut out = Vec::new();
+        self.missing_critical_into(&mut out);
+        out
+    }
+
+    /// [`NetWindow::missing_critical`] into a caller-owned buffer
+    /// (cleared first), for NACK construction without a per-round
+    /// allocation.
+    pub fn missing_critical_into(&self, out: &mut Vec<u16>) {
+        out.clear();
+        out.extend(
+            self.critical_frames
+                .iter()
+                .filter(|&&f| !self.is_complete(usize::from(f)))
+                .copied(),
+        );
     }
 
     /// Closes the window: playout loss pattern plus the per-layer worst
-    /// burst of lost transmission slots.
+    /// burst of lost transmission slots. Consuming convenience over
+    /// [`NetWindow::close`] — reusing callers keep the tracker and
+    /// [`NetWindow::reset`] it for the next window instead.
     pub fn finalize(self) -> NetWindowOutcome {
-        let pattern =
-            LossPattern::from_received((0..self.frames.len()).map(|f| self.is_complete(f)));
-        let per_layer_burst = self
-            .layer_slots_seen
-            .iter()
-            .map(|row| {
+        self.close()
+    }
+
+    /// The window's outcome without consuming the tracker.
+    pub fn close(&self) -> NetWindowOutcome {
+        let mut out = NetWindowOutcome::default();
+        self.close_into(&mut out);
+        out
+    }
+
+    /// [`NetWindow::close`] into a caller-owned outcome, reusing its
+    /// pattern and burst buffers — the zero-steady-state-allocation form.
+    pub fn close_into(&self, out: &mut NetWindowOutcome) {
+        out.window = self.window;
+        out.pattern
+            .set_from_received((0..self.frames.len()).map(|f| self.is_complete(f)));
+        out.per_layer_burst.clear();
+        out.per_layer_burst
+            .extend(self.layer_slots_seen.iter().map(|row| {
                 let mut best = 0u16;
                 let mut cur = 0u16;
                 for &seen in row {
@@ -301,14 +389,16 @@ impl NetWindow {
                     }
                 }
                 best
-            })
-            .collect();
-        NetWindowOutcome {
-            window: self.window,
-            pattern,
-            per_layer_burst,
-        }
+            }));
     }
+}
+
+/// Pops a recycled flag bitmap (or makes one) sized to `len`, all false.
+fn take_flags(pool: &mut Vec<Vec<bool>>, len: usize) -> Vec<bool> {
+    let mut flags = pool.pop().unwrap_or_default();
+    flags.clear();
+    flags.resize(len, false);
+    flags
 }
 
 #[cfg(test)]
@@ -517,6 +607,63 @@ mod tests {
         let w = NetWindow::new(0, 4, &[2, 2], &[0, 9000]);
         assert!(!w.is_complete(9000));
         assert_eq!(w.missing_critical(), vec![0, 9000]);
+    }
+
+    #[test]
+    fn reset_reuse_matches_a_fresh_window() {
+        // Lap 0 dirties every pool (frames, layer rows, parity groups);
+        // lap 1 after reset must behave exactly like a fresh tracker.
+        let mut reused = window();
+        reused.accept(&data(0, 0, 0, 2, 0, 0));
+        reused.accept(&data(0, 2, 0, 1, 1, 0));
+        assert!(reused.accept_parity(&parity(0, 0, 1, 0, &[(1, 0, 1), (3, 0, 1)])));
+        let mut rs = RecoverScratch::default();
+        reused.recover_with(&mut rs);
+        reused.reset(1, 4, &[2, 2], &[0, 1]);
+
+        let mut fresh = NetWindow::new(1, 4, &[2, 2], &[0, 1]);
+        for w in [&mut reused, &mut fresh] {
+            assert!(w.accept(&data(1, 0, 0, 1, 0, 0)));
+            assert!(w.accept(&data(1, 1, 0, 1, 0, 1)));
+            assert!(w.accept_parity(&parity(1, 0, 1, 0, &[(2, 0, 1), (3, 0, 1)])));
+        }
+        assert_eq!(reused.recover_with(&mut rs), fresh.recover());
+        assert_eq!(reused.missing_critical(), fresh.missing_critical());
+        let mut out = NetWindowOutcome::default();
+        reused.close_into(&mut out);
+        assert_eq!(out, fresh.finalize());
+    }
+
+    #[test]
+    fn reset_changes_session_shape_cleanly() {
+        let mut w = window();
+        w.accept(&data(0, 0, 0, 1, 0, 0));
+        // Shrink to a different shape entirely.
+        w.reset(5, 2, &[1, 1, 1], &[1]);
+        assert_eq!(w.window(), 5);
+        assert!(!w.is_complete(0), "no carry-over from the old window");
+        assert_eq!(w.missing_critical(), vec![1]);
+        assert!(w.accept(&data(5, 1, 0, 1, 2, 0)));
+        let out = w.close();
+        assert_eq!(out.pattern.lost_indices(), vec![0]);
+        assert_eq!(out.per_layer_burst, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn recover_with_shared_scratch_matches_owned() {
+        let mut a = window();
+        let mut b = window();
+        for w in [&mut a, &mut b] {
+            w.accept(&data(0, 0, 0, 1, 0, 0));
+            w.accept(&data(0, 1, 0, 1, 0, 1));
+            let members = [(0, 0, 1), (1, 0, 1), (2, 0, 1), (3, 0, 1)];
+            assert!(w.accept_parity(&parity(0, 0, 2, 0, &members)));
+            assert!(w.accept_parity(&parity(0, 0, 2, 1, &members)));
+        }
+        let mut rs = RecoverScratch::default();
+        // Dirty the scratch with a first recovery, then reuse it.
+        assert_eq!(a.recover_with(&mut rs), b.recover());
+        assert_eq!(a.close(), b.close());
     }
 
     #[test]

@@ -138,6 +138,11 @@ pub struct ProxyStats {
     /// Datagrams currently held back by the reorder knob (0 or 1 per
     /// direction; nonzero only when a stream stopped mid-swap).
     pub held: u64,
+    /// Forwards the relay socket refused (`send`/`send_to` errors).
+    /// Outside the conservation law: the datagram was already counted
+    /// `forwarded` when the fault policy released it — this counts how
+    /// many of those forwards never left the host.
+    pub send_errors: u64,
 }
 
 impl ProxyStats {
@@ -165,6 +170,7 @@ struct Counters {
     corrupted: AtomicU64,
     truncated: AtomicU64,
     held: AtomicU64,
+    send_errors: AtomicU64,
 }
 
 /// Per-direction fault state.
@@ -402,7 +408,12 @@ impl FaultProxy {
                             Ok((len, from)) => {
                                 last_client = Some(from);
                                 for out in up.process(&buf[..len]) {
-                                    let _ = server_sock.send(&out);
+                                    if server_sock.send(&out).is_err() {
+                                        up.counters
+                                            .send_errors
+                                            .fetch_add(1, AtomicOrdering::Relaxed);
+                                        up.telem.on_send_error();
+                                    }
                                 }
                             }
                             Err(e)
@@ -419,7 +430,12 @@ impl FaultProxy {
                             Ok(len) => {
                                 if let Some(client) = last_client {
                                     for out in down.process(&buf[..len]) {
-                                        let _ = client_sock.send_to(&out, client);
+                                        if client_sock.send_to(&out, client).is_err() {
+                                            down.counters
+                                                .send_errors
+                                                .fetch_add(1, AtomicOrdering::Relaxed);
+                                            down.telem.on_send_error();
+                                        }
                                     }
                                 }
                             }
@@ -460,6 +476,7 @@ impl FaultProxy {
             corrupted: self.counters.corrupted.load(AtomicOrdering::Relaxed),
             truncated: self.counters.truncated.load(AtomicOrdering::Relaxed),
             held: self.counters.held.load(AtomicOrdering::Relaxed),
+            send_errors: self.counters.send_errors.load(AtomicOrdering::Relaxed),
         }
     }
 
@@ -659,6 +676,7 @@ mod tests {
             corrupted: c.corrupted.load(AtomicOrdering::Relaxed),
             truncated: c.truncated.load(AtomicOrdering::Relaxed),
             held: c.held.load(AtomicOrdering::Relaxed),
+            send_errors: c.send_errors.load(AtomicOrdering::Relaxed),
         }
     }
 

@@ -507,9 +507,10 @@ impl Demux {
                 if let Some((addr, reply)) = handshakes.get(hello.nonce, now) {
                     // Duplicate Hello (our reply was lost): resend the
                     // cached verdict, idempotently.
-                    let len = reply.len();
-                    let _ = self.socket.send_to(reply, addr);
-                    self.telem.on_tx(len);
+                    match self.socket.send_to(reply, addr) {
+                        Ok(_) => self.telem.on_tx(reply.len()),
+                        Err(_) => self.telem.on_send_error(),
+                    }
                     return;
                 }
                 let caps = ClientCapabilities {
@@ -566,8 +567,10 @@ impl Demux {
                         }
                     }
                 };
-                let _ = self.socket.send_to(&reply, from);
-                self.telem.on_tx(reply.len());
+                match self.socket.send_to(&reply, from) {
+                    Ok(_) => self.telem.on_tx(reply.len()),
+                    Err(_) => self.telem.on_send_error(),
+                }
                 for _ in 0..handshakes.insert(hello.nonce, from, reply, now) {
                     self.telem.on_handshake_eviction();
                 }

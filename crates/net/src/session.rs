@@ -174,6 +174,18 @@ pub(crate) struct SessionCore {
     progress: u64,
     /// Value of `progress` when the watchdog was last armed.
     progress_mark: u64,
+    /// Byte ranges of the datagrams batched into the shard scratch
+    /// buffer since the last flush; flushed (in order) at the end of
+    /// every event entry point, so wire order matches encode order.
+    batch_spans: Vec<std::ops::Range<usize>>,
+    /// `send_to` failures over the session's lifetime (also counted in
+    /// `net.server.send_errors`); nonzero values mean the local stack
+    /// refused datagrams the peer will see as loss.
+    send_errors: u64,
+    /// `slot_of_frame[frame]` = first schedule slot carrying `frame` in
+    /// the current window, `u32::MAX` when the frame is unscheduled.
+    /// Rebuilt per window so NACK retransmissions index instead of scan.
+    slot_of_frame: Vec<u32>,
 }
 
 impl SessionCore {
@@ -235,7 +247,17 @@ impl SessionCore {
             closed_at: epoch,
             progress: 0,
             progress_mark: 0,
+            batch_spans: Vec::new(),
+            send_errors: 0,
+            slot_of_frame: Vec::new(),
         }
+    }
+
+    /// Lifetime `send_to` failures; surfaced so shard reports can flag
+    /// sessions whose datagrams never left the host.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn send_errors(&self) -> u64 {
+        self.send_errors
     }
 
     pub(crate) fn conn_id(&self) -> u32 {
@@ -318,21 +340,41 @@ impl SessionCore {
         (now.saturating_duration_since(self.epoch).as_micros() as u64).max(1)
     }
 
-    /// Encodes into the shard's scratch buffer and sends. Oversize
+    /// Encodes onto the end of the shard's scratch buffer — the shard's
+    /// scatter buffer, one allocation serving every datagram of a batch
+    /// — and queues the datagram's span for [`Self::flush`]. Oversize
     /// messages are counted and dropped, never a panic — the peer's
     /// retry machinery treats the gap as loss.
     fn send(&mut self, ctx: &mut Ctx<'_>, msg: &Msg) {
         self.progress += 1;
-        if wire::try_encode_into(self.conn_id, msg, ctx.scratch).is_err() {
+        let Ok(span) = wire::try_encode_append(self.conn_id, msg, ctx.scratch) else {
             self.telem.on_encode_oversize();
             self.obs.refused_msg(self.conn_id, msg);
             return;
-        }
+        };
         // Record before the bytes hit the socket, so a matching delivery
         // on a shared clock can never timestamp earlier than its send.
         self.obs.sent_msg(self.conn_id, msg);
-        let _ = ctx.socket.send_to(ctx.scratch, self.peer);
-        self.telem.on_tx(ctx.scratch.len());
+        self.batch_spans.push(span);
+    }
+
+    /// Drains the batched datagrams to the socket in encode order.
+    /// Failed sends are counted (`net.server.send_errors` and the
+    /// session's own tally), never silently discarded: the peer's retry
+    /// machinery sees the gap as loss either way, but the operator can
+    /// now tell local-stack refusal from network loss.
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        for span in self.batch_spans.drain(..) {
+            let datagram = &ctx.scratch[span];
+            match ctx.socket.send_to(datagram, self.peer) {
+                Ok(_) => self.telem.on_tx(datagram.len()),
+                Err(_) => {
+                    self.telem.on_send_error();
+                    self.send_errors += 1;
+                }
+            }
+        }
+        ctx.scratch.clear();
     }
 
     fn window_end(&self, now: Instant, w: u64) -> Msg {
@@ -361,6 +403,17 @@ impl SessionCore {
         for f in plan.critical_frames() {
             if let Some(c) = self.critical.get_mut(f) {
                 *c = true;
+            }
+        }
+        // Precompute the inverse of the schedule once, so recovery
+        // rounds index it instead of re-scanning the schedule per NACK.
+        self.slot_of_frame.clear();
+        self.slot_of_frame.resize(frames, u32::MAX);
+        for (slot, sched) in plan.schedule.iter().enumerate() {
+            if let Some(entry) = self.slot_of_frame.get_mut(sched.frame) {
+                if *entry == u32::MAX {
+                    *entry = slot as u32;
+                }
             }
         }
         if let Some(fec) = &mut self.fec {
@@ -450,7 +503,10 @@ impl SessionCore {
     /// the group. `partial` closes an under-filled tail group (flushed
     /// before `WindowEnd`) with a codec of its actual size.
     fn fec_emit_group(&mut self, ctx: &mut Ctx<'_>, partial: bool) {
-        let msgs = {
+        // First borrow scope: run the parity generator and take the
+        // member list out of the FEC state, so the sends below can
+        // borrow `self` mutably without cloning members per datagram.
+        let (m, group, shard_bytes, members) = {
             let Some(fec) = &mut self.fec else { return };
             if fec.members.is_empty() {
                 return;
@@ -486,35 +542,57 @@ impl SessionCore {
             codec
                 .encode_into(&fec.data[..k], &mut fec.parity)
                 .expect("group geometry matches its codec");
-            let window = self.window as u64;
-            let msgs: Vec<Msg> = (0..codec.m())
-                .map(|i| {
-                    Msg::Parity(ParityMsg {
-                        window,
-                        group: fec.group,
-                        m: codec.m() as u8,
-                        parity_index: i as u8,
-                        shard_bytes: fec.shard_bytes,
-                        members: fec.members.clone(),
-                    })
-                })
-                .collect();
+            let group = fec.group;
+            let shard_bytes = fec.shard_bytes;
             fec.group += 1;
-            fec.members.clear();
             fec.shard_bytes = 0;
-            msgs
+            (
+                codec.m(),
+                group,
+                shard_bytes,
+                std::mem::take(&mut fec.members),
+            )
         };
-        for msg in &msgs {
-            self.send(ctx, msg);
+        // One Msg serves all m parity datagrams: only the parity index
+        // changes between sends, and the member list goes back into the
+        // FEC state afterwards so the steady state allocates nothing.
+        let mut msg = Msg::Parity(ParityMsg {
+            window: self.window as u64,
+            group,
+            m: m as u8,
+            parity_index: 0,
+            shard_bytes,
+            members,
+        });
+        for i in 0..m {
+            if let Msg::Parity(p) = &mut msg {
+                p.parity_index = i as u8;
+            }
+            self.send(ctx, &msg);
         }
-        self.telem.on_fec_group(msgs.len() as u64);
+        if let Msg::Parity(p) = msg {
+            let mut members = p.members;
+            members.clear();
+            if let Some(fec) = &mut self.fec {
+                fec.members = members;
+            }
+        }
+        self.telem.on_fec_group(m as u64);
     }
 
     /// The transmit pump: while in the sending phase and the pacing
     /// clock allows, emit fragments (at most [`TICK_BATCH`] per call so
     /// shard peers stay served). Closes the window with a `WindowEnd`
     /// and arms the first ACK-retry deadline when the schedule runs dry.
+    /// The whole batch is encoded into the shard's scatter buffer and
+    /// flushed to the socket once, in order, on the way out.
     pub(crate) fn on_tick(&mut self, ctx: &mut Ctx<'_>) -> Status {
+        let status = self.tick_inner(ctx);
+        self.flush(ctx);
+        status
+    }
+
+    fn tick_inner(&mut self, ctx: &mut Ctx<'_>) -> Status {
         if !matches!(self.phase, Phase::Sending) {
             return Status::Active;
         }
@@ -638,6 +716,12 @@ impl SessionCore {
 
     /// A routed control datagram for this connection.
     pub(crate) fn on_msg(&mut self, msg: &Msg, at: Instant, ctx: &mut Ctx<'_>) -> Status {
+        let status = self.msg_inner(msg, at, ctx);
+        self.flush(ctx);
+        status
+    }
+
+    fn msg_inner(&mut self, msg: &Msg, at: Instant, ctx: &mut Ctx<'_>) -> Status {
         // Any routed datagram is evidence of a live peer.
         self.progress += 1;
         match &self.phase {
@@ -717,9 +801,12 @@ impl SessionCore {
     /// Recovery rounds are small and bounded, so they skip the pacing
     /// clock rather than stall the shard.
     fn retransmit_frame(&mut self, ctx: &mut Ctx<'_>, frame: usize) {
-        let Some(plan) = &self.plan else { return };
-        let Some(slot) = plan.schedule.iter().position(|s| s.frame == frame) else {
+        if self.plan.is_none() {
             return;
+        }
+        let slot = match self.slot_of_frame.get(frame) {
+            Some(&s) if s != u32::MAX => s as usize,
+            _ => return,
         };
         let frags_total =
             self.source.windows[self.window][frame].fragment_count(self.protocol.packet_bytes);
@@ -731,6 +818,12 @@ impl SessionCore {
     /// A wheel deadline fired. Stale generations are cancelled timers
     /// (the window was acked, the phase moved on) and must do nothing.
     pub(crate) fn on_timer(&mut self, gen: u64, ctx: &mut Ctx<'_>) -> Status {
+        let status = self.timer_inner(gen, ctx);
+        self.flush(ctx);
+        status
+    }
+
+    fn timer_inner(&mut self, gen: u64, ctx: &mut Ctx<'_>) -> Status {
         if gen == self.watchdog_gen && self.watchdog_gen != 0 {
             return self.on_watchdog(ctx);
         }
@@ -1176,6 +1269,34 @@ mod tests {
         // Gen 0 must never be treated as a live watchdog.
         let status = h.ctx_call(|c, ctx| c.on_timer(0, ctx));
         assert_eq!(status, Status::Active);
+    }
+
+    /// Regression: `send_to` failures used to be `let _ =` discarded.
+    /// Port 0 is an invalid destination on Linux, so every datagram of
+    /// the window fails — each failure must be counted, none may panic
+    /// or stall the state machine.
+    #[test]
+    fn send_failures_are_counted_not_discarded() {
+        let mut h = Harness::new(1);
+        h.core.peer = "127.0.0.1:0".parse().unwrap();
+        assert_eq!(h.core.send_errors(), 0);
+        h.ctx_call(|c, ctx| c.start(ctx));
+        h.ctx_call(|c, ctx| c.on_msg(&Msg::Begin, ctx.now, ctx));
+        for _ in 0..100 {
+            h.ctx_call(|c, ctx| c.on_tick(ctx));
+            if matches!(h.core.phase, Phase::AwaitAck { .. }) {
+                break;
+            }
+        }
+        assert!(
+            matches!(h.core.phase, Phase::AwaitAck { .. }),
+            "a session whose sends all fail still walks its schedule"
+        );
+        assert!(
+            h.core.send_errors() > 0,
+            "failed datagram sends must be tallied"
+        );
+        assert!(h.drain().is_empty(), "nothing reached the peer socket");
     }
 
     #[test]

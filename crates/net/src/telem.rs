@@ -23,6 +23,7 @@ mod imp {
         datagrams_tx: Counter,
         datagrams_rx: Counter,
         bytes_tx: Counter,
+        send_errors: Counter,
         decode_errors: Counter,
         retries: Counter,
         ack_timeouts: Counter,
@@ -49,6 +50,7 @@ mod imp {
                 datagrams_tx: r.counter("net.server.datagrams_tx"),
                 datagrams_rx: r.counter("net.server.datagrams_rx"),
                 bytes_tx: r.counter("net.server.bytes_tx"),
+                send_errors: r.counter("net.server.send_errors"),
                 decode_errors: r.counter("net.server.decode_errors"),
                 retries: r.counter("net.server.retries"),
                 ack_timeouts: r.counter("net.server.ack_timeouts"),
@@ -113,6 +115,11 @@ mod imp {
         }
 
         #[inline]
+        pub(crate) fn on_send_error(&self) {
+            self.send_errors.inc();
+        }
+
+        #[inline]
         pub(crate) fn on_decode_error(&self) {
             self.decode_errors.inc();
         }
@@ -159,6 +166,7 @@ mod imp {
     pub(crate) struct ClientTelem {
         datagrams_tx: Counter,
         datagrams_rx: Counter,
+        send_errors: Counter,
         hello_retries: Counter,
         begin_retries: Counter,
         windows: Counter,
@@ -175,6 +183,7 @@ mod imp {
             ClientTelem {
                 datagrams_tx: r.counter("net.client.datagrams_tx"),
                 datagrams_rx: r.counter("net.client.datagrams_rx"),
+                send_errors: r.counter("net.client.send_errors"),
                 hello_retries: r.counter("net.client.hello_retries"),
                 begin_retries: r.counter("net.client.begin_retries"),
                 windows: r.counter("net.client.windows"),
@@ -194,6 +203,11 @@ mod imp {
         #[inline]
         pub(crate) fn on_rx(&self) {
             self.datagrams_rx.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_send_error(&self) {
+            self.send_errors.inc();
         }
 
         #[inline]
@@ -246,6 +260,7 @@ mod imp {
         reordered: Counter,
         corrupted: Counter,
         truncated: Counter,
+        send_errors: Counter,
     }
 
     impl ProxyTelem {
@@ -258,6 +273,7 @@ mod imp {
                 reordered: r.counter("net.proxy.reordered"),
                 corrupted: r.counter("net.proxy.corrupted"),
                 truncated: r.counter("net.proxy.truncated"),
+                send_errors: r.counter("net.proxy.send_errors"),
             }
         }
 
@@ -289,6 +305,11 @@ mod imp {
         #[inline]
         pub(crate) fn on_truncated(&self) {
             self.truncated.inc();
+        }
+
+        #[inline]
+        pub(crate) fn on_send_error(&self) {
+            self.send_errors.inc();
         }
     }
 }
@@ -325,6 +346,8 @@ mod imp {
         #[inline(always)]
         pub(crate) fn on_rx(&self) {}
         #[inline(always)]
+        pub(crate) fn on_send_error(&self) {}
+        #[inline(always)]
         pub(crate) fn on_decode_error(&self) {}
         #[inline(always)]
         pub(crate) fn on_retry(&self) {}
@@ -355,6 +378,8 @@ mod imp {
         pub(crate) fn on_tx(&self) {}
         #[inline(always)]
         pub(crate) fn on_rx(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_send_error(&self) {}
         #[inline(always)]
         pub(crate) fn on_hello_retry(&self) {}
         #[inline(always)]
@@ -394,6 +419,8 @@ mod imp {
         pub(crate) fn on_corrupted(&self) {}
         #[inline(always)]
         pub(crate) fn on_truncated(&self) {}
+        #[inline(always)]
+        pub(crate) fn on_send_error(&self) {}
     }
 }
 

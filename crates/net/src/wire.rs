@@ -416,6 +416,36 @@ pub fn try_encode(conn_id: u32, msg: &Msg) -> Result<Vec<u8>, WireError> {
 /// silently truncates a list or narrows an index.
 pub fn try_encode_into(conn_id: u32, msg: &Msg, out: &mut Vec<u8>) -> Result<(), WireError> {
     out.clear();
+    try_encode_append(conn_id, msg, out)?;
+    Ok(())
+}
+
+/// Encodes `msg` *appended* to `out` without clearing it, returning the
+/// byte range of the new datagram — the scatter-buffer variant of
+/// [`try_encode_into`] for batching a whole window of datagrams into one
+/// buffer. On error `out` is truncated back to its prior length, so a
+/// refused message never leaves half-written bytes in the batch.
+///
+/// # Errors
+///
+/// Returns [`WireError::Oversize`] naming the offending field — never
+/// silently truncates a list or narrows an index.
+pub fn try_encode_append(
+    conn_id: u32,
+    msg: &Msg,
+    out: &mut Vec<u8>,
+) -> Result<std::ops::Range<usize>, WireError> {
+    let start = out.len();
+    match encode_body(conn_id, msg, out) {
+        Ok(()) => Ok(start..out.len()),
+        Err(e) => {
+            out.truncate(start);
+            Err(e)
+        }
+    }
+}
+
+fn encode_body(conn_id: u32, msg: &Msg, out: &mut Vec<u8>) -> Result<(), WireError> {
     match msg {
         Msg::Accept(a) => {
             fits("accept.layer_sizes", a.layer_sizes.len(), MAX_LAYERS)?;
@@ -601,16 +631,20 @@ impl<'a> Cursor<'a> {
         ]))
     }
 
-    /// Reads a `count`-element list of u16s, checking the length *before*
-    /// allocating so a hostile count cannot balloon memory.
-    fn u16_list(&mut self, count: usize) -> Result<Vec<u16>, WireError> {
+    /// Reads a `count`-element list of u16s into `out`, checking the
+    /// length *before* reserving so a hostile count cannot balloon memory.
+    fn u16_list_into(&mut self, count: usize, out: &mut Vec<u16>) -> Result<(), WireError> {
         if self.remaining() < count * 2 {
             return Err(WireError::Truncated {
                 need: count * 2,
                 have: self.remaining(),
             });
         }
-        (0..count).map(|_| self.u16()).collect()
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(self.u16()?);
+        }
+        Ok(())
     }
 
     fn finish(&self) -> Result<(), WireError> {
@@ -686,6 +720,86 @@ pub fn peek_data_labels(datagram: &[u8]) -> Option<DataLabels> {
     })
 }
 
+/// Reusable buffer pools for the decode hot path.
+///
+/// `decode` allocates fresh `Vec`s and `String`s for every counted field
+/// — fine for handshakes, wasteful per-datagram. A long-lived receive loop
+/// keeps one `DecodeScratch`, decodes with [`decode_with`], and hands each
+/// fully-consumed message back via [`DecodeScratch::recycle`]; the owned
+/// buffers inside return to the pools and the next decode reuses their
+/// capacity instead of allocating.
+///
+/// Ownership rule: the buffers inside a decoded [`Msg`] belong to the
+/// message until `recycle` is called — there is no aliasing, so dropping a
+/// message instead of recycling it is always safe (the pool just stays
+/// colder). Pools are bounded ([`DecodeScratch::MAX_POOLED`] per kind), so
+/// a recycle storm cannot grow memory without limit.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    u16s: Vec<Vec<u16>>,
+    members: Vec<Vec<ParityMember>>,
+    strings: Vec<String>,
+}
+
+impl DecodeScratch {
+    /// Most spare buffers kept per pool; further recycles are dropped.
+    pub const MAX_POOLED: usize = 8;
+
+    fn take_u16s(&mut self) -> Vec<u16> {
+        self.u16s.pop().unwrap_or_default()
+    }
+
+    fn take_members(&mut self) -> Vec<ParityMember> {
+        self.members.pop().unwrap_or_default()
+    }
+
+    fn take_string(&mut self) -> String {
+        self.strings.pop().unwrap_or_default()
+    }
+
+    /// Returns a consumed message's owned buffers to the pools so the next
+    /// [`decode_with`] reuses their capacity. Messages with no heap fields
+    /// are dropped unchanged.
+    pub fn recycle(&mut self, msg: Msg) {
+        match msg {
+            Msg::Accept(a) => {
+                self.pool_u16s(a.layer_sizes);
+                self.pool_u16s(a.critical_frames);
+            }
+            Msg::Reject(r) => {
+                if self.strings.len() < Self::MAX_POOLED {
+                    let mut s = r.reason;
+                    s.clear();
+                    self.strings.push(s);
+                }
+            }
+            Msg::WindowAck(a) => self.pool_u16s(a.per_layer_burst),
+            Msg::CriticalNack(n) => self.pool_u16s(n.missing),
+            Msg::Parity(p) => {
+                if self.members.len() < Self::MAX_POOLED {
+                    let mut m = p.members;
+                    m.clear();
+                    self.members.push(m);
+                }
+            }
+            Msg::Hello(_)
+            | Msg::Begin
+            | Msg::Data(_)
+            | Msg::WindowEnd(_)
+            | Msg::Bye(_)
+            | Msg::ByeAck
+            | Msg::Busy { .. } => {}
+        }
+    }
+
+    fn pool_u16s(&mut self, mut v: Vec<u16>) {
+        if self.u16s.len() < Self::MAX_POOLED {
+            v.clear();
+            self.u16s.push(v);
+        }
+    }
+}
+
 /// Decodes one datagram into `(conn_id, message)`.
 ///
 /// # Errors
@@ -693,6 +807,19 @@ pub fn peek_data_labels(datagram: &[u8]) -> Option<DataLabels> {
 /// Returns a [`WireError`] naming the malformed-datagram class; never
 /// panics, whatever the input bytes.
 pub fn decode(datagram: &[u8]) -> Result<(u32, Msg), WireError> {
+    decode_with(datagram, &mut DecodeScratch::default())
+}
+
+/// [`decode`] drawing counted-field buffers from a caller-owned
+/// [`DecodeScratch`] — the zero-steady-state-allocation form for receive
+/// loops. Behavior is byte-for-byte identical to [`decode`]; only where
+/// the `Vec`/`String` capacity comes from differs.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] naming the malformed-datagram class; never
+/// panics, whatever the input bytes.
+pub fn decode_with(datagram: &[u8], scratch: &mut DecodeScratch) -> Result<(u32, Msg), WireError> {
     if datagram.len() < HEADER_BYTES {
         return Err(WireError::ShortHeader {
             have: datagram.len(),
@@ -728,9 +855,11 @@ pub fn decode(datagram: &[u8]) -> Result<(u32, Msg), WireError> {
             let packet_bytes = c.u32()?;
             let fps = c.u32()?;
             let n_layers = usize::from(c.u8()?);
-            let layer_sizes = c.u16_list(n_layers)?;
+            let mut layer_sizes = scratch.take_u16s();
+            c.u16_list_into(n_layers, &mut layer_sizes)?;
             let n_critical = usize::from(c.u16()?);
-            let critical_frames = c.u16_list(n_critical)?;
+            let mut critical_frames = scratch.take_u16s();
+            c.u16_list_into(n_critical, &mut critical_frames)?;
             Msg::Accept(Accept {
                 nonce,
                 frames_per_window,
@@ -751,8 +880,10 @@ pub fn decode(datagram: &[u8]) -> Result<(u32, Msg), WireError> {
                 });
             }
             let bytes = c.take(len)?;
-            let reason = String::from_utf8(bytes.to_vec())
+            let text = std::str::from_utf8(bytes)
                 .map_err(|_| WireError::BadValue("reject reason is not utf-8"))?;
+            let mut reason = scratch.take_string();
+            reason.push_str(text);
             Msg::Reject(Reject { nonce, reason })
         }
         3 => Msg::Begin,
@@ -809,7 +940,8 @@ pub fn decode(datagram: &[u8]) -> Result<(u32, Msg), WireError> {
             let window = c.u64()?;
             let echo_us = c.u64()?;
             let n = usize::from(c.u8()?);
-            let per_layer_burst = c.u16_list(n)?;
+            let mut per_layer_burst = scratch.take_u16s();
+            c.u16_list_into(n, &mut per_layer_burst)?;
             Msg::WindowAck(WindowAckMsg {
                 ack_seq,
                 window,
@@ -820,7 +952,8 @@ pub fn decode(datagram: &[u8]) -> Result<(u32, Msg), WireError> {
         7 => {
             let window = c.u64()?;
             let n = usize::from(c.u16()?);
-            let missing = c.u16_list(n)?;
+            let mut missing = scratch.take_u16s();
+            c.u16_list_into(n, &mut missing)?;
             Msg::CriticalNack(CriticalNackMsg { window, missing })
         }
         8 => Msg::Bye(match c.u8()? {
@@ -853,7 +986,8 @@ pub fn decode(datagram: &[u8]) -> Result<(u32, Msg), WireError> {
                     have: c.remaining(),
                 });
             }
-            let mut members = Vec::with_capacity(count);
+            let mut members = scratch.take_members();
+            members.reserve(count);
             for _ in 0..count {
                 let frame = c.u16()?;
                 let frag = c.u16()?;
@@ -1441,6 +1575,64 @@ mod tests {
     #[should_panic(expected = "oversize data.frame")]
     fn encode_panics_on_oversize_instead_of_truncating() {
         let _ = encode(1, &data_with_frame(MAX_FRAME_INDEX + 1));
+    }
+
+    /// `decode_with` + `recycle` over one scratch matches the allocating
+    /// decode exactly for every message type, across repeated laps (so
+    /// recycled buffers demonstrably carry no stale state).
+    #[test]
+    fn decode_with_scratch_matches_decode() {
+        let mut scratch = DecodeScratch::default();
+        for _ in 0..3 {
+            for msg in all_messages() {
+                let bytes = encode(8, &msg);
+                let (conn, pooled) = decode_with(&bytes, &mut scratch).expect("decode_with");
+                assert_eq!((conn, &pooled), (8, &msg), "type {}", msg.type_byte());
+                assert_eq!(decode(&bytes).unwrap().1, pooled);
+                scratch.recycle(pooled);
+            }
+        }
+    }
+
+    /// Recycle pools are bounded: a recycle storm never retains more than
+    /// `MAX_POOLED` spare buffers per kind.
+    #[test]
+    fn recycle_pools_are_bounded() {
+        let mut scratch = DecodeScratch::default();
+        for _ in 0..100 {
+            scratch.recycle(Msg::CriticalNack(CriticalNackMsg {
+                window: 0,
+                missing: vec![1, 2, 3],
+            }));
+            scratch.recycle(Msg::Reject(Reject {
+                nonce: 0,
+                reason: "no".into(),
+            }));
+            scratch.recycle(sample_parity());
+        }
+        assert!(scratch.u16s.len() <= DecodeScratch::MAX_POOLED);
+        assert!(scratch.strings.len() <= DecodeScratch::MAX_POOLED);
+        assert!(scratch.members.len() <= DecodeScratch::MAX_POOLED);
+    }
+
+    /// Appending every message into one scatter buffer yields ranges that
+    /// each decode to the original message, and an oversize refusal
+    /// truncates back to the batch's prior end.
+    #[test]
+    fn encode_append_batches_into_one_buffer() {
+        let mut batch = Vec::new();
+        let mut spans = Vec::new();
+        for msg in all_messages() {
+            spans.push(try_encode_append(6, &msg, &mut batch).expect("append"));
+        }
+        for (msg, span) in all_messages().into_iter().zip(spans) {
+            let (conn, decoded) = decode(&batch[span]).expect("decode span");
+            assert_eq!((conn, decoded), (6, msg));
+        }
+        let before = batch.len();
+        let err = try_encode_append(6, &data_with_frame(MAX_FRAME_INDEX + 1), &mut batch);
+        assert!(err.is_err());
+        assert_eq!(batch.len(), before, "refusal leaves the batch intact");
     }
 
     /// One scratch buffer encodes every message type back-to-back,

@@ -172,16 +172,19 @@ impl Poset {
             }
             h
         };
-        // Length-prefixed per-element cover lists make the byte stream
-        // uniquely parseable, so distinct posets hash distinct streams.
+        // Each element's covers combine commutatively (wrapping add of
+        // per-edge hashes), so the fingerprint stays insensitive to the
+        // order relations were added in without sorting a scratch copy:
+        // this runs on the per-window hot path as the layered-order cache
+        // key and must not allocate.
         let mut h = fold(FNV_OFFSET, self.n as u64);
         for a in 0..self.n {
-            let mut ups = self.covers_up[a].clone();
-            ups.sort_unstable();
-            h = fold(h, ups.len() as u64);
-            for b in ups {
-                h = fold(h, b as u64);
+            let mut covers = 0u64;
+            for &b in &self.covers_up[a] {
+                covers = covers.wrapping_add(fold(FNV_OFFSET, b as u64));
             }
+            h = fold(h, self.covers_up[a].len() as u64);
+            h = fold(h, covers);
         }
         h
     }

@@ -76,6 +76,14 @@ impl LossPattern {
         }
     }
 
+    /// Rebuilds this pattern in place from per-slot received flags
+    /// (`true` = delivered), reusing the existing slot buffer. The in-place
+    /// twin of [`LossPattern::from_received`] for steady-state reuse.
+    pub fn set_from_received<I: IntoIterator<Item = bool>>(&mut self, flags: I) {
+        self.received.clear();
+        self.received.extend(flags);
+    }
+
     /// Builds a pattern of `len` slots where exactly the slots in `lost`
     /// are marked lost.
     ///

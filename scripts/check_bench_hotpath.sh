@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Gates the steady-state hot path against its committed baseline.
+#
+# Usage: scripts/check_bench_hotpath.sh [baseline.json] [fresh.json]
+#
+# Compares each family's ratio to the memcpy floor (see bench_hotpath's
+# docs — absolute nanoseconds vary with the host, the ratios track only
+# the bookkeeping each path layers on top of moving its bytes) and fails
+# when any family regresses more than 20% past the committed
+# BENCH_hotpath.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=${1:-BENCH_hotpath.json}
+FRESH=${2:-results/bench_hotpath.json}
+[[ -s $BASELINE ]] || { echo "error: missing baseline $BASELINE" >&2; exit 1; }
+[[ -s $FRESH ]] || { echo "error: missing measurement $FRESH (run bench_hotpath first)" >&2; exit 1; }
+
+python3 - "$BASELINE" "$FRESH" <<'EOF'
+import json
+import sys
+
+baseline = json.load(open(sys.argv[1]))
+fresh = json.load(open(sys.argv[2]))
+failed = False
+for name, base in baseline["families"].items():
+    if name not in fresh["families"]:
+        print(f"bench_hotpath {name}: missing from fresh measurement -> FAIL")
+        failed = True
+        continue
+    b, f = base["ratio"], fresh["families"][name]["ratio"]
+    limit = b * 1.20
+    verdict = "ok" if f <= limit else "REGRESSION"
+    print(
+        f"bench_hotpath {name}: committed {b:.3f}, fresh {f:.3f}, "
+        f"limit {limit:.3f} -> {verdict}"
+    )
+    failed = failed or f > limit
+sys.exit(1 if failed else 0)
+EOF

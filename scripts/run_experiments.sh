@@ -93,6 +93,14 @@ if [[ $QUICK -eq 0 ]]; then
   # committed BENCH_overload.json floor are both enforced by the gate.
   run_bench net_overload net_overload net_overload
   scripts/check_bench_overload.sh || fail "net_overload regressed past BENCH_overload.json"
+  # Hot-path microbench: pure CPU, timing-derived (excluded from the
+  # determinism surface — no telemetry snapshot, so it bypasses
+  # run_bench). The committed BENCH_hotpath.json family ratios gate it.
+  echo "=== bench_hotpath ==="
+  cargo run --quiet --release -p espread-bench --bin bench_hotpath \
+    | tee results/bench_hotpath.txt \
+    || fail "bench_hotpath exited non-zero"
+  scripts/check_bench_hotpath.sh || fail "hot path regressed past BENCH_hotpath.json"
   # The chaos_soak binary also writes the overload regime's separate
   # deterministic report.
   [[ -s results/chaos_overload.json ]] \
